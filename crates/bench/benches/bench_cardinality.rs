@@ -1,0 +1,43 @@
+//! E3 companion bench: wall-time of LLM-only scans as the requested result
+//! cardinality (LIMIT k) grows, per prompting strategy.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use llmsql_types::{EngineConfig, ExecutionMode, LlmFidelity, PromptStrategy};
+use llmsql_workload::{World, WorldSpec};
+
+fn bench_cardinality(c: &mut Criterion) {
+    let world = World::generate(WorldSpec {
+        countries: 200,
+        cities_per_country: 2,
+        people: 20,
+        movies: 10,
+        seed: 5,
+    })
+    .unwrap();
+
+    let mut group = c.benchmark_group("scan_cardinality");
+    group.sample_size(15);
+    for &k in &[10usize, 50, 150] {
+        let sql = format!("SELECT name, capital, population FROM countries LIMIT {k}");
+        for strategy in [PromptStrategy::BatchedRows, PromptStrategy::TupleAtATime] {
+            let subject = world
+                .subject_engine(
+                    EngineConfig::default()
+                        .with_mode(ExecutionMode::LlmOnly)
+                        .with_strategy(strategy)
+                        .with_fidelity(LlmFidelity::strong()),
+                )
+                .unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(strategy.label(), k),
+                &sql,
+                |b, sql| b.iter(|| black_box(subject.execute(black_box(sql)).unwrap())),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cardinality);
+criterion_main!(benches);

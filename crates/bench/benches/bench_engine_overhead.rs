@@ -1,0 +1,53 @@
+//! E8 (Figure): engine overhead — parse + plan + execute wall time in
+//! Traditional vs LLM-only mode (simulated model, so model "latency" is not
+//! wall time), scaling with base-table size.
+//!
+//! The shape the paper reports: traditional execution time grows with the
+//! data, while LLM-only execution time is dominated by prompt construction /
+//! completion parsing and grows with the number of rows the model returns.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use llmsql_types::{EngineConfig, ExecutionMode, LlmFidelity, PromptStrategy};
+use llmsql_workload::{World, WorldSpec};
+
+fn world_of_size(countries: usize) -> World {
+    World::generate(WorldSpec {
+        countries,
+        cities_per_country: 2,
+        people: 20,
+        movies: 10,
+        seed: 99,
+    })
+    .unwrap()
+}
+
+fn bench_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_overhead");
+    group.sample_size(20);
+    for &size in &[100usize, 400, 1000] {
+        let world = world_of_size(size);
+        let oracle = world.oracle_engine();
+        let subject = world
+            .subject_engine(
+                EngineConfig::default()
+                    .with_mode(ExecutionMode::LlmOnly)
+                    .with_strategy(PromptStrategy::BatchedRows)
+                    .with_fidelity(LlmFidelity::perfect())
+                    .with_batch_size(50),
+            )
+            .unwrap();
+        let sql = "SELECT name, population FROM countries WHERE population > 1000000";
+
+        group.bench_with_input(BenchmarkId::new("traditional", size), &size, |b, _| {
+            b.iter(|| black_box(oracle.execute(black_box(sql)).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("llm_only", size), &size, |b, _| {
+            b.iter(|| black_box(subject.execute(black_box(sql)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E4 companion bench: wall-time of join chains of increasing length in
+//! Traditional vs LLM-only execution.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use llmsql_types::{EngineConfig, ExecutionMode, LlmFidelity, PromptStrategy};
+use llmsql_workload::{join_chain_suite, World, WorldSpec};
+
+fn bench_joins(c: &mut Criterion) {
+    let world = World::generate(WorldSpec::tiny()).unwrap();
+    let oracle = world.oracle_engine();
+    let subject = world
+        .subject_engine(
+            EngineConfig::default()
+                .with_mode(ExecutionMode::LlmOnly)
+                .with_strategy(PromptStrategy::BatchedRows)
+                .with_fidelity(LlmFidelity::perfect())
+                .with_batch_size(50),
+        )
+        .unwrap();
+
+    let mut group = c.benchmark_group("join_chain");
+    group.sample_size(15);
+    for case in join_chain_suite(3) {
+        let joins = case.id.trim_start_matches("join-chain-").to_string();
+        group.bench_with_input(
+            BenchmarkId::new("traditional", &joins),
+            &case.sql,
+            |b, sql| b.iter(|| black_box(oracle.execute(black_box(sql)).unwrap())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("llm_only", &joins),
+            &case.sql,
+            |b, sql| b.iter(|| black_box(subject.execute(black_box(sql)).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_joins);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Microbenchmark: SQL parsing and planning throughput (engine overhead that
+//! is independent of the storage layer).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use llmsql_plan::{bind_select, optimize, OptimizerOptions};
+use llmsql_sql::{parse_statement, Statement};
+use llmsql_workload::{World, WorldSpec};
+
+const QUERIES: [&str; 4] = [
+    "SELECT name, population FROM countries WHERE population > 1000000 ORDER BY population DESC LIMIT 10",
+    "SELECT c.region, COUNT(*), SUM(ci.population) FROM countries c JOIN cities ci ON ci.country = c.name GROUP BY c.region",
+    "SELECT name FROM people WHERE profession IN ('scientist', 'writer') AND birth_year BETWEEN 1950 AND 1990",
+    "SELECT m.title, p.name FROM movies m JOIN people p ON m.director = p.name WHERE m.rating > 7.5",
+];
+
+fn bench_parse(c: &mut Criterion) {
+    c.bench_function("parse_statement", |b| {
+        b.iter(|| {
+            for sql in QUERIES {
+                black_box(parse_statement(black_box(sql)).unwrap());
+            }
+        })
+    });
+}
+
+fn bench_plan(c: &mut Criterion) {
+    let world = World::generate(WorldSpec::tiny()).unwrap();
+    let catalog = world.catalog.clone();
+    c.bench_function("bind_and_optimize", |b| {
+        b.iter(|| {
+            for sql in QUERIES {
+                let Statement::Select(select) = parse_statement(sql).unwrap() else {
+                    unreachable!()
+                };
+                let plan = bind_select(&catalog, &select).unwrap();
+                black_box(optimize(plan, &OptimizerOptions::default()));
+            }
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_parse, bench_plan
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E2 companion bench: wall-time per prompting strategy on a fixed
+//! selection+join workload (the accuracy side of E2 lives in
+//! `bin/exp2_strategies`).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use llmsql_types::{EngineConfig, ExecutionMode, LlmFidelity, PromptStrategy};
+use llmsql_workload::{World, WorldSpec};
+
+const SQL: &str =
+    "SELECT ci.name, c.region FROM cities ci JOIN countries c ON ci.country = c.name \
+     WHERE c.population > 1000000";
+
+fn bench_strategies(c: &mut Criterion) {
+    let world = World::generate(WorldSpec::tiny()).unwrap();
+    let mut group = c.benchmark_group("prompt_strategy");
+    group.sample_size(15);
+    for strategy in PromptStrategy::ALL {
+        let subject = world
+            .subject_engine(
+                EngineConfig::default()
+                    .with_mode(ExecutionMode::LlmOnly)
+                    .with_strategy(strategy)
+                    .with_fidelity(LlmFidelity::strong()),
+            )
+            .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(strategy.label()), SQL, |b, sql| {
+            b.iter(|| black_box(subject.execute(black_box(sql)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! E1 (Table 1): per-operator accuracy of LLM-only execution.
+//!
+//! For every operator class (projection, selection, range, join, aggregate,
+//! top-k) the binary runs a suite of queries in LLM-only mode with the
+//! default (strong-model) fidelity and reports precision / recall / F1 /
+//! exact-answer rate against the relational oracle.
+
+use llmsql_bench::{engines, experiment_world, QUERIES_PER_CLASS};
+use llmsql_core::EvalOptions;
+use llmsql_types::{LlmFidelity, PromptStrategy};
+use llmsql_workload::{fmt_score, run_suite, standard_suite, Report};
+
+fn main() {
+    let world = experiment_world().expect("world generation");
+    let (oracle, subject) = engines(
+        &world,
+        PromptStrategy::BatchedRows,
+        LlmFidelity::strong(),
+    )
+    .expect("engines");
+    let suite = standard_suite(&world, QUERIES_PER_CLASS);
+    let outcome =
+        run_suite(&oracle, &subject, &suite, &EvalOptions::exact()).expect("suite execution");
+
+    let mut report = Report::new(vec![
+        "operator class",
+        "queries",
+        "precision",
+        "recall",
+        "F1",
+        "exact",
+        "llm calls/query",
+    ])
+    .with_title("E1 / Table 1 — per-operator accuracy (LLM-only, strong fidelity)");
+
+    for (class, score) in outcome.by_class() {
+        let calls: u64 = outcome
+            .cases
+            .iter()
+            .filter(|c| c.case.class == class)
+            .map(|c| c.llm_calls)
+            .sum();
+        let n = score.len().max(1);
+        report.row(vec![
+            class.label().to_string(),
+            score.len().to_string(),
+            fmt_score(score.precision()),
+            fmt_score(score.recall()),
+            fmt_score(score.f1()),
+            fmt_score(score.exact_rate()),
+            format!("{:.1}", calls as f64 / n as f64),
+        ]);
+    }
+    let overall = outcome.overall();
+    report.row(vec![
+        "ALL".to_string(),
+        overall.len().to_string(),
+        fmt_score(overall.precision()),
+        fmt_score(overall.recall()),
+        fmt_score(overall.f1()),
+        fmt_score(overall.exact_rate()),
+        format!(
+            "{:.1}",
+            outcome.total_llm_calls() as f64 / outcome.cases.len().max(1) as f64
+        ),
+    ]);
+    println!("{}", report.render());
+}

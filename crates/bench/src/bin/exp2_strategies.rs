@@ -1,0 +1,46 @@
+//! E2 (Table 2): prompting-strategy comparison.
+//!
+//! Runs the same mixed suite under each prompting strategy (full-query,
+//! batched-rows, tuple-at-a-time, decomposed-operators) and reports accuracy,
+//! model calls, token volume, simulated cost and latency.
+
+use llmsql_bench::{engines, experiment_world, QUERIES_PER_CLASS};
+use llmsql_core::EvalOptions;
+use llmsql_types::{LlmFidelity, PromptStrategy};
+use llmsql_workload::{fmt_f2, fmt_score, run_suite, standard_suite, Report};
+
+fn main() {
+    let world = experiment_world().expect("world generation");
+    let suite = standard_suite(&world, QUERIES_PER_CLASS / 2);
+
+    let mut report = Report::new(vec![
+        "strategy",
+        "precision",
+        "recall",
+        "F1",
+        "llm calls",
+        "tokens",
+        "cost ($)",
+        "mean latency (ms)",
+    ])
+    .with_title("E2 / Table 2 — prompting strategies (strong fidelity, mixed suite)");
+
+    for strategy in PromptStrategy::ALL {
+        let (oracle, subject) =
+            engines(&world, strategy, LlmFidelity::strong()).expect("engines");
+        let outcome =
+            run_suite(&oracle, &subject, &suite, &EvalOptions::exact()).expect("suite execution");
+        let overall = outcome.overall();
+        report.row(vec![
+            strategy.label().to_string(),
+            fmt_score(overall.precision()),
+            fmt_score(overall.recall()),
+            fmt_score(overall.f1()),
+            outcome.total_llm_calls().to_string(),
+            outcome.total_tokens().to_string(),
+            fmt_f2(outcome.total_cost_usd()),
+            fmt_f2(outcome.mean_latency_ms()),
+        ]);
+    }
+    println!("{}", report.render());
+}

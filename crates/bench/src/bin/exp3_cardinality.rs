@@ -1,0 +1,49 @@
+//! E3 (Figure): recall vs requested result cardinality.
+//!
+//! Sweeps `LIMIT k` scans over the countries relation for each strategy and
+//! reports recall (how many of the k requested rows were actually produced
+//! correctly) and the number of model calls. In the paper the corresponding
+//! figure shows recall dropping as more rows are requested per prompt.
+
+use llmsql_bench::{engines, experiment_world};
+use llmsql_core::EvalOptions;
+use llmsql_types::{LlmFidelity, PromptStrategy};
+use llmsql_workload::{cardinality_suite, fmt_score, run_suite, Report};
+
+fn main() {
+    let world = experiment_world().expect("world generation");
+    let ks = [1usize, 5, 10, 20, 40, 80];
+    let suite = cardinality_suite(&ks);
+
+    let mut report = Report::new(vec![
+        "limit k",
+        "strategy",
+        "precision",
+        "recall",
+        "F1",
+        "llm calls",
+    ])
+    .with_title("E3 / Figure — accuracy vs result cardinality (strong fidelity)");
+
+    for strategy in [
+        PromptStrategy::FullQuery,
+        PromptStrategy::BatchedRows,
+        PromptStrategy::TupleAtATime,
+    ] {
+        let (oracle, subject) =
+            engines(&world, strategy, LlmFidelity::strong()).expect("engines");
+        let outcome =
+            run_suite(&oracle, &subject, &suite, &EvalOptions::exact()).expect("suite execution");
+        for case in &outcome.cases {
+            report.row(vec![
+                case.case.id.trim_start_matches("limit-").to_string(),
+                strategy.label().to_string(),
+                fmt_score(case.score.precision),
+                fmt_score(case.score.recall),
+                fmt_score(case.score.f1),
+                case.llm_calls.to_string(),
+            ]);
+        }
+    }
+    println!("{}", report.render());
+}

@@ -1,0 +1,48 @@
+//! E4 (Figure): model calls, tokens and accuracy vs query complexity.
+//!
+//! Runs join chains of increasing length (0–3 joins) and reports how the
+//! number of model calls, tokens and the answer quality evolve. The paper's
+//! corresponding figure shows cost growing and accuracy degrading with each
+//! additional join.
+
+use llmsql_bench::{engines, experiment_world};
+use llmsql_core::EvalOptions;
+use llmsql_types::{LlmFidelity, PromptStrategy};
+use llmsql_workload::{fmt_f2, fmt_score, join_chain_suite, run_suite, Report};
+
+fn main() {
+    let world = experiment_world().expect("world generation");
+    let suite = join_chain_suite(3);
+
+    let mut report = Report::new(vec![
+        "joins",
+        "strategy",
+        "precision",
+        "recall",
+        "F1",
+        "llm calls",
+        "tokens",
+        "latency (ms)",
+    ])
+    .with_title("E4 / Figure — cost and accuracy vs number of joins (strong fidelity)");
+
+    for strategy in [PromptStrategy::FullQuery, PromptStrategy::BatchedRows] {
+        let (oracle, subject) =
+            engines(&world, strategy, LlmFidelity::strong()).expect("engines");
+        let outcome =
+            run_suite(&oracle, &subject, &suite, &EvalOptions::exact()).expect("suite execution");
+        for (joins, case) in outcome.cases.iter().enumerate() {
+            report.row(vec![
+                joins.to_string(),
+                strategy.label().to_string(),
+                fmt_score(case.score.precision),
+                fmt_score(case.score.recall),
+                fmt_score(case.score.f1),
+                case.llm_calls.to_string(),
+                case.tokens.to_string(),
+                fmt_f2(case.latency_ms),
+            ]);
+        }
+    }
+    println!("{}", report.render());
+}

@@ -1,0 +1,46 @@
+//! E5 (Figure): end-to-end query accuracy vs model quality.
+//!
+//! Sweeps the simulator's fidelity from weak to perfect (the stand-in for
+//! "small open model → frontier model" in the paper) and reports the overall
+//! precision / recall / F1 of the mixed suite at each point.
+
+use llmsql_bench::{engines, experiment_world, QUERIES_PER_CLASS};
+use llmsql_core::EvalOptions;
+use llmsql_types::{LlmFidelity, PromptStrategy};
+use llmsql_workload::{fmt_score, run_suite, standard_suite, Report};
+
+fn main() {
+    let world = experiment_world().expect("world generation");
+    let suite = standard_suite(&world, QUERIES_PER_CLASS / 2);
+
+    let mut report = Report::new(vec![
+        "quality q",
+        "recall knob",
+        "hallucination knob",
+        "precision",
+        "recall",
+        "F1",
+        "exact",
+    ])
+    .with_title("E5 / Figure — query accuracy vs model quality (batched-rows)");
+
+    for step in 0..=5 {
+        let q = step as f64 / 5.0;
+        let fidelity = LlmFidelity::from_quality(q);
+        let (oracle, subject) =
+            engines(&world, PromptStrategy::BatchedRows, fidelity).expect("engines");
+        let outcome =
+            run_suite(&oracle, &subject, &suite, &EvalOptions::exact()).expect("suite execution");
+        let overall = outcome.overall();
+        report.row(vec![
+            format!("{q:.1}"),
+            fmt_score(fidelity.recall),
+            fmt_score(fidelity.hallucination),
+            fmt_score(overall.precision()),
+            fmt_score(overall.recall()),
+            fmt_score(overall.f1()),
+            fmt_score(overall.exact_rate()),
+        ]);
+    }
+    println!("{}", report.render());
+}

@@ -1,0 +1,78 @@
+//! E6 (Figure): hybrid completion — accuracy vs fraction of missing values.
+//!
+//! Degrades the relational store by replacing a growing fraction of attribute
+//! values with NULL, then answers the same suite three ways: traditional
+//! execution over the degraded store, hybrid execution (missing values filled
+//! from the model), and pure LLM-only execution. The paper's figure shows the
+//! hybrid curve sitting between the two.
+
+use llmsql_bench::{experiment_world, llm_config, QUERIES_PER_CLASS};
+use llmsql_core::EvalOptions;
+use llmsql_store::{degrade_catalog, DegradeSpec};
+use llmsql_types::{EngineConfig, ExecutionMode, LlmFidelity, PromptStrategy};
+use llmsql_workload::{fmt_score, run_suite, standard_suite, Report};
+
+fn main() {
+    let world = experiment_world().expect("world generation");
+    let suite = standard_suite(&world, QUERIES_PER_CLASS / 3);
+    let oracle = world.oracle_engine();
+
+    let mut report = Report::new(vec![
+        "missing values",
+        "mode",
+        "precision",
+        "recall",
+        "F1",
+        "llm calls",
+        "cells filled",
+    ])
+    .with_title("E6 / Figure — hybrid completion vs store degradation (strong fidelity)");
+
+    for missing_pct in [0.0f64, 0.2, 0.4, 0.6, 0.8] {
+        let (degraded, _) = degrade_catalog(
+            &world.catalog,
+            &DegradeSpec::nulls(missing_pct, 11 + (missing_pct * 100.0) as u64),
+        )
+        .expect("degradation");
+
+        // Traditional over the degraded store (no model).
+        let traditional = llmsql_core::Engine::with_catalog(
+            degraded.clone(),
+            EngineConfig::default().with_mode(ExecutionMode::Traditional),
+        );
+        // Hybrid: degraded store + model fills the gaps.
+        let hybrid = world
+            .subject_engine_with_catalog(
+                degraded.clone(),
+                EngineConfig::default()
+                    .with_mode(ExecutionMode::Hybrid)
+                    .with_fidelity(LlmFidelity::strong()),
+            )
+            .expect("hybrid engine");
+        // Pure LLM-only (ignores the store entirely).
+        let llm_only = world
+            .subject_engine(llm_config(PromptStrategy::BatchedRows, LlmFidelity::strong()))
+            .expect("llm engine");
+
+        for (label, engine) in [
+            ("traditional", &traditional),
+            ("hybrid", &hybrid),
+            ("llm-only", &llm_only),
+        ] {
+            let outcome =
+                run_suite(&oracle, engine, &suite, &EvalOptions::exact()).expect("suite");
+            let overall = outcome.overall();
+            let filled: u64 = outcome.cases.iter().map(|c| c.cells_filled).sum();
+            report.row(vec![
+                format!("{:.0}%", missing_pct * 100.0),
+                label.to_string(),
+                fmt_score(overall.precision()),
+                fmt_score(overall.recall()),
+                fmt_score(overall.f1()),
+                outcome.total_llm_calls().to_string(),
+                filled.to_string(),
+            ]);
+        }
+    }
+    println!("{}", report.render());
+}

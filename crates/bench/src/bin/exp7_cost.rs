@@ -1,0 +1,62 @@
+//! E7 (Table 3): token and dollar cost per query class and strategy.
+//!
+//! Complements E2 by breaking the cost of LLM-backed querying down by
+//! operator class: how many prompts, how many tokens and how many (simulated)
+//! dollars one query of each class costs under each prompting strategy.
+
+use std::collections::BTreeMap;
+
+use llmsql_bench::{engines, experiment_world, QUERIES_PER_CLASS};
+use llmsql_core::EvalOptions;
+use llmsql_types::{LlmFidelity, PromptStrategy};
+use llmsql_workload::{fmt_score, run_suite, standard_suite, QueryClass, Report};
+
+fn main() {
+    let world = experiment_world().expect("world generation");
+    let suite = standard_suite(&world, QUERIES_PER_CLASS / 2);
+
+    let mut report = Report::new(vec![
+        "operator class",
+        "strategy",
+        "calls/query",
+        "tokens/query",
+        "cost/query ($)",
+        "F1",
+    ])
+    .with_title("E7 / Table 3 — per-class cost of LLM-backed querying (strong fidelity)");
+
+    for strategy in [
+        PromptStrategy::FullQuery,
+        PromptStrategy::BatchedRows,
+        PromptStrategy::TupleAtATime,
+    ] {
+        let (oracle, subject) =
+            engines(&world, strategy, LlmFidelity::strong()).expect("engines");
+        let outcome =
+            run_suite(&oracle, &subject, &suite, &EvalOptions::exact()).expect("suite execution");
+
+        let mut per_class: BTreeMap<QueryClass, (u64, u64, f64, f64, usize)> = BTreeMap::new();
+        for case in &outcome.cases {
+            let entry = per_class
+                .entry(case.case.class)
+                .or_insert((0, 0, 0.0, 0.0, 0));
+            entry.0 += case.llm_calls;
+            entry.1 += case.tokens;
+            entry.2 += case.cost_usd;
+            entry.3 += case.score.f1;
+            entry.4 += 1;
+        }
+        for (class, (calls, tokens, cost, f1, n)) in per_class {
+            let n_f = n.max(1) as f64;
+            report.row(vec![
+                class.label().to_string(),
+                strategy.label().to_string(),
+                format!("{:.1}", calls as f64 / n_f),
+                format!("{:.0}", tokens as f64 / n_f),
+                format!("{:.4}", cost / n_f),
+                fmt_score(f1 / n_f),
+            ]);
+        }
+    }
+    println!("{}", report.render());
+}

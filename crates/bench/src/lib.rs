@@ -1,0 +1,68 @@
+//! Shared scaffolding for the experiment binaries (`src/bin/exp*.rs`) and the
+//! Criterion benches (`benches/*.rs`).
+//!
+//! Every experiment uses the same synthetic world and the same construction
+//! of oracle / subject engines so that numbers across experiments are
+//! comparable. `EXPERIMENTS.md` documents which binary regenerates which
+//! table or figure of the paper.
+
+use llmsql_core::Engine;
+use llmsql_types::{EngineConfig, ExecutionMode, LlmFidelity, PromptStrategy, Result};
+use llmsql_workload::{World, WorldSpec};
+
+/// The world spec used by the experiment binaries (moderate size so every
+/// binary finishes in seconds).
+pub fn experiment_world_spec() -> WorldSpec {
+    WorldSpec {
+        countries: 80,
+        cities_per_country: 4,
+        people: 150,
+        movies: 100,
+        seed: 2024,
+    }
+}
+
+/// Generate the standard experiment world.
+pub fn experiment_world() -> Result<World> {
+    World::generate(experiment_world_spec())
+}
+
+/// The default subject configuration for LLM-only execution.
+pub fn llm_config(strategy: PromptStrategy, fidelity: LlmFidelity) -> EngineConfig {
+    EngineConfig::default()
+        .with_mode(ExecutionMode::LlmOnly)
+        .with_strategy(strategy)
+        .with_fidelity(fidelity)
+        .with_seed(2024)
+}
+
+/// Build oracle + subject engines in one call.
+pub fn engines(
+    world: &World,
+    strategy: PromptStrategy,
+    fidelity: LlmFidelity,
+) -> Result<(Engine, Engine)> {
+    let oracle = world.oracle_engine();
+    let subject = world.subject_engine(llm_config(strategy, fidelity))?;
+    Ok((oracle, subject))
+}
+
+/// Number of queries per operator class used in accuracy experiments.
+pub const QUERIES_PER_CLASS: usize = 12;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_and_engines_build() {
+        let world = World::generate(WorldSpec::tiny()).unwrap();
+        let (oracle, subject) =
+            engines(&world, PromptStrategy::BatchedRows, LlmFidelity::perfect()).unwrap();
+        assert_eq!(
+            oracle.execute("SELECT COUNT(*) FROM countries").unwrap().scalar(),
+            Some(llmsql_types::Value::Int(WorldSpec::tiny().countries as i64))
+        );
+        assert!(subject.client().is_some());
+    }
+}

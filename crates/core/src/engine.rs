@@ -1,0 +1,529 @@
+//! The engine: the public entry point tying parser, planner, executor,
+//! relational store and language-model storage together.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use llmsql_exec::{execute as execute_plan, eval as eval_expr, ExecContext, ExecMetrics};
+use llmsql_llm::prompt::TaskSpec;
+use llmsql_llm::{
+    parse_pipe_rows, CompletionRequest, KnowledgeBase, LanguageModel, LlmClient, SimLlm,
+};
+use llmsql_plan::{bind_select, optimize, schema_from_create, LogicalPlan, OptimizerOptions};
+use llmsql_sql::ast::{InsertStatement, SelectStatement, Statement};
+use llmsql_sql::parse_statement;
+use llmsql_store::{Catalog, CatalogEntry};
+use llmsql_types::{
+    Batch, DataType, EngineConfig, Error, ExecutionMode, Field, PromptStrategy, RelSchema, Result,
+    Row, Value,
+};
+
+use crate::result::QueryResult;
+
+/// The query engine.
+///
+/// ```
+/// use llmsql_core::Engine;
+/// use llmsql_types::{EngineConfig, ExecutionMode};
+///
+/// let mut engine = Engine::new(EngineConfig::default().with_mode(ExecutionMode::Traditional));
+/// engine.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT)").unwrap();
+/// engine.execute("INSERT INTO t VALUES (1, 'one'), (2, 'two')").unwrap();
+/// let result = engine.execute("SELECT name FROM t WHERE id = 2").unwrap();
+/// assert_eq!(result.row_count(), 1);
+/// ```
+pub struct Engine {
+    catalog: Catalog,
+    config: EngineConfig,
+    client: Option<LlmClient>,
+}
+
+impl Engine {
+    /// Create an engine with an empty catalog and no model attached.
+    pub fn new(config: EngineConfig) -> Self {
+        Engine {
+            catalog: Catalog::new(),
+            config,
+            client: None,
+        }
+    }
+
+    /// Create an engine over an existing catalog.
+    pub fn with_catalog(catalog: Catalog, config: EngineConfig) -> Self {
+        Engine {
+            catalog,
+            config,
+            client: None,
+        }
+    }
+
+    /// Attach a language model (wrapped in a caching, usage-tracking client).
+    pub fn attach_model(&mut self, model: Arc<dyn LanguageModel>) {
+        self.client = Some(if self.config.enable_prompt_cache {
+            LlmClient::new(model)
+        } else {
+            LlmClient::without_cache(model)
+        });
+    }
+
+    /// Attach the simulated model over the given knowledge base, using the
+    /// engine configuration's fidelity, cost model and seed.
+    pub fn attach_simulator(&mut self, kb: Arc<KnowledgeBase>) {
+        let sim = SimLlm::new(kb, self.config.fidelity, self.config.seed)
+            .with_cost_model(self.config.cost_model);
+        self.attach_model(Arc::new(sim));
+    }
+
+    /// Build a knowledge base mirroring every materialized table of a
+    /// catalog. This is how the experiments make "what the model knows" equal
+    /// to the ground truth stored in the oracle.
+    pub fn knowledge_from_catalog(catalog: &Catalog) -> Result<KnowledgeBase> {
+        let mut kb = KnowledgeBase::new();
+        for name in catalog.table_names() {
+            if let CatalogEntry::Materialized(table) = catalog.get(&name)? {
+                kb.add_table(table.schema(), table.scan());
+            }
+        }
+        Ok(kb)
+    }
+
+    /// The engine's catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Mutable access to the configuration (mode/strategy switches between
+    /// experiment runs).
+    pub fn config_mut(&mut self) -> &mut EngineConfig {
+        &mut self.config
+    }
+
+    /// The attached LLM client, if any.
+    pub fn client(&self) -> Option<&LlmClient> {
+        self.client.as_ref()
+    }
+
+    /// Parse and execute one SQL statement.
+    pub fn execute(&self, sql: &str) -> Result<QueryResult> {
+        let statement = parse_statement(sql)?;
+        self.execute_statement(&statement, Some(sql))
+    }
+
+    /// Execute an already-parsed statement. `sql_text` (when available) is
+    /// used verbatim for full-query prompting.
+    pub fn execute_statement(
+        &self,
+        statement: &Statement,
+        sql_text: Option<&str>,
+    ) -> Result<QueryResult> {
+        self.config.validate()?;
+        let start = Instant::now();
+        let usage_before = self
+            .client
+            .as_ref()
+            .map(|c| c.usage())
+            .unwrap_or_default();
+
+        let mut result = match statement {
+            Statement::Select(select) => self.execute_select(select, sql_text)?,
+            Statement::CreateTable(create) => {
+                let schema = schema_from_create(
+                    &create.name,
+                    &create.columns,
+                    create.virtual_table,
+                    create.comment.as_deref(),
+                )?;
+                if create.if_not_exists && self.catalog.contains(&create.name) {
+                    QueryResult::default()
+                } else {
+                    if create.virtual_table {
+                        self.catalog.create_virtual_table(schema)?;
+                    } else {
+                        self.catalog.create_table(schema)?;
+                    }
+                    let mut r = QueryResult::default();
+                    r.rows_affected = 1;
+                    r
+                }
+            }
+            Statement::DropTable { name, if_exists } => {
+                let dropped = self.catalog.drop_table(name, *if_exists)?;
+                let mut r = QueryResult::default();
+                r.rows_affected = usize::from(dropped);
+                r
+            }
+            Statement::Insert(insert) => self.execute_insert(insert)?,
+            Statement::Describe { name } => self.describe(name)?,
+            Statement::Explain(inner) => {
+                let Statement::Select(select) = inner.as_ref() else {
+                    return Err(Error::unsupported("EXPLAIN supports only SELECT statements"));
+                };
+                let plan = self.plan_select(select)?;
+                let text = plan.explain();
+                let schema = RelSchema::new(vec![Field::new(None, "plan", DataType::Text, false)]);
+                let rows = text
+                    .lines()
+                    .map(|l| Row::new(vec![Value::Text(l.to_string())]))
+                    .collect();
+                let mut r = QueryResult::default();
+                r.batch = Batch::new(schema, rows);
+                r.plan = Some(text);
+                r
+            }
+        };
+
+        result.engine_ms = start.elapsed().as_secs_f64() * 1000.0;
+        if let Some(client) = &self.client {
+            result.usage = client.usage().since(&usage_before);
+        }
+        Ok(result)
+    }
+
+    /// Bind and optimize a SELECT into a logical plan.
+    pub fn plan_select(&self, select: &SelectStatement) -> Result<LogicalPlan> {
+        let bound = bind_select(&self.catalog, select)?;
+        let options = if self.config.enable_optimizer {
+            OptimizerOptions {
+                predicate_pushdown: self.config.enable_predicate_pushdown,
+                projection_pruning: self.config.enable_projection_pruning,
+                limit_pushdown: true,
+            }
+        } else {
+            OptimizerOptions::disabled()
+        };
+        Ok(optimize(bound, &options))
+    }
+
+    fn execute_select(
+        &self,
+        select: &SelectStatement,
+        sql_text: Option<&str>,
+    ) -> Result<QueryResult> {
+        let plan = self.plan_select(select)?;
+
+        // One-shot whole-query prompting.
+        if self.config.mode == ExecutionMode::LlmOnly
+            && self.config.strategy == PromptStrategy::FullQuery
+            && !plan.scanned_tables().is_empty()
+        {
+            return self.execute_full_query(select, &plan, sql_text);
+        }
+
+        let ctx = ExecContext::new(self.catalog.clone(), self.client.clone(), self.config.clone());
+        let batch = execute_plan(&ctx, &plan)?;
+        let mut result = QueryResult::default();
+        result.metrics = ctx.metrics.snapshot();
+        result.plan = Some(plan.explain());
+        result.batch = batch;
+        Ok(result)
+    }
+
+    /// Send the entire SQL statement as a single prompt and parse the
+    /// completion as the result table.
+    fn execute_full_query(
+        &self,
+        select: &SelectStatement,
+        plan: &LogicalPlan,
+        sql_text: Option<&str>,
+    ) -> Result<QueryResult> {
+        let client = self.client.as_ref().ok_or_else(|| {
+            Error::execution("full-query prompting requires an attached language model")
+        })?;
+        let schema = plan.schema();
+        let sql = match sql_text {
+            Some(text) => text.to_string(),
+            None => Statement::Select(Box::new(select.clone())).to_string(),
+        };
+        let task = TaskSpec::FullQuery {
+            sql,
+            columns: schema.names(),
+        };
+        // Use the first scanned table's schema as prompt context.
+        let context_schema = plan
+            .scanned_tables()
+            .first()
+            .and_then(|t| self.catalog.schema_of(t).ok());
+        let prompt = task.to_prompt(context_schema.as_ref());
+        let response = client.complete(&CompletionRequest::new(prompt))?;
+
+        let types: Vec<DataType> = schema.fields.iter().map(|f| f.data_type).collect();
+        let parsed = parse_pipe_rows(&response.text, &types);
+
+        let mut metrics = ExecMetrics::default();
+        metrics.record_llm_call(task.kind());
+        metrics.dropped_lines = parsed.dropped_lines as u64;
+        metrics.rows_from_llm = parsed.rows.len() as u64;
+        metrics.rows_output = parsed.rows.len() as u64;
+
+        let mut rows = parsed.rows;
+        for row in &mut rows {
+            row.resize(schema.len());
+        }
+
+        let mut result = QueryResult::default();
+        result.batch = Batch::new(schema, rows);
+        result.metrics = metrics;
+        result.plan = Some(plan.explain());
+        Ok(result)
+    }
+
+    fn execute_insert(&self, insert: &InsertStatement) -> Result<QueryResult> {
+        let table = self.catalog.table(&insert.table)?;
+        let schema = table.schema();
+        let mut rows = Vec::with_capacity(insert.values.len());
+        for value_exprs in &insert.values {
+            let mut row = vec![Value::Null; schema.arity()];
+            if insert.columns.is_empty() {
+                if value_exprs.len() != schema.arity() {
+                    return Err(Error::execution(format!(
+                        "INSERT provides {} values but table '{}' has {} columns",
+                        value_exprs.len(),
+                        schema.name,
+                        schema.arity()
+                    )));
+                }
+                for (i, expr) in value_exprs.iter().enumerate() {
+                    row[i] = self.eval_constant(expr)?;
+                }
+            } else {
+                if value_exprs.len() != insert.columns.len() {
+                    return Err(Error::execution(
+                        "INSERT column list and VALUES row have different lengths",
+                    ));
+                }
+                for (name, expr) in insert.columns.iter().zip(value_exprs) {
+                    let idx = schema.index_of(name).ok_or_else(|| {
+                        Error::binding(format!(
+                            "column '{name}' not found in table '{}'",
+                            schema.name
+                        ))
+                    })?;
+                    row[idx] = self.eval_constant(expr)?;
+                }
+            }
+            rows.push(Row::new(row));
+        }
+        let inserted = table.insert_many(rows)?;
+        let mut r = QueryResult::default();
+        r.rows_affected = inserted;
+        Ok(r)
+    }
+
+    fn eval_constant(&self, expr: &llmsql_sql::ast::Expr) -> Result<Value> {
+        let bound = llmsql_plan::bind_expr(expr, &RelSchema::empty())
+            .map_err(|_| Error::execution("INSERT values must be constant expressions"))?;
+        eval_expr(&bound, &Row::empty())
+    }
+
+    fn describe(&self, name: &str) -> Result<QueryResult> {
+        let schema = self.catalog.schema_of(name)?;
+        let rel = RelSchema::new(vec![
+            Field::new(None, "column", DataType::Text, false),
+            Field::new(None, "type", DataType::Text, false),
+            Field::new(None, "nullable", DataType::Bool, false),
+            Field::new(None, "primary_key", DataType::Bool, false),
+            Field::new(None, "description", DataType::Text, true),
+        ]);
+        let rows = schema
+            .columns
+            .iter()
+            .map(|c| {
+                Row::new(vec![
+                    Value::Text(c.name.clone()),
+                    Value::Text(c.data_type.to_string()),
+                    Value::Bool(c.nullable),
+                    Value::Bool(c.primary_key),
+                    c.description
+                        .clone()
+                        .map(Value::Text)
+                        .unwrap_or(Value::Null),
+                ])
+            })
+            .collect();
+        let mut r = QueryResult::default();
+        r.batch = Batch::new(rel, rows);
+        Ok(r)
+    }
+
+    /// Execute a script of semicolon-separated statements, returning the last
+    /// result.
+    pub fn execute_script(&self, sql: &str) -> Result<QueryResult> {
+        let statements = llmsql_sql::parse_script(sql)?;
+        let mut last = QueryResult::default();
+        for stmt in &statements {
+            last = self.execute_statement(stmt, None)?;
+        }
+        Ok(last)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmsql_types::LlmFidelity;
+
+    fn traditional_engine() -> Engine {
+        let engine = Engine::new(EngineConfig::default().with_mode(ExecutionMode::Traditional));
+        engine
+            .execute_script(
+                "CREATE TABLE countries (\
+                   name TEXT PRIMARY KEY, region TEXT, population INTEGER);\
+                 INSERT INTO countries VALUES \
+                   ('France', 'Europe', 68), ('Germany', 'Europe', 84), ('Japan', 'Asia', 125);",
+            )
+            .unwrap();
+        engine
+    }
+
+    fn llm_engine(fidelity: LlmFidelity, strategy: PromptStrategy) -> Engine {
+        let oracle = traditional_engine();
+        let kb = Engine::knowledge_from_catalog(oracle.catalog()).unwrap();
+        let mut engine = Engine::with_catalog(
+            oracle.catalog().deep_clone().unwrap(),
+            EngineConfig::default()
+                .with_mode(ExecutionMode::LlmOnly)
+                .with_strategy(strategy)
+                .with_fidelity(fidelity),
+        );
+        engine.attach_simulator(kb.into_shared());
+        engine
+    }
+
+    #[test]
+    fn ddl_dml_and_query() {
+        let engine = traditional_engine();
+        let r = engine.execute("SELECT name FROM countries WHERE population > 80 ORDER BY name").unwrap();
+        assert_eq!(r.row_count(), 2);
+        assert_eq!(r.rows()[0].get(0), &Value::Text("Germany".into()));
+        assert!(r.plan.is_some());
+        assert_eq!(r.metrics.llm_calls(), 0);
+    }
+
+    #[test]
+    fn insert_with_column_list_and_nulls() {
+        let engine = traditional_engine();
+        let r = engine
+            .execute("INSERT INTO countries (name, population) VALUES ('Peru', 34)")
+            .unwrap();
+        assert_eq!(r.rows_affected, 1);
+        let q = engine
+            .execute("SELECT region FROM countries WHERE name = 'Peru'")
+            .unwrap();
+        assert!(q.rows()[0].get(0).is_null());
+    }
+
+    #[test]
+    fn insert_arity_mismatch_errors() {
+        let engine = traditional_engine();
+        assert!(engine.execute("INSERT INTO countries VALUES (1)").is_err());
+        assert!(engine
+            .execute("INSERT INTO countries (name) VALUES ('X', 'Y')")
+            .is_err());
+    }
+
+    #[test]
+    fn create_if_not_exists_and_drop() {
+        let engine = traditional_engine();
+        assert!(engine.execute("CREATE TABLE countries (x INT)").is_err());
+        engine
+            .execute("CREATE TABLE IF NOT EXISTS countries (x INT)")
+            .unwrap();
+        let r = engine.execute("DROP TABLE countries").unwrap();
+        assert_eq!(r.rows_affected, 1);
+        engine.execute("DROP TABLE IF EXISTS countries").unwrap();
+        assert!(engine.execute("DROP TABLE countries").is_err());
+    }
+
+    #[test]
+    fn describe_and_explain() {
+        let engine = traditional_engine();
+        let d = engine.execute("DESCRIBE countries").unwrap();
+        assert_eq!(d.row_count(), 3);
+        assert_eq!(d.column_names()[0], "column");
+        let e = engine.execute("EXPLAIN SELECT name FROM countries WHERE population > 1").unwrap();
+        assert!(e.plan.as_ref().unwrap().contains("Scan countries"));
+        assert!(e.row_count() >= 2);
+    }
+
+    #[test]
+    fn scalar_helper() {
+        let engine = traditional_engine();
+        let r = engine.execute("SELECT COUNT(*) FROM countries").unwrap();
+        assert_eq!(r.scalar(), Some(Value::Int(3)));
+    }
+
+    #[test]
+    fn llm_only_perfect_matches_traditional() {
+        let oracle = traditional_engine();
+        let subject = llm_engine(LlmFidelity::perfect(), PromptStrategy::BatchedRows);
+        for sql in [
+            "SELECT name, population FROM countries WHERE population > 70",
+            "SELECT region, COUNT(*) FROM countries GROUP BY region",
+            "SELECT name FROM countries ORDER BY population DESC LIMIT 2",
+        ] {
+            let expected = oracle.execute(sql).unwrap();
+            let actual = subject.execute(sql).unwrap();
+            let score = crate::eval::score_batches(
+                &actual.batch,
+                &expected.batch,
+                &crate::eval::EvalOptions::exact(),
+            );
+            assert!(score.exact, "query {sql} diverged: {score:?}");
+            assert!(actual.metrics.llm_calls() > 0);
+            assert!(actual.usage.calls > 0);
+        }
+    }
+
+    #[test]
+    fn full_query_strategy_uses_one_call() {
+        let subject = llm_engine(LlmFidelity::perfect(), PromptStrategy::FullQuery);
+        let r = subject
+            .execute("SELECT name FROM countries WHERE region = 'Europe'")
+            .unwrap();
+        assert_eq!(r.metrics.llm_calls(), 1);
+        assert_eq!(r.metrics.llm_calls_by_kind["full_query"], 1);
+        assert_eq!(r.row_count(), 2);
+    }
+
+    #[test]
+    fn weak_model_degrades_but_does_not_crash() {
+        let subject = llm_engine(LlmFidelity::weak(), PromptStrategy::BatchedRows);
+        let r = subject.execute("SELECT name, population FROM countries").unwrap();
+        assert!(r.row_count() <= 4); // may fabricate a little, may forget a lot
+    }
+
+    #[test]
+    fn traditional_mode_without_model_is_fine_but_llm_mode_needs_one() {
+        let engine = Engine::new(EngineConfig::default().with_mode(ExecutionMode::LlmOnly));
+        engine
+            .execute("CREATE VIRTUAL TABLE ghosts (name TEXT PRIMARY KEY)")
+            .unwrap();
+        assert!(engine.execute("SELECT * FROM ghosts").is_err());
+    }
+
+    #[test]
+    fn usage_accounting_per_query() {
+        let subject = llm_engine(LlmFidelity::perfect(), PromptStrategy::TupleAtATime);
+        let r1 = subject.execute("SELECT name FROM countries").unwrap();
+        let r2 = subject.execute("SELECT region FROM countries").unwrap();
+        assert!(r1.usage.calls > 0);
+        // the second query's usage is its own delta, not cumulative
+        assert!(r2.usage.calls > 0);
+        assert!(r2.usage.calls < r1.usage.calls + r2.usage.calls);
+        assert!(r1.total_latency_ms() > 0.0);
+    }
+
+    #[test]
+    fn execute_script_returns_last_result() {
+        let engine = Engine::new(EngineConfig::default().with_mode(ExecutionMode::Traditional));
+        let r = engine
+            .execute_script("CREATE TABLE t (a INT PRIMARY KEY); INSERT INTO t VALUES (1), (2); SELECT COUNT(*) FROM t")
+            .unwrap();
+        assert_eq!(r.scalar(), Some(Value::Int(2)));
+    }
+}

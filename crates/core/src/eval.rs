@@ -1,0 +1,362 @@
+//! Accuracy evaluation: scoring an LLM-backed result against the ground-truth
+//! oracle result.
+//!
+//! The paper's central measurement is how *correct* query answers are when
+//! the storage layer is a language model. Following the standard methodology
+//! of the Galois-style prototypes, results are compared as bags of tuples:
+//!
+//! * **precision** — fraction of returned tuples that appear in the oracle
+//!   answer (penalises hallucinated rows and corrupted values),
+//! * **recall** — fraction of oracle tuples that were returned (penalises
+//!   forgotten entities and dropped lines),
+//! * **F1** — their harmonic mean.
+//!
+//! Tuples are normalised before comparison (case-insensitive text, trimmed
+//! whitespace, int/float unification, configurable numeric tolerance) so that
+//! harmless formatting differences do not count as errors.
+
+use std::collections::HashMap;
+
+use llmsql_types::{Batch, Row, Value};
+
+/// Options controlling tuple comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalOptions {
+    /// Relative tolerance when comparing numeric values (0.0 = exact).
+    pub numeric_tolerance: f64,
+    /// Whether row order matters (true only for ORDER BY experiments).
+    pub order_sensitive: bool,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            numeric_tolerance: 0.0,
+            order_sensitive: false,
+        }
+    }
+}
+
+impl EvalOptions {
+    /// Exact, order-insensitive comparison (the default).
+    pub fn exact() -> Self {
+        EvalOptions::default()
+    }
+
+    /// Allow numeric values to differ by the given relative tolerance.
+    pub fn with_tolerance(mut self, tol: f64) -> Self {
+        self.numeric_tolerance = tol;
+        self
+    }
+
+    /// Make the comparison order sensitive.
+    pub fn order_sensitive(mut self) -> Self {
+        self.order_sensitive = true;
+        self
+    }
+}
+
+/// The outcome of scoring a result against the oracle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResultScore {
+    /// Tuples returned by the system under test.
+    pub returned: usize,
+    /// Tuples in the oracle answer.
+    pub expected: usize,
+    /// Returned tuples that match an oracle tuple.
+    pub matched: usize,
+    /// Precision = matched / returned (1.0 when nothing was returned and
+    /// nothing was expected).
+    pub precision: f64,
+    /// Recall = matched / expected (1.0 when nothing was expected).
+    pub recall: f64,
+    /// F1 = harmonic mean of precision and recall.
+    pub f1: f64,
+    /// True when the result is exactly the oracle answer (same bag, and same
+    /// order if order-sensitive).
+    pub exact: bool,
+}
+
+impl ResultScore {
+    fn from_counts(returned: usize, expected: usize, matched: usize, exact: bool) -> Self {
+        let precision = if returned == 0 {
+            if expected == 0 {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            matched as f64 / returned as f64
+        };
+        let recall = if expected == 0 {
+            1.0
+        } else {
+            matched as f64 / expected as f64
+        };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        ResultScore {
+            returned,
+            expected,
+            matched,
+            precision,
+            recall,
+            f1,
+            exact,
+        }
+    }
+}
+
+/// Normalise a value for comparison.
+fn normalize(v: &Value) -> Value {
+    match v {
+        Value::Text(s) => Value::Text(s.trim().to_ascii_lowercase()),
+        Value::Float(f) if f.fract() == 0.0 && f.abs() < 9.2e18 => Value::Int(*f as i64),
+        other => other.clone(),
+    }
+}
+
+/// Do two values match under the options?
+fn values_match(a: &Value, b: &Value, options: &EvalOptions) -> bool {
+    let a = normalize(a);
+    let b = normalize(b);
+    if a.semantic_eq(&b) {
+        return true;
+    }
+    if options.numeric_tolerance > 0.0 {
+        if let (Some(x), Some(y)) = (a.as_f64(), b.as_f64()) {
+            let scale = x.abs().max(y.abs()).max(1e-12);
+            return (x - y).abs() / scale <= options.numeric_tolerance;
+        }
+    }
+    false
+}
+
+/// Do two rows match under the options?
+fn rows_match(a: &Row, b: &Row, options: &EvalOptions) -> bool {
+    if a.arity() != b.arity() {
+        return false;
+    }
+    a.values()
+        .iter()
+        .zip(b.values())
+        .all(|(x, y)| values_match(x, y, options))
+}
+
+/// A hashable normalised key for exact (tolerance-free) bag matching.
+fn row_key(row: &Row) -> Vec<Value> {
+    row.values().iter().map(normalize).collect()
+}
+
+/// Score `actual` against the oracle answer `expected`.
+pub fn score_batches(actual: &Batch, expected: &Batch, options: &EvalOptions) -> ResultScore {
+    score_rows(&actual.rows, &expected.rows, options)
+}
+
+/// Score row sets directly.
+pub fn score_rows(actual: &[Row], expected: &[Row], options: &EvalOptions) -> ResultScore {
+    let matched = if options.numeric_tolerance == 0.0 {
+        // Fast path: exact bag intersection via hashing.
+        let mut counts: HashMap<Vec<Value>, usize> = HashMap::new();
+        for e in expected {
+            *counts.entry(row_key(e)).or_default() += 1;
+        }
+        let mut matched = 0;
+        for a in actual {
+            if let Some(c) = counts.get_mut(&row_key(a)) {
+                if *c > 0 {
+                    *c -= 1;
+                    matched += 1;
+                }
+            }
+        }
+        matched
+    } else {
+        // Tolerant path: greedy bipartite matching.
+        let mut used = vec![false; expected.len()];
+        let mut matched = 0;
+        for a in actual {
+            for (i, e) in expected.iter().enumerate() {
+                if !used[i] && rows_match(a, e, options) {
+                    used[i] = true;
+                    matched += 1;
+                    break;
+                }
+            }
+        }
+        matched
+    };
+
+    let bag_exact = matched == actual.len() && matched == expected.len();
+    let exact = if options.order_sensitive {
+        bag_exact
+            && actual
+                .iter()
+                .zip(expected)
+                .all(|(a, e)| rows_match(a, e, options))
+    } else {
+        bag_exact
+    };
+    ResultScore::from_counts(actual.len(), expected.len(), matched, exact)
+}
+
+/// Aggregate scores across a suite of queries (macro-average).
+#[derive(Debug, Clone, Default)]
+pub struct SuiteScore {
+    /// Individual query scores.
+    pub scores: Vec<ResultScore>,
+}
+
+impl SuiteScore {
+    /// Add one query's score.
+    pub fn push(&mut self, score: ResultScore) {
+        self.scores.push(score);
+    }
+
+    /// Number of scored queries.
+    pub fn len(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// True when no queries have been scored.
+    pub fn is_empty(&self) -> bool {
+        self.scores.is_empty()
+    }
+
+    /// Macro-averaged precision.
+    pub fn precision(&self) -> f64 {
+        avg(self.scores.iter().map(|s| s.precision))
+    }
+
+    /// Macro-averaged recall.
+    pub fn recall(&self) -> f64 {
+        avg(self.scores.iter().map(|s| s.recall))
+    }
+
+    /// Macro-averaged F1.
+    pub fn f1(&self) -> f64 {
+        avg(self.scores.iter().map(|s| s.f1))
+    }
+
+    /// Fraction of queries answered exactly.
+    pub fn exact_rate(&self) -> f64 {
+        avg(self.scores.iter().map(|s| if s.exact { 1.0 } else { 0.0 }))
+    }
+}
+
+fn avg(iter: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = iter.collect();
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(vals: &[&str]) -> Row {
+        Row::new(vals.iter().map(|v| Value::Text(v.to_string())).collect())
+    }
+
+    #[test]
+    fn perfect_match() {
+        let a = vec![row(&["France", "Paris"]), row(&["Japan", "Tokyo"])];
+        let s = score_rows(&a, &a.clone(), &EvalOptions::exact());
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 1.0);
+        assert_eq!(s.f1, 1.0);
+        assert!(s.exact);
+    }
+
+    #[test]
+    fn missing_and_hallucinated_rows() {
+        let expected = vec![row(&["a"]), row(&["b"]), row(&["c"]), row(&["d"])];
+        let actual = vec![row(&["a"]), row(&["b"]), row(&["zz"])];
+        let s = score_rows(&actual, &expected, &EvalOptions::exact());
+        assert_eq!(s.matched, 2);
+        assert!((s.precision - 2.0 / 3.0).abs() < 1e-9);
+        assert!((s.recall - 0.5).abs() < 1e-9);
+        assert!(!s.exact);
+        assert!(s.f1 > 0.5 && s.f1 < 0.67);
+    }
+
+    #[test]
+    fn normalization_ignores_case_and_int_float() {
+        let expected = vec![Row::new(vec!["France".into(), Value::Int(68)])];
+        let actual = vec![Row::new(vec!["  france ".into(), Value::Float(68.0)])];
+        let s = score_rows(&actual, &expected, &EvalOptions::exact());
+        assert!(s.exact);
+    }
+
+    #[test]
+    fn numeric_tolerance() {
+        let expected = vec![Row::new(vec![Value::Int(100)])];
+        let close = vec![Row::new(vec![Value::Int(101)])];
+        let strict = score_rows(&close, &expected, &EvalOptions::exact());
+        assert_eq!(strict.matched, 0);
+        let tolerant = score_rows(&close, &expected, &EvalOptions::exact().with_tolerance(0.05));
+        assert_eq!(tolerant.matched, 1);
+        let far = vec![Row::new(vec![Value::Int(150)])];
+        assert_eq!(
+            score_rows(&far, &expected, &EvalOptions::exact().with_tolerance(0.05)).matched,
+            0
+        );
+    }
+
+    #[test]
+    fn duplicate_rows_counted_as_bag() {
+        let expected = vec![row(&["x"]), row(&["x"])];
+        let actual = vec![row(&["x"])];
+        let s = score_rows(&actual, &expected, &EvalOptions::exact());
+        assert_eq!(s.matched, 1);
+        assert_eq!(s.recall, 0.5);
+        // over-reporting duplicates hurts precision
+        let actual3 = vec![row(&["x"]), row(&["x"]), row(&["x"])];
+        let s3 = score_rows(&actual3, &expected, &EvalOptions::exact());
+        assert_eq!(s3.matched, 2);
+        assert!((s3.precision - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn order_sensitivity() {
+        let expected = vec![row(&["a"]), row(&["b"])];
+        let reversed = vec![row(&["b"]), row(&["a"])];
+        let unordered = score_rows(&reversed, &expected, &EvalOptions::exact());
+        assert!(unordered.exact);
+        let ordered = score_rows(&reversed, &expected, &EvalOptions::exact().order_sensitive());
+        assert!(!ordered.exact);
+        assert_eq!(ordered.f1, 1.0); // bag still matches
+    }
+
+    #[test]
+    fn empty_results() {
+        let s = score_rows(&[], &[], &EvalOptions::exact());
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 1.0);
+        assert!(s.exact);
+        let s = score_rows(&[], &[row(&["a"])], &EvalOptions::exact());
+        assert_eq!(s.recall, 0.0);
+        assert_eq!(s.precision, 0.0);
+        let s = score_rows(&[row(&["a"])], &[], &EvalOptions::exact());
+        assert_eq!(s.precision, 0.0);
+        assert_eq!(s.recall, 1.0);
+    }
+
+    #[test]
+    fn suite_macro_average() {
+        let mut suite = SuiteScore::default();
+        suite.push(score_rows(&[row(&["a"])], &[row(&["a"])], &EvalOptions::exact()));
+        suite.push(score_rows(&[], &[row(&["a"])], &EvalOptions::exact()));
+        assert_eq!(suite.len(), 2);
+        assert!((suite.precision() - 0.5).abs() < 1e-9);
+        assert!((suite.recall() - 0.5).abs() < 1e-9);
+        assert!((suite.exact_rate() - 0.5).abs() < 1e-9);
+        assert!(!suite.is_empty());
+    }
+}

@@ -1,0 +1,96 @@
+//! Query results returned by the engine.
+
+use llmsql_exec::ExecMetrics;
+use llmsql_llm::UsageStats;
+use llmsql_types::{Batch, Row, Value};
+
+/// The result of executing one SQL statement.
+#[derive(Debug, Clone, Default)]
+pub struct QueryResult {
+    /// The rows (empty for DDL/DML statements).
+    pub batch: Batch,
+    /// Rows affected by DDL/DML (inserted rows, dropped tables, ...).
+    pub rows_affected: usize,
+    /// Execution metrics (operator counts, LLM calls by kind, parse drops).
+    pub metrics: ExecMetrics,
+    /// Model usage attributable to this statement (calls, tokens, cost,
+    /// simulated latency).
+    pub usage: UsageStats,
+    /// The optimized plan, when the statement was a query (EXPLAIN text).
+    pub plan: Option<String>,
+    /// Wall-clock engine time in milliseconds (excludes simulated model
+    /// latency, which is reported in `usage.latency_ms`).
+    pub engine_ms: f64,
+}
+
+impl QueryResult {
+    /// Number of result rows.
+    pub fn row_count(&self) -> usize {
+        self.batch.len()
+    }
+
+    /// Column names of the result.
+    pub fn column_names(&self) -> Vec<String> {
+        self.batch.column_names()
+    }
+
+    /// The result rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.batch.rows
+    }
+
+    /// Convenience: the single scalar value of a 1x1 result.
+    pub fn scalar(&self) -> Option<Value> {
+        if self.batch.len() == 1 && self.batch.schema.len() >= 1 {
+            Some(self.batch.rows[0].get(0).clone())
+        } else {
+            None
+        }
+    }
+
+    /// Render as an ASCII table.
+    pub fn to_ascii_table(&self) -> String {
+        self.batch.to_ascii_table()
+    }
+
+    /// Total end-to-end latency: engine time plus simulated model latency.
+    pub fn total_latency_ms(&self) -> f64 {
+        self.engine_ms + self.usage.latency_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmsql_types::{DataType, Field, RelSchema};
+
+    #[test]
+    fn scalar_and_counts() {
+        let schema = RelSchema::new(vec![Field::new(None, "n", DataType::Int, false)]);
+        let mut r = QueryResult::default();
+        r.batch = Batch::new(schema, vec![Row::new(vec![Value::Int(7)])]);
+        assert_eq!(r.row_count(), 1);
+        assert_eq!(r.scalar(), Some(Value::Int(7)));
+        assert_eq!(r.column_names(), vec!["n".to_string()]);
+        assert!(r.to_ascii_table().contains('7'));
+    }
+
+    #[test]
+    fn scalar_none_for_multi_row() {
+        let schema = RelSchema::new(vec![Field::new(None, "n", DataType::Int, false)]);
+        let mut r = QueryResult::default();
+        r.batch = Batch::new(
+            schema,
+            vec![Row::new(vec![Value::Int(1)]), Row::new(vec![Value::Int(2)])],
+        );
+        assert_eq!(r.scalar(), None);
+    }
+
+    #[test]
+    fn latency_sums() {
+        let mut r = QueryResult::default();
+        r.engine_ms = 2.0;
+        r.usage.latency_ms = 100.0;
+        assert_eq!(r.total_latency_ms(), 102.0);
+    }
+}

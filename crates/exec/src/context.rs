@@ -1,0 +1,42 @@
+//! Execution context shared by all operators of one query.
+
+use llmsql_llm::LlmClient;
+use llmsql_store::Catalog;
+use llmsql_types::{EngineConfig, Error, Result};
+
+use crate::metrics::SharedMetrics;
+
+/// Everything an operator needs: the catalog, the (optional) LLM client, the
+/// engine configuration and the metrics sink.
+#[derive(Clone)]
+pub struct ExecContext {
+    /// The catalog resolving table names to stored tables / virtual schemas.
+    pub catalog: Catalog,
+    /// The language-model client; `None` in pure traditional deployments.
+    pub client: Option<LlmClient>,
+    /// Engine configuration (mode, strategy, batch size, caps).
+    pub config: EngineConfig,
+    /// Metrics sink.
+    pub metrics: SharedMetrics,
+}
+
+impl ExecContext {
+    /// Create a context.
+    pub fn new(catalog: Catalog, client: Option<LlmClient>, config: EngineConfig) -> Self {
+        ExecContext {
+            catalog,
+            client,
+            config,
+            metrics: SharedMetrics::new(),
+        }
+    }
+
+    /// The LLM client, or an error explaining that the query needs one.
+    pub fn require_client(&self) -> Result<&LlmClient> {
+        self.client.as_ref().ok_or_else(|| {
+            Error::execution(
+                "this query needs the language-model storage layer but no model is configured",
+            )
+        })
+    }
+}

@@ -1,0 +1,735 @@
+//! The plan interpreter: turns a [`LogicalPlan`] into rows.
+//!
+//! Execution is operator-at-a-time (each operator materializes its output).
+//! For the data sizes of the paper's workloads — the bottleneck is model
+//! calls, not CPU — this is the right trade-off, and it keeps every operator
+//! easy to verify in isolation.
+
+use std::collections::HashMap;
+
+use llmsql_plan::{BoundExpr, LogicalPlan, SortKey};
+use llmsql_sql::ast::{BinaryOp, JoinKind};
+use llmsql_store::CatalogEntry;
+use llmsql_types::{Batch, Error, ExecutionMode, RelSchema, Result, Row, Value};
+
+use crate::context::ExecContext;
+use crate::eval::{eval, eval_predicate, AggAccumulator};
+use crate::scan::{hybrid_scan, llm_scan, table_scan, ScanSpec};
+
+/// Execute a logical plan and return the result batch.
+pub fn execute(ctx: &ExecContext, plan: &LogicalPlan) -> Result<Batch> {
+    let rows = execute_rows(ctx, plan)?;
+    ctx.metrics.update(|m| m.rows_output = rows.len() as u64);
+    Ok(Batch::new(plan.schema(), rows))
+}
+
+/// Execute a plan node to rows.
+pub fn execute_rows(ctx: &ExecContext, plan: &LogicalPlan) -> Result<Vec<Row>> {
+    match plan {
+        LogicalPlan::Scan {
+            table,
+            table_schema,
+            pushed_filter,
+            prompt_columns,
+            virtual_table,
+            pushed_limit,
+            ..
+        } => {
+            ctx.metrics.update(|m| m.record_operator("Scan"));
+            let spec = ScanSpec {
+                table: table.clone(),
+                table_schema: table_schema.clone(),
+                pushed_filter: pushed_filter.clone(),
+                prompt_columns: prompt_columns.clone(),
+                pushed_limit: *pushed_limit,
+            };
+            execute_scan(ctx, &spec, *virtual_table)
+        }
+        LogicalPlan::Values { rows, .. } => {
+            ctx.metrics.update(|m| m.record_operator("Values"));
+            rows.iter()
+                .map(|exprs| {
+                    exprs
+                        .iter()
+                        .map(|e| eval(e, &Row::empty()))
+                        .collect::<Result<Vec<Value>>>()
+                        .map(Row::new)
+                })
+                .collect()
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            ctx.metrics.update(|m| m.record_operator("Filter"));
+            let rows = execute_rows(ctx, input)?;
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                if eval_predicate(predicate, &row)? == Some(true) {
+                    out.push(row);
+                }
+            }
+            Ok(out)
+        }
+        LogicalPlan::Project { input, exprs, .. } => {
+            ctx.metrics.update(|m| m.record_operator("Project"));
+            let rows = execute_rows(ctx, input)?;
+            rows.iter()
+                .map(|row| {
+                    exprs
+                        .iter()
+                        .map(|e| eval(e, row))
+                        .collect::<Result<Vec<Value>>>()
+                        .map(Row::new)
+                })
+                .collect()
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+            ..
+        } => {
+            ctx.metrics.update(|m| m.record_operator("Join"));
+            let left_rows = execute_rows(ctx, left)?;
+            let right_rows = execute_rows(ctx, right)?;
+            join_rows(
+                &left_rows,
+                &right_rows,
+                left.schema().len(),
+                right.schema().len(),
+                *kind,
+                on.as_ref(),
+            )
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_exprs,
+            aggregates,
+            ..
+        } => {
+            ctx.metrics.update(|m| m.record_operator("Aggregate"));
+            let rows = execute_rows(ctx, input)?;
+            aggregate_rows(&rows, group_exprs, aggregates)
+        }
+        LogicalPlan::Sort { input, keys } => {
+            ctx.metrics.update(|m| m.record_operator("Sort"));
+            let mut rows = execute_rows(ctx, input)?;
+            sort_rows(&mut rows, keys)?;
+            Ok(rows)
+        }
+        LogicalPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => {
+            ctx.metrics.update(|m| m.record_operator("Limit"));
+            let rows = execute_rows(ctx, input)?;
+            let iter = rows.into_iter().skip(*offset);
+            Ok(match limit {
+                Some(l) => iter.take(*l).collect(),
+                None => iter.collect(),
+            })
+        }
+        LogicalPlan::Distinct { input } => {
+            ctx.metrics.update(|m| m.record_operator("Distinct"));
+            let rows = execute_rows(ctx, input)?;
+            let mut seen = std::collections::HashSet::new();
+            Ok(rows.into_iter().filter(|r| seen.insert(r.clone())).collect())
+        }
+    }
+}
+
+/// Pick the physical scan for a logical scan based on the execution mode and
+/// whether the relation is virtual.
+fn execute_scan(ctx: &ExecContext, spec: &ScanSpec, virtual_table: bool) -> Result<Vec<Row>> {
+    match ctx.config.mode {
+        ExecutionMode::Traditional => {
+            let entry = ctx.catalog.get(&spec.table)?;
+            match entry {
+                CatalogEntry::Materialized(table) => table_scan(ctx, spec, &table),
+                CatalogEntry::Virtual(_) => Err(Error::execution(format!(
+                    "table '{}' is virtual; traditional mode cannot scan it",
+                    spec.table
+                ))),
+            }
+        }
+        ExecutionMode::LlmOnly => llm_scan(ctx, spec),
+        ExecutionMode::Hybrid => {
+            if virtual_table {
+                return llm_scan(ctx, spec);
+            }
+            match ctx.catalog.get(&spec.table)? {
+                CatalogEntry::Materialized(table) => hybrid_scan(ctx, spec, &table),
+                CatalogEntry::Virtual(_) => llm_scan(ctx, spec),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Joins
+// ---------------------------------------------------------------------------
+
+/// Extract equi-join key pairs `(left_index, right_index)` from a join
+/// condition, plus the residual predicate that is not a simple equality.
+fn equi_keys(
+    on: &BoundExpr,
+    left_arity: usize,
+) -> (Vec<(usize, usize)>, Vec<BoundExpr>) {
+    let mut keys = Vec::new();
+    let mut residual = Vec::new();
+    for conjunct in llmsql_plan::split_conjunction(on) {
+        if let BoundExpr::Binary {
+            left,
+            op: BinaryOp::Eq,
+            right,
+        } = &conjunct
+        {
+            if let (BoundExpr::Column { index: a, .. }, BoundExpr::Column { index: b, .. }) =
+                (left.as_ref(), right.as_ref())
+            {
+                let (l, r) = if *a < left_arity && *b >= left_arity {
+                    (*a, *b - left_arity)
+                } else if *b < left_arity && *a >= left_arity {
+                    (*b, *a - left_arity)
+                } else {
+                    residual.push(conjunct.clone());
+                    continue;
+                };
+                keys.push((l, r));
+                continue;
+            }
+        }
+        residual.push(conjunct.clone());
+    }
+    (keys, residual)
+}
+
+/// Join two row sets. Uses a hash join on equi-key conjuncts when possible,
+/// falling back to a nested loop; residual conditions are applied to each
+/// candidate pair. Handles INNER, LEFT, RIGHT and CROSS joins.
+pub fn join_rows(
+    left_rows: &[Row],
+    right_rows: &[Row],
+    left_arity: usize,
+    right_arity: usize,
+    kind: JoinKind,
+    on: Option<&BoundExpr>,
+) -> Result<Vec<Row>> {
+    // RIGHT JOIN is a LEFT JOIN with sides swapped then columns reordered.
+    if kind == JoinKind::Right {
+        let swapped_on = on.map(|e| {
+            e.remap_columns(&|i| {
+                Some(if i < left_arity {
+                    i + right_arity
+                } else {
+                    i - left_arity
+                })
+            })
+            .expect("total remap")
+        });
+        let swapped = join_rows(
+            right_rows,
+            left_rows,
+            right_arity,
+            left_arity,
+            JoinKind::Left,
+            swapped_on.as_ref(),
+        )?;
+        return Ok(swapped
+            .into_iter()
+            .map(|row| {
+                let vals = row.into_values();
+                let (r, l) = vals.split_at(right_arity);
+                let mut out = l.to_vec();
+                out.extend(r.iter().cloned());
+                Row::new(out)
+            })
+            .collect());
+    }
+
+    let (keys, residual) = match on {
+        Some(on) => equi_keys(on, left_arity),
+        None => (vec![], vec![]),
+    };
+    let residual_pred = llmsql_plan::conjoin(&residual);
+
+    let mut out = Vec::new();
+    if !keys.is_empty() {
+        // Hash join: build on the right side.
+        let mut table: HashMap<Vec<Value>, Vec<&Row>> = HashMap::new();
+        for r in right_rows {
+            let key: Vec<Value> = keys.iter().map(|(_, ri)| r.get(*ri).clone()).collect();
+            if key.iter().any(|v| v.is_null()) {
+                continue;
+            }
+            table.entry(key).or_default().push(r);
+        }
+        for l in left_rows {
+            let key: Vec<Value> = keys.iter().map(|(li, _)| l.get(*li).clone()).collect();
+            let mut matched = false;
+            if !key.iter().any(|v| v.is_null()) {
+                if let Some(candidates) = table.get(&key) {
+                    for r in candidates {
+                        let combined = l.concat(r);
+                        let keep = match &residual_pred {
+                            Some(p) => eval_predicate(p, &combined)? == Some(true),
+                            None => true,
+                        };
+                        if keep {
+                            matched = true;
+                            out.push(combined);
+                        }
+                    }
+                }
+            }
+            if !matched && kind == JoinKind::Left {
+                let mut padded = l.clone();
+                padded.resize(left_arity + right_arity);
+                out.push(padded);
+            }
+        }
+    } else {
+        // Nested loop.
+        for l in left_rows {
+            let mut matched = false;
+            for r in right_rows {
+                let combined = l.concat(r);
+                let keep = match on {
+                    Some(p) => eval_predicate(p, &combined)? == Some(true),
+                    None => true,
+                };
+                if keep {
+                    matched = true;
+                    out.push(combined);
+                }
+            }
+            if !matched && kind == JoinKind::Left {
+                let mut padded = l.clone();
+                padded.resize(left_arity + right_arity);
+                out.push(padded);
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation and sorting
+// ---------------------------------------------------------------------------
+
+/// Hash aggregation.
+pub fn aggregate_rows(
+    rows: &[Row],
+    group_exprs: &[BoundExpr],
+    aggregates: &[BoundExpr],
+) -> Result<Vec<Row>> {
+    use std::collections::BTreeMap;
+    let mut groups: BTreeMap<Vec<Value>, Vec<AggAccumulator>> = BTreeMap::new();
+
+    let make_accs = || -> Result<Vec<AggAccumulator>> {
+        aggregates
+            .iter()
+            .map(|a| match a {
+                BoundExpr::Aggregate { func, distinct, .. } => {
+                    Ok(AggAccumulator::new(*func, *distinct))
+                }
+                other => Err(Error::execution(format!(
+                    "aggregate list contains a non-aggregate expression: {other}"
+                ))),
+            })
+            .collect()
+    };
+
+    for row in rows {
+        let key: Vec<Value> = group_exprs
+            .iter()
+            .map(|e| eval(e, row))
+            .collect::<Result<_>>()?;
+        let accs = match groups.entry(key) {
+            std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::btree_map::Entry::Vacant(e) => e.insert(make_accs()?),
+        };
+        for (acc, agg) in accs.iter_mut().zip(aggregates) {
+            let BoundExpr::Aggregate { arg, .. } = agg else {
+                unreachable!("validated above")
+            };
+            let value = match arg {
+                None => Value::Int(1),
+                Some(a) => eval(a, row)?,
+            };
+            acc.update(&value);
+        }
+    }
+
+    // A global aggregate over zero rows still produces one output row.
+    if groups.is_empty() && group_exprs.is_empty() {
+        groups.insert(vec![], make_accs()?);
+    }
+
+    Ok(groups
+        .into_iter()
+        .map(|(key, accs)| {
+            let mut values = key;
+            values.extend(accs.iter().map(|a| a.finish()));
+            Row::new(values)
+        })
+        .collect())
+}
+
+/// Stable multi-key sort.
+pub fn sort_rows(rows: &mut [Row], keys: &[SortKey]) -> Result<()> {
+    // Precompute key values to keep the comparator infallible.
+    let mut keyed: Vec<(Vec<Value>, Row)> = rows
+        .iter()
+        .map(|row| {
+            let ks = keys
+                .iter()
+                .map(|k| eval(&k.expr, row))
+                .collect::<Result<Vec<_>>>()?;
+            Ok((ks, row.clone()))
+        })
+        .collect::<Result<_>>()?;
+    keyed.sort_by(|(a, _), (b, _)| {
+        for (i, key) in keys.iter().enumerate() {
+            let ord = a[i].total_cmp(&b[i]);
+            let ord = if key.ascending { ord } else { ord.reverse() };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    for (slot, (_, row)) in rows.iter_mut().zip(keyed) {
+        *slot = row;
+    }
+    Ok(())
+}
+
+/// Convenience for tests and benchmarks: execute and render as an ASCII table.
+pub fn execute_to_table(ctx: &ExecContext, plan: &LogicalPlan) -> Result<String> {
+    Ok(execute(ctx, plan)?.to_ascii_table())
+}
+
+/// Build an empty batch with the plan's schema (used for EXPLAIN-only paths).
+pub fn empty_result(plan: &LogicalPlan) -> Batch {
+    Batch::empty(plan.schema())
+}
+
+/// Helper: look up the output schema of a plan (re-exported convenience).
+pub fn output_schema(plan: &LogicalPlan) -> RelSchema {
+    plan.schema()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmsql_plan::{bind_select, optimize, OptimizerOptions};
+    use llmsql_sql::{parse_statement, Statement};
+    use llmsql_store::Catalog;
+    use llmsql_types::{Column, DataType, EngineConfig, Schema};
+
+    fn catalog() -> Catalog {
+        let cat = Catalog::new();
+        let countries = cat
+            .create_table(Schema::new(
+                "countries",
+                vec![
+                    Column::new("name", DataType::Text).primary_key(),
+                    Column::new("region", DataType::Text),
+                    Column::new("population", DataType::Int),
+                ],
+            ))
+            .unwrap();
+        for (n, r, p) in [
+            ("France", "Europe", 68),
+            ("Germany", "Europe", 84),
+            ("Japan", "Asia", 125),
+            ("Peru", "Americas", 34),
+            ("Kenya", "Africa", 54),
+            ("Iceland", "Europe", 1),
+        ] {
+            countries
+                .insert(Row::new(vec![n.into(), r.into(), Value::Int(p)]))
+                .unwrap();
+        }
+        let cities = cat
+            .create_table(Schema::new(
+                "cities",
+                vec![
+                    Column::new("name", DataType::Text).primary_key(),
+                    Column::new("country", DataType::Text),
+                    Column::new("population", DataType::Int),
+                ],
+            ))
+            .unwrap();
+        for (n, c, p) in [
+            ("Paris", "France", 2),
+            ("Lyon", "France", 1),
+            ("Berlin", "Germany", 3),
+            ("Tokyo", "Japan", 13),
+            ("Atlantis City", "Atlantis", 0),
+        ] {
+            cities
+                .insert(Row::new(vec![n.into(), c.into(), Value::Int(p)]))
+                .unwrap();
+        }
+        cat
+    }
+
+    fn run(sql: &str) -> Batch {
+        let cat = catalog();
+        let stmt = parse_statement(sql).unwrap();
+        let select = match stmt {
+            Statement::Select(s) => s,
+            _ => panic!(),
+        };
+        let plan = optimize(
+            bind_select(&cat, &select).unwrap(),
+            &OptimizerOptions::default(),
+        );
+        let ctx = ExecContext::new(
+            cat,
+            None,
+            EngineConfig {
+                mode: ExecutionMode::Traditional,
+                ..EngineConfig::default()
+            },
+        );
+        execute(&ctx, &plan).unwrap()
+    }
+
+    fn cell(batch: &Batch, row: usize, col: usize) -> Value {
+        batch.rows[row].get(col).clone()
+    }
+
+    #[test]
+    fn select_star() {
+        let b = run("SELECT * FROM countries");
+        assert_eq!(b.len(), 6);
+        assert_eq!(b.schema.len(), 3);
+    }
+
+    #[test]
+    fn filter_projection_order_limit() {
+        let b = run(
+            "SELECT name, population FROM countries WHERE region = 'Europe' \
+             ORDER BY population DESC LIMIT 2",
+        );
+        assert_eq!(b.len(), 2);
+        assert_eq!(cell(&b, 0, 0), Value::Text("Germany".into()));
+        assert_eq!(cell(&b, 1, 0), Value::Text("France".into()));
+    }
+
+    #[test]
+    fn expression_projection() {
+        let b = run("SELECT name, population * 2 AS double_pop FROM countries WHERE name = 'Japan'");
+        assert_eq!(cell(&b, 0, 1), Value::Int(250));
+        assert_eq!(b.schema.names()[1], "double_pop");
+    }
+
+    #[test]
+    fn inner_join_matches() {
+        let b = run(
+            "SELECT ci.name, c.region FROM cities ci JOIN countries c ON ci.country = c.name \
+             ORDER BY ci.name",
+        );
+        assert_eq!(b.len(), 4); // Atlantis City has no matching country
+        assert_eq!(cell(&b, 0, 0), Value::Text("Berlin".into()));
+        assert_eq!(cell(&b, 0, 1), Value::Text("Europe".into()));
+    }
+
+    #[test]
+    fn left_join_pads_nulls() {
+        let b = run(
+            "SELECT ci.name, c.name FROM cities ci LEFT JOIN countries c ON ci.country = c.name \
+             ORDER BY ci.name",
+        );
+        assert_eq!(b.len(), 5);
+        let atlantis = b
+            .rows
+            .iter()
+            .find(|r| r.get(0) == &Value::Text("Atlantis City".into()))
+            .unwrap();
+        assert!(atlantis.get(1).is_null());
+    }
+
+    #[test]
+    fn right_join_keeps_unmatched_right() {
+        let b = run(
+            "SELECT ci.name, c.name FROM cities ci RIGHT JOIN countries c ON ci.country = c.name",
+        );
+        // every country appears; countries without cities padded with NULL city
+        assert_eq!(
+            b.rows
+                .iter()
+                .filter(|r| r.get(0).is_null())
+                .count(),
+            3 // Peru, Kenya, Iceland
+        );
+    }
+
+    #[test]
+    fn cross_join_cardinality() {
+        let b = run("SELECT c.name, ci.name FROM countries c CROSS JOIN cities ci");
+        assert_eq!(b.len(), 30);
+    }
+
+    #[test]
+    fn join_with_extra_condition() {
+        let b = run(
+            "SELECT ci.name FROM cities ci JOIN countries c ON ci.country = c.name AND ci.population > 1",
+        );
+        assert_eq!(b.len(), 3); // Paris, Berlin, Tokyo
+    }
+
+    #[test]
+    fn group_by_aggregates() {
+        let b = run(
+            "SELECT region, COUNT(*) AS n, SUM(population) AS pop, AVG(population) AS avg_pop, \
+             MIN(population) AS min_pop, MAX(population) AS max_pop \
+             FROM countries GROUP BY region ORDER BY region",
+        );
+        assert_eq!(b.len(), 4);
+        // regions sorted: Africa, Americas, Asia, Europe
+        assert_eq!(cell(&b, 3, 0), Value::Text("Europe".into()));
+        assert_eq!(cell(&b, 3, 1), Value::Int(3));
+        assert_eq!(cell(&b, 3, 2), Value::Int(153));
+        assert_eq!(cell(&b, 3, 3), Value::Float(51.0));
+        assert_eq!(cell(&b, 3, 4), Value::Int(1));
+        assert_eq!(cell(&b, 3, 5), Value::Int(84));
+    }
+
+    #[test]
+    fn having_filters_groups() {
+        let b = run(
+            "SELECT region, COUNT(*) AS n FROM countries GROUP BY region HAVING COUNT(*) > 1",
+        );
+        assert_eq!(b.len(), 1);
+        assert_eq!(cell(&b, 0, 0), Value::Text("Europe".into()));
+    }
+
+    #[test]
+    fn global_aggregate() {
+        let b = run("SELECT COUNT(*), SUM(population) FROM countries");
+        assert_eq!(b.len(), 1);
+        assert_eq!(cell(&b, 0, 0), Value::Int(6));
+        assert_eq!(cell(&b, 0, 1), Value::Int(366));
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input() {
+        let b = run("SELECT COUNT(*) FROM countries WHERE population > 99999");
+        assert_eq!(b.len(), 1);
+        assert_eq!(cell(&b, 0, 0), Value::Int(0));
+    }
+
+    #[test]
+    fn distinct_values() {
+        let b = run("SELECT DISTINCT region FROM countries");
+        assert_eq!(b.len(), 4);
+    }
+
+    #[test]
+    fn count_distinct() {
+        let b = run("SELECT COUNT(DISTINCT region) FROM countries");
+        assert_eq!(cell(&b, 0, 0), Value::Int(4));
+    }
+
+    #[test]
+    fn in_and_between_and_like() {
+        assert_eq!(run("SELECT name FROM countries WHERE region IN ('Asia', 'Africa')").len(), 2);
+        assert_eq!(
+            run("SELECT name FROM countries WHERE population BETWEEN 50 AND 90").len(),
+            3
+        );
+        assert_eq!(run("SELECT name FROM countries WHERE name LIKE 'I%'").len(), 1);
+    }
+
+    #[test]
+    fn case_expression_in_projection() {
+        let b = run(
+            "SELECT name, CASE WHEN population > 80 THEN 'big' ELSE 'small' END AS size \
+             FROM countries WHERE name IN ('Japan', 'Iceland') ORDER BY name",
+        );
+        assert_eq!(cell(&b, 0, 1), Value::Text("small".into()));
+        assert_eq!(cell(&b, 1, 1), Value::Text("big".into()));
+    }
+
+    #[test]
+    fn constant_query_without_from() {
+        let b = run("SELECT 1 + 1 AS two, 'hello' AS greeting");
+        assert_eq!(b.len(), 1);
+        assert_eq!(cell(&b, 0, 0), Value::Int(2));
+        assert_eq!(cell(&b, 0, 1), Value::Text("hello".into()));
+    }
+
+    #[test]
+    fn offset_and_positional_order() {
+        let b = run("SELECT name FROM countries ORDER BY 1 LIMIT 2 OFFSET 1");
+        assert_eq!(b.len(), 2);
+        assert_eq!(cell(&b, 0, 0), Value::Text("Germany".into()));
+    }
+
+    #[test]
+    fn subquery_in_from_executes() {
+        let b = run(
+            "SELECT big.name FROM (SELECT name, population FROM countries WHERE population > 60) AS big \
+             ORDER BY big.name",
+        );
+        assert_eq!(b.len(), 3);
+        assert_eq!(cell(&b, 0, 0), Value::Text("France".into()));
+    }
+
+    #[test]
+    fn traditional_mode_rejects_virtual_tables() {
+        let cat = catalog();
+        cat.create_virtual_table(Schema::new(
+            "ghosts",
+            vec![Column::new("name", DataType::Text).primary_key()],
+        ))
+        .unwrap();
+        let stmt = parse_statement("SELECT * FROM ghosts").unwrap();
+        let select = match stmt {
+            Statement::Select(s) => s,
+            _ => panic!(),
+        };
+        let plan = bind_select(&cat, &select).unwrap();
+        let ctx = ExecContext::new(
+            cat,
+            None,
+            EngineConfig {
+                mode: ExecutionMode::Traditional,
+                ..EngineConfig::default()
+            },
+        );
+        assert!(execute(&ctx, &plan).is_err());
+    }
+
+    #[test]
+    fn metrics_track_operators_and_rows() {
+        let cat = catalog();
+        let stmt = parse_statement("SELECT name FROM countries WHERE population > 60").unwrap();
+        let select = match stmt {
+            Statement::Select(s) => s,
+            _ => panic!(),
+        };
+        let plan = optimize(
+            bind_select(&cat, &select).unwrap(),
+            &OptimizerOptions::default(),
+        );
+        let ctx = ExecContext::new(
+            cat,
+            None,
+            EngineConfig {
+                mode: ExecutionMode::Traditional,
+                ..EngineConfig::default()
+            },
+        );
+        let batch = execute(&ctx, &plan).unwrap();
+        let m = ctx.metrics.snapshot();
+        assert_eq!(m.rows_output, batch.len() as u64);
+        assert!(m.operators.contains_key("Scan"));
+        assert!(m.operators.contains_key("Project"));
+        assert_eq!(m.llm_calls(), 0);
+    }
+}

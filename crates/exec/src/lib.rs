@@ -1,0 +1,115 @@
+//! # llmsql-exec
+//!
+//! The execution engine: scalar/aggregate evaluation of bound expressions,
+//! physical scan operators over the relational store and the language-model
+//! storage layer, relational operators (filter, project, hash/nested-loop
+//! join, hash aggregate, sort, limit, distinct), and the plan interpreter.
+
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod eval;
+pub mod executor;
+pub mod metrics;
+pub mod scan;
+
+pub use context::ExecContext;
+pub use eval::{eval, eval_predicate, AggAccumulator};
+pub use executor::{aggregate_rows, execute, execute_rows, join_rows, sort_rows};
+pub use metrics::{ExecMetrics, SharedMetrics};
+pub use scan::{hybrid_scan, llm_scan, table_scan, ScanSpec};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use llmsql_plan::BoundExpr;
+    use llmsql_sql::ast::{BinaryOp, JoinKind};
+    use llmsql_types::{DataType, Row, Value};
+    use proptest::prelude::*;
+
+    /// Hash join (equi-key path) must agree with a nested-loop join
+    /// (residual-predicate path) on random data.
+    fn nested_loop_reference(
+        left: &[Row],
+        right: &[Row],
+        key_l: usize,
+        key_r: usize,
+    ) -> Vec<(Value, Value)> {
+        let mut out = Vec::new();
+        for l in left {
+            for r in right {
+                if !l.get(key_l).is_null() && l.get(key_l).semantic_eq(r.get(key_r)) {
+                    out.push((l.get(0).clone(), r.get(0).clone()));
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    proptest! {
+        #[test]
+        fn hash_join_matches_nested_loop(
+            left_keys in proptest::collection::vec(0i64..10, 0..20),
+            right_keys in proptest::collection::vec(0i64..10, 0..20),
+        ) {
+            let left: Vec<Row> = left_keys
+                .iter()
+                .enumerate()
+                .map(|(i, k)| Row::new(vec![Value::Int(i as i64), Value::Int(*k)]))
+                .collect();
+            let right: Vec<Row> = right_keys
+                .iter()
+                .enumerate()
+                .map(|(i, k)| Row::new(vec![Value::Int(1000 + i as i64), Value::Int(*k)]))
+                .collect();
+            let on = BoundExpr::Binary {
+                left: Box::new(BoundExpr::col(1, "k", DataType::Int)),
+                op: BinaryOp::Eq,
+                right: Box::new(BoundExpr::col(3, "k", DataType::Int)),
+            };
+            let joined = join_rows(&left, &right, 2, 2, JoinKind::Inner, Some(&on)).unwrap();
+            let mut got: Vec<(Value, Value)> = joined
+                .iter()
+                .map(|r| (r.get(0).clone(), r.get(2).clone()))
+                .collect();
+            got.sort();
+            let expected = nested_loop_reference(&left, &right, 1, 1);
+            prop_assert_eq!(got, expected);
+        }
+
+        /// Sorting is a permutation and respects the key order.
+        #[test]
+        fn sort_is_ordered_permutation(values in proptest::collection::vec(-100i64..100, 0..50)) {
+            let mut rows: Vec<Row> = values.iter().map(|v| Row::new(vec![Value::Int(*v)])).collect();
+            let keys = vec![llmsql_plan::SortKey {
+                expr: BoundExpr::col(0, "v", DataType::Int),
+                ascending: true,
+            }];
+            sort_rows(&mut rows, &keys).unwrap();
+            prop_assert_eq!(rows.len(), values.len());
+            for w in rows.windows(2) {
+                prop_assert!(w[0].get(0).total_cmp(w[1].get(0)) != std::cmp::Ordering::Greater);
+            }
+            let mut sorted_input = values.clone();
+            sorted_input.sort();
+            let got: Vec<i64> = rows.iter().map(|r| r.get(0).as_int().unwrap()).collect();
+            prop_assert_eq!(got, sorted_input);
+        }
+
+        /// COUNT(*) equals the number of input rows for any grouping.
+        #[test]
+        fn aggregate_counts_sum_to_input(values in proptest::collection::vec(0i64..5, 0..60)) {
+            let rows: Vec<Row> = values.iter().map(|v| Row::new(vec![Value::Int(*v)])).collect();
+            let group = vec![BoundExpr::col(0, "g", DataType::Int)];
+            let aggs = vec![BoundExpr::Aggregate {
+                func: llmsql_sql::ast::AggregateFunc::Count,
+                arg: None,
+                distinct: false,
+            }];
+            let out = aggregate_rows(&rows, &group, &aggs).unwrap();
+            let total: i64 = out.iter().map(|r| r.get(1).as_int().unwrap()).sum();
+            prop_assert_eq!(total as usize, values.len());
+        }
+    }
+}

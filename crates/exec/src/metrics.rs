@@ -1,0 +1,134 @@
+//! Execution metrics collected while a query runs.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Metrics for one query execution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecMetrics {
+    /// Rows read from materialized tables.
+    pub rows_from_store: u64,
+    /// Rows materialized from LLM completions.
+    pub rows_from_llm: u64,
+    /// Rows emitted by the root operator.
+    pub rows_output: u64,
+    /// Completion lines the tolerant parsers had to drop.
+    pub dropped_lines: u64,
+    /// NULL cells filled from the model by hybrid scans.
+    pub cells_filled_by_llm: u64,
+    /// LLM prompts issued, by task kind ("row_batch", "lookup", ...).
+    pub llm_calls_by_kind: BTreeMap<String, u64>,
+    /// Plan nodes executed, by operator name.
+    pub operators: BTreeMap<String, u64>,
+}
+
+impl ExecMetrics {
+    /// Total LLM prompts issued (all kinds).
+    pub fn llm_calls(&self) -> u64 {
+        self.llm_calls_by_kind.values().sum()
+    }
+
+    /// Record one LLM prompt of the given kind.
+    pub fn record_llm_call(&mut self, kind: &str) {
+        *self.llm_calls_by_kind.entry(kind.to_string()).or_default() += 1;
+    }
+
+    /// Record an executed operator.
+    pub fn record_operator(&mut self, name: &str) {
+        *self.operators.entry(name.to_string()).or_default() += 1;
+    }
+
+    /// Merge another metrics object into this one.
+    pub fn merge(&mut self, other: &ExecMetrics) {
+        self.rows_from_store += other.rows_from_store;
+        self.rows_from_llm += other.rows_from_llm;
+        self.rows_output += other.rows_output;
+        self.dropped_lines += other.dropped_lines;
+        self.cells_filled_by_llm += other.cells_filled_by_llm;
+        for (k, v) in &other.llm_calls_by_kind {
+            *self.llm_calls_by_kind.entry(k.clone()).or_default() += v;
+        }
+        for (k, v) in &other.operators {
+            *self.operators.entry(k.clone()).or_default() += v;
+        }
+    }
+}
+
+impl fmt::Display for ExecMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "store_rows={} llm_rows={} out_rows={} llm_calls={} dropped={} filled={}",
+            self.rows_from_store,
+            self.rows_from_llm,
+            self.rows_output,
+            self.llm_calls(),
+            self.dropped_lines,
+            self.cells_filled_by_llm
+        )
+    }
+}
+
+/// A shared, thread-safe metrics handle.
+#[derive(Clone, Default)]
+pub struct SharedMetrics(Arc<Mutex<ExecMetrics>>);
+
+impl SharedMetrics {
+    /// Create a fresh handle.
+    pub fn new() -> Self {
+        SharedMetrics::default()
+    }
+
+    /// Run a closure with mutable access to the metrics.
+    pub fn update(&self, f: impl FnOnce(&mut ExecMetrics)) {
+        f(&mut self.0.lock());
+    }
+
+    /// Snapshot the current metrics.
+    pub fn snapshot(&self) -> ExecMetrics {
+        self.0.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_total() {
+        let mut m = ExecMetrics::default();
+        m.record_llm_call("row_batch");
+        m.record_llm_call("row_batch");
+        m.record_llm_call("lookup");
+        m.record_operator("Filter");
+        assert_eq!(m.llm_calls(), 3);
+        assert_eq!(m.llm_calls_by_kind["row_batch"], 2);
+        assert_eq!(m.operators["Filter"], 1);
+        assert!(m.to_string().contains("llm_calls=3"));
+    }
+
+    #[test]
+    fn merge_adds_up() {
+        let mut a = ExecMetrics::default();
+        a.rows_from_llm = 5;
+        a.record_llm_call("lookup");
+        let mut b = ExecMetrics::default();
+        b.rows_from_llm = 7;
+        b.record_llm_call("lookup");
+        b.record_llm_call("enumerate");
+        a.merge(&b);
+        assert_eq!(a.rows_from_llm, 12);
+        assert_eq!(a.llm_calls(), 3);
+    }
+
+    #[test]
+    fn shared_handle() {
+        let shared = SharedMetrics::new();
+        let clone = shared.clone();
+        clone.update(|m| m.rows_output = 9);
+        assert_eq!(shared.snapshot().rows_output, 9);
+    }
+}

@@ -1,0 +1,110 @@
+//! A simple prompt cache.
+//!
+//! Identical prompts within one engine session return the cached completion
+//! without touching the model. Because the simulator is deterministic per
+//! (seed, prompt) the cache does not change answers — it only changes the
+//! call count and cost, which is exactly what the cost experiments measure.
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+
+use crate::model::CompletionResponse;
+
+/// A thread-safe prompt → completion cache.
+#[derive(Default)]
+pub struct PromptCache {
+    map: RwLock<HashMap<String, CompletionResponse>>,
+    hits: RwLock<u64>,
+    misses: RwLock<u64>,
+}
+
+impl PromptCache {
+    /// Create an empty cache.
+    pub fn new() -> Self {
+        PromptCache::default()
+    }
+
+    /// Look up a prompt.
+    pub fn get(&self, prompt: &str) -> Option<CompletionResponse> {
+        let found = self.map.read().get(prompt).cloned();
+        if found.is_some() {
+            *self.hits.write() += 1;
+        } else {
+            *self.misses.write() += 1;
+        }
+        found
+    }
+
+    /// Store a completion.
+    pub fn put(&self, prompt: String, response: CompletionResponse) {
+        self.map.write().insert(prompt, response);
+    }
+
+    /// Number of cached prompts.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// True if the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+
+    /// Remove all entries and reset counters.
+    pub fn clear(&self) {
+        self.map.write().clear();
+        *self.hits.write() = 0;
+        *self.misses.write() = 0;
+    }
+
+    /// (hits, misses) counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (*self.hits.read(), *self.misses.read())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resp(text: &str) -> CompletionResponse {
+        CompletionResponse {
+            text: text.to_string(),
+            prompt_tokens: 1,
+            completion_tokens: 1,
+            latency_ms: 1.0,
+            cost_usd: 0.0,
+        }
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let cache = PromptCache::new();
+        assert!(cache.get("p").is_none());
+        cache.put("p".into(), resp("r"));
+        assert_eq!(cache.get("p").unwrap().text, "r");
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let cache = PromptCache::new();
+        cache.get("a");
+        cache.put("a".into(), resp("x"));
+        cache.get("a");
+        cache.get("b");
+        assert_eq!(cache.stats(), (1, 2));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let cache = PromptCache::new();
+        cache.put("a".into(), resp("x"));
+        cache.get("a");
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), (0, 0));
+    }
+}

@@ -1,0 +1,251 @@
+//! The `LanguageModel` abstraction and the tracked client wrapper.
+//!
+//! The engine only ever talks to a [`LanguageModel`] through a
+//! [`LlmClient`], which adds prompt caching and usage accounting. The
+//! simulator ([`crate::sim::SimLlm`]) is the only implementation shipped in
+//! this reproduction; a production deployment would add an HTTP-backed
+//! implementation without touching the engine.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use llmsql_types::{LlmCostModel, Result};
+
+use crate::cache::PromptCache;
+use crate::cost::UsageStats;
+
+/// A completion request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompletionRequest {
+    /// The full prompt text.
+    pub prompt: String,
+    /// Maximum completion tokens the caller is willing to receive.
+    pub max_tokens: usize,
+    /// Sampling temperature (the simulator uses it to scale noise slightly).
+    pub temperature: f64,
+}
+
+impl CompletionRequest {
+    /// Build a request with default limits.
+    pub fn new(prompt: impl Into<String>) -> Self {
+        CompletionRequest {
+            prompt: prompt.into(),
+            max_tokens: 2048,
+            temperature: 0.0,
+        }
+    }
+
+    /// Set the maximum completion tokens.
+    pub fn with_max_tokens(mut self, max_tokens: usize) -> Self {
+        self.max_tokens = max_tokens;
+        self
+    }
+}
+
+/// A completion response with accounting metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompletionResponse {
+    /// The completion text.
+    pub text: String,
+    /// Tokens in the prompt.
+    pub prompt_tokens: usize,
+    /// Tokens in the completion.
+    pub completion_tokens: usize,
+    /// Simulated wall-clock latency of the request in milliseconds.
+    pub latency_ms: f64,
+    /// Simulated dollar cost of the request.
+    pub cost_usd: f64,
+}
+
+/// The storage device: anything that turns prompts into completions.
+pub trait LanguageModel: Send + Sync {
+    /// A short model identifier (shows up in experiment reports).
+    fn name(&self) -> String;
+
+    /// Produce a completion for the request.
+    fn complete(&self, request: &CompletionRequest) -> Result<CompletionResponse>;
+
+    /// The cost model of this endpoint (used for reporting only).
+    fn cost_model(&self) -> LlmCostModel {
+        LlmCostModel::default()
+    }
+}
+
+/// The client the executor uses: wraps a model with a prompt cache and a
+/// usage accumulator. Cloning shares the cache and the counters.
+#[derive(Clone)]
+pub struct LlmClient {
+    model: Arc<dyn LanguageModel>,
+    cache: Option<Arc<PromptCache>>,
+    usage: Arc<Mutex<UsageStats>>,
+}
+
+impl LlmClient {
+    /// Wrap a model with caching enabled.
+    pub fn new(model: Arc<dyn LanguageModel>) -> Self {
+        LlmClient {
+            model,
+            cache: Some(Arc::new(PromptCache::new())),
+            usage: Arc::new(Mutex::new(UsageStats::default())),
+        }
+    }
+
+    /// Wrap a model without a prompt cache.
+    pub fn without_cache(model: Arc<dyn LanguageModel>) -> Self {
+        LlmClient {
+            model,
+            cache: None,
+            usage: Arc::new(Mutex::new(UsageStats::default())),
+        }
+    }
+
+    /// The wrapped model's name.
+    pub fn model_name(&self) -> String {
+        self.model.name()
+    }
+
+    /// Issue a completion, consulting the cache first.
+    pub fn complete(&self, request: &CompletionRequest) -> Result<CompletionResponse> {
+        if let Some(cache) = &self.cache {
+            if let Some(hit) = cache.get(&request.prompt) {
+                let mut usage = self.usage.lock();
+                usage.cache_hits += 1;
+                return Ok(hit);
+            }
+        }
+        let response = self.model.complete(request)?;
+        {
+            let mut usage = self.usage.lock();
+            usage.record(&response);
+        }
+        if let Some(cache) = &self.cache {
+            cache.put(request.prompt.clone(), response.clone());
+        }
+        Ok(response)
+    }
+
+    /// A snapshot of accumulated usage.
+    pub fn usage(&self) -> UsageStats {
+        self.usage.lock().clone()
+    }
+
+    /// Reset the usage counters (between experiment runs).
+    pub fn reset_usage(&self) {
+        *self.usage.lock() = UsageStats::default();
+    }
+
+    /// Clear the prompt cache.
+    pub fn clear_cache(&self) {
+        if let Some(cache) = &self.cache {
+            cache.clear();
+        }
+    }
+
+    /// Number of cached prompts.
+    pub fn cache_len(&self) -> usize {
+        self.cache.as_ref().map(|c| c.len()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use crate::tokenizer::count_tokens;
+    use parking_lot::Mutex;
+
+    /// A model that echoes a canned response and counts invocations.
+    pub struct CannedModel {
+        pub response: String,
+        pub calls: Mutex<usize>,
+    }
+
+    impl CannedModel {
+        pub fn new(response: &str) -> Self {
+            CannedModel {
+                response: response.to_string(),
+                calls: Mutex::new(0),
+            }
+        }
+    }
+
+    impl LanguageModel for CannedModel {
+        fn name(&self) -> String {
+            "canned".to_string()
+        }
+
+        fn complete(&self, request: &CompletionRequest) -> Result<CompletionResponse> {
+            *self.calls.lock() += 1;
+            Ok(CompletionResponse {
+                text: self.response.clone(),
+                prompt_tokens: count_tokens(&request.prompt),
+                completion_tokens: count_tokens(&self.response),
+                latency_ms: 10.0,
+                cost_usd: 0.001,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::CannedModel;
+    use super::*;
+
+    #[test]
+    fn client_tracks_usage() {
+        let model = Arc::new(CannedModel::new("Paris"));
+        let client = LlmClient::without_cache(model.clone());
+        let req = CompletionRequest::new("What is the capital of France?");
+        let resp = client.complete(&req).unwrap();
+        assert_eq!(resp.text, "Paris");
+        let resp2 = client.complete(&req).unwrap();
+        assert_eq!(resp2.text, "Paris");
+        let usage = client.usage();
+        assert_eq!(usage.calls, 2);
+        assert_eq!(usage.cache_hits, 0);
+        assert!(usage.prompt_tokens > 0);
+        assert_eq!(*model.calls.lock(), 2);
+    }
+
+    #[test]
+    fn cache_avoids_repeat_calls() {
+        let model = Arc::new(CannedModel::new("42"));
+        let client = LlmClient::new(model.clone());
+        let req = CompletionRequest::new("same prompt");
+        client.complete(&req).unwrap();
+        client.complete(&req).unwrap();
+        client.complete(&req).unwrap();
+        assert_eq!(*model.calls.lock(), 1);
+        let usage = client.usage();
+        assert_eq!(usage.calls, 1);
+        assert_eq!(usage.cache_hits, 2);
+        assert_eq!(client.cache_len(), 1);
+        client.clear_cache();
+        assert_eq!(client.cache_len(), 0);
+    }
+
+    #[test]
+    fn usage_reset() {
+        let client = LlmClient::new(Arc::new(CannedModel::new("x")));
+        client.complete(&CompletionRequest::new("p")).unwrap();
+        assert_eq!(client.usage().calls, 1);
+        client.reset_usage();
+        assert_eq!(client.usage().calls, 0);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let client = LlmClient::new(Arc::new(CannedModel::new("x")));
+        let clone = client.clone();
+        clone.complete(&CompletionRequest::new("p")).unwrap();
+        assert_eq!(client.usage().calls, 1);
+    }
+
+    #[test]
+    fn request_builder() {
+        let r = CompletionRequest::new("hi").with_max_tokens(16);
+        assert_eq!(r.max_tokens, 16);
+        assert_eq!(r.temperature, 0.0);
+    }
+}

@@ -1,0 +1,327 @@
+//! The fidelity / noise model of the simulated language model.
+//!
+//! The central design decision: *whether the model knows a fact is a stable
+//! property of the fact*, not of the request. Knowledge decisions (does the
+//! model know this entity? does it recall this attribute? does it hallucinate
+//! a replacement?) are derived from a deterministic hash of
+//! `(seed, table, entity, column)`, so repeated or paginated prompts see a
+//! consistent world. Presentation noise (formatting violations, numeric
+//! perturbation) is derived from the same scheme plus the request context, so
+//! it is reproducible run-to-run as well.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use llmsql_types::{DataType, LlmFidelity, Value};
+
+/// Deterministic pseudo-random number in `[0, 1)` from hashable parts.
+pub fn hash01(parts: &[&str], seed: u64) -> f64 {
+    let mut h = DefaultHasher::new();
+    seed.hash(&mut h);
+    for p in parts {
+        p.hash(&mut h);
+        0xDEADBEEFu32.hash(&mut h);
+    }
+    let v = h.finish();
+    (v >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Deterministic pseudo-random u64 from hashable parts.
+pub fn hash_u64(parts: &[&str], seed: u64) -> u64 {
+    let mut h = DefaultHasher::new();
+    seed.wrapping_mul(0x9E3779B97F4A7C15).hash(&mut h);
+    for p in parts {
+        p.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// The noise model bound to a fidelity configuration and a seed.
+#[derive(Debug, Clone)]
+pub struct NoiseModel {
+    /// The fidelity knobs.
+    pub fidelity: LlmFidelity,
+    /// The world seed.
+    pub seed: u64,
+}
+
+impl NoiseModel {
+    /// Create a noise model.
+    pub fn new(fidelity: LlmFidelity, seed: u64) -> Self {
+        NoiseModel { fidelity, seed }
+    }
+
+    /// Does the model know this entity exists (can it enumerate it)?
+    pub fn knows_entity(&self, table: &str, key: &str) -> bool {
+        hash01(&["entity", table, key], self.seed) < self.fidelity.enumeration_coverage
+    }
+
+    /// Does the model recall this particular attribute value?
+    pub fn recalls_fact(&self, table: &str, key: &str, column: &str) -> bool {
+        hash01(&["fact", table, key, column], self.seed) < self.fidelity.recall
+    }
+
+    /// When a fact is not recalled (or the entity is unknown), does the model
+    /// fabricate a plausible-looking value instead of admitting ignorance?
+    pub fn hallucinates_fact(&self, table: &str, key: &str, column: &str) -> bool {
+        hash01(&["hallucinate", table, key, column], self.seed) < self.fidelity.hallucination
+    }
+
+    /// Is a recalled value corrupted (stale / slightly wrong)?
+    pub fn corrupts_fact(&self, table: &str, key: &str, column: &str) -> bool {
+        hash01(&["corrupt", table, key, column], self.seed) < self.fidelity.value_noise
+    }
+
+    /// Should this output line violate the requested format?
+    pub fn mangles_line(&self, context: &str, line_idx: usize) -> bool {
+        hash01(&["format", context, &line_idx.to_string()], self.seed) < self.fidelity.format_noise
+    }
+
+    /// Probability-free accessor used by enumeration hallucination: how many
+    /// fabricated entities to add to a listing of `real_count` entities.
+    pub fn fabricated_entity_count(&self, table: &str, real_count: usize) -> usize {
+        let expected = real_count as f64 * self.fidelity.hallucination * 0.5;
+        let frac = hash01(&["fab_count", table], self.seed);
+        (expected + frac).floor() as usize
+    }
+
+    /// Produce the value the model reports for a fact, given the true value.
+    ///
+    /// Returns `None` when the model omits the fact entirely (does not recall
+    /// it and does not hallucinate). `Some(Value::Null)` means the model
+    /// explicitly answers "unknown".
+    pub fn observe_fact(
+        &self,
+        table: &str,
+        key: &str,
+        column: &str,
+        truth: &Value,
+        data_type: DataType,
+    ) -> Option<Value> {
+        if self.recalls_fact(table, key, column) {
+            if self.corrupts_fact(table, key, column) {
+                Some(self.corrupt_value(table, key, column, truth, data_type))
+            } else {
+                Some(truth.clone())
+            }
+        } else if self.hallucinates_fact(table, key, column) {
+            Some(self.fabricate_value(table, key, column, data_type))
+        } else {
+            None
+        }
+    }
+
+    /// Corrupt a true value into a plausible but wrong one.
+    pub fn corrupt_value(
+        &self,
+        table: &str,
+        key: &str,
+        column: &str,
+        truth: &Value,
+        data_type: DataType,
+    ) -> Value {
+        let h = hash_u64(&["corrupt_val", table, key, column], self.seed);
+        match (truth, data_type) {
+            (Value::Int(i), _) => {
+                // Off by a relative factor between -20% and +20% (never zero).
+                let pct = ((h % 39) as i64 - 19).max(1);
+                let delta = (*i as i128 * pct as i128 / 100).max(1) as i64;
+                Value::Int(i + if h % 2 == 0 { delta } else { -delta })
+            }
+            (Value::Float(f), _) => {
+                let pct = ((h % 39) as f64 - 19.0) / 100.0;
+                Value::Float(f * (1.0 + if pct == 0.0 { 0.07 } else { pct }))
+            }
+            (Value::Bool(b), _) => Value::Bool(!b),
+            (Value::Text(s), _) => {
+                // Misspell: duplicate or drop a character deterministically.
+                let chars: Vec<char> = s.chars().collect();
+                if chars.is_empty() {
+                    return Value::Text("unknown".to_string());
+                }
+                let pos = (h as usize) % chars.len();
+                let mut out: String = chars[..pos].iter().collect();
+                if h % 2 == 0 {
+                    out.push(chars[pos]);
+                    out.push(chars[pos]);
+                    out.extend(chars[pos + 1..].iter());
+                } else {
+                    out.extend(chars[pos + 1..].iter());
+                    if out.is_empty() {
+                        out.push('x');
+                    }
+                }
+                Value::Text(out)
+            }
+            (Value::Null, ty) => self.fabricate_value(table, key, column, ty),
+        }
+    }
+
+    /// Invent a plausible-looking value of the given type.
+    pub fn fabricate_value(
+        &self,
+        table: &str,
+        key: &str,
+        column: &str,
+        data_type: DataType,
+    ) -> Value {
+        let h = hash_u64(&["fabricate", table, key, column], self.seed);
+        match data_type {
+            DataType::Int => Value::Int(((h % 9_000_000) + 1_000) as i64),
+            DataType::Float => Value::Float(((h % 900_000) as f64 / 100.0) + 1.0),
+            DataType::Bool => Value::Bool(h % 2 == 0),
+            DataType::Text => {
+                const SYLLABLES: [&str; 8] =
+                    ["ar", "ben", "cor", "dal", "eth", "fol", "gan", "hul"];
+                let mut s = String::new();
+                let mut v = h;
+                for _ in 0..3 {
+                    s.push_str(SYLLABLES[(v % 8) as usize]);
+                    v /= 8;
+                }
+                let mut chars = s.chars();
+                let first = chars.next().unwrap().to_ascii_uppercase();
+                Value::Text(format!("{first}{}", chars.as_str()))
+            }
+        }
+    }
+
+    /// Invent a fabricated entity key that does not collide with real keys.
+    pub fn fabricate_entity_key(&self, table: &str, ordinal: usize) -> Value {
+        let base = self.fabricate_value(table, &format!("fab-{ordinal}"), "key", DataType::Text);
+        match base {
+            Value::Text(s) => Value::Text(format!("{s}ia")),
+            other => other,
+        }
+    }
+
+    /// Mangle an output line to simulate a formatting violation: the value
+    /// separator is replaced by a comma and chatty framing is added.
+    pub fn mangle_line(&self, line: &str) -> String {
+        format!("I believe it is {} .", line.replace(" | ", ", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(fidelity: LlmFidelity) -> NoiseModel {
+        NoiseModel::new(fidelity, 42)
+    }
+
+    #[test]
+    fn hash01_in_range_and_deterministic() {
+        for i in 0..100 {
+            let s = i.to_string();
+            let v = hash01(&["a", &s], 7);
+            assert!((0.0..1.0).contains(&v));
+            assert_eq!(v, hash01(&["a", &s], 7));
+        }
+        assert_ne!(hash01(&["a"], 1), hash01(&["a"], 2));
+        assert_ne!(hash01(&["a"], 1), hash01(&["b"], 1));
+    }
+
+    #[test]
+    fn perfect_fidelity_never_loses_or_lies() {
+        let m = model(LlmFidelity::perfect());
+        for i in 0..50 {
+            let key = format!("k{i}");
+            assert!(m.knows_entity("t", &key));
+            assert!(m.recalls_fact("t", &key, "c"));
+            assert!(!m.corrupts_fact("t", &key, "c"));
+            assert!(!m.mangles_line("ctx", i));
+            let v = m
+                .observe_fact("t", &key, "c", &Value::Int(i as i64), DataType::Int)
+                .unwrap();
+            assert_eq!(v, Value::Int(i as i64));
+        }
+        assert_eq!(m.fabricated_entity_count("t", 100), 0);
+    }
+
+    #[test]
+    fn weak_fidelity_loses_and_fabricates() {
+        let m = model(LlmFidelity::weak());
+        let mut omitted = 0;
+        let mut wrong = 0;
+        let mut correct = 0;
+        for i in 0..400 {
+            let key = format!("k{i}");
+            match m.observe_fact("t", &key, "c", &Value::Int(1000), DataType::Int) {
+                None => omitted += 1,
+                Some(Value::Int(1000)) => correct += 1,
+                Some(_) => wrong += 1,
+            }
+        }
+        assert!(omitted > 50, "omitted {omitted}");
+        assert!(wrong > 30, "wrong {wrong}");
+        assert!(correct > 100, "correct {correct}");
+    }
+
+    #[test]
+    fn knowledge_is_stable_across_calls() {
+        let m = model(LlmFidelity::medium());
+        let a: Vec<bool> = (0..100)
+            .map(|i| m.knows_entity("countries", &format!("e{i}")))
+            .collect();
+        let b: Vec<bool> = (0..100)
+            .map(|i| m.knows_entity("countries", &format!("e{i}")))
+            .collect();
+        assert_eq!(a, b);
+        // and coverage is roughly the configured fraction
+        let frac = a.iter().filter(|x| **x).count() as f64 / 100.0;
+        assert!((frac - LlmFidelity::medium().enumeration_coverage).abs() < 0.2);
+    }
+
+    #[test]
+    fn corruption_changes_values_but_keeps_type() {
+        let m = model(LlmFidelity::weak());
+        let c = m.corrupt_value("t", "k", "c", &Value::Int(1_000_000), DataType::Int);
+        assert!(matches!(c, Value::Int(v) if v != 1_000_000));
+        let c = m.corrupt_value("t", "k", "c", &Value::Text("Paris".into()), DataType::Text);
+        assert!(matches!(c, Value::Text(ref s) if s != "Paris"));
+        let c = m.corrupt_value("t", "k", "c", &Value::Bool(true), DataType::Bool);
+        assert_eq!(c, Value::Bool(false));
+        let c = m.corrupt_value("t", "k", "c", &Value::Float(10.0), DataType::Float);
+        assert!(matches!(c, Value::Float(f) if (f - 10.0).abs() > 1e-9));
+    }
+
+    #[test]
+    fn fabrication_is_plausible_and_deterministic() {
+        let m = model(LlmFidelity::weak());
+        let a = m.fabricate_value("t", "k", "population", DataType::Int);
+        let b = m.fabricate_value("t", "k", "population", DataType::Int);
+        assert_eq!(a, b);
+        assert!(matches!(a, Value::Int(v) if v > 0));
+        let t = m.fabricate_value("t", "k2", "name", DataType::Text);
+        assert!(matches!(t, Value::Text(ref s) if !s.is_empty()));
+        let key = m.fabricate_entity_key("countries", 3);
+        assert!(matches!(key, Value::Text(ref s) if s.ends_with("ia")));
+    }
+
+    #[test]
+    fn different_seeds_give_different_worlds() {
+        let m1 = NoiseModel::new(LlmFidelity::medium(), 1);
+        let m2 = NoiseModel::new(LlmFidelity::medium(), 2);
+        let k1: Vec<bool> = (0..200).map(|i| m1.knows_entity("t", &format!("e{i}"))).collect();
+        let k2: Vec<bool> = (0..200).map(|i| m2.knows_entity("t", &format!("e{i}"))).collect();
+        assert_ne!(k1, k2);
+    }
+
+    #[test]
+    fn mangled_line_breaks_pipe_format() {
+        let m = model(LlmFidelity::weak());
+        let mangled = m.mangle_line("France | Paris");
+        assert!(!mangled.contains(" | "));
+        assert!(mangled.contains("France"));
+    }
+
+    #[test]
+    fn fabricated_entity_count_scales() {
+        let m = model(LlmFidelity::weak());
+        let small = m.fabricated_entity_count("t", 10);
+        let large = m.fabricated_entity_count("t", 1000);
+        assert!(large > small);
+        assert!(large < 1000);
+    }
+}

@@ -1,0 +1,297 @@
+//! Parsing model completions back into relational data.
+//!
+//! Completions are noisy: they may contain markdown bullets, stray
+//! commentary, a header row the model added anyway, rows with the wrong
+//! number of fields, or "I'm not sure" hedging. The parsers here are tolerant
+//! by design — a malformed line is dropped (and counted) rather than aborting
+//! the query, mirroring how the paper's prototype copes with free-form model
+//! output.
+
+use llmsql_types::{DataType, Row, Value};
+
+/// Outcome of parsing a completion into rows.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ParsedRows {
+    /// Successfully parsed rows.
+    pub rows: Vec<Row>,
+    /// Lines that could not be interpreted and were dropped.
+    pub dropped_lines: usize,
+}
+
+/// True for lines that are obviously not data (empty, commentary, separators).
+fn is_noise_line(line: &str) -> bool {
+    let t = line.trim();
+    if t.is_empty() {
+        return true;
+    }
+    let lower = t.to_ascii_lowercase();
+    // markdown table separators and code fences
+    if t.chars().all(|c| matches!(c, '-' | '|' | '+' | ' ' | '=' | ':')) {
+        return true;
+    }
+    if t.starts_with("```") {
+        return true;
+    }
+    // parenthetical asides such as "(no results)" or "(unknown)"
+    if t.starts_with('(') && t.ends_with(')') {
+        return true;
+    }
+    // common hedging / commentary starts
+    const CHATTER: [&str; 8] = [
+        "here are",
+        "here is",
+        "sure",
+        "note:",
+        "i am",
+        "i'm",
+        "as an ai",
+        "the following",
+    ];
+    CHATTER.iter().any(|p| lower.starts_with(p))
+}
+
+/// Strip leading enumeration markers such as `1. `, `2) `, `- `, `* `.
+fn strip_bullet(line: &str) -> &str {
+    let t = line.trim_start();
+    // "- " / "* "
+    if let Some(rest) = t.strip_prefix("- ").or_else(|| t.strip_prefix("* ")) {
+        return rest;
+    }
+    // "12. " / "12) "
+    let digits: usize = t.chars().take_while(|c| c.is_ascii_digit()).count();
+    if digits > 0 && digits <= 3 {
+        let rest = &t[digits..];
+        if let Some(r) = rest.strip_prefix(". ").or_else(|| rest.strip_prefix(") ")) {
+            return r;
+        }
+    }
+    t
+}
+
+/// Parse a completion that should contain one scalar value per line.
+pub fn parse_value_lines(text: &str, ty: DataType) -> ParsedRows {
+    let mut out = ParsedRows::default();
+    for line in text.lines() {
+        if is_noise_line(line) {
+            continue;
+        }
+        let cleaned = strip_bullet(line);
+        let value = Value::from_llm_text(cleaned, ty);
+        if value.is_null() && !cleaned.trim().is_empty() && ty != DataType::Text {
+            // Numeric parse failure on a non-empty line: count as dropped.
+            out.dropped_lines += 1;
+            continue;
+        }
+        if value.is_null() && cleaned.trim().is_empty() {
+            out.dropped_lines += 1;
+            continue;
+        }
+        out.rows.push(Row::new(vec![value]));
+    }
+    out
+}
+
+/// Parse a completion that should contain pipe-separated rows with the given
+/// column types. Rows with too few fields are padded with NULL; rows with too
+/// many are truncated; rows that do not contain the separator at all (when
+/// more than one column was requested) are dropped.
+pub fn parse_pipe_rows(text: &str, types: &[DataType]) -> ParsedRows {
+    let mut out = ParsedRows::default();
+    let arity = types.len().max(1);
+    let mut header_names: Option<Vec<String>> = None;
+
+    for line in text.lines() {
+        if is_noise_line(line) {
+            continue;
+        }
+        let cleaned = strip_bullet(line);
+        let raw_fields: Vec<&str> = cleaned.split('|').map(|f| f.trim()).collect();
+        if arity > 1 && raw_fields.len() == 1 {
+            out.dropped_lines += 1;
+            continue;
+        }
+        // Detect and skip a header row the model added anyway: all fields are
+        // non-numeric words and it is the first data line.
+        if header_names.is_none() && out.rows.is_empty() {
+            let nullish = |f: &str| {
+                matches!(
+                    f.to_ascii_lowercase().as_str(),
+                    "null" | "none" | "n/a" | "na" | "unknown" | "nil" | "-" | "?"
+                )
+            };
+            let looks_like_header = raw_fields.len() == arity
+                && raw_fields.iter().all(|f| !f.is_empty() && !nullish(f))
+                && raw_fields
+                    .iter()
+                    .zip(types)
+                    .any(|(f, ty)| ty.is_numeric() && f.parse::<f64>().is_err());
+            if looks_like_header {
+                header_names = Some(raw_fields.iter().map(|s| s.to_string()).collect());
+                continue;
+            }
+        }
+        let mut values = Vec::with_capacity(arity);
+        for i in 0..arity {
+            let ty = types.get(i).copied().unwrap_or(DataType::Text);
+            let field = raw_fields.get(i).copied().unwrap_or("");
+            values.push(Value::from_llm_text(field, ty));
+        }
+        let row = Row::new(values);
+        if row.all_null() {
+            out.dropped_lines += 1;
+            continue;
+        }
+        out.rows.push(row);
+    }
+    out
+}
+
+/// The three-valued answer of a yes/no prompt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum YesNoAnswer {
+    /// The model said yes.
+    Yes,
+    /// The model said no.
+    No,
+    /// The model hedged or answered something unusable.
+    Unknown,
+}
+
+/// Parse a yes/no completion.
+pub fn parse_yes_no(text: &str) -> YesNoAnswer {
+    let lower = text.trim().to_ascii_lowercase();
+    let first_word: String = lower
+        .chars()
+        .take_while(|c| c.is_ascii_alphabetic())
+        .collect();
+    match first_word.as_str() {
+        "yes" | "y" | "true" => YesNoAnswer::Yes,
+        "no" | "n" | "false" => YesNoAnswer::No,
+        "unknown" | "unsure" | "uncertain" | "maybe" => YesNoAnswer::Unknown,
+        _ => {
+            // Fall back to whole-word search so "unknown" does not match "no".
+            let words: Vec<String> = lower
+                .split(|c: char| !c.is_ascii_alphabetic())
+                .filter(|w| !w.is_empty())
+                .map(|w| w.to_string())
+                .collect();
+            let has_yes = words.iter().any(|w| w == "yes");
+            let has_no = words.iter().any(|w| w == "no" || w == "not");
+            match (has_yes, has_no) {
+                (true, false) => YesNoAnswer::Yes,
+                (false, true) => YesNoAnswer::No,
+                _ => YesNoAnswer::Unknown,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_lines_basic() {
+        let parsed = parse_value_lines("France\nGermany\nJapan\n", DataType::Text);
+        assert_eq!(parsed.rows.len(), 3);
+        assert_eq!(parsed.dropped_lines, 0);
+        assert_eq!(parsed.rows[0].get(0), &Value::Text("France".into()));
+    }
+
+    #[test]
+    fn value_lines_with_bullets_and_chatter() {
+        let text = "Here are the countries you asked for:\n1. France\n2. Germany\n- Japan\n";
+        let parsed = parse_value_lines(text, DataType::Text);
+        assert_eq!(parsed.rows.len(), 3);
+    }
+
+    #[test]
+    fn value_lines_numeric_garbage_dropped() {
+        let parsed = parse_value_lines("12\nabc\n15\n", DataType::Int);
+        assert_eq!(parsed.rows.len(), 2);
+        assert_eq!(parsed.dropped_lines, 1);
+    }
+
+    #[test]
+    fn pipe_rows_basic() {
+        let parsed = parse_pipe_rows(
+            "France | Paris | 68000000\nJapan | Tokyo | 125000000\n",
+            &[DataType::Text, DataType::Text, DataType::Int],
+        );
+        assert_eq!(parsed.rows.len(), 2);
+        assert_eq!(parsed.rows[1].get(2), &Value::Int(125000000));
+    }
+
+    #[test]
+    fn pipe_rows_pad_and_truncate() {
+        let parsed = parse_pipe_rows(
+            "France | Paris\nJapan | Tokyo | 125 | extra\n",
+            &[DataType::Text, DataType::Text, DataType::Int],
+        );
+        assert_eq!(parsed.rows.len(), 2);
+        assert!(parsed.rows[0].get(2).is_null());
+        assert_eq!(parsed.rows[1].arity(), 3);
+    }
+
+    #[test]
+    fn pipe_rows_skip_header_and_separator() {
+        let text = "name | capital | population\n--- | --- | ---\nFrance | Paris | 68000000\n";
+        let parsed = parse_pipe_rows(text, &[DataType::Text, DataType::Text, DataType::Int]);
+        assert_eq!(parsed.rows.len(), 1);
+        assert_eq!(parsed.rows[0].get(0), &Value::Text("France".into()));
+    }
+
+    #[test]
+    fn pipe_rows_drop_unsplittable_lines() {
+        let parsed = parse_pipe_rows(
+            "I could not find that information\nFrance | Paris\n",
+            &[DataType::Text, DataType::Text],
+        );
+        assert_eq!(parsed.rows.len(), 1);
+        assert_eq!(parsed.dropped_lines, 1);
+    }
+
+    #[test]
+    fn pipe_rows_single_column() {
+        let parsed = parse_pipe_rows("France\nGermany\n", &[DataType::Text]);
+        assert_eq!(parsed.rows.len(), 2);
+    }
+
+    #[test]
+    fn pipe_rows_null_fields() {
+        let parsed = parse_pipe_rows(
+            "Peru | NULL | unknown\n",
+            &[DataType::Text, DataType::Text, DataType::Int],
+        );
+        assert_eq!(parsed.rows.len(), 1);
+        assert!(parsed.rows[0].get(1).is_null());
+        assert!(parsed.rows[0].get(2).is_null());
+    }
+
+    #[test]
+    fn all_null_rows_dropped() {
+        let parsed = parse_pipe_rows("NULL | NULL\n", &[DataType::Text, DataType::Int]);
+        assert_eq!(parsed.rows.len(), 0);
+        assert_eq!(parsed.dropped_lines, 1);
+    }
+
+    #[test]
+    fn yes_no_parsing() {
+        assert_eq!(parse_yes_no("yes"), YesNoAnswer::Yes);
+        assert_eq!(parse_yes_no("Yes."), YesNoAnswer::Yes);
+        assert_eq!(parse_yes_no(" NO "), YesNoAnswer::No);
+        assert_eq!(parse_yes_no("unknown"), YesNoAnswer::Unknown);
+        assert_eq!(parse_yes_no("I believe the answer is yes"), YesNoAnswer::Yes);
+        assert_eq!(parse_yes_no("definitely not, no"), YesNoAnswer::No);
+        assert_eq!(parse_yes_no(""), YesNoAnswer::Unknown);
+    }
+
+    #[test]
+    fn code_fences_ignored() {
+        let parsed = parse_pipe_rows(
+            "```\nFrance | Paris\n```\n",
+            &[DataType::Text, DataType::Text],
+        );
+        assert_eq!(parsed.rows.len(), 1);
+    }
+}

@@ -1,0 +1,442 @@
+//! Prompt construction: turning relational requests into prompts.
+//!
+//! Every LLM-backed operator describes what it needs as a [`TaskSpec`]. The
+//! spec renders to a prompt with three sections:
+//!
+//! * `### TASK` — a compact, machine-readable header (key/value lines). The
+//!   simulator keys off this section; a real deployment benefits from it too
+//!   because it pins the expected output format.
+//! * `### CONTEXT` — the natural-language description of the virtual relation
+//!   and its attributes, taken from the `COMMENT`s of the schema.
+//! * `### INSTRUCTIONS` — the answer-format contract (one value per line,
+//!   pipe-separated rows, "yes"/"no", ...).
+//!
+//! [`parse_task`] recovers the spec from a prompt; `build → parse` round-trips
+//! (property-tested in `lib.rs`).
+
+use llmsql_types::{Error, Result, Schema};
+
+/// The kinds of requests the engine sends to the model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskSpec {
+    /// Enumerate entity keys of a virtual relation.
+    Enumerate {
+        /// Relation name.
+        table: String,
+        /// Optional SQL filter predicate (over the relation's columns).
+        filter: Option<String>,
+        /// Maximum number of keys to return.
+        limit: usize,
+        /// How many keys to skip (pagination).
+        offset: usize,
+    },
+    /// Return whole rows (selected columns) of a virtual relation.
+    RowBatch {
+        /// Relation name.
+        table: String,
+        /// Columns to return, in order.
+        columns: Vec<String>,
+        /// Optional SQL filter predicate.
+        filter: Option<String>,
+        /// Maximum number of rows to return.
+        limit: usize,
+        /// How many rows to skip (pagination).
+        offset: usize,
+    },
+    /// Return the requested attributes of a single entity.
+    Lookup {
+        /// Relation name.
+        table: String,
+        /// The entity key, rendered as text.
+        key: String,
+        /// Columns to return, in order.
+        columns: Vec<String>,
+    },
+    /// Ask whether one entity satisfies a predicate (yes/no).
+    FilterCheck {
+        /// Relation name.
+        table: String,
+        /// The entity key, rendered as text.
+        key: String,
+        /// SQL predicate to check.
+        condition: String,
+    },
+    /// Execute an entire SQL query in one shot.
+    FullQuery {
+        /// The SQL text.
+        sql: String,
+        /// The output column names the caller expects.
+        columns: Vec<String>,
+    },
+}
+
+impl TaskSpec {
+    /// The relation this task targets (`None` for full-query prompts).
+    pub fn table(&self) -> Option<&str> {
+        match self {
+            TaskSpec::Enumerate { table, .. }
+            | TaskSpec::RowBatch { table, .. }
+            | TaskSpec::Lookup { table, .. }
+            | TaskSpec::FilterCheck { table, .. } => Some(table),
+            TaskSpec::FullQuery { .. } => None,
+        }
+    }
+
+    /// Short label for metrics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TaskSpec::Enumerate { .. } => "enumerate",
+            TaskSpec::RowBatch { .. } => "row_batch",
+            TaskSpec::Lookup { .. } => "lookup",
+            TaskSpec::FilterCheck { .. } => "filter_check",
+            TaskSpec::FullQuery { .. } => "full_query",
+        }
+    }
+
+    /// Render the `### TASK` header.
+    fn header(&self) -> String {
+        let mut lines = vec!["### TASK".to_string(), format!("kind: {}", self.kind())];
+        match self {
+            TaskSpec::Enumerate {
+                table,
+                filter,
+                limit,
+                offset,
+            } => {
+                lines.push(format!("table: {table}"));
+                if let Some(f) = filter {
+                    lines.push(format!("filter: {f}"));
+                }
+                lines.push(format!("limit: {limit}"));
+                lines.push(format!("offset: {offset}"));
+            }
+            TaskSpec::RowBatch {
+                table,
+                columns,
+                filter,
+                limit,
+                offset,
+            } => {
+                lines.push(format!("table: {table}"));
+                lines.push(format!("columns: {}", columns.join(" | ")));
+                if let Some(f) = filter {
+                    lines.push(format!("filter: {f}"));
+                }
+                lines.push(format!("limit: {limit}"));
+                lines.push(format!("offset: {offset}"));
+            }
+            TaskSpec::Lookup {
+                table,
+                key,
+                columns,
+            } => {
+                lines.push(format!("table: {table}"));
+                lines.push(format!("key: {key}"));
+                lines.push(format!("columns: {}", columns.join(" | ")));
+            }
+            TaskSpec::FilterCheck {
+                table,
+                key,
+                condition,
+            } => {
+                lines.push(format!("table: {table}"));
+                lines.push(format!("key: {key}"));
+                lines.push(format!("condition: {condition}"));
+            }
+            TaskSpec::FullQuery { sql, columns } => {
+                lines.push(format!("sql: {sql}"));
+                lines.push(format!("columns: {}", columns.join(" | ")));
+            }
+        }
+        lines.join("\n")
+    }
+
+    /// Render the natural-language instruction section.
+    fn instructions(&self) -> String {
+        match self {
+            TaskSpec::Enumerate { limit, filter, offset, .. } => {
+                let mut s = format!(
+                    "You are acting as the storage layer of a relational database. \
+                     Using only your internal knowledge, list up to {limit} distinct entities \
+                     of the relation described above"
+                );
+                if filter.is_some() {
+                    s.push_str(" that satisfy the filter condition");
+                }
+                if *offset > 0 {
+                    s.push_str(&format!(", skipping the first {offset} entities you would otherwise list"));
+                }
+                s.push_str(
+                    ". Respond with exactly one entity identifier per line, no numbering, \
+                     no commentary. If you know fewer entities, list only those you know.",
+                );
+                s
+            }
+            TaskSpec::RowBatch { limit, filter, offset, columns, .. } => {
+                let mut s = format!(
+                    "You are acting as the storage layer of a relational database. \
+                     Produce up to {limit} rows of the relation described above, returning the \
+                     columns [{}] in that exact order",
+                    columns.join(", ")
+                );
+                if filter.is_some() {
+                    s.push_str(", including only rows that satisfy the filter condition");
+                }
+                if *offset > 0 {
+                    s.push_str(&format!(", skipping the first {offset} rows you would otherwise return"));
+                }
+                s.push_str(
+                    ". Respond with one row per line, column values separated by \" | \". \
+                     Write NULL for values you do not know. No header, no commentary.",
+                );
+                s
+            }
+            TaskSpec::Lookup { key, columns, .. } => format!(
+                "You are acting as the storage layer of a relational database. For the single \
+                 entity identified by \"{key}\", return the values of the columns [{}] in that \
+                 exact order on one line, separated by \" | \". Write NULL for values you do \
+                 not know. No commentary.",
+                columns.join(", ")
+            ),
+            TaskSpec::FilterCheck { key, condition, .. } => format!(
+                "Consider the entity identified by \"{key}\" in the relation described above. \
+                 Does it satisfy the condition `{condition}`? Answer with exactly one word: \
+                 \"yes\" or \"no\". If you are unsure, answer \"unknown\"."
+            ),
+            TaskSpec::FullQuery { sql, .. } => format!(
+                "You are acting as a complete SQL database engine whose data is your internal \
+                 world knowledge. Execute the following SQL query and return the result table:\n\
+                 {sql}\n\
+                 Respond with one result row per line, column values separated by \" | \", \
+                 in the column order of the SELECT list. Write NULL for unknown values. \
+                 No header, no commentary."
+            ),
+        }
+    }
+
+    /// Build the full prompt text for this task against the given schema.
+    pub fn to_prompt(&self, schema: Option<&Schema>) -> String {
+        let mut out = self.header();
+        out.push_str("\n### CONTEXT\n");
+        match schema {
+            Some(s) => out.push_str(&describe_schema(s)),
+            None => out.push_str("(no additional context)"),
+        }
+        out.push_str("\n### INSTRUCTIONS\n");
+        out.push_str(&self.instructions());
+        out
+    }
+}
+
+/// Natural-language description of a relation used in the CONTEXT section.
+pub fn describe_schema(schema: &Schema) -> String {
+    let mut s = format!(
+        "The relation '{}' describes {}.",
+        schema.name,
+        schema.prompt_phrase()
+    );
+    s.push_str(" Its columns are: ");
+    let cols: Vec<String> = schema
+        .columns
+        .iter()
+        .map(|c| {
+            let mut d = format!("{} ({}", c.name, c.data_type.to_string().to_lowercase());
+            if let Some(desc) = &c.description {
+                d.push_str(&format!(", {desc}"));
+            }
+            if c.primary_key {
+                d.push_str(", identifies the entity");
+            }
+            d.push(')');
+            d
+        })
+        .collect();
+    s.push_str(&cols.join("; "));
+    s.push('.');
+    s
+}
+
+/// Recover the [`TaskSpec`] from a prompt built by [`TaskSpec::to_prompt`].
+pub fn parse_task(prompt: &str) -> Result<TaskSpec> {
+    let task_section = prompt
+        .split("### ")
+        .find(|s| s.starts_with("TASK"))
+        .ok_or_else(|| Error::llm("prompt has no ### TASK section"))?;
+    let mut kind = None;
+    let mut fields: Vec<(String, String)> = Vec::new();
+    for line in task_section.lines().skip(1) {
+        let Some((k, v)) = line.split_once(':') else {
+            continue;
+        };
+        let k = k.trim().to_string();
+        let v = v.trim().to_string();
+        if k == "kind" {
+            kind = Some(v);
+        } else {
+            fields.push((k, v));
+        }
+    }
+    let kind = kind.ok_or_else(|| Error::llm("task header missing 'kind'"))?;
+    let get = |name: &str| -> Option<String> {
+        fields
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.clone())
+    };
+    let require = |name: &str| -> Result<String> {
+        get(name).ok_or_else(|| Error::llm(format!("task header missing '{name}'")))
+    };
+    let parse_usize = |name: &str, default: usize| -> usize {
+        get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let parse_columns = |v: String| -> Vec<String> {
+        v.split('|').map(|c| c.trim().to_string()).filter(|c| !c.is_empty()).collect()
+    };
+
+    let spec = match kind.as_str() {
+        "enumerate" => TaskSpec::Enumerate {
+            table: require("table")?,
+            filter: get("filter"),
+            limit: parse_usize("limit", 100),
+            offset: parse_usize("offset", 0),
+        },
+        "row_batch" => TaskSpec::RowBatch {
+            table: require("table")?,
+            columns: parse_columns(require("columns")?),
+            filter: get("filter"),
+            limit: parse_usize("limit", 100),
+            offset: parse_usize("offset", 0),
+        },
+        "lookup" => TaskSpec::Lookup {
+            table: require("table")?,
+            key: require("key")?,
+            columns: parse_columns(require("columns")?),
+        },
+        "filter_check" => TaskSpec::FilterCheck {
+            table: require("table")?,
+            key: require("key")?,
+            condition: require("condition")?,
+        },
+        "full_query" => TaskSpec::FullQuery {
+            sql: require("sql")?,
+            columns: get("columns").map(parse_columns).unwrap_or_default(),
+        },
+        other => return Err(Error::llm(format!("unknown task kind '{other}'"))),
+    };
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmsql_types::{Column, DataType};
+
+    fn schema() -> Schema {
+        Schema::virtual_table(
+            "countries",
+            vec![
+                Column::new("name", DataType::Text)
+                    .primary_key()
+                    .with_description("the common English name"),
+                Column::new("capital", DataType::Text),
+                Column::new("population", DataType::Int).with_description("population in 2023"),
+            ],
+        )
+        .with_description("sovereign countries of the world")
+    }
+
+    #[test]
+    fn describe_schema_mentions_columns_and_descriptions() {
+        let d = describe_schema(&schema());
+        assert!(d.contains("sovereign countries"));
+        assert!(d.contains("population in 2023"));
+        assert!(d.contains("identifies the entity"));
+    }
+
+    #[test]
+    fn prompt_has_three_sections() {
+        let spec = TaskSpec::RowBatch {
+            table: "countries".into(),
+            columns: vec!["name".into(), "population".into()],
+            filter: Some("population > 50000000".into()),
+            limit: 20,
+            offset: 0,
+        };
+        let p = spec.to_prompt(Some(&schema()));
+        assert!(p.contains("### TASK"));
+        assert!(p.contains("### CONTEXT"));
+        assert!(p.contains("### INSTRUCTIONS"));
+        assert!(p.contains("kind: row_batch"));
+        assert!(p.contains("filter: population > 50000000"));
+    }
+
+    #[test]
+    fn roundtrip_all_kinds() {
+        let specs = vec![
+            TaskSpec::Enumerate {
+                table: "countries".into(),
+                filter: None,
+                limit: 50,
+                offset: 10,
+            },
+            TaskSpec::Enumerate {
+                table: "countries".into(),
+                filter: Some("(population > 1000)".into()),
+                limit: 5,
+                offset: 0,
+            },
+            TaskSpec::RowBatch {
+                table: "countries".into(),
+                columns: vec!["name".into(), "capital".into()],
+                filter: Some("region = 'Europe'".into()),
+                limit: 20,
+                offset: 40,
+            },
+            TaskSpec::Lookup {
+                table: "countries".into(),
+                key: "France".into(),
+                columns: vec!["capital".into(), "population".into()],
+            },
+            TaskSpec::FilterCheck {
+                table: "countries".into(),
+                key: "Japan".into(),
+                condition: "population > 100000000".into(),
+            },
+            TaskSpec::FullQuery {
+                sql: "SELECT name FROM countries WHERE population > 5".into(),
+                columns: vec!["name".into()],
+            },
+        ];
+        for spec in specs {
+            let prompt = spec.to_prompt(Some(&schema()));
+            let parsed = parse_task(&prompt).unwrap();
+            assert_eq!(parsed, spec, "prompt was:\n{prompt}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_task("what is the capital of France?").is_err());
+        assert!(parse_task("### TASK\ntable: t").is_err());
+        assert!(parse_task("### TASK\nkind: teleport\ntable: t").is_err());
+        assert!(parse_task("### TASK\nkind: lookup\ntable: t").is_err()); // missing key
+    }
+
+    #[test]
+    fn task_accessors() {
+        let spec = TaskSpec::Lookup {
+            table: "t".into(),
+            key: "k".into(),
+            columns: vec!["a".into()],
+        };
+        assert_eq!(spec.table(), Some("t"));
+        assert_eq!(spec.kind(), "lookup");
+        let fq = TaskSpec::FullQuery {
+            sql: "SELECT 1".into(),
+            columns: vec![],
+        };
+        assert_eq!(fq.table(), None);
+    }
+}

@@ -1,0 +1,710 @@
+//! The rule-based optimizer.
+//!
+//! For an LLM-backed storage layer the optimizer's job is less about CPU time
+//! and more about **minimising model calls and tokens**:
+//!
+//! * **Predicate pushdown** moves filters into scans so that the condition is
+//!   rendered into the prompt — the model returns fewer rows, which means
+//!   fewer pages and fewer completion tokens.
+//! * **Projection pruning** narrows the set of columns a prompt asks for.
+//! * **Limit pushdown** caps how many rows a scan requests in the first place.
+//!
+//! Each rule can be disabled individually through [`OptimizerOptions`]; the
+//! ablation experiment (E9) measures the effect of each.
+
+use llmsql_sql::ast::JoinKind;
+
+use crate::expr::{conjoin, split_conjunction, BoundExpr};
+use crate::logical::LogicalPlan;
+
+/// Which rules run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptimizerOptions {
+    /// Push filters into scans (and through joins).
+    pub predicate_pushdown: bool,
+    /// Prune unused columns from LLM scans.
+    pub projection_pruning: bool,
+    /// Push LIMIT into scans when order-insensitive.
+    pub limit_pushdown: bool,
+}
+
+impl Default for OptimizerOptions {
+    fn default() -> Self {
+        OptimizerOptions {
+            predicate_pushdown: true,
+            projection_pruning: true,
+            limit_pushdown: true,
+        }
+    }
+}
+
+impl OptimizerOptions {
+    /// All rules disabled (the ablation baseline).
+    pub fn disabled() -> Self {
+        OptimizerOptions {
+            predicate_pushdown: false,
+            projection_pruning: false,
+            limit_pushdown: false,
+        }
+    }
+}
+
+/// Optimize a plan with the given options.
+pub fn optimize(plan: LogicalPlan, options: &OptimizerOptions) -> LogicalPlan {
+    let mut plan = plan;
+    if options.predicate_pushdown {
+        plan = push_filters(plan);
+    }
+    if options.limit_pushdown {
+        plan = push_limits(plan, None);
+    }
+    if options.projection_pruning {
+        let all: Vec<usize> = (0..plan.schema().len()).collect();
+        plan = prune_columns(plan, &all);
+    }
+    plan
+}
+
+// ---------------------------------------------------------------------------
+// Predicate pushdown
+// ---------------------------------------------------------------------------
+
+fn push_filters(plan: LogicalPlan) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Filter { input, predicate } => {
+            let input = push_filters(*input);
+            push_predicate_into(input, predicate)
+        }
+        other => map_children(other, push_filters),
+    }
+}
+
+/// Push a predicate as far down into `plan` as possible; whatever cannot be
+/// pushed remains as a Filter node on top.
+fn push_predicate_into(plan: LogicalPlan, predicate: BoundExpr) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Scan {
+            table,
+            alias,
+            table_schema,
+            schema,
+            pushed_filter,
+            prompt_columns,
+            virtual_table,
+            pushed_limit,
+        } => {
+            let combined = match pushed_filter {
+                Some(existing) => conjoin(&[existing, predicate]).expect("non-empty"),
+                None => predicate,
+            };
+            LogicalPlan::Scan {
+                table,
+                alias,
+                table_schema,
+                schema,
+                pushed_filter: Some(combined),
+                prompt_columns,
+                virtual_table,
+                pushed_limit,
+            }
+        }
+        LogicalPlan::Filter {
+            input,
+            predicate: inner,
+        } => {
+            // Merge consecutive filters and keep pushing.
+            let merged = conjoin(&[inner, predicate]).expect("non-empty");
+            push_predicate_into(*input, merged)
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+            schema,
+        } => {
+            let left_arity = left.schema().len();
+            let mut to_left: Vec<BoundExpr> = Vec::new();
+            let mut to_right: Vec<BoundExpr> = Vec::new();
+            let mut keep: Vec<BoundExpr> = Vec::new();
+            for conjunct in split_conjunction(&predicate) {
+                let refs = conjunct.referenced_indices();
+                let only_left = refs.iter().all(|&i| i < left_arity);
+                let only_right = refs.iter().all(|&i| i >= left_arity);
+                // Pushing below an outer join's preserved side changes
+                // semantics; only push into the side that cannot produce
+                // padded NULLs.
+                match (only_left, only_right, kind) {
+                    (true, _, JoinKind::Inner | JoinKind::Left | JoinKind::Cross) => {
+                        to_left.push(conjunct)
+                    }
+                    (_, true, JoinKind::Inner | JoinKind::Right | JoinKind::Cross) => {
+                        let remapped = conjunct
+                            .remap_columns(&|i| i.checked_sub(left_arity))
+                            .expect("all refs on the right side");
+                        to_right.push(remapped);
+                    }
+                    _ => keep.push(conjunct),
+                }
+            }
+            let new_left = match conjoin(&to_left) {
+                Some(p) => push_predicate_into(*left, p),
+                None => push_filters(*left),
+            };
+            let new_right = match conjoin(&to_right) {
+                Some(p) => push_predicate_into(*right, p),
+                None => push_filters(*right),
+            };
+            let join = LogicalPlan::Join {
+                left: Box::new(new_left),
+                right: Box::new(new_right),
+                kind,
+                on,
+                schema,
+            };
+            match conjoin(&keep) {
+                Some(p) => LogicalPlan::Filter {
+                    input: Box::new(join),
+                    predicate: p,
+                },
+                None => join,
+            }
+        }
+        // It is not worth rewriting predicates through projections or
+        // aggregates for this engine; keep the filter where it is.
+        other => LogicalPlan::Filter {
+            input: Box::new(map_children(other, push_filters)),
+            predicate,
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Limit pushdown
+// ---------------------------------------------------------------------------
+
+/// Push `LIMIT n` into a scan when no operator between the limit and the scan
+/// can change which rows are needed (filters, joins, aggregates, sorts and
+/// DISTINCT all block the push; projections do not).
+fn push_limits(plan: LogicalPlan, pending: Option<usize>) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => {
+            // The scan must produce offset + limit rows for the limit node to
+            // work with.
+            let pushed = limit.map(|l| l + offset);
+            LogicalPlan::Limit {
+                input: Box::new(push_limits(*input, pushed)),
+                limit,
+                offset,
+            }
+        }
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => LogicalPlan::Project {
+            input: Box::new(push_limits(*input, pending)),
+            exprs,
+            schema,
+        },
+        LogicalPlan::Scan {
+            table,
+            alias,
+            table_schema,
+            schema,
+            pushed_filter,
+            prompt_columns,
+            virtual_table,
+            pushed_limit,
+        } => {
+            // A scan with a pushed filter still benefits: the model applies
+            // the filter before returning rows, so the cap stays correct.
+            let new_limit = match (pending, pushed_limit) {
+                (Some(p), Some(existing)) => Some(existing.min(p)),
+                (Some(p), None) => Some(p),
+                (None, existing) => existing,
+            };
+            LogicalPlan::Scan {
+                table,
+                alias,
+                table_schema,
+                schema,
+                pushed_filter,
+                prompt_columns,
+                virtual_table,
+                pushed_limit: new_limit,
+            }
+        }
+        // Any other operator blocks the push (it may need to see all input
+        // rows), but keep descending to handle nested Limit nodes.
+        other => map_children(other, |c| push_limits(c, None)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Projection pruning
+// ---------------------------------------------------------------------------
+
+/// `required` lists the output-column indices of `plan` that the parent
+/// actually consumes. Scans remember the required base columns (plus their
+/// pushed filter's columns and the key column) as `prompt_columns`.
+fn prune_columns(plan: LogicalPlan, required: &[usize]) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Scan {
+            table,
+            alias,
+            table_schema,
+            schema,
+            pushed_filter,
+            prompt_columns: _,
+            virtual_table,
+            pushed_limit,
+        } => {
+            let mut needed: Vec<usize> = required.to_vec();
+            if let Some(f) = &pushed_filter {
+                needed.extend(f.referenced_indices());
+            }
+            // Always fetch the key column: LLM scans identify entities by it.
+            let key_idx = table_schema
+                .columns
+                .iter()
+                .position(|c| c.primary_key)
+                .unwrap_or(0);
+            needed.push(key_idx);
+            needed.sort_unstable();
+            needed.dedup();
+            needed.retain(|&i| i < table_schema.arity());
+            let prompt_columns = if needed.len() == table_schema.arity() {
+                None
+            } else {
+                Some(needed)
+            };
+            LogicalPlan::Scan {
+                table,
+                alias,
+                table_schema,
+                schema,
+                pushed_filter,
+                prompt_columns,
+                virtual_table,
+                pushed_limit,
+            }
+        }
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => {
+            let mut needed: Vec<usize> = Vec::new();
+            for e in &exprs {
+                needed.extend(e.referenced_indices());
+            }
+            needed.sort_unstable();
+            needed.dedup();
+            LogicalPlan::Project {
+                input: Box::new(prune_columns(*input, &needed)),
+                exprs,
+                schema,
+            }
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let mut needed: Vec<usize> = required.to_vec();
+            needed.extend(predicate.referenced_indices());
+            needed.sort_unstable();
+            needed.dedup();
+            LogicalPlan::Filter {
+                input: Box::new(prune_columns(*input, &needed)),
+                predicate,
+            }
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+            schema,
+        } => {
+            let left_arity = left.schema().len();
+            let mut needed: Vec<usize> = required.to_vec();
+            if let Some(on) = &on {
+                needed.extend(on.referenced_indices());
+            }
+            let left_req: Vec<usize> = needed.iter().copied().filter(|&i| i < left_arity).collect();
+            let right_req: Vec<usize> = needed
+                .iter()
+                .copied()
+                .filter(|&i| i >= left_arity)
+                .map(|i| i - left_arity)
+                .collect();
+            LogicalPlan::Join {
+                left: Box::new(prune_columns(*left, &left_req)),
+                right: Box::new(prune_columns(*right, &right_req)),
+                kind,
+                on,
+                schema,
+            }
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_exprs,
+            aggregates,
+            schema,
+        } => {
+            let mut needed: Vec<usize> = Vec::new();
+            for e in group_exprs.iter().chain(aggregates.iter()) {
+                needed.extend(e.referenced_indices());
+            }
+            needed.sort_unstable();
+            needed.dedup();
+            LogicalPlan::Aggregate {
+                input: Box::new(prune_columns(*input, &needed)),
+                group_exprs,
+                aggregates,
+                schema,
+            }
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let mut needed: Vec<usize> = required.to_vec();
+            for k in &keys {
+                needed.extend(k.expr.referenced_indices());
+            }
+            needed.sort_unstable();
+            needed.dedup();
+            LogicalPlan::Sort {
+                input: Box::new(prune_columns(*input, &needed)),
+                keys,
+            }
+        }
+        LogicalPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => LogicalPlan::Limit {
+            input: Box::new(prune_columns(*input, required)),
+            limit,
+            offset,
+        },
+        LogicalPlan::Distinct { input } => {
+            // DISTINCT compares whole rows: every input column is required.
+            let all: Vec<usize> = (0..input.schema().len()).collect();
+            LogicalPlan::Distinct {
+                input: Box::new(prune_columns(*input, &all)),
+            }
+        }
+        LogicalPlan::Values { schema, rows } => LogicalPlan::Values { schema, rows },
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Rebuild a node with each child transformed by `f`.
+fn map_children(plan: LogicalPlan, mut f: impl FnMut(LogicalPlan) -> LogicalPlan) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Scan { .. } | LogicalPlan::Values { .. } => plan,
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(f(*input)),
+            predicate,
+        },
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => LogicalPlan::Project {
+            input: Box::new(f(*input)),
+            exprs,
+            schema,
+        },
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+            schema,
+        } => {
+            let left = f(*left);
+            let right = f(*right);
+            LogicalPlan::Join {
+                left: Box::new(left),
+                right: Box::new(right),
+                kind,
+                on,
+                schema,
+            }
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_exprs,
+            aggregates,
+            schema,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(f(*input)),
+            group_exprs,
+            aggregates,
+            schema,
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(f(*input)),
+            keys,
+        },
+        LogicalPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => LogicalPlan::Limit {
+            input: Box::new(f(*input)),
+            limit,
+            offset,
+        },
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(f(*input)),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binder::bind_select;
+    use llmsql_sql::{parse_statement, Statement};
+    use llmsql_store::Catalog;
+    use llmsql_types::{Column, DataType, Schema};
+
+    fn catalog() -> Catalog {
+        let cat = Catalog::new();
+        for name in ["countries", "cities"] {
+            cat.create_virtual_table(Schema::new(
+                name,
+                vec![
+                    Column::new("name", DataType::Text).primary_key(),
+                    Column::new("country", DataType::Text),
+                    Column::new("region", DataType::Text),
+                    Column::new("population", DataType::Int),
+                ],
+            ))
+            .unwrap();
+        }
+        cat
+    }
+
+    fn plan(sql: &str, options: &OptimizerOptions) -> LogicalPlan {
+        let stmt = parse_statement(sql).unwrap();
+        let select = match stmt {
+            Statement::Select(s) => s,
+            _ => panic!(),
+        };
+        let bound = bind_select(&catalog(), &select).unwrap();
+        optimize(bound, options)
+    }
+
+    fn scan_of<'a>(p: &'a LogicalPlan, table: &str) -> &'a LogicalPlan {
+        let mut found = None;
+        fn walk<'a>(p: &'a LogicalPlan, table: &str, found: &mut Option<&'a LogicalPlan>) {
+            if let LogicalPlan::Scan { table: t, .. } = p {
+                if t == table {
+                    *found = Some(p);
+                }
+            }
+            for c in p.children() {
+                walk(c, table, found);
+            }
+        }
+        walk(p, table, &mut found);
+        found.expect("scan not found")
+    }
+
+    #[test]
+    fn filter_pushed_into_scan() {
+        let p = plan(
+            "SELECT name FROM countries WHERE population > 10 AND region = 'Europe'",
+            &OptimizerOptions::default(),
+        );
+        match scan_of(&p, "countries") {
+            LogicalPlan::Scan { pushed_filter, .. } => {
+                let f = pushed_filter.as_ref().unwrap().to_string();
+                assert!(f.contains("population"));
+                assert!(f.contains("Europe"));
+            }
+            _ => unreachable!(),
+        }
+        // No residual Filter node remains.
+        let mut filters = 0;
+        p.visit(&mut |n| {
+            if matches!(n, LogicalPlan::Filter { .. }) {
+                filters += 1;
+            }
+        });
+        assert_eq!(filters, 0);
+    }
+
+    #[test]
+    fn disabled_pushdown_keeps_filter_node() {
+        let p = plan(
+            "SELECT name FROM countries WHERE population > 10",
+            &OptimizerOptions::disabled(),
+        );
+        let mut filters = 0;
+        p.visit(&mut |n| {
+            if matches!(n, LogicalPlan::Filter { .. }) {
+                filters += 1;
+            }
+        });
+        assert_eq!(filters, 1);
+        match scan_of(&p, "countries") {
+            LogicalPlan::Scan {
+                pushed_filter,
+                prompt_columns,
+                pushed_limit,
+                ..
+            } => {
+                assert!(pushed_filter.is_none());
+                assert!(prompt_columns.is_none());
+                assert!(pushed_limit.is_none());
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn filter_split_across_join() {
+        let p = plan(
+            "SELECT c.name FROM countries c JOIN cities ci ON ci.country = c.name \
+             WHERE c.region = 'Europe' AND ci.population > 1000000",
+            &OptimizerOptions::default(),
+        );
+        match scan_of(&p, "countries") {
+            LogicalPlan::Scan { pushed_filter, .. } => {
+                assert!(pushed_filter.as_ref().unwrap().to_string().contains("region"));
+            }
+            _ => unreachable!(),
+        }
+        match scan_of(&p, "cities") {
+            LogicalPlan::Scan { pushed_filter, .. } => {
+                let f = pushed_filter.as_ref().unwrap();
+                assert!(f.to_string().contains("population"));
+                // indices were remapped to the right side's local schema
+                assert!(f.referenced_indices().iter().all(|&i| i < 4));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn left_join_blocks_pushdown_to_right() {
+        let p = plan(
+            "SELECT c.name FROM countries c LEFT JOIN cities ci ON ci.country = c.name \
+             WHERE ci.population > 10",
+            &OptimizerOptions::default(),
+        );
+        match scan_of(&p, "cities") {
+            LogicalPlan::Scan { pushed_filter, .. } => assert!(pushed_filter.is_none()),
+            _ => unreachable!(),
+        }
+        // the predicate stays as a Filter above the join
+        let mut filters = 0;
+        p.visit(&mut |n| {
+            if matches!(n, LogicalPlan::Filter { .. }) {
+                filters += 1;
+            }
+        });
+        assert_eq!(filters, 1);
+    }
+
+    #[test]
+    fn projection_pruning_sets_prompt_columns() {
+        let p = plan(
+            "SELECT name FROM countries WHERE population > 10",
+            &OptimizerOptions::default(),
+        );
+        match scan_of(&p, "countries") {
+            LogicalPlan::Scan {
+                prompt_columns,
+                table_schema,
+                ..
+            } => {
+                let cols = prompt_columns.as_ref().unwrap();
+                let names: Vec<&str> = cols
+                    .iter()
+                    .map(|&i| table_schema.columns[i].name.as_str())
+                    .collect();
+                assert!(names.contains(&"name"));
+                assert!(names.contains(&"population")); // needed by the filter
+                assert!(!names.contains(&"region"));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn select_star_keeps_all_columns() {
+        let p = plan("SELECT * FROM countries", &OptimizerOptions::default());
+        match scan_of(&p, "countries") {
+            LogicalPlan::Scan { prompt_columns, .. } => assert!(prompt_columns.is_none()),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn limit_pushdown_through_projection() {
+        let p = plan(
+            "SELECT name FROM countries LIMIT 7 OFFSET 3",
+            &OptimizerOptions::default(),
+        );
+        match scan_of(&p, "countries") {
+            LogicalPlan::Scan { pushed_limit, .. } => assert_eq!(*pushed_limit, Some(10)),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn sort_blocks_limit_pushdown() {
+        let p = plan(
+            "SELECT name FROM countries ORDER BY population DESC LIMIT 5",
+            &OptimizerOptions::default(),
+        );
+        match scan_of(&p, "countries") {
+            LogicalPlan::Scan { pushed_limit, .. } => assert_eq!(*pushed_limit, None),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn aggregate_prunes_to_needed_columns() {
+        let p = plan(
+            "SELECT region, COUNT(*) FROM countries GROUP BY region",
+            &OptimizerOptions::default(),
+        );
+        match scan_of(&p, "countries") {
+            LogicalPlan::Scan {
+                prompt_columns,
+                table_schema,
+                ..
+            } => {
+                let cols = prompt_columns.as_ref().unwrap();
+                let names: Vec<&str> = cols
+                    .iter()
+                    .map(|&i| table_schema.columns[i].name.as_str())
+                    .collect();
+                assert!(names.contains(&"region"));
+                assert!(!names.contains(&"population"));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn optimized_plan_keeps_schema() {
+        for sql in [
+            "SELECT name FROM countries WHERE population > 10 ORDER BY name LIMIT 3",
+            "SELECT c.region, COUNT(*) FROM countries c GROUP BY c.region",
+            "SELECT c.name, ci.name FROM countries c JOIN cities ci ON ci.country = c.name WHERE c.population > 5",
+        ] {
+            let unopt = plan(sql, &OptimizerOptions::disabled());
+            let opt = plan(sql, &OptimizerOptions::default());
+            assert_eq!(unopt.schema().names(), opt.schema().names(), "{sql}");
+        }
+    }
+}

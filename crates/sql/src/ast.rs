@@ -1,0 +1,701 @@
+//! The SQL abstract syntax tree.
+//!
+//! The AST is deliberately close to the surface syntax; name resolution and
+//! typing happen later in the binder (`llmsql-plan`). Display impls render the
+//! tree back to SQL, which the parser round-trips (property-tested).
+
+use std::fmt;
+
+use llmsql_types::{DataType, Value};
+
+/// A top-level SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `SELECT ...`
+    Select(Box<SelectStatement>),
+    /// `CREATE [VIRTUAL] TABLE ...`
+    CreateTable(CreateTableStatement),
+    /// `DROP TABLE [IF EXISTS] name`
+    DropTable {
+        /// Table to drop.
+        name: String,
+        /// Whether IF EXISTS was given.
+        if_exists: bool,
+    },
+    /// `INSERT INTO name [(cols)] VALUES (...), (...)`
+    Insert(InsertStatement),
+    /// `EXPLAIN <select>`
+    Explain(Box<Statement>),
+    /// `DESCRIBE table`
+    Describe {
+        /// Table to describe.
+        name: String,
+    },
+}
+
+/// A `SELECT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStatement {
+    /// Whether DISTINCT was specified.
+    pub distinct: bool,
+    /// The projection list.
+    pub projection: Vec<SelectItem>,
+    /// The FROM clause; empty means a single-row constant query.
+    pub from: Option<TableExpr>,
+    /// WHERE predicate.
+    pub selection: Option<Expr>,
+    /// GROUP BY expressions.
+    pub group_by: Vec<Expr>,
+    /// HAVING predicate.
+    pub having: Option<Expr>,
+    /// ORDER BY items.
+    pub order_by: Vec<OrderByItem>,
+    /// LIMIT row count.
+    pub limit: Option<u64>,
+    /// OFFSET row count.
+    pub offset: Option<u64>,
+}
+
+impl SelectStatement {
+    /// An empty SELECT used as a builder starting point.
+    pub fn empty() -> Self {
+        SelectStatement {
+            distinct: false,
+            projection: vec![],
+            from: None,
+            selection: None,
+            group_by: vec![],
+            having: None,
+            order_by: vec![],
+            limit: None,
+            offset: None,
+        }
+    }
+
+    /// True if the projection or HAVING contains an aggregate call, or a
+    /// GROUP BY clause is present.
+    pub fn is_aggregate(&self) -> bool {
+        !self.group_by.is_empty()
+            || self.projection.iter().any(|item| match item {
+                SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+                _ => false,
+            })
+            || self
+                .having
+                .as_ref()
+                .map(|h| h.contains_aggregate())
+                .unwrap_or(false)
+    }
+}
+
+/// One item of the SELECT projection list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `alias.*`
+    QualifiedWildcard(String),
+    /// An expression with an optional alias.
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// Optional `AS alias`.
+        alias: Option<String>,
+    },
+}
+
+/// A table expression in the FROM clause: a base table or a join tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableExpr {
+    /// A named table with an optional alias.
+    Table {
+        /// Table name.
+        name: String,
+        /// Optional alias.
+        alias: Option<String>,
+    },
+    /// A parenthesized sub-select with an alias.
+    Subquery {
+        /// The subquery.
+        query: Box<SelectStatement>,
+        /// Alias naming the derived table.
+        alias: String,
+    },
+    /// A join between two table expressions.
+    Join {
+        /// Left input.
+        left: Box<TableExpr>,
+        /// Right input.
+        right: Box<TableExpr>,
+        /// Join kind.
+        kind: JoinKind,
+        /// ON condition (None for CROSS joins).
+        on: Option<Expr>,
+    },
+}
+
+impl TableExpr {
+    /// The alias (or name) this table expression is known by, when it is a
+    /// simple relation.
+    pub fn binding_name(&self) -> Option<&str> {
+        match self {
+            TableExpr::Table { name, alias } => Some(alias.as_deref().unwrap_or(name)),
+            TableExpr::Subquery { alias, .. } => Some(alias),
+            TableExpr::Join { .. } => None,
+        }
+    }
+
+    /// Collect the base-table names referenced anywhere in this expression.
+    pub fn base_tables(&self) -> Vec<String> {
+        match self {
+            TableExpr::Table { name, .. } => vec![name.clone()],
+            TableExpr::Subquery { query, .. } => query
+                .from
+                .as_ref()
+                .map(|f| f.base_tables())
+                .unwrap_or_default(),
+            TableExpr::Join { left, right, .. } => {
+                let mut v = left.base_tables();
+                v.extend(right.base_tables());
+                v
+            }
+        }
+    }
+
+    /// Number of join operators in this tree.
+    pub fn join_count(&self) -> usize {
+        match self {
+            TableExpr::Join { left, right, .. } => 1 + left.join_count() + right.join_count(),
+            _ => 0,
+        }
+    }
+}
+
+/// Join kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinKind {
+    /// INNER JOIN.
+    Inner,
+    /// LEFT OUTER JOIN.
+    Left,
+    /// RIGHT OUTER JOIN.
+    Right,
+    /// CROSS JOIN.
+    Cross,
+}
+
+impl fmt::Display for JoinKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            JoinKind::Inner => "JOIN",
+            JoinKind::Left => "LEFT JOIN",
+            JoinKind::Right => "RIGHT JOIN",
+            JoinKind::Cross => "CROSS JOIN",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// An ORDER BY item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderByItem {
+    /// Sort expression.
+    pub expr: Expr,
+    /// Ascending (default) or descending.
+    pub ascending: bool,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum BinaryOp {
+    Plus,
+    Minus,
+    Multiply,
+    Divide,
+    Modulo,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    And,
+    Or,
+    Like,
+    Concat,
+}
+
+impl BinaryOp {
+    /// Whether this operator yields a boolean.
+    pub fn is_comparison(&self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq
+                | BinaryOp::NotEq
+                | BinaryOp::Lt
+                | BinaryOp::LtEq
+                | BinaryOp::Gt
+                | BinaryOp::GtEq
+                | BinaryOp::Like
+        )
+    }
+
+    /// Whether this operator is a logical connective.
+    pub fn is_logical(&self) -> bool {
+        matches!(self, BinaryOp::And | BinaryOp::Or)
+    }
+
+    /// SQL spelling.
+    pub fn sql(&self) -> &'static str {
+        match self {
+            BinaryOp::Plus => "+",
+            BinaryOp::Minus => "-",
+            BinaryOp::Multiply => "*",
+            BinaryOp::Divide => "/",
+            BinaryOp::Modulo => "%",
+            BinaryOp::Eq => "=",
+            BinaryOp::NotEq => "<>",
+            BinaryOp::Lt => "<",
+            BinaryOp::LtEq => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::GtEq => ">=",
+            BinaryOp::And => "AND",
+            BinaryOp::Or => "OR",
+            BinaryOp::Like => "LIKE",
+            BinaryOp::Concat => "||",
+        }
+    }
+}
+
+impl fmt::Display for BinaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.sql())
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum UnaryOp {
+    Not,
+    Neg,
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum AggregateFunc {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl AggregateFunc {
+    /// SQL spelling.
+    pub fn sql(&self) -> &'static str {
+        match self {
+            AggregateFunc::Count => "COUNT",
+            AggregateFunc::Sum => "SUM",
+            AggregateFunc::Avg => "AVG",
+            AggregateFunc::Min => "MIN",
+            AggregateFunc::Max => "MAX",
+        }
+    }
+
+    /// Parse from a (case-insensitive) name.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_ascii_uppercase().as_str() {
+            "COUNT" => Some(AggregateFunc::Count),
+            "SUM" => Some(AggregateFunc::Sum),
+            "AVG" => Some(AggregateFunc::Avg),
+            "MIN" => Some(AggregateFunc::Min),
+            "MAX" => Some(AggregateFunc::Max),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AggregateFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.sql())
+    }
+}
+
+/// A scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal value.
+    Literal(Value),
+    /// A column reference, optionally qualified: `t.col` or `col`.
+    Column {
+        /// Optional table qualifier.
+        qualifier: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// Binary operation.
+    Binary {
+        /// Left operand.
+        left: Box<Expr>,
+        /// Operator.
+        op: BinaryOp,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// `expr IS NULL` / `expr IS NOT NULL`.
+    IsNull {
+        /// Operand.
+        expr: Box<Expr>,
+        /// True for IS NOT NULL.
+        negated: bool,
+    },
+    /// `expr [NOT] IN (v1, v2, ...)`.
+    InList {
+        /// Operand.
+        expr: Box<Expr>,
+        /// List items.
+        list: Vec<Expr>,
+        /// True for NOT IN.
+        negated: bool,
+    },
+    /// `expr [NOT] BETWEEN low AND high`.
+    Between {
+        /// Operand.
+        expr: Box<Expr>,
+        /// Low bound.
+        low: Box<Expr>,
+        /// High bound.
+        high: Box<Expr>,
+        /// True for NOT BETWEEN.
+        negated: bool,
+    },
+    /// An aggregate function call.
+    Aggregate {
+        /// Which aggregate.
+        func: AggregateFunc,
+        /// Argument; `None` encodes `COUNT(*)`.
+        arg: Option<Box<Expr>>,
+        /// DISTINCT aggregates, e.g. COUNT(DISTINCT x).
+        distinct: bool,
+    },
+    /// `CAST(expr AS type)`.
+    Cast {
+        /// Operand.
+        expr: Box<Expr>,
+        /// Target type.
+        data_type: DataType,
+    },
+    /// `CASE WHEN cond THEN val [WHEN ...] [ELSE val] END`.
+    Case {
+        /// WHEN/THEN branches.
+        branches: Vec<(Expr, Expr)>,
+        /// ELSE expression.
+        else_expr: Option<Box<Expr>>,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for a column reference.
+    pub fn col(name: &str) -> Expr {
+        Expr::Column {
+            qualifier: None,
+            name: name.to_string(),
+        }
+    }
+
+    /// Convenience constructor for a qualified column reference.
+    pub fn qcol(qualifier: &str, name: &str) -> Expr {
+        Expr::Column {
+            qualifier: Some(qualifier.to_string()),
+            name: name.to_string(),
+        }
+    }
+
+    /// Convenience constructor for a literal.
+    pub fn lit(value: impl Into<Value>) -> Expr {
+        Expr::Literal(value.into())
+    }
+
+    /// Convenience constructor for a binary expression.
+    pub fn binary(left: Expr, op: BinaryOp, right: Expr) -> Expr {
+        Expr::Binary {
+            left: Box::new(left),
+            op,
+            right: Box::new(right),
+        }
+    }
+
+    /// `self AND other` (convenience).
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::binary(self, BinaryOp::And, other)
+    }
+
+    /// True if this expression (recursively) contains an aggregate call.
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::Aggregate { .. } => true,
+            Expr::Literal(_) | Expr::Column { .. } => false,
+            Expr::Binary { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } | Expr::Cast { expr, .. } => {
+                expr.contains_aggregate()
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.contains_aggregate() || list.iter().any(|e| e.contains_aggregate())
+            }
+            Expr::Between {
+                expr, low, high, ..
+            } => expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate(),
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
+                branches
+                    .iter()
+                    .any(|(c, v)| c.contains_aggregate() || v.contains_aggregate())
+                    || else_expr
+                        .as_ref()
+                        .map(|e| e.contains_aggregate())
+                        .unwrap_or(false)
+            }
+        }
+    }
+
+    /// Collect all column references in the expression.
+    pub fn referenced_columns(&self) -> Vec<(Option<String>, String)> {
+        let mut out = Vec::new();
+        self.visit_columns(&mut |qualifier, name| {
+            out.push((qualifier.map(|s| s.to_string()), name.to_string()));
+        });
+        out
+    }
+
+    /// Visit every column reference.
+    pub fn visit_columns<'a>(&'a self, f: &mut impl FnMut(Option<&'a str>, &'a str)) {
+        match self {
+            Expr::Column { qualifier, name } => f(qualifier.as_deref(), name),
+            Expr::Literal(_) => {}
+            Expr::Binary { left, right, .. } => {
+                left.visit_columns(f);
+                right.visit_columns(f);
+            }
+            Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } | Expr::Cast { expr, .. } => {
+                expr.visit_columns(f)
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.visit_columns(f);
+                for e in list {
+                    e.visit_columns(f);
+                }
+            }
+            Expr::Between {
+                expr, low, high, ..
+            } => {
+                expr.visit_columns(f);
+                low.visit_columns(f);
+                high.visit_columns(f);
+            }
+            Expr::Aggregate { arg, .. } => {
+                if let Some(a) = arg {
+                    a.visit_columns(f);
+                }
+            }
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
+                for (c, v) in branches {
+                    c.visit_columns(f);
+                    v.visit_columns(f);
+                }
+                if let Some(e) = else_expr {
+                    e.visit_columns(f);
+                }
+            }
+        }
+    }
+
+    /// A short name for this expression, used as the default output column
+    /// name when no alias is given.
+    pub fn default_name(&self) -> String {
+        match self {
+            Expr::Column { name, .. } => name.to_ascii_lowercase(),
+            Expr::Aggregate { func, arg, .. } => match arg {
+                Some(a) => format!("{}({})", func.sql().to_ascii_lowercase(), a.default_name()),
+                None => format!("{}(*)", func.sql().to_ascii_lowercase()),
+            },
+            Expr::Literal(v) => v.to_display_string(),
+            other => format!("{other}").to_ascii_lowercase(),
+        }
+    }
+}
+
+/// A column definition in CREATE TABLE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Data type.
+    pub data_type: DataType,
+    /// PRIMARY KEY constraint.
+    pub primary_key: bool,
+    /// NOT NULL constraint.
+    pub not_null: bool,
+    /// `COMMENT 'natural language description'`.
+    pub comment: Option<String>,
+}
+
+/// `CREATE [VIRTUAL] TABLE`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateTableStatement {
+    /// Table name.
+    pub name: String,
+    /// Whether the table is virtual (LLM-backed).
+    pub virtual_table: bool,
+    /// Whether IF NOT EXISTS semantics were requested.
+    pub if_not_exists: bool,
+    /// Column definitions.
+    pub columns: Vec<ColumnDef>,
+    /// Table-level `COMMENT 'entity description'`.
+    pub comment: Option<String>,
+}
+
+/// `INSERT INTO`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsertStatement {
+    /// Target table.
+    pub table: String,
+    /// Optional explicit column list.
+    pub columns: Vec<String>,
+    /// Rows of value expressions.
+    pub values: Vec<Vec<Expr>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_builders() {
+        let e = Expr::binary(Expr::col("a"), BinaryOp::Gt, Expr::lit(5i64));
+        assert!(matches!(e, Expr::Binary { .. }));
+        let conj = Expr::col("x").and(Expr::col("y"));
+        assert!(matches!(
+            conj,
+            Expr::Binary {
+                op: BinaryOp::And,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn aggregate_detection() {
+        let agg = Expr::Aggregate {
+            func: AggregateFunc::Sum,
+            arg: Some(Box::new(Expr::col("population"))),
+            distinct: false,
+        };
+        assert!(agg.contains_aggregate());
+        let nested = Expr::binary(agg, BinaryOp::Plus, Expr::lit(1i64));
+        assert!(nested.contains_aggregate());
+        assert!(!Expr::col("a").contains_aggregate());
+    }
+
+    #[test]
+    fn select_is_aggregate() {
+        let mut s = SelectStatement::empty();
+        assert!(!s.is_aggregate());
+        s.group_by.push(Expr::col("region"));
+        assert!(s.is_aggregate());
+
+        let mut s2 = SelectStatement::empty();
+        s2.projection.push(SelectItem::Expr {
+            expr: Expr::Aggregate {
+                func: AggregateFunc::Count,
+                arg: None,
+                distinct: false,
+            },
+            alias: None,
+        });
+        assert!(s2.is_aggregate());
+    }
+
+    #[test]
+    fn referenced_columns_collects_all() {
+        let e = Expr::binary(
+            Expr::qcol("t", "a"),
+            BinaryOp::And,
+            Expr::Between {
+                expr: Box::new(Expr::col("b")),
+                low: Box::new(Expr::lit(1i64)),
+                high: Box::new(Expr::col("c")),
+                negated: false,
+            },
+        );
+        let cols = e.referenced_columns();
+        assert_eq!(cols.len(), 3);
+        assert_eq!(cols[0], (Some("t".to_string()), "a".to_string()));
+        assert_eq!(cols[1], (None, "b".to_string()));
+    }
+
+    #[test]
+    fn table_expr_helpers() {
+        let join = TableExpr::Join {
+            left: Box::new(TableExpr::Table {
+                name: "a".into(),
+                alias: None,
+            }),
+            right: Box::new(TableExpr::Table {
+                name: "b".into(),
+                alias: Some("bb".into()),
+            }),
+            kind: JoinKind::Inner,
+            on: None,
+        };
+        assert_eq!(join.base_tables(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(join.join_count(), 1);
+        assert_eq!(join.binding_name(), None);
+        let t = TableExpr::Table {
+            name: "x".into(),
+            alias: Some("y".into()),
+        };
+        assert_eq!(t.binding_name(), Some("y"));
+    }
+
+    #[test]
+    fn default_names() {
+        assert_eq!(Expr::col("Pop").default_name(), "pop");
+        let agg = Expr::Aggregate {
+            func: AggregateFunc::Count,
+            arg: None,
+            distinct: false,
+        };
+        assert_eq!(agg.default_name(), "count(*)");
+    }
+
+    #[test]
+    fn aggregate_func_parse() {
+        assert_eq!(AggregateFunc::parse("sum"), Some(AggregateFunc::Sum));
+        assert_eq!(AggregateFunc::parse("median"), None);
+    }
+
+    #[test]
+    fn binary_op_properties() {
+        assert!(BinaryOp::Eq.is_comparison());
+        assert!(!BinaryOp::Plus.is_comparison());
+        assert!(BinaryOp::And.is_logical());
+        assert_eq!(BinaryOp::NotEq.sql(), "<>");
+    }
+}

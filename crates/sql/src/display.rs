@@ -1,0 +1,341 @@
+//! Rendering the AST back to SQL text.
+//!
+//! The printer produces canonical SQL that the parser accepts again; the
+//! round-trip property (`parse(print(ast)) == ast` modulo literal folding) is
+//! checked by property tests in `lib.rs`.
+
+use std::fmt;
+
+use llmsql_types::Value;
+
+use crate::ast::*;
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Select(s) => write!(f, "{s}"),
+            Statement::CreateTable(c) => write!(f, "{c}"),
+            Statement::DropTable { name, if_exists } => {
+                write!(f, "DROP TABLE ")?;
+                if *if_exists {
+                    write!(f, "IF EXISTS ")?;
+                }
+                write!(f, "{name}")
+            }
+            Statement::Insert(i) => write!(f, "{i}"),
+            Statement::Explain(inner) => write!(f, "EXPLAIN {inner}"),
+            Statement::Describe { name } => write!(f, "DESCRIBE {name}"),
+        }
+    }
+}
+
+impl fmt::Display for SelectStatement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        if self.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        for (i, item) in self.projection.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        if let Some(from) = &self.from {
+            write!(f, " FROM {from}")?;
+        }
+        if let Some(sel) = &self.selection {
+            write!(f, " WHERE {sel}")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY ")?;
+            for (i, e) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{e}")?;
+            }
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        if !self.order_by.is_empty() {
+            write!(f, " ORDER BY ")?;
+            for (i, o) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", o.expr)?;
+                if !o.ascending {
+                    write!(f, " DESC")?;
+                }
+            }
+        }
+        if let Some(l) = self.limit {
+            write!(f, " LIMIT {l}")?;
+        }
+        if let Some(o) = self.offset {
+            write!(f, " OFFSET {o}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Wildcard => write!(f, "*"),
+            SelectItem::QualifiedWildcard(q) => write!(f, "{q}.*"),
+            SelectItem::Expr { expr, alias } => {
+                write!(f, "{expr}")?;
+                if let Some(a) = alias {
+                    write!(f, " AS {a}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for TableExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableExpr::Table { name, alias } => {
+                write!(f, "{name}")?;
+                if let Some(a) = alias {
+                    write!(f, " AS {a}")?;
+                }
+                Ok(())
+            }
+            TableExpr::Subquery { query, alias } => write!(f, "({query}) AS {alias}"),
+            TableExpr::Join {
+                left,
+                right,
+                kind,
+                on,
+            } => {
+                write!(f, "{left} {kind} {right}")?;
+                if let Some(on) = on {
+                    write!(f, " ON {on}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Literal(v) => match v {
+                Value::Null => write!(f, "NULL"),
+                Value::Bool(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+                other => write!(f, "{other}"),
+            },
+            Expr::Column { qualifier, name } => match qualifier {
+                Some(q) => write!(f, "{q}.{name}"),
+                None => write!(f, "{name}"),
+            },
+            Expr::Binary { left, op, right } => {
+                write!(f, "({left} {op} {right})")
+            }
+            Expr::Unary { op, expr } => match op {
+                UnaryOp::Not => write!(f, "(NOT {expr})"),
+                UnaryOp::Neg => write!(f, "(-{expr})"),
+            },
+            Expr::IsNull { expr, negated } => {
+                if *negated {
+                    write!(f, "({expr} IS NOT NULL)")
+                } else {
+                    write!(f, "({expr} IS NULL)")
+                }
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                write!(f, "({expr} ")?;
+                if *negated {
+                    write!(f, "NOT ")?;
+                }
+                write!(f, "IN (")?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, "))")
+            }
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
+                write!(f, "({expr} ")?;
+                if *negated {
+                    write!(f, "NOT ")?;
+                }
+                write!(f, "BETWEEN {low} AND {high})")
+            }
+            Expr::Aggregate {
+                func,
+                arg,
+                distinct,
+            } => {
+                write!(f, "{func}(")?;
+                if *distinct {
+                    write!(f, "DISTINCT ")?;
+                }
+                match arg {
+                    Some(a) => write!(f, "{a}")?,
+                    None => write!(f, "*")?,
+                }
+                write!(f, ")")
+            }
+            Expr::Cast { expr, data_type } => write!(f, "CAST({expr} AS {data_type})"),
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
+                write!(f, "CASE")?;
+                for (cond, val) in branches {
+                    write!(f, " WHEN {cond} THEN {val}")?;
+                }
+                if let Some(e) = else_expr {
+                    write!(f, " ELSE {e}")?;
+                }
+                write!(f, " END")
+            }
+        }
+    }
+}
+
+impl fmt::Display for CreateTableStatement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CREATE ")?;
+        if self.virtual_table {
+            write!(f, "VIRTUAL ")?;
+        }
+        write!(f, "TABLE ")?;
+        if self.if_not_exists {
+            write!(f, "IF NOT EXISTS ")?;
+        }
+        write!(f, "{} (", self.name)?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", c.name, c.data_type)?;
+            if c.primary_key {
+                write!(f, " PRIMARY KEY")?;
+            } else if c.not_null {
+                write!(f, " NOT NULL")?;
+            }
+            if let Some(comment) = &c.comment {
+                write!(f, " COMMENT '{}'", comment.replace('\'', "''"))?;
+            }
+        }
+        write!(f, ")")?;
+        if let Some(comment) = &self.comment {
+            write!(f, " COMMENT '{}'", comment.replace('\'', "''"))?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for InsertStatement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "INSERT INTO {}", self.table)?;
+        if !self.columns.is_empty() {
+            write!(f, " ({})", self.columns.join(", "))?;
+        }
+        write!(f, " VALUES ")?;
+        for (i, row) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "(")?;
+            for (j, v) in row.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{v}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::{parse_expression, parse_statement};
+
+    fn roundtrip_stmt(sql: &str) {
+        let ast1 = parse_statement(sql).unwrap();
+        let printed = ast1.to_string();
+        let ast2 = parse_statement(&printed)
+            .unwrap_or_else(|e| panic!("re-parse of '{printed}' failed: {e}"));
+        assert_eq!(ast1, ast2, "printed form: {printed}");
+    }
+
+    #[test]
+    fn roundtrip_selects() {
+        for sql in [
+            "SELECT 1",
+            "SELECT * FROM countries",
+            "SELECT DISTINCT region FROM countries",
+            "SELECT name, population FROM countries WHERE population > 50000000 ORDER BY population DESC LIMIT 10",
+            "SELECT c.name, ci.name FROM countries AS c JOIN cities AS ci ON ci.country = c.name",
+            "SELECT region, COUNT(*) FROM countries GROUP BY region HAVING COUNT(*) > 2",
+            "SELECT name FROM countries WHERE region IN ('Europe', 'Asia') AND population BETWEEN 1 AND 2",
+            "SELECT name FROM countries WHERE capital IS NOT NULL",
+            "SELECT CAST(population AS FLOAT) FROM countries",
+            "SELECT CASE WHEN population > 100 THEN 'big' ELSE 'small' END FROM countries",
+            "SELECT a.* FROM t AS a",
+            "SELECT x FROM (SELECT a AS x FROM t) AS sub WHERE x > 1",
+            "SELECT * FROM a CROSS JOIN b",
+            "SELECT * FROM a LEFT JOIN b ON a.x = b.x",
+            "SELECT COUNT(DISTINCT name) FROM t",
+            "SELECT name FROM t WHERE name LIKE 'A%' OFFSET 3",
+        ] {
+            roundtrip_stmt(sql);
+        }
+    }
+
+    #[test]
+    fn roundtrip_ddl_dml() {
+        for sql in [
+            "CREATE TABLE t (a INTEGER PRIMARY KEY, b TEXT NOT NULL, c FLOAT)",
+            "CREATE VIRTUAL TABLE countries (name TEXT PRIMARY KEY COMMENT 'common name', population INTEGER) COMMENT 'countries of the world'",
+            "DROP TABLE IF EXISTS t",
+            "DROP TABLE t",
+            "INSERT INTO t (a, b) VALUES (1, 'x'), (2, NULL)",
+            "INSERT INTO t VALUES (1, TRUE, 2.5)",
+            "EXPLAIN SELECT * FROM t",
+            "DESCRIBE t",
+        ] {
+            roundtrip_stmt(sql);
+        }
+    }
+
+    #[test]
+    fn expr_display_parenthesizes() {
+        let e = parse_expression("a + b * c").unwrap();
+        assert_eq!(e.to_string(), "(a + (b * c))");
+        let e = parse_expression("NOT x AND y").unwrap();
+        assert_eq!(e.to_string(), "((NOT x) AND y)");
+        let e = parse_expression("price BETWEEN 1 AND 10").unwrap();
+        assert_eq!(e.to_string(), "(price BETWEEN 1 AND 10)");
+    }
+
+    #[test]
+    fn string_literals_escape() {
+        let e = parse_expression("name = 'it''s'").unwrap();
+        assert_eq!(e.to_string(), "(name = 'it''s')");
+        roundtrip_stmt("SELECT * FROM t WHERE name = 'it''s'");
+    }
+}

@@ -1,0 +1,270 @@
+//! The catalog: the collection of named tables (materialized and virtual).
+//!
+//! Virtual tables have a schema registered in the catalog but no stored rows;
+//! the executor materializes them through the language model. The catalog is
+//! shared between the planner, the executor and the oracle used by the
+//! accuracy evaluation, and is cheap to clone.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use llmsql_types::{Error, Result, Schema};
+
+use crate::table::Table;
+
+/// A catalog entry.
+#[derive(Clone)]
+pub enum CatalogEntry {
+    /// A materialized table with stored rows.
+    Materialized(Table),
+    /// A virtual, LLM-backed table: schema only.
+    Virtual(Schema),
+}
+
+impl CatalogEntry {
+    /// The schema of the entry.
+    pub fn schema(&self) -> Schema {
+        match self {
+            CatalogEntry::Materialized(t) => t.schema(),
+            CatalogEntry::Virtual(s) => s.clone(),
+        }
+    }
+
+    /// True for virtual (LLM-backed) tables.
+    pub fn is_virtual(&self) -> bool {
+        matches!(self, CatalogEntry::Virtual(_))
+    }
+
+    /// The underlying table, if materialized.
+    pub fn table(&self) -> Option<&Table> {
+        match self {
+            CatalogEntry::Materialized(t) => Some(t),
+            CatalogEntry::Virtual(_) => None,
+        }
+    }
+}
+
+/// The catalog; cheap to clone (shared interior).
+#[derive(Clone, Default)]
+pub struct Catalog {
+    entries: Arc<RwLock<BTreeMap<String, CatalogEntry>>>,
+}
+
+impl Catalog {
+    /// Create an empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register a materialized table; errors if the name exists.
+    pub fn create_table(&self, schema: Schema) -> Result<Table> {
+        schema.validate()?;
+        let name = schema.name.clone();
+        let mut entries = self.entries.write();
+        if entries.contains_key(&name) {
+            return Err(Error::schema(format!("table '{name}' already exists")));
+        }
+        let table = Table::new(schema)?;
+        entries.insert(name, CatalogEntry::Materialized(table.clone()));
+        Ok(table)
+    }
+
+    /// Register a virtual (LLM-backed) table; errors if the name exists.
+    pub fn create_virtual_table(&self, mut schema: Schema) -> Result<()> {
+        schema.virtual_table = true;
+        schema.validate()?;
+        let name = schema.name.clone();
+        let mut entries = self.entries.write();
+        if entries.contains_key(&name) {
+            return Err(Error::schema(format!("table '{name}' already exists")));
+        }
+        entries.insert(name, CatalogEntry::Virtual(schema));
+        Ok(())
+    }
+
+    /// Register an existing table object (used by workload generators that
+    /// build tables directly).
+    pub fn register_table(&self, table: Table) -> Result<()> {
+        let name = table.name();
+        let mut entries = self.entries.write();
+        if entries.contains_key(&name) {
+            return Err(Error::schema(format!("table '{name}' already exists")));
+        }
+        entries.insert(name, CatalogEntry::Materialized(table));
+        Ok(())
+    }
+
+    /// Drop a table by name. With `if_exists`, missing tables are not errors.
+    pub fn drop_table(&self, name: &str, if_exists: bool) -> Result<bool> {
+        let key = name.to_ascii_lowercase();
+        let removed = self.entries.write().remove(&key).is_some();
+        if !removed && !if_exists {
+            return Err(Error::schema(format!("table '{name}' does not exist")));
+        }
+        Ok(removed)
+    }
+
+    /// Look up an entry by name.
+    pub fn get(&self, name: &str) -> Result<CatalogEntry> {
+        let key = name.to_ascii_lowercase();
+        self.entries
+            .read()
+            .get(&key)
+            .cloned()
+            .ok_or_else(|| Error::schema(format!("table '{name}' does not exist")))
+    }
+
+    /// Look up a schema by name.
+    pub fn schema_of(&self, name: &str) -> Result<Schema> {
+        Ok(self.get(name)?.schema())
+    }
+
+    /// Look up a materialized table, erroring for virtual tables.
+    pub fn table(&self, name: &str) -> Result<Table> {
+        match self.get(name)? {
+            CatalogEntry::Materialized(t) => Ok(t),
+            CatalogEntry::Virtual(_) => Err(Error::schema(format!(
+                "table '{name}' is virtual and has no stored rows"
+            ))),
+        }
+    }
+
+    /// True if the name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries
+            .read()
+            .contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// All table names in sorted order.
+    pub fn table_names(&self) -> Vec<String> {
+        self.entries.read().keys().cloned().collect()
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// True if no tables are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+
+    /// Clone this catalog into a new, independent catalog where every table's
+    /// rows are deep-copied. Used to derive the "degraded" store for hybrid
+    /// experiments without touching the oracle.
+    pub fn deep_clone(&self) -> Result<Catalog> {
+        let out = Catalog::new();
+        for name in self.table_names() {
+            match self.get(&name)? {
+                CatalogEntry::Materialized(t) => {
+                    let copy = out.create_table(t.schema())?;
+                    copy.insert_many(t.scan())?;
+                }
+                CatalogEntry::Virtual(s) => out.create_virtual_table(s)?,
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmsql_types::{Column, DataType, Row, Value};
+
+    fn schema(name: &str) -> Schema {
+        Schema::new(
+            name,
+            vec![
+                Column::new("id", DataType::Int).primary_key(),
+                Column::new("x", DataType::Text),
+            ],
+        )
+    }
+
+    #[test]
+    fn create_and_get() {
+        let cat = Catalog::new();
+        cat.create_table(schema("t1")).unwrap();
+        cat.create_virtual_table(schema("v1")).unwrap();
+        assert!(cat.contains("t1"));
+        assert!(cat.contains("T1"));
+        assert!(cat.get("v1").unwrap().is_virtual());
+        assert!(!cat.get("t1").unwrap().is_virtual());
+        assert_eq!(cat.len(), 2);
+        assert_eq!(cat.table_names(), vec!["t1".to_string(), "v1".to_string()]);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let cat = Catalog::new();
+        cat.create_table(schema("t")).unwrap();
+        assert!(cat.create_table(schema("t")).is_err());
+        assert!(cat.create_virtual_table(schema("T")).is_err());
+    }
+
+    #[test]
+    fn virtual_table_has_no_rows() {
+        let cat = Catalog::new();
+        cat.create_virtual_table(schema("v")).unwrap();
+        assert!(cat.table("v").is_err());
+        assert!(cat.schema_of("v").unwrap().virtual_table);
+    }
+
+    #[test]
+    fn drop_table_semantics() {
+        let cat = Catalog::new();
+        cat.create_table(schema("t")).unwrap();
+        assert!(cat.drop_table("t", false).unwrap());
+        assert!(!cat.contains("t"));
+        assert!(cat.drop_table("t", false).is_err());
+        assert!(!cat.drop_table("t", true).unwrap());
+    }
+
+    #[test]
+    fn missing_table_error() {
+        let cat = Catalog::new();
+        assert!(cat.get("nope").is_err());
+        assert!(cat.schema_of("nope").is_err());
+    }
+
+    #[test]
+    fn register_existing_table() {
+        let cat = Catalog::new();
+        let t = Table::new(schema("ext")).unwrap();
+        t.insert(Row::new(vec![Value::Int(1), "a".into()])).unwrap();
+        cat.register_table(t).unwrap();
+        assert_eq!(cat.table("ext").unwrap().row_count(), 1);
+    }
+
+    #[test]
+    fn deep_clone_is_independent() {
+        let cat = Catalog::new();
+        let t = cat.create_table(schema("t")).unwrap();
+        t.insert(Row::new(vec![Value::Int(1), "a".into()])).unwrap();
+        cat.create_virtual_table(schema("v")).unwrap();
+
+        let copy = cat.deep_clone().unwrap();
+        assert_eq!(copy.table("t").unwrap().row_count(), 1);
+        // mutate the copy; original unaffected
+        copy.table("t")
+            .unwrap()
+            .insert(Row::new(vec![Value::Int(2), "b".into()]))
+            .unwrap();
+        assert_eq!(copy.table("t").unwrap().row_count(), 2);
+        assert_eq!(cat.table("t").unwrap().row_count(), 1);
+        assert!(copy.get("v").unwrap().is_virtual());
+    }
+
+    #[test]
+    fn shared_interior_between_clones() {
+        let cat = Catalog::new();
+        let cat2 = cat.clone();
+        cat.create_table(schema("t")).unwrap();
+        assert!(cat2.contains("t"));
+    }
+}

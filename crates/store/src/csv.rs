@@ -1,0 +1,278 @@
+//! Minimal CSV reading and writing for loading workloads and dumping results.
+//!
+//! Handles quoting with `"` (doubled quotes escape), embedded commas and
+//! newlines inside quoted fields. Only what the workloads need — not a general
+//! CSV library.
+
+use llmsql_types::{DataType, Error, Result, Row, Schema, Value};
+
+use crate::table::Table;
+
+/// Parse CSV text into rows of strings.
+pub fn parse_csv(text: &str) -> Result<Vec<Vec<String>>> {
+    let mut rows = Vec::new();
+    let mut field = String::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut in_quotes = false;
+    let mut chars = text.chars().peekable();
+
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        field.push('"');
+                        chars.next();
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                other => field.push(other),
+            }
+        } else {
+            match c {
+                '"' => {
+                    if field.is_empty() {
+                        in_quotes = true;
+                    } else {
+                        field.push('"');
+                    }
+                }
+                ',' => {
+                    record.push(std::mem::take(&mut field));
+                }
+                '\r' => {}
+                '\n' => {
+                    record.push(std::mem::take(&mut field));
+                    rows.push(std::mem::take(&mut record));
+                }
+                other => field.push(other),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(Error::storage("unterminated quoted CSV field"));
+    }
+    if !field.is_empty() || !record.is_empty() {
+        record.push(field);
+        rows.push(record);
+    }
+    Ok(rows)
+}
+
+/// Render rows of strings as CSV text.
+pub fn to_csv(rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                out.push('"');
+                out.push_str(&cell.replace('"', "\"\""));
+                out.push('"');
+            } else {
+                out.push_str(cell);
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Convert a CSV cell into a typed value; empty cells become NULL.
+fn cell_to_value(cell: &str, ty: DataType) -> Result<Value> {
+    let trimmed = cell.trim();
+    if trimmed.is_empty() || trimmed.eq_ignore_ascii_case("null") {
+        return Ok(Value::Null);
+    }
+    Value::Text(trimmed.to_string()).cast(ty)
+}
+
+/// Load CSV text (with a header row matching the schema's column order or
+/// names) into an existing table. Returns the number of rows loaded.
+pub fn load_csv_into(table: &Table, text: &str, has_header: bool) -> Result<usize> {
+    let schema = table.schema();
+    let parsed = parse_csv(text)?;
+    let mut iter = parsed.into_iter();
+
+    // Map CSV columns to schema columns.
+    let mapping: Vec<usize> = if has_header {
+        let header = iter
+            .next()
+            .ok_or_else(|| Error::storage("CSV is empty but a header was expected"))?;
+        header
+            .iter()
+            .map(|h| {
+                schema
+                    .index_of(h.trim())
+                    .ok_or_else(|| Error::storage(format!("CSV header '{h}' not in schema")))
+            })
+            .collect::<Result<Vec<_>>>()?
+    } else {
+        (0..schema.arity()).collect()
+    };
+
+    let mut rows = Vec::new();
+    for record in iter {
+        if record.iter().all(|c| c.trim().is_empty()) {
+            continue;
+        }
+        if record.len() != mapping.len() {
+            return Err(Error::storage(format!(
+                "CSV record has {} fields, expected {}",
+                record.len(),
+                mapping.len()
+            )));
+        }
+        let mut row = Row::empty();
+        row.resize(schema.arity());
+        for (cell, &target) in record.iter().zip(&mapping) {
+            let ty = schema.columns[target].data_type;
+            row.set(target, cell_to_value(cell, ty)?);
+        }
+        rows.push(row);
+    }
+    table.insert_many(rows)
+}
+
+/// Dump a table to CSV text with a header row.
+pub fn dump_csv(table: &Table) -> String {
+    let schema = table.schema();
+    let mut rows: Vec<Vec<String>> = vec![schema.column_names()];
+    table.for_each(|row| {
+        rows.push(
+            (0..schema.arity())
+                .map(|i| {
+                    let v = row.get(i);
+                    if v.is_null() {
+                        String::new()
+                    } else {
+                        v.to_display_string()
+                    }
+                })
+                .collect(),
+        );
+    });
+    to_csv(&rows)
+}
+
+/// Create a table from a schema and CSV text in one call.
+pub fn table_from_csv(schema: Schema, text: &str, has_header: bool) -> Result<Table> {
+    let table = Table::new(schema)?;
+    load_csv_into(&table, text, has_header)?;
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmsql_types::Column;
+
+    fn schema() -> Schema {
+        Schema::new(
+            "cities",
+            vec![
+                Column::new("name", DataType::Text).primary_key(),
+                Column::new("country", DataType::Text),
+                Column::new("population", DataType::Int),
+            ],
+        )
+    }
+
+    #[test]
+    fn parse_simple() {
+        let rows = parse_csv("a,b,c\n1,2,3\n").unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1], vec!["1", "2", "3"]);
+    }
+
+    #[test]
+    fn parse_quoted_fields() {
+        let rows = parse_csv("name,desc\n\"Paris, France\",\"say \"\"hi\"\"\"\n").unwrap();
+        assert_eq!(rows[1][0], "Paris, France");
+        assert_eq!(rows[1][1], "say \"hi\"");
+    }
+
+    #[test]
+    fn parse_multiline_quoted() {
+        let rows = parse_csv("a\n\"line1\nline2\"\n").unwrap();
+        assert_eq!(rows[1][0], "line1\nline2");
+    }
+
+    #[test]
+    fn parse_no_trailing_newline() {
+        let rows = parse_csv("a,b\n1,2").unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1], vec!["1", "2"]);
+    }
+
+    #[test]
+    fn unterminated_quote_errors() {
+        assert!(parse_csv("\"oops").is_err());
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let rows = vec![
+            vec!["name".to_string(), "note".to_string()],
+            vec!["Paris, France".to_string(), "has \"quotes\"".to_string()],
+            vec!["Berlin".to_string(), String::new()],
+        ];
+        let text = to_csv(&rows);
+        let back = parse_csv(&text).unwrap();
+        assert_eq!(back, rows);
+    }
+
+    #[test]
+    fn load_with_header_reordered() {
+        let t = Table::new(schema()).unwrap();
+        let n = load_csv_into(
+            &t,
+            "population,name,country\n2148000,Paris,France\n3645000,Berlin,Germany\n",
+            true,
+        )
+        .unwrap();
+        assert_eq!(n, 2);
+        let rows = t.lookup(0, &Value::Text("Paris".into()));
+        assert_eq!(rows[0].get(2), &Value::Int(2148000));
+        assert_eq!(rows[0].get(1), &Value::Text("France".into()));
+    }
+
+    #[test]
+    fn load_without_header() {
+        let t = Table::new(schema()).unwrap();
+        load_csv_into(&t, "Paris,France,2148000\n", false).unwrap();
+        assert_eq!(t.row_count(), 1);
+    }
+
+    #[test]
+    fn empty_cells_become_null() {
+        let t = Table::new(schema()).unwrap();
+        load_csv_into(&t, "name,country,population\nParis,,\n", true).unwrap();
+        let row = &t.scan()[0];
+        assert!(row.get(1).is_null());
+        assert!(row.get(2).is_null());
+    }
+
+    #[test]
+    fn bad_header_and_bad_arity_error() {
+        let t = Table::new(schema()).unwrap();
+        assert!(load_csv_into(&t, "nope\nx\n", true).is_err());
+        assert!(load_csv_into(&t, "name,country,population\nonlyone\n", true).is_err());
+    }
+
+    #[test]
+    fn dump_includes_header_and_nulls() {
+        let t = table_from_csv(schema(), "name,country,population\nParis,France,100\nOslo,,\n", true)
+            .unwrap();
+        let text = dump_csv(&t);
+        assert!(text.starts_with("name,country,population\n"));
+        assert!(text.contains("Paris,France,100"));
+        assert!(text.contains("Oslo,,"));
+        // roundtrip through a fresh table
+        let t2 = table_from_csv(schema(), &text, true).unwrap();
+        assert_eq!(t2.row_count(), 2);
+    }
+}

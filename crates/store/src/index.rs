@@ -1,0 +1,153 @@
+//! Secondary indexes: hash (point lookups) and B-tree (range lookups).
+
+use std::collections::{BTreeMap, HashMap};
+
+use llmsql_types::Value;
+
+/// A secondary index mapping column values to row ids.
+#[derive(Debug, Clone)]
+pub enum Index {
+    /// Hash index for equality lookups.
+    Hash(HashIndex),
+    /// B-tree index for equality and range lookups.
+    BTree(BTreeIndex),
+}
+
+impl Index {
+    /// Insert a (value, row id) pair.
+    pub fn insert(&mut self, value: Value, row_id: usize) {
+        match self {
+            Index::Hash(h) => h.insert(value, row_id),
+            Index::BTree(b) => b.insert(value, row_id),
+        }
+    }
+
+    /// Row ids with exactly this value.
+    pub fn get(&self, value: &Value) -> Vec<usize> {
+        match self {
+            Index::Hash(h) => h.get(value),
+            Index::BTree(b) => b.get(value),
+        }
+    }
+
+    /// Number of distinct keys.
+    pub fn key_count(&self) -> usize {
+        match self {
+            Index::Hash(h) => h.map.len(),
+            Index::BTree(b) => b.map.len(),
+        }
+    }
+}
+
+/// Hash index.
+#[derive(Debug, Clone, Default)]
+pub struct HashIndex {
+    map: HashMap<Value, Vec<usize>>,
+}
+
+impl HashIndex {
+    /// Create an empty index.
+    pub fn new() -> Self {
+        HashIndex::default()
+    }
+
+    /// Insert a (value, row id) pair.
+    pub fn insert(&mut self, value: Value, row_id: usize) {
+        self.map.entry(value).or_default().push(row_id);
+    }
+
+    /// Row ids with exactly this value.
+    pub fn get(&self, value: &Value) -> Vec<usize> {
+        self.map.get(value).cloned().unwrap_or_default()
+    }
+}
+
+/// B-tree index (ordered by [`Value::total_cmp`] via `Ord`).
+#[derive(Debug, Clone, Default)]
+pub struct BTreeIndex {
+    map: BTreeMap<Value, Vec<usize>>,
+}
+
+impl BTreeIndex {
+    /// Create an empty index.
+    pub fn new() -> Self {
+        BTreeIndex::default()
+    }
+
+    /// Insert a (value, row id) pair.
+    pub fn insert(&mut self, value: Value, row_id: usize) {
+        self.map.entry(value).or_default().push(row_id);
+    }
+
+    /// Row ids with exactly this value.
+    pub fn get(&self, value: &Value) -> Vec<usize> {
+        self.map.get(value).cloned().unwrap_or_default()
+    }
+
+    /// Row ids whose value lies in `[low, high]` (inclusive, optional bounds).
+    /// NULL keys are never returned by range queries.
+    pub fn range(&self, low: Option<&Value>, high: Option<&Value>) -> Vec<usize> {
+        use std::ops::Bound;
+        let lower = match low {
+            Some(v) => Bound::Included(v.clone()),
+            None => Bound::Unbounded,
+        };
+        let upper = match high {
+            Some(v) => Bound::Included(v.clone()),
+            None => Bound::Unbounded,
+        };
+        self.map
+            .range((lower, upper))
+            .filter(|(k, _)| !k.is_null())
+            .flat_map(|(_, ids)| ids.iter().copied())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_index_point_lookup() {
+        let mut idx = HashIndex::new();
+        idx.insert(Value::Int(1), 0);
+        idx.insert(Value::Int(2), 1);
+        idx.insert(Value::Int(1), 2);
+        assert_eq!(idx.get(&Value::Int(1)), vec![0, 2]);
+        assert_eq!(idx.get(&Value::Int(3)), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn hash_index_int_float_equivalence() {
+        let mut idx = HashIndex::new();
+        idx.insert(Value::Int(5), 7);
+        assert_eq!(idx.get(&Value::Float(5.0)), vec![7]);
+    }
+
+    #[test]
+    fn btree_range() {
+        let mut idx = BTreeIndex::new();
+        for (i, v) in [10, 20, 30, 40].iter().enumerate() {
+            idx.insert(Value::Int(*v), i);
+        }
+        idx.insert(Value::Null, 99);
+        assert_eq!(idx.range(Some(&Value::Int(15)), Some(&Value::Int(35))), vec![1, 2]);
+        assert_eq!(idx.range(None, Some(&Value::Int(10))), vec![0]);
+        assert_eq!(idx.range(Some(&Value::Int(45)), None), Vec::<usize>::new());
+        // unbounded both sides returns everything except NULL
+        assert_eq!(idx.range(None, None).len(), 4);
+    }
+
+    #[test]
+    fn enum_dispatch() {
+        let mut idx = Index::BTree(BTreeIndex::new());
+        idx.insert(Value::Text("a".into()), 1);
+        idx.insert(Value::Text("b".into()), 2);
+        assert_eq!(idx.get(&Value::Text("b".into())), vec![2]);
+        assert_eq!(idx.key_count(), 2);
+        let mut h = Index::Hash(HashIndex::new());
+        h.insert(Value::Int(1), 0);
+        assert_eq!(h.key_count(), 1);
+    }
+}

@@ -1,0 +1,565 @@
+//! In-memory row-oriented tables.
+//!
+//! The store is the traditional-DBMS baseline of the reproduction and also
+//! the *ground-truth oracle* the accuracy experiments compare LLM answers
+//! against. It is deliberately simple: a `Vec<Row>` guarded by a `RwLock`,
+//! with optional hash / B-tree indexes maintained on mutation.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use llmsql_types::{DataType, Error, Result, Row, Schema, Value};
+
+use crate::index::{BTreeIndex, HashIndex, Index};
+
+/// A handle to a table; cheap to clone.
+#[derive(Clone)]
+pub struct Table {
+    inner: Arc<RwLock<TableInner>>,
+}
+
+struct TableInner {
+    schema: Schema,
+    rows: Vec<Row>,
+    /// Secondary indexes keyed by column index.
+    indexes: BTreeMap<usize, Index>,
+    /// Monotonically increasing version, bumped on every mutation; used by
+    /// readers that want to detect concurrent changes.
+    version: u64,
+}
+
+impl Table {
+    /// Create an empty table for the given schema.
+    pub fn new(schema: Schema) -> Result<Self> {
+        schema.validate()?;
+        let mut inner = TableInner {
+            schema,
+            rows: Vec::new(),
+            indexes: BTreeMap::new(),
+            version: 0,
+        };
+        // Primary-key columns automatically get a hash index for uniqueness
+        // checks and point lookups.
+        for idx in inner.schema.primary_key_indices() {
+            inner.indexes.insert(idx, Index::Hash(HashIndex::new()));
+        }
+        Ok(Table {
+            inner: Arc::new(RwLock::new(inner)),
+        })
+    }
+
+    /// The table schema (cloned).
+    pub fn schema(&self) -> Schema {
+        self.inner.read().schema.clone()
+    }
+
+    /// The table name.
+    pub fn name(&self) -> String {
+        self.inner.read().schema.name.clone()
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.inner.read().rows.len()
+    }
+
+    /// Current mutation version.
+    pub fn version(&self) -> u64 {
+        self.inner.read().version
+    }
+
+    /// Validate and coerce a row against the schema: arity check, type
+    /// coercion, NOT NULL enforcement.
+    fn coerce_row(schema: &Schema, row: Row) -> Result<Row> {
+        if row.arity() != schema.arity() {
+            return Err(Error::storage(format!(
+                "table '{}' expects {} values, got {}",
+                schema.name,
+                schema.arity(),
+                row.arity()
+            )));
+        }
+        let mut out = Vec::with_capacity(row.arity());
+        for (value, col) in row.into_values().into_iter().zip(&schema.columns) {
+            let v = if value.is_null() {
+                if !col.nullable {
+                    return Err(Error::storage(format!(
+                        "column '{}' of table '{}' is NOT NULL",
+                        col.name, schema.name
+                    )));
+                }
+                Value::Null
+            } else {
+                value.cast(col.data_type).map_err(|e| {
+                    Error::storage(format!(
+                        "value for column '{}' of table '{}': {}",
+                        col.name, schema.name, e.message
+                    ))
+                })?
+            };
+            out.push(v);
+        }
+        Ok(Row::new(out))
+    }
+
+    /// Insert a single row. Enforces primary-key uniqueness.
+    pub fn insert(&self, row: Row) -> Result<()> {
+        self.insert_many(vec![row]).map(|_| ())
+    }
+
+    /// Insert many rows; returns the number inserted. The batch is validated
+    /// first so either all rows are inserted or none.
+    pub fn insert_many(&self, rows: Vec<Row>) -> Result<usize> {
+        let mut inner = self.inner.write();
+        let schema = inner.schema.clone();
+        let pk = schema.primary_key_indices();
+
+        let mut coerced = Vec::with_capacity(rows.len());
+        for row in rows {
+            let row = Self::coerce_row(&schema, row)?;
+            if !pk.is_empty() {
+                let key: Vec<Value> = pk.iter().map(|&i| row.get(i).clone()).collect();
+                if key.iter().any(|v| v.is_null()) {
+                    return Err(Error::storage(format!(
+                        "primary key of table '{}' must not be NULL",
+                        schema.name
+                    )));
+                }
+                let exists = inner
+                    .rows
+                    .iter()
+                    .chain(coerced.iter())
+                    .any(|r: &Row| pk.iter().enumerate().all(|(k, &i)| r.get(i) == &key[k]));
+                if exists {
+                    return Err(Error::storage(format!(
+                        "duplicate primary key {:?} in table '{}'",
+                        key.iter().map(|v| v.to_display_string()).collect::<Vec<_>>(),
+                        schema.name
+                    )));
+                }
+            }
+            coerced.push(row);
+        }
+
+        let base = inner.rows.len();
+        for (offset, row) in coerced.iter().enumerate() {
+            let row_id = base + offset;
+            let indexed: Vec<usize> = inner.indexes.keys().copied().collect();
+            for col in indexed {
+                let value = row.get(col).clone();
+                if let Some(index) = inner.indexes.get_mut(&col) {
+                    index.insert(value, row_id);
+                }
+            }
+        }
+        let n = coerced.len();
+        inner.rows.extend(coerced);
+        inner.version += 1;
+        Ok(n)
+    }
+
+    /// Full scan: clone out all rows.
+    pub fn scan(&self) -> Vec<Row> {
+        self.inner.read().rows.clone()
+    }
+
+    /// Scan with a filter applied while the read lock is held.
+    pub fn scan_filtered(&self, mut pred: impl FnMut(&Row) -> bool) -> Vec<Row> {
+        self.inner
+            .read()
+            .rows
+            .iter()
+            .filter(|r| pred(r))
+            .cloned()
+            .collect()
+    }
+
+    /// Iterate rows without cloning the whole table; the callback runs under
+    /// the read lock.
+    pub fn for_each(&self, mut f: impl FnMut(&Row)) {
+        for row in &self.inner.read().rows {
+            f(row);
+        }
+    }
+
+    /// Point lookup through an index if one exists on the column, otherwise a
+    /// scan.
+    pub fn lookup(&self, column: usize, value: &Value) -> Vec<Row> {
+        let inner = self.inner.read();
+        if let Some(index) = inner.indexes.get(&column) {
+            index
+                .get(value)
+                .into_iter()
+                .filter_map(|row_id| inner.rows.get(row_id).cloned())
+                .collect()
+        } else {
+            inner
+                .rows
+                .iter()
+                .filter(|r| r.get(column) == value)
+                .cloned()
+                .collect()
+        }
+    }
+
+    /// Range lookup `[low, high]` (inclusive bounds, either optional) on a
+    /// column; uses a B-tree index when available.
+    pub fn range_lookup(
+        &self,
+        column: usize,
+        low: Option<&Value>,
+        high: Option<&Value>,
+    ) -> Vec<Row> {
+        let inner = self.inner.read();
+        if let Some(Index::BTree(btree)) = inner.indexes.get(&column) {
+            return btree
+                .range(low, high)
+                .into_iter()
+                .filter_map(|row_id| inner.rows.get(row_id).cloned())
+                .collect();
+        }
+        inner
+            .rows
+            .iter()
+            .filter(|r| {
+                let v = r.get(column);
+                if v.is_null() {
+                    return false;
+                }
+                let ge = low.map(|l| v.total_cmp(l) != std::cmp::Ordering::Less).unwrap_or(true);
+                let le = high
+                    .map(|h| v.total_cmp(h) != std::cmp::Ordering::Greater)
+                    .unwrap_or(true);
+                ge && le
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// Build a secondary index on a column.
+    pub fn create_index(&self, column_name: &str, btree: bool) -> Result<()> {
+        let mut inner = self.inner.write();
+        let col = inner
+            .schema
+            .index_of(column_name)
+            .ok_or_else(|| Error::schema(format!("no column '{column_name}'")))?;
+        let mut index = if btree {
+            Index::BTree(BTreeIndex::new())
+        } else {
+            Index::Hash(HashIndex::new())
+        };
+        for (row_id, row) in inner.rows.iter().enumerate() {
+            index.insert(row.get(col).clone(), row_id);
+        }
+        inner.indexes.insert(col, index);
+        Ok(())
+    }
+
+    /// True if the column has an index.
+    pub fn has_index(&self, column: usize) -> bool {
+        self.inner.read().indexes.contains_key(&column)
+    }
+
+    /// Update rows matching `pred`, applying `f`; returns the number updated.
+    /// Indexes are rebuilt afterwards.
+    pub fn update_where(
+        &self,
+        pred: impl Fn(&Row) -> bool,
+        f: impl Fn(&mut Row),
+    ) -> Result<usize> {
+        let mut inner = self.inner.write();
+        let schema = inner.schema.clone();
+        let mut updated = 0;
+        let mut new_rows = Vec::with_capacity(inner.rows.len());
+        for row in inner.rows.iter() {
+            if pred(row) {
+                let mut r = row.clone();
+                f(&mut r);
+                let r = Self::coerce_row(&schema, r)?;
+                new_rows.push(r);
+                updated += 1;
+            } else {
+                new_rows.push(row.clone());
+            }
+        }
+        inner.rows = new_rows;
+        inner.version += 1;
+        Self::rebuild_indexes(&mut inner);
+        Ok(updated)
+    }
+
+    /// Delete rows matching `pred`; returns the number deleted.
+    pub fn delete_where(&self, pred: impl Fn(&Row) -> bool) -> usize {
+        let mut inner = self.inner.write();
+        let before = inner.rows.len();
+        inner.rows.retain(|r| !pred(r));
+        let deleted = before - inner.rows.len();
+        if deleted > 0 {
+            inner.version += 1;
+            Self::rebuild_indexes(&mut inner);
+        }
+        deleted
+    }
+
+    /// Remove all rows.
+    pub fn truncate(&self) {
+        let mut inner = self.inner.write();
+        inner.rows.clear();
+        inner.version += 1;
+        Self::rebuild_indexes(&mut inner);
+    }
+
+    fn rebuild_indexes(inner: &mut TableInner) {
+        let cols: Vec<usize> = inner.indexes.keys().copied().collect();
+        for col in cols {
+            let is_btree = matches!(inner.indexes.get(&col), Some(Index::BTree(_)));
+            let mut index = if is_btree {
+                Index::BTree(BTreeIndex::new())
+            } else {
+                Index::Hash(HashIndex::new())
+            };
+            for (row_id, row) in inner.rows.iter().enumerate() {
+                index.insert(row.get(col).clone(), row_id);
+            }
+            inner.indexes.insert(col, index);
+        }
+    }
+
+    /// Simple per-column statistics used by the planner's cost model.
+    pub fn column_stats(&self, column: usize) -> ColumnStats {
+        let inner = self.inner.read();
+        let mut stats = ColumnStats::default();
+        let mut distinct = std::collections::HashSet::new();
+        for row in &inner.rows {
+            let v = row.get(column);
+            stats.row_count += 1;
+            if v.is_null() {
+                stats.null_count += 1;
+                continue;
+            }
+            distinct.insert(v.clone());
+            if let Some(f) = v.as_f64() {
+                stats.min = Some(stats.min.map_or(f, |m: f64| m.min(f)));
+                stats.max = Some(stats.max.map_or(f, |m: f64| m.max(f)));
+            }
+        }
+        stats.distinct_count = distinct.len();
+        stats
+    }
+}
+
+/// Per-column statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ColumnStats {
+    /// Total rows.
+    pub row_count: usize,
+    /// Rows where the column is NULL.
+    pub null_count: usize,
+    /// Number of distinct non-NULL values.
+    pub distinct_count: usize,
+    /// Minimum numeric value, if the column is numeric.
+    pub min: Option<f64>,
+    /// Maximum numeric value, if the column is numeric.
+    pub max: Option<f64>,
+}
+
+/// Build a schema + table pair in one call (test/workload convenience).
+pub fn table_with_rows(schema: Schema, rows: Vec<Vec<Value>>) -> Result<Table> {
+    let table = Table::new(schema)?;
+    table.insert_many(rows.into_iter().map(Row::new).collect())?;
+    Ok(table)
+}
+
+/// Convenience: build a simple schema from `(name, type)` pairs, first column
+/// is the primary key.
+pub fn simple_schema(table: &str, cols: &[(&str, DataType)]) -> Schema {
+    let columns = cols
+        .iter()
+        .enumerate()
+        .map(|(i, (name, ty))| {
+            let c = llmsql_types::Column::new(*name, *ty);
+            if i == 0 {
+                c.primary_key()
+            } else {
+                c
+            }
+        })
+        .collect();
+    Schema::new(table, columns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmsql_types::Column;
+
+    fn people_schema() -> Schema {
+        Schema::new(
+            "people",
+            vec![
+                Column::new("name", DataType::Text).primary_key(),
+                Column::new("age", DataType::Int),
+                Column::new("city", DataType::Text),
+            ],
+        )
+    }
+
+    fn sample_table() -> Table {
+        table_with_rows(
+            people_schema(),
+            vec![
+                vec!["alice".into(), 30i64.into(), "paris".into()],
+                vec!["bob".into(), 25i64.into(), "london".into()],
+                vec!["carol".into(), 35i64.into(), "paris".into()],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn insert_and_scan() {
+        let t = sample_table();
+        assert_eq!(t.row_count(), 3);
+        assert_eq!(t.scan().len(), 3);
+        assert_eq!(t.name(), "people");
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let t = Table::new(people_schema()).unwrap();
+        assert!(t.insert(Row::new(vec!["x".into()])).is_err());
+    }
+
+    #[test]
+    fn type_coercion_on_insert() {
+        let t = Table::new(people_schema()).unwrap();
+        t.insert(Row::new(vec!["dave".into(), "40".into(), Value::Null]))
+            .unwrap();
+        assert_eq!(t.scan()[0].get(1), &Value::Int(40));
+    }
+
+    #[test]
+    fn not_null_enforced() {
+        let t = Table::new(people_schema()).unwrap();
+        let err = t
+            .insert(Row::new(vec![Value::Null, 1i64.into(), Value::Null]))
+            .unwrap_err();
+        assert!(err.message.contains("NULL") || err.message.contains("primary key"));
+    }
+
+    #[test]
+    fn duplicate_primary_key_rejected() {
+        let t = sample_table();
+        let err = t
+            .insert(Row::new(vec!["alice".into(), 99i64.into(), Value::Null]))
+            .unwrap_err();
+        assert!(err.message.contains("duplicate"));
+        // failed insert does not change the table
+        assert_eq!(t.row_count(), 3);
+    }
+
+    #[test]
+    fn batch_insert_is_atomic() {
+        let t = sample_table();
+        let res = t.insert_many(vec![
+            Row::new(vec!["dave".into(), 1i64.into(), Value::Null]),
+            Row::new(vec!["alice".into(), 2i64.into(), Value::Null]), // dup
+        ]);
+        assert!(res.is_err());
+        assert_eq!(t.row_count(), 3);
+    }
+
+    #[test]
+    fn point_lookup_uses_pk_index() {
+        let t = sample_table();
+        assert!(t.has_index(0));
+        let rows = t.lookup(0, &Value::Text("bob".into()));
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get(1), &Value::Int(25));
+        // non-indexed column falls back to scan
+        let rows = t.lookup(2, &Value::Text("paris".into()));
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn range_lookup_with_and_without_index() {
+        let t = sample_table();
+        let rows = t.range_lookup(1, Some(&Value::Int(26)), None);
+        assert_eq!(rows.len(), 2);
+        t.create_index("age", true).unwrap();
+        let rows = t.range_lookup(1, Some(&Value::Int(26)), Some(&Value::Int(31)));
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get(0), &Value::Text("alice".into()));
+    }
+
+    #[test]
+    fn update_and_delete() {
+        let t = sample_table();
+        let n = t
+            .update_where(
+                |r| r.get(2) == &Value::Text("paris".into()),
+                |r| r.set(2, "berlin".into()),
+            )
+            .unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(t.lookup(2, &Value::Text("berlin".into())).len(), 2);
+
+        let deleted = t.delete_where(|r| r.get(1) == &Value::Int(25));
+        assert_eq!(deleted, 1);
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.delete_where(|_| false), 0);
+    }
+
+    #[test]
+    fn truncate_and_version() {
+        let t = sample_table();
+        let v0 = t.version();
+        t.truncate();
+        assert_eq!(t.row_count(), 0);
+        assert!(t.version() > v0);
+    }
+
+    #[test]
+    fn pk_index_survives_mutation() {
+        let t = sample_table();
+        t.delete_where(|r| r.get(0) == &Value::Text("alice".into()));
+        // index rebuilt: lookup of remaining key still works
+        let rows = t.lookup(0, &Value::Text("carol".into()));
+        assert_eq!(rows.len(), 1);
+        let rows = t.lookup(0, &Value::Text("alice".into()));
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn column_stats() {
+        let t = sample_table();
+        let s = t.column_stats(1);
+        assert_eq!(s.row_count, 3);
+        assert_eq!(s.null_count, 0);
+        assert_eq!(s.distinct_count, 3);
+        assert_eq!(s.min, Some(25.0));
+        assert_eq!(s.max, Some(35.0));
+        let s2 = t.column_stats(2);
+        assert_eq!(s2.distinct_count, 2);
+        assert_eq!(s2.min, None);
+    }
+
+    #[test]
+    fn simple_schema_builder() {
+        let s = simple_schema("t", &[("id", DataType::Int), ("x", DataType::Float)]);
+        assert!(s.columns[0].primary_key);
+        assert!(!s.columns[1].primary_key);
+    }
+
+    #[test]
+    fn scan_filtered_and_for_each() {
+        let t = sample_table();
+        let rows = t.scan_filtered(|r| r.get(1).as_int().unwrap_or(0) > 26);
+        assert_eq!(rows.len(), 2);
+        let mut count = 0;
+        t.for_each(|_| count += 1);
+        assert_eq!(count, 3);
+    }
+}

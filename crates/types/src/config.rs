@@ -1,0 +1,432 @@
+//! Engine-wide configuration: execution modes, prompting strategies, and the
+//! fidelity model of the simulated language model.
+
+use std::fmt;
+
+use crate::error::{Error, Result};
+
+/// How queries are executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExecutionMode {
+    /// Classic execution against the relational store only.
+    Traditional,
+    /// Every base relation is virtual; all data comes from the language model.
+    #[default]
+    LlmOnly,
+    /// Base relations live in the store but may have gaps (NULLs / missing
+    /// rows) that the language model fills at query time.
+    Hybrid,
+}
+
+impl ExecutionMode {
+    /// All modes, for sweeps.
+    pub const ALL: [ExecutionMode; 3] = [
+        ExecutionMode::Traditional,
+        ExecutionMode::LlmOnly,
+        ExecutionMode::Hybrid,
+    ];
+
+    /// Parse from a user-facing name.
+    pub fn parse(s: &str) -> Result<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "traditional" | "store" | "baseline" => Ok(ExecutionMode::Traditional),
+            "llm" | "llm_only" | "llm-only" | "llmonly" => Ok(ExecutionMode::LlmOnly),
+            "hybrid" => Ok(ExecutionMode::Hybrid),
+            other => Err(Error::config(format!("unknown execution mode '{other}'"))),
+        }
+    }
+}
+
+impl fmt::Display for ExecutionMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ExecutionMode::Traditional => "traditional",
+            ExecutionMode::LlmOnly => "llm-only",
+            ExecutionMode::Hybrid => "hybrid",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// How the engine turns relational requests into prompts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PromptStrategy {
+    /// The whole SQL statement is sent as a single prompt and the completion
+    /// is parsed as the final result table. Cheapest, least reliable.
+    FullQuery,
+    /// Rows are requested in pages of `batch_size` per prompt; predicates and
+    /// projections are pushed into the prompt. The paper-style default.
+    #[default]
+    BatchedRows,
+    /// The engine first enumerates entity keys, then issues one prompt per
+    /// tuple (or per attribute). Most calls, highest precision.
+    TupleAtATime,
+    /// The plan runs operator-at-a-time: scans, filters and joins each map to
+    /// dedicated prompts over intermediate results.
+    DecomposedOperators,
+}
+
+impl PromptStrategy {
+    /// All strategies, for sweeps.
+    pub const ALL: [PromptStrategy; 4] = [
+        PromptStrategy::FullQuery,
+        PromptStrategy::BatchedRows,
+        PromptStrategy::TupleAtATime,
+        PromptStrategy::DecomposedOperators,
+    ];
+
+    /// Short label used in experiment tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PromptStrategy::FullQuery => "full-query",
+            PromptStrategy::BatchedRows => "batched-rows",
+            PromptStrategy::TupleAtATime => "tuple-at-a-time",
+            PromptStrategy::DecomposedOperators => "decomposed-ops",
+        }
+    }
+
+    /// Parse from a user-facing name.
+    pub fn parse(s: &str) -> Result<Self> {
+        match s.to_ascii_lowercase().replace('_', "-").as_str() {
+            "full-query" | "fullquery" | "full" => Ok(PromptStrategy::FullQuery),
+            "batched-rows" | "batched" | "batch" => Ok(PromptStrategy::BatchedRows),
+            "tuple-at-a-time" | "tuple" => Ok(PromptStrategy::TupleAtATime),
+            "decomposed-ops" | "decomposed" | "operators" => {
+                Ok(PromptStrategy::DecomposedOperators)
+            }
+            other => Err(Error::config(format!("unknown prompt strategy '{other}'"))),
+        }
+    }
+}
+
+impl fmt::Display for PromptStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// The fidelity model of the simulated language model: what fraction of facts
+/// it recalls, how often it fabricates, and how noisy its formatting is.
+///
+/// These knobs stand in for "model quality" (GPT-3.5 vs GPT-4 vs a small open
+/// model) in the paper's evaluation and let the experiments sweep model
+/// quality reproducibly and offline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LlmFidelity {
+    /// Probability that a fact present in the world is recalled correctly.
+    pub recall: f64,
+    /// Probability that a requested-but-unknown (or dropped) fact is replaced
+    /// by a fabricated, plausible-looking value instead of being omitted.
+    pub hallucination: f64,
+    /// Probability that a recalled value is corrupted (off-by-some numeric
+    /// error, misspelling, stale value).
+    pub value_noise: f64,
+    /// Probability that a structured response line violates the requested
+    /// format (and may be dropped by the parser).
+    pub format_noise: f64,
+    /// Fraction of the entity population the model can enumerate when asked to
+    /// list entities (coverage of the "long tail").
+    pub enumeration_coverage: f64,
+}
+
+impl LlmFidelity {
+    /// A perfect oracle: recalls everything, never fabricates. Useful for
+    /// differential testing (LlmOnly at `perfect()` must match Traditional).
+    pub fn perfect() -> Self {
+        LlmFidelity {
+            recall: 1.0,
+            hallucination: 0.0,
+            value_noise: 0.0,
+            format_noise: 0.0,
+            enumeration_coverage: 1.0,
+        }
+    }
+
+    /// Default fidelity approximating a strong commercial model on
+    /// head-entity factual queries.
+    pub fn strong() -> Self {
+        LlmFidelity {
+            recall: 0.92,
+            hallucination: 0.05,
+            value_noise: 0.06,
+            format_noise: 0.03,
+            enumeration_coverage: 0.90,
+        }
+    }
+
+    /// Fidelity approximating a mid-size open model.
+    pub fn medium() -> Self {
+        LlmFidelity {
+            recall: 0.78,
+            hallucination: 0.12,
+            value_noise: 0.15,
+            format_noise: 0.08,
+            enumeration_coverage: 0.72,
+        }
+    }
+
+    /// Fidelity approximating a small local model.
+    pub fn weak() -> Self {
+        LlmFidelity {
+            recall: 0.55,
+            hallucination: 0.25,
+            value_noise: 0.28,
+            format_noise: 0.18,
+            enumeration_coverage: 0.50,
+        }
+    }
+
+    /// Linear interpolation between [`weak`](Self::weak) (q = 0) and
+    /// [`perfect`](Self::perfect) (q = 1); used for model-quality sweeps.
+    pub fn from_quality(q: f64) -> Self {
+        let q = q.clamp(0.0, 1.0);
+        let lerp = |lo: f64, hi: f64| lo + (hi - lo) * q;
+        let weak = Self::weak();
+        let perfect = Self::perfect();
+        LlmFidelity {
+            recall: lerp(weak.recall, perfect.recall),
+            hallucination: lerp(weak.hallucination, perfect.hallucination),
+            value_noise: lerp(weak.value_noise, perfect.value_noise),
+            format_noise: lerp(weak.format_noise, perfect.format_noise),
+            enumeration_coverage: lerp(weak.enumeration_coverage, perfect.enumeration_coverage),
+        }
+    }
+
+    /// Validate that every probability lies in [0, 1].
+    pub fn validate(&self) -> Result<()> {
+        for (name, v) in [
+            ("recall", self.recall),
+            ("hallucination", self.hallucination),
+            ("value_noise", self.value_noise),
+            ("format_noise", self.format_noise),
+            ("enumeration_coverage", self.enumeration_coverage),
+        ] {
+            if !(0.0..=1.0).contains(&v) || v.is_nan() {
+                return Err(Error::config(format!(
+                    "fidelity parameter '{name}' must be in [0,1], got {v}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for LlmFidelity {
+    fn default() -> Self {
+        LlmFidelity::strong()
+    }
+}
+
+/// Pricing and latency model of the (simulated) model endpoint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LlmCostModel {
+    /// Dollars per 1000 prompt tokens.
+    pub usd_per_1k_prompt_tokens: f64,
+    /// Dollars per 1000 completion tokens.
+    pub usd_per_1k_completion_tokens: f64,
+    /// Fixed per-request latency in milliseconds (network + queuing).
+    pub request_latency_ms: f64,
+    /// Additional latency per generated completion token, in milliseconds.
+    pub per_token_latency_ms: f64,
+}
+
+impl Default for LlmCostModel {
+    fn default() -> Self {
+        // Ballpark of 2023-era commercial pricing; the absolute numbers only
+        // matter for relative comparisons between strategies.
+        LlmCostModel {
+            usd_per_1k_prompt_tokens: 0.003,
+            usd_per_1k_completion_tokens: 0.006,
+            request_latency_ms: 350.0,
+            per_token_latency_ms: 25.0,
+        }
+    }
+}
+
+impl LlmCostModel {
+    /// Cost in dollars of a single request.
+    pub fn request_cost_usd(&self, prompt_tokens: usize, completion_tokens: usize) -> f64 {
+        prompt_tokens as f64 / 1000.0 * self.usd_per_1k_prompt_tokens
+            + completion_tokens as f64 / 1000.0 * self.usd_per_1k_completion_tokens
+    }
+
+    /// Simulated latency in milliseconds of a single request.
+    pub fn request_latency_ms(&self, completion_tokens: usize) -> f64 {
+        self.request_latency_ms + completion_tokens as f64 * self.per_token_latency_ms
+    }
+}
+
+/// Top-level engine configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// Execution mode.
+    pub mode: ExecutionMode,
+    /// Prompting strategy for LLM-backed operators.
+    pub strategy: PromptStrategy,
+    /// Fidelity of the simulated model.
+    pub fidelity: LlmFidelity,
+    /// Cost/latency model of the endpoint.
+    pub cost_model: LlmCostModel,
+    /// Page size for [`PromptStrategy::BatchedRows`].
+    pub batch_size: usize,
+    /// Hard cap on rows requested from a single virtual-table scan; protects
+    /// against unbounded enumeration prompts.
+    pub max_scan_rows: usize,
+    /// Hard cap on LLM calls per query (budget guard).
+    pub max_llm_calls: usize,
+    /// Random seed driving the simulator's noise; fixed for reproducibility.
+    pub seed: u64,
+    /// Whether the prompt cache is enabled.
+    pub enable_prompt_cache: bool,
+    /// Whether optimizer rules run (turned off by the ablation experiment).
+    pub enable_optimizer: bool,
+    /// Whether predicate pushdown into prompts is enabled (ablation).
+    pub enable_predicate_pushdown: bool,
+    /// Whether projection pruning into prompts is enabled (ablation).
+    pub enable_projection_pruning: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            mode: ExecutionMode::LlmOnly,
+            strategy: PromptStrategy::BatchedRows,
+            fidelity: LlmFidelity::default(),
+            cost_model: LlmCostModel::default(),
+            batch_size: 20,
+            max_scan_rows: 1000,
+            max_llm_calls: 10_000,
+            seed: 42,
+            enable_prompt_cache: true,
+            enable_optimizer: true,
+            enable_predicate_pushdown: true,
+            enable_projection_pruning: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Builder-style: set the execution mode.
+    pub fn with_mode(mut self, mode: ExecutionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+    /// Builder-style: set the prompting strategy.
+    pub fn with_strategy(mut self, strategy: PromptStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+    /// Builder-style: set the simulator fidelity.
+    pub fn with_fidelity(mut self, fidelity: LlmFidelity) -> Self {
+        self.fidelity = fidelity;
+        self
+    }
+    /// Builder-style: set the random seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+    /// Builder-style: set the batched-rows page size.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<()> {
+        self.fidelity.validate()?;
+        if self.batch_size == 0 {
+            return Err(Error::config("batch_size must be at least 1"));
+        }
+        if self.max_scan_rows == 0 {
+            return Err(Error::config("max_scan_rows must be at least 1"));
+        }
+        if self.max_llm_calls == 0 {
+            return Err(Error::config("max_llm_calls must be at least 1"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_parsing() {
+        assert_eq!(ExecutionMode::parse("traditional").unwrap(), ExecutionMode::Traditional);
+        assert_eq!(ExecutionMode::parse("LLM-only").unwrap(), ExecutionMode::LlmOnly);
+        assert_eq!(ExecutionMode::parse("hybrid").unwrap(), ExecutionMode::Hybrid);
+        assert!(ExecutionMode::parse("quantum").is_err());
+        assert_eq!(ExecutionMode::Traditional.to_string(), "traditional");
+    }
+
+    #[test]
+    fn strategy_parsing_and_labels() {
+        for s in PromptStrategy::ALL {
+            assert_eq!(PromptStrategy::parse(s.label()).unwrap(), s);
+        }
+        assert!(PromptStrategy::parse("telepathy").is_err());
+    }
+
+    #[test]
+    fn fidelity_presets_are_valid_and_ordered() {
+        for f in [
+            LlmFidelity::perfect(),
+            LlmFidelity::strong(),
+            LlmFidelity::medium(),
+            LlmFidelity::weak(),
+        ] {
+            f.validate().unwrap();
+        }
+        assert!(LlmFidelity::perfect().recall > LlmFidelity::strong().recall);
+        assert!(LlmFidelity::strong().recall > LlmFidelity::medium().recall);
+        assert!(LlmFidelity::medium().recall > LlmFidelity::weak().recall);
+        assert!(LlmFidelity::weak().hallucination > LlmFidelity::strong().hallucination);
+    }
+
+    #[test]
+    fn fidelity_from_quality_interpolates() {
+        let lo = LlmFidelity::from_quality(0.0);
+        let hi = LlmFidelity::from_quality(1.0);
+        assert!((lo.recall - LlmFidelity::weak().recall).abs() < 1e-9);
+        assert!((hi.recall - 1.0).abs() < 1e-9);
+        let mid = LlmFidelity::from_quality(0.5);
+        assert!(mid.recall > lo.recall && mid.recall < hi.recall);
+        // clamped
+        assert_eq!(LlmFidelity::from_quality(7.0).recall, 1.0);
+    }
+
+    #[test]
+    fn fidelity_validation_rejects_out_of_range() {
+        let mut f = LlmFidelity::default();
+        f.recall = 1.5;
+        assert!(f.validate().is_err());
+        f.recall = f64::NAN;
+        assert!(f.validate().is_err());
+    }
+
+    #[test]
+    fn cost_model_math() {
+        let m = LlmCostModel::default();
+        let c = m.request_cost_usd(1000, 1000);
+        assert!((c - 0.009).abs() < 1e-12);
+        assert!(m.request_latency_ms(10) > m.request_latency_ms);
+    }
+
+    #[test]
+    fn config_builder_and_validation() {
+        let cfg = EngineConfig::default()
+            .with_mode(ExecutionMode::Hybrid)
+            .with_strategy(PromptStrategy::TupleAtATime)
+            .with_seed(7)
+            .with_batch_size(5);
+        assert_eq!(cfg.mode, ExecutionMode::Hybrid);
+        assert_eq!(cfg.strategy, PromptStrategy::TupleAtATime);
+        assert_eq!(cfg.seed, 7);
+        cfg.validate().unwrap();
+
+        let bad = EngineConfig::default().with_batch_size(0);
+        assert!(bad.validate().is_err());
+    }
+}

@@ -1,0 +1,166 @@
+//! The unified error type for the engine.
+
+use std::fmt;
+
+/// Result alias used across all crates.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// The category of an engine error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorKind {
+    /// Lexer / parser errors.
+    Parse,
+    /// Name-resolution or semantic-analysis errors.
+    Binding,
+    /// Schema / catalog errors (missing tables, duplicate columns, ...).
+    Schema,
+    /// Type-system errors (bad casts, incompatible operands).
+    Type,
+    /// Planner / optimizer errors.
+    Plan,
+    /// Runtime execution errors.
+    Execution,
+    /// Errors originating in the language-model storage layer.
+    Llm,
+    /// Storage-layer errors (constraint violations, missing rows, I/O).
+    Storage,
+    /// A feature the engine does not (yet) support.
+    Unsupported,
+    /// Configuration errors.
+    Config,
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ErrorKind::Parse => "parse error",
+            ErrorKind::Binding => "binding error",
+            ErrorKind::Schema => "schema error",
+            ErrorKind::Type => "type error",
+            ErrorKind::Plan => "planning error",
+            ErrorKind::Execution => "execution error",
+            ErrorKind::Llm => "llm error",
+            ErrorKind::Storage => "storage error",
+            ErrorKind::Unsupported => "unsupported",
+            ErrorKind::Config => "configuration error",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// An engine error: a kind plus a human-readable message and an optional
+/// source location (byte offset in the SQL text, for parse errors).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    /// The error category.
+    pub kind: ErrorKind,
+    /// Human-readable message.
+    pub message: String,
+    /// Optional byte offset into the query text (parse errors).
+    pub offset: Option<usize>,
+}
+
+impl Error {
+    /// Create an error of the given kind.
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> Self {
+        Error {
+            kind,
+            message: message.into(),
+            offset: None,
+        }
+    }
+
+    /// Attach a byte offset (parse errors).
+    pub fn at(mut self, offset: usize) -> Self {
+        self.offset = Some(offset);
+        self
+    }
+
+    /// Parse error constructor.
+    pub fn parse(message: impl Into<String>) -> Self {
+        Error::new(ErrorKind::Parse, message)
+    }
+    /// Binding error constructor.
+    pub fn binding(message: impl Into<String>) -> Self {
+        Error::new(ErrorKind::Binding, message)
+    }
+    /// Schema error constructor.
+    pub fn schema(message: impl Into<String>) -> Self {
+        Error::new(ErrorKind::Schema, message)
+    }
+    /// Type error constructor.
+    pub fn type_error(message: impl Into<String>) -> Self {
+        Error::new(ErrorKind::Type, message)
+    }
+    /// Planning error constructor.
+    pub fn plan(message: impl Into<String>) -> Self {
+        Error::new(ErrorKind::Plan, message)
+    }
+    /// Execution error constructor.
+    pub fn execution(message: impl Into<String>) -> Self {
+        Error::new(ErrorKind::Execution, message)
+    }
+    /// LLM-layer error constructor.
+    pub fn llm(message: impl Into<String>) -> Self {
+        Error::new(ErrorKind::Llm, message)
+    }
+    /// Storage error constructor.
+    pub fn storage(message: impl Into<String>) -> Self {
+        Error::new(ErrorKind::Storage, message)
+    }
+    /// Unsupported-feature error constructor.
+    pub fn unsupported(message: impl Into<String>) -> Self {
+        Error::new(ErrorKind::Unsupported, message)
+    }
+    /// Configuration error constructor.
+    pub fn config(message: impl Into<String>) -> Self {
+        Error::new(ErrorKind::Config, message)
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind, self.message)?;
+        if let Some(off) = self.offset {
+            write!(f, " (at offset {off})")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kind() {
+        assert_eq!(Error::parse("x").kind, ErrorKind::Parse);
+        assert_eq!(Error::binding("x").kind, ErrorKind::Binding);
+        assert_eq!(Error::schema("x").kind, ErrorKind::Schema);
+        assert_eq!(Error::type_error("x").kind, ErrorKind::Type);
+        assert_eq!(Error::plan("x").kind, ErrorKind::Plan);
+        assert_eq!(Error::execution("x").kind, ErrorKind::Execution);
+        assert_eq!(Error::llm("x").kind, ErrorKind::Llm);
+        assert_eq!(Error::storage("x").kind, ErrorKind::Storage);
+        assert_eq!(Error::unsupported("x").kind, ErrorKind::Unsupported);
+        assert_eq!(Error::config("x").kind, ErrorKind::Config);
+    }
+
+    #[test]
+    fn display_includes_offset() {
+        let e = Error::parse("unexpected token").at(17);
+        let s = e.to_string();
+        assert!(s.contains("parse error"));
+        assert!(s.contains("offset 17"));
+        let e2 = Error::llm("timeout");
+        assert_eq!(e2.to_string(), "llm error: timeout");
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(Error::parse("a"), Error::parse("a"));
+        assert_ne!(Error::parse("a"), Error::binding("a"));
+    }
+}

@@ -1,0 +1,333 @@
+//! Rows and row batches.
+//!
+//! The executor is a pull-based iterator over [`Row`]s; batches are used at
+//! the edges (result sets, LLM completions parsed into groups of rows, CSV
+//! loading) where materialization is natural.
+
+use std::fmt;
+
+use crate::schema::RelSchema;
+use crate::value::Value;
+
+/// A single tuple: a boxed slice of values.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Row {
+    values: Vec<Value>,
+}
+
+impl Row {
+    /// Create a row from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Row { values }
+    }
+
+    /// Create an empty row.
+    pub fn empty() -> Self {
+        Row { values: vec![] }
+    }
+
+    /// Number of values.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the row holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Access a value by index, returning NULL when out of bounds (defensive
+    /// behaviour for noisy LLM-parsed rows that may be short).
+    pub fn get(&self, idx: usize) -> &Value {
+        static NULL: Value = Value::Null;
+        self.values.get(idx).unwrap_or(&NULL)
+    }
+
+    /// Access a value by index, if present.
+    pub fn try_get(&self, idx: usize) -> Option<&Value> {
+        self.values.get(idx)
+    }
+
+    /// Mutable access to a value.
+    pub fn get_mut(&mut self, idx: usize) -> Option<&mut Value> {
+        self.values.get_mut(idx)
+    }
+
+    /// Replace the value at `idx`; extends with NULLs when needed.
+    pub fn set(&mut self, idx: usize, value: Value) {
+        if idx >= self.values.len() {
+            self.values.resize(idx + 1, Value::Null);
+        }
+        self.values[idx] = value;
+    }
+
+    /// The underlying values.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Consume into the underlying values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    /// Append a value.
+    pub fn push(&mut self, value: Value) {
+        self.values.push(value);
+    }
+
+    /// Concatenate two rows (used by join operators).
+    pub fn concat(&self, other: &Row) -> Row {
+        let mut values = Vec::with_capacity(self.values.len() + other.values.len());
+        values.extend(self.values.iter().cloned());
+        values.extend(other.values.iter().cloned());
+        Row { values }
+    }
+
+    /// Project a subset of columns by index.
+    pub fn project(&self, indices: &[usize]) -> Row {
+        Row {
+            values: indices.iter().map(|&i| self.get(i).clone()).collect(),
+        }
+    }
+
+    /// Count NULL values in the row.
+    pub fn null_count(&self) -> usize {
+        self.values.iter().filter(|v| v.is_null()).count()
+    }
+
+    /// True if every value in the row is NULL.
+    pub fn all_null(&self) -> bool {
+        !self.values.is_empty() && self.values.iter().all(|v| v.is_null())
+    }
+
+    /// Pad or truncate the row to exactly `arity` values.
+    pub fn resize(&mut self, arity: usize) {
+        self.values.resize(arity, Value::Null);
+    }
+
+    /// Render as a pipe-separated string (used in prompts and debugging).
+    pub fn to_pipe_string(&self) -> String {
+        self.values
+            .iter()
+            .map(|v| v.to_display_string())
+            .collect::<Vec<_>>()
+            .join(" | ")
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({})", self.to_pipe_string())
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(values: Vec<Value>) -> Self {
+        Row::new(values)
+    }
+}
+
+impl FromIterator<Value> for Row {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Row::new(iter.into_iter().collect())
+    }
+}
+
+impl std::ops::Index<usize> for Row {
+    type Output = Value;
+    fn index(&self, index: usize) -> &Value {
+        self.get(index)
+    }
+}
+
+/// A materialized batch of rows together with its schema.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Batch {
+    /// Schema describing the rows.
+    pub schema: RelSchema,
+    /// The rows.
+    pub rows: Vec<Row>,
+}
+
+impl Batch {
+    /// Create a batch.
+    pub fn new(schema: RelSchema, rows: Vec<Row>) -> Self {
+        Batch { schema, rows }
+    }
+
+    /// Create an empty batch with the given schema.
+    pub fn empty(schema: RelSchema) -> Self {
+        Batch { schema, rows: vec![] }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Column names of the schema.
+    pub fn column_names(&self) -> Vec<String> {
+        self.schema.names()
+    }
+
+    /// Extract one column as a vector of values.
+    pub fn column(&self, idx: usize) -> Vec<Value> {
+        self.rows.iter().map(|r| r.get(idx).clone()).collect()
+    }
+
+    /// Render as an ASCII table (for examples and experiment binaries).
+    pub fn to_ascii_table(&self) -> String {
+        let headers: Vec<String> = self
+            .schema
+            .fields
+            .iter()
+            .map(|f| f.qualified_name())
+            .collect();
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                (0..headers.len().max(r.arity()))
+                    .map(|i| r.get(i).to_display_string())
+                    .collect()
+            })
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                if i >= widths.len() {
+                    widths.push(cell.len());
+                } else if cell.len() > widths[i] {
+                    widths[i] = cell.len();
+                }
+            }
+        }
+        let sep = || {
+            let mut s = String::from("+");
+            for w in &widths {
+                s.push_str(&"-".repeat(w + 2));
+                s.push('+');
+            }
+            s
+        };
+        let mut out = String::new();
+        out.push_str(&sep());
+        out.push('\n');
+        out.push('|');
+        for (h, w) in headers.iter().zip(&widths) {
+            out.push_str(&format!(" {:w$} |", h, w = w));
+        }
+        out.push('\n');
+        out.push_str(&sep());
+        out.push('\n');
+        for row in &rendered {
+            out.push('|');
+            for (i, w) in widths.iter().enumerate() {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                out.push_str(&format!(" {:w$} |", cell, w = w));
+            }
+            out.push('\n');
+        }
+        out.push_str(&sep());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{DataType, Field};
+
+    fn row(vals: &[i64]) -> Row {
+        vals.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let r = Row::new(vec![Value::Int(1), Value::Text("a".into())]);
+        assert_eq!(r.arity(), 2);
+        assert_eq!(r.get(0), &Value::Int(1));
+        assert_eq!(r.get(99), &Value::Null);
+        assert_eq!(r.try_get(99), None);
+        assert_eq!(r[1], Value::Text("a".into()));
+    }
+
+    #[test]
+    fn set_extends_with_nulls() {
+        let mut r = Row::empty();
+        r.set(2, Value::Int(9));
+        assert_eq!(r.arity(), 3);
+        assert_eq!(r.get(0), &Value::Null);
+        assert_eq!(r.get(2), &Value::Int(9));
+    }
+
+    #[test]
+    fn concat_and_project() {
+        let a = row(&[1, 2]);
+        let b = row(&[3]);
+        let c = a.concat(&b);
+        assert_eq!(c.arity(), 3);
+        let p = c.project(&[2, 0]);
+        assert_eq!(p.values(), &[Value::Int(3), Value::Int(1)]);
+    }
+
+    #[test]
+    fn null_counting() {
+        let r = Row::new(vec![Value::Null, Value::Int(1), Value::Null]);
+        assert_eq!(r.null_count(), 2);
+        assert!(!r.all_null());
+        assert!(Row::new(vec![Value::Null, Value::Null]).all_null());
+        assert!(!Row::empty().all_null());
+    }
+
+    #[test]
+    fn resize_pads_and_truncates() {
+        let mut r = row(&[1, 2, 3]);
+        r.resize(5);
+        assert_eq!(r.arity(), 5);
+        assert_eq!(r.get(4), &Value::Null);
+        r.resize(2);
+        assert_eq!(r.arity(), 2);
+    }
+
+    #[test]
+    fn display_and_pipe() {
+        let r = Row::new(vec![Value::Int(1), Value::Text("x".into()), Value::Null]);
+        assert_eq!(r.to_pipe_string(), "1 | x | NULL");
+        assert_eq!(r.to_string(), "(1 | x | NULL)");
+    }
+
+    #[test]
+    fn batch_columns() {
+        let schema = RelSchema::new(vec![
+            Field::new(None, "a", DataType::Int, false),
+            Field::new(None, "b", DataType::Int, false),
+        ]);
+        let batch = Batch::new(schema, vec![row(&[1, 2]), row(&[3, 4])]);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch.column(1), vec![Value::Int(2), Value::Int(4)]);
+        assert_eq!(batch.column_names(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn ascii_table_renders() {
+        let schema = RelSchema::new(vec![
+            Field::new(Some("t"), "name", DataType::Text, false),
+            Field::new(Some("t"), "pop", DataType::Int, false),
+        ]);
+        let batch = Batch::new(
+            schema,
+            vec![Row::new(vec![Value::Text("France".into()), Value::Int(68)])],
+        );
+        let s = batch.to_ascii_table();
+        assert!(s.contains("t.name"));
+        assert!(s.contains("France"));
+        assert!(s.starts_with('+'));
+    }
+}

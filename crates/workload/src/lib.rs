@@ -1,0 +1,25 @@
+//! # llmsql-workload
+//!
+//! Workload generation and the experiment harness:
+//!
+//! * [`world`] — deterministic synthetic world knowledge (countries, cities,
+//!   people, movies) registered both as the ground-truth relational store and
+//!   as the simulated model's knowledge base,
+//! * [`queries`] — benchmark query suites organised by operator class,
+//! * [`harness`] — run a suite on the oracle and a subject engine and score
+//!   every answer,
+//! * [`report`] — plain-text tables for the experiment binaries.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod queries;
+pub mod report;
+pub mod world;
+
+pub use harness::{run_suite, CaseOutcome, SuiteOutcome};
+pub use queries::{
+    cardinality_suite, class_suite, join_chain_suite, standard_suite, QueryCase, QueryClass,
+};
+pub use report::{fmt_f2, fmt_score, Report};
+pub use world::{World, WorldSpec};

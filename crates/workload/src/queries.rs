@@ -1,0 +1,313 @@
+//! Benchmark query suites, organised by operator class.
+//!
+//! Each experiment asks for a set of queries exercising one relational
+//! operator (the paper's Table 1 breaks accuracy down exactly this way).
+//! Queries are generated deterministically from the world itself, so
+//! predicates are guaranteed to select non-empty answers of controlled size.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::world::{World, GENRES, PROFESSIONS, REGIONS};
+
+/// The operator class a query exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum QueryClass {
+    /// Plain projection over one relation.
+    Projection,
+    /// Equality selection.
+    Selection,
+    /// Numeric range selection.
+    Range,
+    /// Two-relation equi-join.
+    Join,
+    /// Grouped aggregation.
+    Aggregate,
+    /// ORDER BY ... LIMIT k.
+    TopK,
+}
+
+impl QueryClass {
+    /// All classes in presentation order.
+    pub const ALL: [QueryClass; 6] = [
+        QueryClass::Projection,
+        QueryClass::Selection,
+        QueryClass::Range,
+        QueryClass::Join,
+        QueryClass::Aggregate,
+        QueryClass::TopK,
+    ];
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            QueryClass::Projection => "projection",
+            QueryClass::Selection => "selection",
+            QueryClass::Range => "range",
+            QueryClass::Join => "join",
+            QueryClass::Aggregate => "aggregate",
+            QueryClass::TopK => "top-k",
+        }
+    }
+}
+
+/// One benchmark query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryCase {
+    /// Stable identifier, e.g. `selection-03`.
+    pub id: String,
+    /// The operator class.
+    pub class: QueryClass,
+    /// The SQL text.
+    pub sql: String,
+    /// Whether row order is part of the expected answer.
+    pub order_sensitive: bool,
+}
+
+/// Generate `per_class` queries for every operator class.
+pub fn standard_suite(world: &World, per_class: usize) -> Vec<QueryCase> {
+    QueryClass::ALL
+        .iter()
+        .flat_map(|&class| class_suite(world, class, per_class))
+        .collect()
+}
+
+/// Generate `count` queries of a single class.
+pub fn class_suite(world: &World, class: QueryClass, count: usize) -> Vec<QueryCase> {
+    let mut rng = StdRng::seed_from_u64(world.spec.seed ^ (class as u64 + 1) * 0x9E37);
+    let countries = world.country_names();
+    let median_pop = world.median_population();
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let sql = match class {
+            QueryClass::Projection => {
+                let variants = [
+                    "SELECT name, capital FROM countries",
+                    "SELECT name, region, population FROM countries",
+                    "SELECT name, country FROM cities",
+                    "SELECT name, profession FROM people",
+                    "SELECT title, year FROM movies",
+                ];
+                variants[i % variants.len()].to_string()
+            }
+            QueryClass::Selection => {
+                match i % 4 {
+                    0 => {
+                        let region = REGIONS[rng.gen_range(0..REGIONS.len())];
+                        format!("SELECT name, population FROM countries WHERE region = '{region}'")
+                    }
+                    1 => {
+                        let profession = PROFESSIONS[rng.gen_range(0..PROFESSIONS.len())];
+                        format!(
+                            "SELECT name, nationality FROM people WHERE profession = '{profession}'"
+                        )
+                    }
+                    2 => {
+                        let genre = GENRES[rng.gen_range(0..GENRES.len())];
+                        format!("SELECT title, rating FROM movies WHERE genre = '{genre}'")
+                    }
+                    _ => {
+                        let country = &countries[rng.gen_range(0..countries.len())];
+                        format!("SELECT capital, population FROM countries WHERE name = '{country}'")
+                    }
+                }
+            }
+            QueryClass::Range => {
+                match i % 3 {
+                    0 => {
+                        let threshold = median_pop + rng.gen_range(-(median_pop / 4)..median_pop / 4);
+                        format!(
+                            "SELECT name, population FROM countries WHERE population > {threshold}"
+                        )
+                    }
+                    1 => {
+                        let year = rng.gen_range(1950i64..1995);
+                        format!(
+                            "SELECT name, birth_year FROM people WHERE birth_year BETWEEN {year} AND {}",
+                            year + 20
+                        )
+                    }
+                    _ => {
+                        let rating = rng.gen_range(3.0f64..7.0);
+                        format!("SELECT title, rating FROM movies WHERE rating >= {rating:.1}")
+                    }
+                }
+            }
+            QueryClass::Join => {
+                match i % 3 {
+                    0 => {
+                        let region = REGIONS[rng.gen_range(0..REGIONS.len())];
+                        format!(
+                            "SELECT ci.name, c.name FROM cities ci JOIN countries c ON ci.country = c.name \
+                             WHERE c.region = '{region}'"
+                        )
+                    }
+                    1 => format!(
+                        "SELECT p.name, c.region FROM people p JOIN countries c ON p.nationality = c.name \
+                         WHERE p.profession = '{}'",
+                        PROFESSIONS[rng.gen_range(0..PROFESSIONS.len())]
+                    ),
+                    _ => format!(
+                        "SELECT m.title, c.region FROM movies m JOIN countries c ON m.country = c.name \
+                         WHERE m.rating > {:.1}",
+                        rng.gen_range(4.0f64..6.0)
+                    ),
+                }
+            }
+            QueryClass::Aggregate => {
+                match i % 4 {
+                    0 => "SELECT region, COUNT(*) FROM countries GROUP BY region".to_string(),
+                    1 => "SELECT region, SUM(population) FROM countries GROUP BY region".to_string(),
+                    2 => "SELECT profession, COUNT(*) FROM people GROUP BY profession".to_string(),
+                    _ => format!(
+                        "SELECT genre, AVG(rating) FROM movies WHERE year > {} GROUP BY genre",
+                        rng.gen_range(1970i64..2000)
+                    ),
+                }
+            }
+            QueryClass::TopK => {
+                let k = rng.gen_range(3usize..10);
+                match i % 3 {
+                    0 => format!(
+                        "SELECT name, population FROM countries ORDER BY population DESC LIMIT {k}"
+                    ),
+                    1 => format!("SELECT name, population FROM cities ORDER BY population DESC LIMIT {k}"),
+                    _ => format!("SELECT title, rating FROM movies ORDER BY rating DESC LIMIT {k}"),
+                }
+            }
+        };
+        out.push(QueryCase {
+            id: format!("{}-{:02}", class.label(), i),
+            class,
+            sql,
+            order_sensitive: matches!(class, QueryClass::TopK),
+        });
+    }
+    out
+}
+
+/// Join-chain queries of increasing complexity (0..=max_joins joins) for the
+/// query-complexity experiment (E4).
+pub fn join_chain_suite(max_joins: usize) -> Vec<QueryCase> {
+    let mut out = Vec::new();
+    for joins in 0..=max_joins {
+        let sql = match joins {
+            0 => "SELECT name, population FROM countries".to_string(),
+            1 => "SELECT ci.name, c.region FROM cities ci JOIN countries c ON ci.country = c.name"
+                .to_string(),
+            2 => "SELECT p.name, ci.name FROM people p \
+                  JOIN countries c ON p.nationality = c.name \
+                  JOIN cities ci ON ci.country = c.name"
+                .to_string(),
+            _ => "SELECT m.title, p.name, ci.name FROM movies m \
+                  JOIN people p ON m.director = p.name \
+                  JOIN countries c ON p.nationality = c.name \
+                  JOIN cities ci ON ci.country = c.name"
+                .to_string(),
+        };
+        out.push(QueryCase {
+            id: format!("join-chain-{joins}"),
+            class: QueryClass::Join,
+            sql,
+            order_sensitive: false,
+        });
+    }
+    out
+}
+
+/// Cardinality-sweep queries: `LIMIT k` scans used by E3.
+pub fn cardinality_suite(ks: &[usize]) -> Vec<QueryCase> {
+    ks.iter()
+        .map(|&k| QueryCase {
+            id: format!("limit-{k}"),
+            class: QueryClass::Projection,
+            sql: format!("SELECT name, capital, population FROM countries LIMIT {k}"),
+            order_sensitive: false,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldSpec;
+
+    fn world() -> World {
+        World::generate(WorldSpec::tiny()).unwrap()
+    }
+
+    #[test]
+    fn suites_have_requested_sizes() {
+        let w = world();
+        let suite = standard_suite(&w, 5);
+        assert_eq!(suite.len(), 5 * QueryClass::ALL.len());
+        for class in QueryClass::ALL {
+            assert_eq!(suite.iter().filter(|q| q.class == class).count(), 5);
+        }
+        assert_eq!(join_chain_suite(3).len(), 4);
+        assert_eq!(cardinality_suite(&[1, 10, 100]).len(), 3);
+    }
+
+    #[test]
+    fn all_queries_parse_and_execute_on_oracle() {
+        let w = world();
+        let oracle = w.oracle_engine();
+        for q in standard_suite(&w, 4)
+            .into_iter()
+            .chain(join_chain_suite(3))
+            .chain(cardinality_suite(&[5, 20]))
+        {
+            let result = oracle.execute(&q.sql);
+            assert!(result.is_ok(), "query {} failed: {:?}\n{}", q.id, result.err(), q.sql);
+        }
+    }
+
+    #[test]
+    fn selection_and_range_queries_are_nonempty_on_oracle() {
+        let w = world();
+        let oracle = w.oracle_engine();
+        let mut nonempty = 0;
+        let mut total = 0;
+        for q in class_suite(&w, QueryClass::Selection, 6)
+            .into_iter()
+            .chain(class_suite(&w, QueryClass::Range, 6))
+        {
+            total += 1;
+            if oracle.execute(&q.sql).unwrap().row_count() > 0 {
+                nonempty += 1;
+            }
+        }
+        // Most generated predicates must select something, otherwise accuracy
+        // metrics degenerate.
+        assert!(nonempty * 2 > total, "{nonempty}/{total} non-empty");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let w = world();
+        let a = standard_suite(&w, 3);
+        let b = standard_suite(&w, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let w = world();
+        let suite = standard_suite(&w, 4);
+        let mut ids: Vec<&str> = suite.iter().map(|q| q.id.as_str()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), suite.len());
+    }
+
+    #[test]
+    fn topk_queries_are_order_sensitive() {
+        let w = world();
+        for q in class_suite(&w, QueryClass::TopK, 3) {
+            assert!(q.order_sensitive);
+        }
+        for q in class_suite(&w, QueryClass::Join, 3) {
+            assert!(!q.order_sensitive);
+        }
+    }
+}

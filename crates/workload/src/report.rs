@@ -1,0 +1,126 @@
+//! Plain-text table rendering for the experiment binaries.
+
+use std::fmt::Display;
+
+/// A simple fixed-width text table (the experiment binaries print these so
+/// their output can be compared line-by-line with the paper's tables).
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    title: Option<String>,
+}
+
+impl Report {
+    /// Create a report with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Report {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+            title: None,
+        }
+    }
+
+    /// Set a title printed above the table.
+    pub fn with_title(mut self, title: impl Into<String>) -> Self {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Append a row of displayable cells.
+    pub fn row<D: Display>(&mut self, cells: Vec<D>) -> &mut Self {
+        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the report has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render the table.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < cols && cell.len() > widths[i] {
+                    widths[i] = cell.len();
+                }
+            }
+        }
+        let sep: String = {
+            let mut s = String::from("+");
+            for w in &widths {
+                s.push_str(&"-".repeat(w + 2));
+                s.push('+');
+            }
+            s.push('\n');
+            s
+        };
+        let mut out = String::new();
+        if let Some(t) = &self.title {
+            out.push_str(&format!("== {t} ==\n"));
+        }
+        out.push_str(&sep);
+        out.push('|');
+        for (h, w) in self.headers.iter().zip(&widths) {
+            out.push_str(&format!(" {h:w$} |"));
+        }
+        out.push('\n');
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push('|');
+            for (i, w) in widths.iter().enumerate() {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                out.push_str(&format!(" {cell:w$} |"));
+            }
+            out.push('\n');
+        }
+        out.push_str(&sep);
+        out
+    }
+}
+
+/// Format a float as a fixed 3-decimal string (scores).
+pub fn fmt_score(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Format a float as a 2-decimal string (costs, latencies).
+pub fn fmt_f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut r = Report::new(vec!["class", "precision", "recall"]).with_title("Table 1");
+        r.row(vec!["selection".to_string(), fmt_score(0.91), fmt_score(0.8)]);
+        r.row(vec!["join".to_string(), fmt_score(0.755), fmt_score(0.61)]);
+        let text = r.render();
+        assert!(text.contains("== Table 1 =="));
+        assert!(text.contains("| selection |"));
+        assert!(text.contains("0.910"));
+        assert!(text.contains("0.755"));
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+        // every data line has the same width
+        let widths: Vec<usize> = text.lines().skip(1).map(|l| l.len()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_score(0.5), "0.500");
+        assert_eq!(fmt_f2(1.234), "1.23");
+    }
+}

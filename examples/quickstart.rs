@@ -1,0 +1,50 @@
+//! Quickstart: the engine as an ordinary embedded SQL database
+//! (Traditional mode — no language model involved).
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use llmsql_core::{Engine, EngineConfig, ExecutionMode};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let engine = Engine::new(EngineConfig::default().with_mode(ExecutionMode::Traditional));
+
+    engine.execute(
+        "CREATE TABLE countries (
+            name TEXT PRIMARY KEY COMMENT 'the short English name',
+            region TEXT,
+            capital TEXT,
+            population INTEGER
+         ) COMMENT 'countries of the world'",
+    )?;
+    engine.execute(
+        "INSERT INTO countries VALUES
+            ('France', 'Europe', 'Paris', 68000000),
+            ('Germany', 'Europe', 'Berlin', 84000000),
+            ('Japan', 'Asia', 'Tokyo', 125000000),
+            ('Kenya', 'Africa', 'Nairobi', 54000000),
+            ('Peru', 'Americas', 'Lima', 34000000)",
+    )?;
+
+    println!("-- Large European countries --");
+    let result = engine.execute(
+        "SELECT name, capital, population FROM countries
+         WHERE region = 'Europe' AND population > 10000000
+         ORDER BY population DESC",
+    )?;
+    println!("{}", result.to_ascii_table());
+
+    println!("-- Population by region --");
+    let result = engine.execute(
+        "SELECT region, COUNT(*) AS countries, SUM(population) AS total_population
+         FROM countries GROUP BY region ORDER BY total_population DESC",
+    )?;
+    println!("{}", result.to_ascii_table());
+
+    println!("-- The plan the engine ran --");
+    let explain = engine.execute("EXPLAIN SELECT name FROM countries WHERE population > 50000000")?;
+    println!("{}", explain.plan.unwrap_or_default());
+
+    Ok(())
+}

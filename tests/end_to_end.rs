@@ -1,0 +1,287 @@
+//! End-to-end integration tests spanning every crate: SQL text in, scored
+//! answers out, across execution modes and prompting strategies.
+
+use llmsql_core::{score_batches, Engine, EvalOptions};
+use llmsql_store::{degrade_catalog, DegradeSpec};
+use llmsql_types::{EngineConfig, ExecutionMode, LlmFidelity, PromptStrategy, Value};
+use llmsql_workload::{run_suite, standard_suite, World, WorldSpec};
+
+fn world() -> World {
+    World::generate(WorldSpec {
+        countries: 25,
+        cities_per_country: 3,
+        people: 40,
+        movies: 30,
+        seed: 41,
+    })
+    .unwrap()
+}
+
+/// At perfect fidelity, every prompting strategy except one-shot full-query
+/// must reproduce the oracle answer exactly for the whole mixed suite.
+#[test]
+fn perfect_fidelity_is_lossless_for_all_decomposed_strategies() {
+    let w = world();
+    let oracle = w.oracle_engine();
+    let suite = standard_suite(&w, 3);
+    for strategy in [
+        PromptStrategy::BatchedRows,
+        PromptStrategy::TupleAtATime,
+        PromptStrategy::DecomposedOperators,
+    ] {
+        let subject = w
+            .subject_engine(
+                EngineConfig::default()
+                    .with_mode(ExecutionMode::LlmOnly)
+                    .with_strategy(strategy)
+                    .with_fidelity(LlmFidelity::perfect()),
+            )
+            .unwrap();
+        let outcome = run_suite(&oracle, &subject, &suite, &EvalOptions::exact()).unwrap();
+        let overall = outcome.overall();
+        assert!(
+            overall.f1() > 0.999,
+            "strategy {strategy} lost accuracy: F1 = {}",
+            overall.f1()
+        );
+    }
+}
+
+/// Full-query prompting at perfect fidelity answers single-table queries
+/// exactly (joins/aggregates may legitimately diverge through the one-shot
+/// interpreter, which is part of what E2 measures).
+#[test]
+fn full_query_strategy_handles_single_table_queries() {
+    let w = world();
+    let oracle = w.oracle_engine();
+    let subject = w
+        .subject_engine(
+            EngineConfig::default()
+                .with_mode(ExecutionMode::LlmOnly)
+                .with_strategy(PromptStrategy::FullQuery)
+                .with_fidelity(LlmFidelity::perfect()),
+        )
+        .unwrap();
+    for sql in [
+        "SELECT name, capital FROM countries WHERE region = 'Europe'",
+        "SELECT name FROM people WHERE profession = 'scientist'",
+        "SELECT title, rating FROM movies WHERE rating > 5.0",
+    ] {
+        let truth = oracle.execute(sql).unwrap();
+        let answer = subject.execute(sql).unwrap();
+        let score = score_batches(&answer.batch, &truth.batch, &EvalOptions::exact());
+        assert!(score.exact, "query '{sql}' diverged: {score:?}");
+        assert_eq!(answer.metrics.llm_calls(), 1, "full-query must be one call");
+    }
+}
+
+/// Accuracy is monotone in model quality (weak < strong <= perfect) on the
+/// standard suite.
+#[test]
+fn accuracy_improves_with_model_quality() {
+    let w = world();
+    let oracle = w.oracle_engine();
+    let suite = standard_suite(&w, 3);
+    let mut f1s = Vec::new();
+    for fidelity in [
+        LlmFidelity::weak(),
+        LlmFidelity::strong(),
+        LlmFidelity::perfect(),
+    ] {
+        let subject = w
+            .subject_engine(
+                EngineConfig::default()
+                    .with_mode(ExecutionMode::LlmOnly)
+                    .with_fidelity(fidelity),
+            )
+            .unwrap();
+        let outcome = run_suite(&oracle, &subject, &suite, &EvalOptions::exact()).unwrap();
+        f1s.push(outcome.overall().f1());
+    }
+    assert!(f1s[0] < f1s[1], "weak {} should be below strong {}", f1s[0], f1s[1]);
+    assert!(f1s[1] <= f1s[2] + 1e-9, "strong {} should not beat perfect {}", f1s[1], f1s[2]);
+    assert!(f1s[2] > 0.999);
+}
+
+/// Hybrid execution over a degraded store recovers accuracy that traditional
+/// execution over the same store has lost.
+#[test]
+fn hybrid_execution_recovers_missing_values() {
+    let w = world();
+    let oracle = w.oracle_engine();
+    let (degraded, report) = degrade_catalog(&w.catalog, &DegradeSpec::nulls(0.5, 17)).unwrap();
+    assert!(report.nulled_values > 50);
+
+    let sql = "SELECT name, capital FROM countries WHERE region = 'Europe'";
+    let truth = oracle.execute(sql).unwrap();
+
+    let traditional = Engine::with_catalog(
+        degraded.clone(),
+        EngineConfig::default().with_mode(ExecutionMode::Traditional),
+    );
+    let hybrid = w
+        .subject_engine_with_catalog(
+            degraded,
+            EngineConfig::default()
+                .with_mode(ExecutionMode::Hybrid)
+                .with_fidelity(LlmFidelity::perfect()),
+        )
+        .unwrap();
+
+    let damaged_score = score_batches(
+        &traditional.execute(sql).unwrap().batch,
+        &truth.batch,
+        &EvalOptions::exact(),
+    );
+    let hybrid_result = hybrid.execute(sql).unwrap();
+    let hybrid_score = score_batches(&hybrid_result.batch, &truth.batch, &EvalOptions::exact());
+
+    assert!(hybrid_score.f1 >= damaged_score.f1);
+    assert!(hybrid_score.exact, "perfect-fidelity hybrid must restore the answer");
+    assert!(hybrid_result.metrics.cells_filled_by_llm > 0);
+}
+
+/// The prompt cache spares repeat calls without changing answers.
+#[test]
+fn prompt_cache_reduces_calls_but_not_answers() {
+    let w = world();
+    let subject = w
+        .subject_engine(
+            EngineConfig::default()
+                .with_mode(ExecutionMode::LlmOnly)
+                .with_fidelity(LlmFidelity::strong()),
+        )
+        .unwrap();
+    let sql = "SELECT name, population FROM countries WHERE population > 1000000";
+    let first = subject.execute(sql).unwrap();
+    let second = subject.execute(sql).unwrap();
+    assert_eq!(first.batch, second.batch);
+    assert!(first.usage.calls > 0);
+    // The second run is served from the cache: no new model calls.
+    assert_eq!(second.usage.calls, 0);
+    assert!(second.usage.cache_hits > 0);
+}
+
+/// Pushing predicates and projections into prompts reduces model calls and
+/// tokens without reducing accuracy at perfect fidelity (the E9 claim).
+#[test]
+fn optimizer_rules_reduce_model_traffic() {
+    let w = world();
+    let oracle = w.oracle_engine();
+    let suite = standard_suite(&w, 2);
+
+    let run = |pushdown: bool, pruning: bool| {
+        let mut config = EngineConfig::default()
+            .with_mode(ExecutionMode::LlmOnly)
+            .with_fidelity(LlmFidelity::perfect());
+        config.enable_predicate_pushdown = pushdown;
+        config.enable_projection_pruning = pruning;
+        config.enable_prompt_cache = false;
+        let subject = w.subject_engine(config).unwrap();
+        let outcome = run_suite(&oracle, &subject, &suite, &EvalOptions::exact()).unwrap();
+        (
+            outcome.overall().f1(),
+            outcome.total_llm_calls(),
+            outcome.total_tokens(),
+        )
+    };
+
+    let (f1_on, calls_on, tokens_on) = run(true, true);
+    let (f1_off, calls_off, tokens_off) = run(false, false);
+    assert!(f1_on > 0.999 && f1_off > 0.999);
+    assert!(
+        calls_on <= calls_off,
+        "optimized {calls_on} calls vs unoptimized {calls_off}"
+    );
+    assert!(
+        tokens_on < tokens_off,
+        "optimized {tokens_on} tokens vs unoptimized {tokens_off}"
+    );
+}
+
+/// The engine's usage accounting matches the client's: token and cost totals
+/// reported per query sum to the client's cumulative numbers.
+#[test]
+fn usage_accounting_is_consistent() {
+    let w = world();
+    let subject = w
+        .subject_engine(
+            EngineConfig::default()
+                .with_mode(ExecutionMode::LlmOnly)
+                .with_fidelity(LlmFidelity::strong()),
+        )
+        .unwrap();
+    let queries = [
+        "SELECT name FROM countries WHERE region = 'Asia'",
+        "SELECT name, population FROM cities WHERE population > 100000",
+        "SELECT COUNT(*) FROM people",
+    ];
+    let mut sum_calls = 0;
+    let mut sum_tokens = 0;
+    for sql in queries {
+        let r = subject.execute(sql).unwrap();
+        sum_calls += r.usage.calls;
+        sum_tokens += r.usage.total_tokens();
+    }
+    let total = subject.client().unwrap().usage();
+    assert_eq!(total.calls, sum_calls);
+    assert_eq!(total.total_tokens(), sum_tokens);
+}
+
+/// Traditional mode over the oracle catalog answers exactly and never calls
+/// the model, even when a model is attached.
+#[test]
+fn traditional_mode_never_calls_the_model() {
+    let w = world();
+    let mut engine = Engine::with_catalog(
+        w.catalog.clone(),
+        EngineConfig::default().with_mode(ExecutionMode::Traditional),
+    );
+    engine.attach_simulator(w.knowledge().unwrap());
+    let r = engine
+        .execute("SELECT region, COUNT(*) FROM countries GROUP BY region")
+        .unwrap();
+    assert!(r.row_count() > 0);
+    assert_eq!(r.metrics.llm_calls(), 0);
+    assert_eq!(r.usage.calls, 0);
+}
+
+/// DDL + DML + query flow built from scratch through the public API, ending
+/// with an LLM-backed query over a virtual table defined in SQL.
+#[test]
+fn virtual_table_declared_in_sql_is_answered_by_the_model() {
+    let w = world();
+    let mut engine = Engine::new(
+        EngineConfig::default()
+            .with_mode(ExecutionMode::LlmOnly)
+            .with_fidelity(LlmFidelity::perfect()),
+    );
+    engine.attach_simulator(w.knowledge().unwrap());
+    // Declare a virtual relation matching (a subset of) the model's knowledge.
+    engine
+        .execute(
+            "CREATE VIRTUAL TABLE countries (
+                name TEXT PRIMARY KEY COMMENT 'the short English name of the country',
+                region TEXT COMMENT 'the continent or world region',
+                population INTEGER COMMENT 'the total population'
+             ) COMMENT 'countries of the synthetic world atlas'",
+        )
+        .unwrap();
+    let r = engine
+        .execute("SELECT name FROM countries WHERE region = 'Europe'")
+        .unwrap();
+    assert!(r.row_count() > 0);
+    assert!(r.metrics.llm_calls() > 0);
+    // Every returned name is a real country of the world.
+    let truth: Vec<Value> = w
+        .catalog
+        .table("countries")
+        .unwrap()
+        .scan()
+        .iter()
+        .map(|row| row.get(0).clone())
+        .collect();
+    for row in r.rows() {
+        assert!(truth.contains(row.get(0)), "hallucinated {:?}", row.get(0));
+    }
+}
