@@ -29,11 +29,9 @@ fn bench_cardinality(c: &mut Criterion) {
                         .with_fidelity(LlmFidelity::strong()),
                 )
                 .unwrap();
-            group.bench_with_input(
-                BenchmarkId::new(strategy.label(), k),
-                &sql,
-                |b, sql| b.iter(|| black_box(subject.execute(black_box(sql)).unwrap())),
-            );
+            group.bench_with_input(BenchmarkId::new(strategy.label(), k), &sql, |b, sql| {
+                b.iter(|| black_box(subject.execute(black_box(sql)).unwrap()))
+            });
         }
     }
     group.finish();

@@ -28,11 +28,9 @@ fn bench_joins(c: &mut Criterion) {
             &case.sql,
             |b, sql| b.iter(|| black_box(oracle.execute(black_box(sql)).unwrap())),
         );
-        group.bench_with_input(
-            BenchmarkId::new("llm_only", &joins),
-            &case.sql,
-            |b, sql| b.iter(|| black_box(subject.execute(black_box(sql)).unwrap())),
-        );
+        group.bench_with_input(BenchmarkId::new("llm_only", &joins), &case.sql, |b, sql| {
+            b.iter(|| black_box(subject.execute(black_box(sql)).unwrap()))
+        });
     }
     group.finish();
 }

@@ -24,9 +24,11 @@ fn bench_strategies(c: &mut Criterion) {
                     .with_fidelity(LlmFidelity::strong()),
             )
             .unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(strategy.label()), SQL, |b, sql| {
-            b.iter(|| black_box(subject.execute(black_box(sql)).unwrap()))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.label()),
+            SQL,
+            |b, sql| b.iter(|| black_box(subject.execute(black_box(sql)).unwrap())),
+        );
     }
     group.finish();
 }

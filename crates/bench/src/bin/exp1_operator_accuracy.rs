@@ -12,12 +12,8 @@ use llmsql_workload::{fmt_score, run_suite, standard_suite, Report};
 
 fn main() {
     let world = experiment_world().expect("world generation");
-    let (oracle, subject) = engines(
-        &world,
-        PromptStrategy::BatchedRows,
-        LlmFidelity::strong(),
-    )
-    .expect("engines");
+    let (oracle, subject) =
+        engines(&world, PromptStrategy::BatchedRows, LlmFidelity::strong()).expect("engines");
     let suite = standard_suite(&world, QUERIES_PER_CLASS);
     let outcome =
         run_suite(&oracle, &subject, &suite, &EvalOptions::exact()).expect("suite execution");

@@ -26,8 +26,7 @@ fn main() {
     .with_title("E2 / Table 2 — prompting strategies (strong fidelity, mixed suite)");
 
     for strategy in PromptStrategy::ALL {
-        let (oracle, subject) =
-            engines(&world, strategy, LlmFidelity::strong()).expect("engines");
+        let (oracle, subject) = engines(&world, strategy, LlmFidelity::strong()).expect("engines");
         let outcome =
             run_suite(&oracle, &subject, &suite, &EvalOptions::exact()).expect("suite execution");
         let overall = outcome.overall();

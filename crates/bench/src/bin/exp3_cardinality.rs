@@ -30,8 +30,7 @@ fn main() {
         PromptStrategy::BatchedRows,
         PromptStrategy::TupleAtATime,
     ] {
-        let (oracle, subject) =
-            engines(&world, strategy, LlmFidelity::strong()).expect("engines");
+        let (oracle, subject) = engines(&world, strategy, LlmFidelity::strong()).expect("engines");
         let outcome =
             run_suite(&oracle, &subject, &suite, &EvalOptions::exact()).expect("suite execution");
         for case in &outcome.cases {

@@ -27,8 +27,7 @@ fn main() {
     .with_title("E4 / Figure — cost and accuracy vs number of joins (strong fidelity)");
 
     for strategy in [PromptStrategy::FullQuery, PromptStrategy::BatchedRows] {
-        let (oracle, subject) =
-            engines(&world, strategy, LlmFidelity::strong()).expect("engines");
+        let (oracle, subject) = engines(&world, strategy, LlmFidelity::strong()).expect("engines");
         let outcome =
             run_suite(&oracle, &subject, &suite, &EvalOptions::exact()).expect("suite execution");
         for (joins, case) in outcome.cases.iter().enumerate() {

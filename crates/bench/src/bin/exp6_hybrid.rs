@@ -51,7 +51,10 @@ fn main() {
             .expect("hybrid engine");
         // Pure LLM-only (ignores the store entirely).
         let llm_only = world
-            .subject_engine(llm_config(PromptStrategy::BatchedRows, LlmFidelity::strong()))
+            .subject_engine(llm_config(
+                PromptStrategy::BatchedRows,
+                LlmFidelity::strong(),
+            ))
             .expect("llm engine");
 
         for (label, engine) in [
@@ -59,8 +62,7 @@ fn main() {
             ("hybrid", &hybrid),
             ("llm-only", &llm_only),
         ] {
-            let outcome =
-                run_suite(&oracle, engine, &suite, &EvalOptions::exact()).expect("suite");
+            let outcome = run_suite(&oracle, engine, &suite, &EvalOptions::exact()).expect("suite");
             let overall = outcome.overall();
             let filled: u64 = outcome.cases.iter().map(|c| c.cells_filled).sum();
             report.row(vec![

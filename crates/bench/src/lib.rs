@@ -7,7 +7,12 @@
 //! table or figure of the paper.
 
 use llmsql_core::Engine;
-use llmsql_types::{EngineConfig, ExecutionMode, LlmFidelity, PromptStrategy, Result};
+use llmsql_llm::{KnowledgeBase, SimLlm};
+use llmsql_store::Catalog;
+use llmsql_types::{
+    Column, DataType, EngineConfig, ExecutionMode, LlmFidelity, PromptStrategy, Result, Row,
+    Schema, Value,
+};
 use llmsql_workload::{World, WorldSpec};
 
 /// The world spec used by the experiment binaries (moderate size so every
@@ -50,6 +55,57 @@ pub fn engines(
 /// Number of queries per operator class used in accuracy experiments.
 pub const QUERIES_PER_CLASS: usize = 12;
 
+/// A minimal virtual-table world for parallel-dispatch benchmarks: a
+/// `countries` relation of exactly `rows` synthetic entities, plus a
+/// simulator over the matching knowledge base that sleeps `latency_ms` per
+/// request (emulating endpoint round-trip time).
+pub fn parallel_world(rows: usize, fidelity: LlmFidelity, latency_ms: f64) -> (Catalog, SimLlm) {
+    let schema = Schema::virtual_table(
+        "countries",
+        vec![
+            Column::new("name", DataType::Text).primary_key(),
+            Column::new("region", DataType::Text),
+            Column::new("population", DataType::Int),
+        ],
+    );
+    const REGIONS: [&str; 5] = ["Europe", "Asia", "Africa", "Americas", "Oceania"];
+    let data: Vec<Row> = (0..rows)
+        .map(|i| {
+            Row::new(vec![
+                Value::Text(format!("Country {i:04}")),
+                Value::Text(REGIONS[i % REGIONS.len()].to_string()),
+                Value::Int(100_000 + 37_219 * i as i64),
+            ])
+        })
+        .collect();
+    let catalog = Catalog::new();
+    catalog
+        .create_virtual_table(schema.clone())
+        .expect("fresh catalog");
+    let mut kb = KnowledgeBase::new();
+    kb.add_table(schema, data);
+    let sim = SimLlm::new(kb.into_shared(), fidelity, 2024).with_simulated_latency_ms(latency_ms);
+    (catalog, sim)
+}
+
+/// The standard parallel-dispatch scenario shared by the bench, the speedup
+/// integration test and the `parallel_scan` example: a batched LLM-only scan
+/// of a [`parallel_world`] relation in pages of 10, prompt cache off (every
+/// run pays the full call pattern), with the given worker-pool width.
+pub fn parallel_scan_engine(rows: usize, parallelism: usize, latency_ms: f64) -> Engine {
+    let (catalog, sim) = parallel_world(rows, LlmFidelity::perfect(), latency_ms);
+    let mut config = EngineConfig::default()
+        .with_mode(ExecutionMode::LlmOnly)
+        .with_strategy(PromptStrategy::BatchedRows)
+        .with_batch_size(10)
+        .with_parallelism(parallelism);
+    config.max_scan_rows = rows;
+    config.enable_prompt_cache = false;
+    let mut engine = Engine::with_catalog(catalog, config);
+    engine.attach_model(std::sync::Arc::new(sim));
+    engine
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -60,7 +116,10 @@ mod tests {
         let (oracle, subject) =
             engines(&world, PromptStrategy::BatchedRows, LlmFidelity::perfect()).unwrap();
         assert_eq!(
-            oracle.execute("SELECT COUNT(*) FROM countries").unwrap().scalar(),
+            oracle
+                .execute("SELECT COUNT(*) FROM countries")
+                .unwrap()
+                .scalar(),
             Some(llmsql_types::Value::Int(WorldSpec::tiny().countries as i64))
         );
         assert!(subject.client().is_some());

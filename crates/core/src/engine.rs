@@ -4,7 +4,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use llmsql_exec::{execute as execute_plan, eval as eval_expr, ExecContext, ExecMetrics};
+use llmsql_exec::{eval as eval_expr, execute as execute_plan, ExecContext, ExecMetrics};
 use llmsql_llm::prompt::TaskSpec;
 use llmsql_llm::{
     parse_pipe_rows, CompletionRequest, KnowledgeBase, LanguageModel, LlmClient, SimLlm,
@@ -123,11 +123,7 @@ impl Engine {
     ) -> Result<QueryResult> {
         self.config.validate()?;
         let start = Instant::now();
-        let usage_before = self
-            .client
-            .as_ref()
-            .map(|c| c.usage())
-            .unwrap_or_default();
+        let usage_before = self.client.as_ref().map(|c| c.usage()).unwrap_or_default();
 
         let mut result = match statement {
             Statement::Select(select) => self.execute_select(select, sql_text)?,
@@ -146,22 +142,26 @@ impl Engine {
                     } else {
                         self.catalog.create_table(schema)?;
                     }
-                    let mut r = QueryResult::default();
-                    r.rows_affected = 1;
-                    r
+                    QueryResult {
+                        rows_affected: 1,
+                        ..QueryResult::default()
+                    }
                 }
             }
             Statement::DropTable { name, if_exists } => {
                 let dropped = self.catalog.drop_table(name, *if_exists)?;
-                let mut r = QueryResult::default();
-                r.rows_affected = usize::from(dropped);
-                r
+                QueryResult {
+                    rows_affected: usize::from(dropped),
+                    ..QueryResult::default()
+                }
             }
             Statement::Insert(insert) => self.execute_insert(insert)?,
             Statement::Describe { name } => self.describe(name)?,
             Statement::Explain(inner) => {
                 let Statement::Select(select) = inner.as_ref() else {
-                    return Err(Error::unsupported("EXPLAIN supports only SELECT statements"));
+                    return Err(Error::unsupported(
+                        "EXPLAIN supports only SELECT statements",
+                    ));
                 };
                 let plan = self.plan_select(select)?;
                 let text = plan.explain();
@@ -170,10 +170,11 @@ impl Engine {
                     .lines()
                     .map(|l| Row::new(vec![Value::Text(l.to_string())]))
                     .collect();
-                let mut r = QueryResult::default();
-                r.batch = Batch::new(schema, rows);
-                r.plan = Some(text);
-                r
+                QueryResult {
+                    batch: Batch::new(schema, rows),
+                    plan: Some(text),
+                    ..QueryResult::default()
+                }
             }
         };
 
@@ -214,13 +215,18 @@ impl Engine {
             return self.execute_full_query(select, &plan, sql_text);
         }
 
-        let ctx = ExecContext::new(self.catalog.clone(), self.client.clone(), self.config.clone());
+        let ctx = ExecContext::new(
+            self.catalog.clone(),
+            self.client.clone(),
+            self.config.clone(),
+        );
         let batch = execute_plan(&ctx, &plan)?;
-        let mut result = QueryResult::default();
-        result.metrics = ctx.metrics.snapshot();
-        result.plan = Some(plan.explain());
-        result.batch = batch;
-        Ok(result)
+        Ok(QueryResult {
+            metrics: ctx.metrics.snapshot(),
+            plan: Some(plan.explain()),
+            batch,
+            ..QueryResult::default()
+        })
     }
 
     /// Send the entire SQL statement as a single prompt and parse the
@@ -265,11 +271,12 @@ impl Engine {
             row.resize(schema.len());
         }
 
-        let mut result = QueryResult::default();
-        result.batch = Batch::new(schema, rows);
-        result.metrics = metrics;
-        result.plan = Some(plan.explain());
-        Ok(result)
+        Ok(QueryResult {
+            batch: Batch::new(schema, rows),
+            metrics,
+            plan: Some(plan.explain()),
+            ..QueryResult::default()
+        })
     }
 
     fn execute_insert(&self, insert: &InsertStatement) -> Result<QueryResult> {
@@ -309,9 +316,10 @@ impl Engine {
             rows.push(Row::new(row));
         }
         let inserted = table.insert_many(rows)?;
-        let mut r = QueryResult::default();
-        r.rows_affected = inserted;
-        Ok(r)
+        Ok(QueryResult {
+            rows_affected: inserted,
+            ..QueryResult::default()
+        })
     }
 
     fn eval_constant(&self, expr: &llmsql_sql::ast::Expr) -> Result<Value> {
@@ -345,9 +353,10 @@ impl Engine {
                 ])
             })
             .collect();
-        let mut r = QueryResult::default();
-        r.batch = Batch::new(rel, rows);
-        Ok(r)
+        Ok(QueryResult {
+            batch: Batch::new(rel, rows),
+            ..QueryResult::default()
+        })
     }
 
     /// Execute a script of semicolon-separated statements, returning the last
@@ -397,7 +406,9 @@ mod tests {
     #[test]
     fn ddl_dml_and_query() {
         let engine = traditional_engine();
-        let r = engine.execute("SELECT name FROM countries WHERE population > 80 ORDER BY name").unwrap();
+        let r = engine
+            .execute("SELECT name FROM countries WHERE population > 80 ORDER BY name")
+            .unwrap();
         assert_eq!(r.row_count(), 2);
         assert_eq!(r.rows()[0].get(0), &Value::Text("Germany".into()));
         assert!(r.plan.is_some());
@@ -445,7 +456,9 @@ mod tests {
         let d = engine.execute("DESCRIBE countries").unwrap();
         assert_eq!(d.row_count(), 3);
         assert_eq!(d.column_names()[0], "column");
-        let e = engine.execute("EXPLAIN SELECT name FROM countries WHERE population > 1").unwrap();
+        let e = engine
+            .execute("EXPLAIN SELECT name FROM countries WHERE population > 1")
+            .unwrap();
         assert!(e.plan.as_ref().unwrap().contains("Scan countries"));
         assert!(e.row_count() >= 2);
     }
@@ -493,7 +506,9 @@ mod tests {
     #[test]
     fn weak_model_degrades_but_does_not_crash() {
         let subject = llm_engine(LlmFidelity::weak(), PromptStrategy::BatchedRows);
-        let r = subject.execute("SELECT name, population FROM countries").unwrap();
+        let r = subject
+            .execute("SELECT name, population FROM countries")
+            .unwrap();
         assert!(r.row_count() <= 4); // may fabricate a little, may forget a lot
     }
 

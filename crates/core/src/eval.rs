@@ -300,7 +300,11 @@ mod tests {
         let close = vec![Row::new(vec![Value::Int(101)])];
         let strict = score_rows(&close, &expected, &EvalOptions::exact());
         assert_eq!(strict.matched, 0);
-        let tolerant = score_rows(&close, &expected, &EvalOptions::exact().with_tolerance(0.05));
+        let tolerant = score_rows(
+            &close,
+            &expected,
+            &EvalOptions::exact().with_tolerance(0.05),
+        );
         assert_eq!(tolerant.matched, 1);
         let far = vec![Row::new(vec![Value::Int(150)])];
         assert_eq!(
@@ -329,7 +333,11 @@ mod tests {
         let reversed = vec![row(&["b"]), row(&["a"])];
         let unordered = score_rows(&reversed, &expected, &EvalOptions::exact());
         assert!(unordered.exact);
-        let ordered = score_rows(&reversed, &expected, &EvalOptions::exact().order_sensitive());
+        let ordered = score_rows(
+            &reversed,
+            &expected,
+            &EvalOptions::exact().order_sensitive(),
+        );
         assert!(!ordered.exact);
         assert_eq!(ordered.f1, 1.0); // bag still matches
     }
@@ -351,7 +359,11 @@ mod tests {
     #[test]
     fn suite_macro_average() {
         let mut suite = SuiteScore::default();
-        suite.push(score_rows(&[row(&["a"])], &[row(&["a"])], &EvalOptions::exact()));
+        suite.push(score_rows(
+            &[row(&["a"])],
+            &[row(&["a"])],
+            &EvalOptions::exact(),
+        ));
         suite.push(score_rows(&[], &[row(&["a"])], &EvalOptions::exact()));
         assert_eq!(suite.len(), 2);
         assert!((suite.precision() - 0.5).abs() < 1e-9);

@@ -41,7 +41,7 @@ impl QueryResult {
 
     /// Convenience: the single scalar value of a 1x1 result.
     pub fn scalar(&self) -> Option<Value> {
-        if self.batch.len() == 1 && self.batch.schema.len() >= 1 {
+        if self.batch.len() == 1 && !self.batch.schema.is_empty() {
             Some(self.batch.rows[0].get(0).clone())
         } else {
             None
@@ -67,8 +67,10 @@ mod tests {
     #[test]
     fn scalar_and_counts() {
         let schema = RelSchema::new(vec![Field::new(None, "n", DataType::Int, false)]);
-        let mut r = QueryResult::default();
-        r.batch = Batch::new(schema, vec![Row::new(vec![Value::Int(7)])]);
+        let r = QueryResult {
+            batch: Batch::new(schema, vec![Row::new(vec![Value::Int(7)])]),
+            ..QueryResult::default()
+        };
         assert_eq!(r.row_count(), 1);
         assert_eq!(r.scalar(), Some(Value::Int(7)));
         assert_eq!(r.column_names(), vec!["n".to_string()]);
@@ -78,18 +80,22 @@ mod tests {
     #[test]
     fn scalar_none_for_multi_row() {
         let schema = RelSchema::new(vec![Field::new(None, "n", DataType::Int, false)]);
-        let mut r = QueryResult::default();
-        r.batch = Batch::new(
-            schema,
-            vec![Row::new(vec![Value::Int(1)]), Row::new(vec![Value::Int(2)])],
-        );
+        let r = QueryResult {
+            batch: Batch::new(
+                schema,
+                vec![Row::new(vec![Value::Int(1)]), Row::new(vec![Value::Int(2)])],
+            ),
+            ..QueryResult::default()
+        };
         assert_eq!(r.scalar(), None);
     }
 
     #[test]
     fn latency_sums() {
-        let mut r = QueryResult::default();
-        r.engine_ms = 2.0;
+        let mut r = QueryResult {
+            engine_ms: 2.0,
+            ..QueryResult::default()
+        };
         r.usage.latency_ms = 100.0;
         assert_eq!(r.total_latency_ms(), 102.0);
     }

@@ -39,4 +39,10 @@ impl ExecContext {
             )
         })
     }
+
+    /// The scan-concurrency knob: how many LLM requests one scan may keep in
+    /// flight at a time (never zero).
+    pub fn scan_fanout(&self) -> usize {
+        self.config.parallelism.max(1)
+    }
 }

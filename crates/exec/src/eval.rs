@@ -147,16 +147,14 @@ fn binary(l: &Value, op: BinaryOp, r: &Value) -> Result<Value> {
         return Ok(Value::Null);
     }
     let out = match op {
-        Plus | Minus | Multiply | Divide | Modulo => {
-            arith(l, op, r).ok_or_else(|| {
-                Error::execution(format!(
-                    "invalid operands for arithmetic: {} {} {}",
-                    l.type_name(),
-                    op,
-                    r.type_name()
-                ))
-            })?
-        }
+        Plus | Minus | Multiply | Divide | Modulo => arith(l, op, r).ok_or_else(|| {
+            Error::execution(format!(
+                "invalid operands for arithmetic: {} {} {}",
+                l.type_name(),
+                op,
+                r.type_name()
+            ))
+        })?,
         Eq => Value::Bool(l.semantic_eq(r)),
         NotEq => Value::Bool(!l.semantic_eq(r)),
         Lt => Value::Bool(l.total_cmp(r) == std::cmp::Ordering::Less),
@@ -167,7 +165,11 @@ fn binary(l: &Value, op: BinaryOp, r: &Value) -> Result<Value> {
             &l.to_display_string(),
             &r.to_display_string(),
         )),
-        Concat => Value::Text(format!("{}{}", l.to_display_string(), r.to_display_string())),
+        Concat => Value::Text(format!(
+            "{}{}",
+            l.to_display_string(),
+            r.to_display_string()
+        )),
         And | Or => unreachable!(),
     };
     Ok(out)
@@ -442,7 +444,14 @@ mod tests {
         let mut min = AggAccumulator::new(AggregateFunc::Min, false);
         let mut max = AggAccumulator::new(AggregateFunc::Max, false);
         for v in &vals {
-            for acc in [&mut count, &mut count_d, &mut sum, &mut avg, &mut min, &mut max] {
+            for acc in [
+                &mut count,
+                &mut count_d,
+                &mut sum,
+                &mut avg,
+                &mut min,
+                &mut max,
+            ] {
                 acc.update(v);
             }
         }
@@ -456,10 +465,22 @@ mod tests {
 
     #[test]
     fn empty_accumulators() {
-        assert_eq!(AggAccumulator::new(AggregateFunc::Count, false).finish(), Value::Int(0));
-        assert_eq!(AggAccumulator::new(AggregateFunc::Sum, false).finish(), Value::Null);
-        assert_eq!(AggAccumulator::new(AggregateFunc::Avg, false).finish(), Value::Null);
-        assert_eq!(AggAccumulator::new(AggregateFunc::Min, false).finish(), Value::Null);
+        assert_eq!(
+            AggAccumulator::new(AggregateFunc::Count, false).finish(),
+            Value::Int(0)
+        );
+        assert_eq!(
+            AggAccumulator::new(AggregateFunc::Sum, false).finish(),
+            Value::Null
+        );
+        assert_eq!(
+            AggAccumulator::new(AggregateFunc::Avg, false).finish(),
+            Value::Null
+        );
+        assert_eq!(
+            AggAccumulator::new(AggregateFunc::Min, false).finish(),
+            Value::Null
+        );
     }
 
     #[test]

@@ -1,9 +1,13 @@
 //! The plan interpreter: turns a [`LogicalPlan`] into rows.
 //!
-//! Execution is operator-at-a-time (each operator materializes its output).
-//! For the data sizes of the paper's workloads — the bottleneck is model
-//! calls, not CPU — this is the right trade-off, and it keeps every operator
-//! easy to verify in isolation.
+//! Execution is operator-at-a-time (each operator materializes its output),
+//! which keeps every operator easy to verify in isolation. Latency no longer
+//! comes operator-at-a-time, though: scans dispatch their model calls in
+//! concurrent waves (see [`crate::scan`]), and the CPU-bound operators
+//! (`Filter`, `Project`, the hash-join build/probe) fan out over the same
+//! worker-pool width once inputs exceed [`PAR_ROW_THRESHOLD`] rows. Both
+//! levels are controlled by `EngineConfig::parallelism` and preserve output
+//! order exactly, so plans produce identical rows at any setting.
 
 use std::collections::HashMap;
 
@@ -14,6 +18,7 @@ use llmsql_types::{Batch, Error, ExecutionMode, RelSchema, Result, Row, Value};
 
 use crate::context::ExecContext;
 use crate::eval::{eval, eval_predicate, AggAccumulator};
+use crate::parallel::{par_map, try_par_map, PAR_ROW_THRESHOLD};
 use crate::scan::{hybrid_scan, llm_scan, table_scan, ScanSpec};
 
 /// Execute a logical plan and return the result batch.
@@ -37,10 +42,10 @@ pub fn execute_rows(ctx: &ExecContext, plan: &LogicalPlan) -> Result<Vec<Row>> {
         } => {
             ctx.metrics.update(|m| m.record_operator("Scan"));
             let spec = ScanSpec {
-                table: table.clone(),
-                table_schema: table_schema.clone(),
-                pushed_filter: pushed_filter.clone(),
-                prompt_columns: prompt_columns.clone(),
+                table,
+                table_schema,
+                pushed_filter: pushed_filter.as_ref(),
+                prompt_columns: prompt_columns.as_deref(),
                 pushed_limit: *pushed_limit,
             };
             execute_scan(ctx, &spec, *virtual_table)
@@ -60,26 +65,25 @@ pub fn execute_rows(ctx: &ExecContext, plan: &LogicalPlan) -> Result<Vec<Row>> {
         LogicalPlan::Filter { input, predicate } => {
             ctx.metrics.update(|m| m.record_operator("Filter"));
             let rows = execute_rows(ctx, input)?;
-            let mut out = Vec::with_capacity(rows.len());
-            for row in rows {
-                if eval_predicate(predicate, &row)? == Some(true) {
-                    out.push(row);
-                }
-            }
-            Ok(out)
+            let keep = try_par_map(operator_parallelism(ctx, rows.len()), &rows, |_, row| {
+                Ok(eval_predicate(predicate, row)? == Some(true))
+            })?;
+            Ok(rows
+                .into_iter()
+                .zip(keep)
+                .filter_map(|(row, keep)| keep.then_some(row))
+                .collect())
         }
         LogicalPlan::Project { input, exprs, .. } => {
             ctx.metrics.update(|m| m.record_operator("Project"));
             let rows = execute_rows(ctx, input)?;
-            rows.iter()
-                .map(|row| {
-                    exprs
-                        .iter()
-                        .map(|e| eval(e, row))
-                        .collect::<Result<Vec<Value>>>()
-                        .map(Row::new)
-                })
-                .collect()
+            try_par_map(operator_parallelism(ctx, rows.len()), &rows, |_, row| {
+                exprs
+                    .iter()
+                    .map(|e| eval(e, row))
+                    .collect::<Result<Vec<Value>>>()
+                    .map(Row::new)
+            })
         }
         LogicalPlan::Join {
             left,
@@ -91,13 +95,14 @@ pub fn execute_rows(ctx: &ExecContext, plan: &LogicalPlan) -> Result<Vec<Row>> {
             ctx.metrics.update(|m| m.record_operator("Join"));
             let left_rows = execute_rows(ctx, left)?;
             let right_rows = execute_rows(ctx, right)?;
-            join_rows(
+            join_rows_with_parallelism(
                 &left_rows,
                 &right_rows,
                 left.schema().len(),
                 right.schema().len(),
                 *kind,
                 on.as_ref(),
+                operator_parallelism(ctx, left_rows.len().max(right_rows.len())),
             )
         }
         LogicalPlan::Aggregate {
@@ -133,7 +138,10 @@ pub fn execute_rows(ctx: &ExecContext, plan: &LogicalPlan) -> Result<Vec<Row>> {
             ctx.metrics.update(|m| m.record_operator("Distinct"));
             let rows = execute_rows(ctx, input)?;
             let mut seen = std::collections::HashSet::new();
-            Ok(rows.into_iter().filter(|r| seen.insert(r.clone())).collect())
+            Ok(rows
+                .into_iter()
+                .filter(|r| seen.insert(r.clone()))
+                .collect())
         }
     }
 }
@@ -143,7 +151,7 @@ pub fn execute_rows(ctx: &ExecContext, plan: &LogicalPlan) -> Result<Vec<Row>> {
 fn execute_scan(ctx: &ExecContext, spec: &ScanSpec, virtual_table: bool) -> Result<Vec<Row>> {
     match ctx.config.mode {
         ExecutionMode::Traditional => {
-            let entry = ctx.catalog.get(&spec.table)?;
+            let entry = ctx.catalog.get(spec.table)?;
             match entry {
                 CatalogEntry::Materialized(table) => table_scan(ctx, spec, &table),
                 CatalogEntry::Virtual(_) => Err(Error::execution(format!(
@@ -157,7 +165,7 @@ fn execute_scan(ctx: &ExecContext, spec: &ScanSpec, virtual_table: bool) -> Resu
             if virtual_table {
                 return llm_scan(ctx, spec);
             }
-            match ctx.catalog.get(&spec.table)? {
+            match ctx.catalog.get(spec.table)? {
                 CatalogEntry::Materialized(table) => hybrid_scan(ctx, spec, &table),
                 CatalogEntry::Virtual(_) => llm_scan(ctx, spec),
             }
@@ -171,10 +179,7 @@ fn execute_scan(ctx: &ExecContext, spec: &ScanSpec, virtual_table: bool) -> Resu
 
 /// Extract equi-join key pairs `(left_index, right_index)` from a join
 /// condition, plus the residual predicate that is not a simple equality.
-fn equi_keys(
-    on: &BoundExpr,
-    left_arity: usize,
-) -> (Vec<(usize, usize)>, Vec<BoundExpr>) {
+fn equi_keys(on: &BoundExpr, left_arity: usize) -> (Vec<(usize, usize)>, Vec<BoundExpr>) {
     let mut keys = Vec::new();
     let mut residual = Vec::new();
     for conjunct in llmsql_plan::split_conjunction(on) {
@@ -204,6 +209,17 @@ fn equi_keys(
     (keys, residual)
 }
 
+/// The worker-pool width to use for a CPU-bound operator over `rows` rows:
+/// the configured parallelism once the input is large enough to amortize
+/// thread spawns, else sequential.
+fn operator_parallelism(ctx: &ExecContext, rows: usize) -> usize {
+    if rows >= PAR_ROW_THRESHOLD {
+        ctx.config.parallelism.max(1)
+    } else {
+        1
+    }
+}
+
 /// Join two row sets. Uses a hash join on equi-key conjuncts when possible,
 /// falling back to a nested loop; residual conditions are applied to each
 /// candidate pair. Handles INNER, LEFT, RIGHT and CROSS joins.
@@ -214,6 +230,23 @@ pub fn join_rows(
     right_arity: usize,
     kind: JoinKind,
     on: Option<&BoundExpr>,
+) -> Result<Vec<Row>> {
+    join_rows_with_parallelism(left_rows, right_rows, left_arity, right_arity, kind, on, 1)
+}
+
+/// [`join_rows`] with an explicit worker-pool width. Key extraction, probe
+/// and residual evaluation fan out across workers; output order (left row
+/// order, then build-side insertion order per key) is identical at any
+/// width. Join keys are borrowed from the input rows — the build side
+/// allocates no per-row key clones.
+pub fn join_rows_with_parallelism(
+    left_rows: &[Row],
+    right_rows: &[Row],
+    left_arity: usize,
+    right_arity: usize,
+    kind: JoinKind,
+    on: Option<&BoundExpr>,
+    parallelism: usize,
 ) -> Result<Vec<Row>> {
     // RIGHT JOIN is a LEFT JOIN with sides swapped then columns reordered.
     if kind == JoinKind::Right {
@@ -227,13 +260,14 @@ pub fn join_rows(
             })
             .expect("total remap")
         });
-        let swapped = join_rows(
+        let swapped = join_rows_with_parallelism(
             right_rows,
             left_rows,
             right_arity,
             left_arity,
             JoinKind::Left,
             swapped_on.as_ref(),
+            parallelism,
         )?;
         return Ok(swapped
             .into_iter()
@@ -255,43 +289,55 @@ pub fn join_rows(
 
     let mut out = Vec::new();
     if !keys.is_empty() {
-        // Hash join: build on the right side.
-        let mut table: HashMap<Vec<Value>, Vec<&Row>> = HashMap::new();
-        for r in right_rows {
-            let key: Vec<Value> = keys.iter().map(|(_, ri)| r.get(*ri).clone()).collect();
-            if key.iter().any(|v| v.is_null()) {
-                continue;
+        // Hash join: build on the right side, keying by reference into the
+        // build rows (no per-row `Vec<Value>` clones). Key extraction is
+        // embarrassingly parallel; the map insert stays sequential to keep
+        // per-key candidate order equal to build-row order.
+        let right_keys: Vec<Option<Vec<&Value>>> = par_map(parallelism, right_rows, |_, r| {
+            let key: Vec<&Value> = keys.iter().map(|(_, ri)| r.get(*ri)).collect();
+            (!key.iter().any(|v| v.is_null())).then_some(key)
+        });
+        let mut table: HashMap<Vec<&Value>, Vec<&Row>> = HashMap::new();
+        for (r, key) in right_rows.iter().zip(right_keys) {
+            if let Some(key) = key {
+                table.entry(key).or_default().push(r);
             }
-            table.entry(key).or_default().push(r);
         }
-        for l in left_rows {
-            let key: Vec<Value> = keys.iter().map(|(li, _)| l.get(*li).clone()).collect();
-            let mut matched = false;
+        // Probe left rows in parallel; each worker emits its row's matches,
+        // concatenated afterwards in left-row order.
+        let table = &table;
+        let residual_pred = &residual_pred;
+        let per_left: Vec<Result<Vec<Row>>> = par_map(parallelism, left_rows, |_, l| {
+            let key: Vec<&Value> = keys.iter().map(|(li, _)| l.get(*li)).collect();
+            let mut matches = Vec::new();
             if !key.iter().any(|v| v.is_null()) {
                 if let Some(candidates) = table.get(&key) {
                     for r in candidates {
                         let combined = l.concat(r);
-                        let keep = match &residual_pred {
+                        let keep = match residual_pred {
                             Some(p) => eval_predicate(p, &combined)? == Some(true),
                             None => true,
                         };
                         if keep {
-                            matched = true;
-                            out.push(combined);
+                            matches.push(combined);
                         }
                     }
                 }
             }
-            if !matched && kind == JoinKind::Left {
+            if matches.is_empty() && kind == JoinKind::Left {
                 let mut padded = l.clone();
                 padded.resize(left_arity + right_arity);
-                out.push(padded);
+                matches.push(padded);
             }
+            Ok(matches)
+        });
+        for matches in per_left {
+            out.extend(matches?);
         }
     } else {
-        // Nested loop.
-        for l in left_rows {
-            let mut matched = false;
+        // Nested loop, parallel over the outer (left) side.
+        let per_left: Vec<Result<Vec<Row>>> = par_map(parallelism, left_rows, |_, l| {
+            let mut matches = Vec::new();
             for r in right_rows {
                 let combined = l.concat(r);
                 let keep = match on {
@@ -299,15 +345,18 @@ pub fn join_rows(
                     None => true,
                 };
                 if keep {
-                    matched = true;
-                    out.push(combined);
+                    matches.push(combined);
                 }
             }
-            if !matched && kind == JoinKind::Left {
+            if matches.is_empty() && kind == JoinKind::Left {
                 let mut padded = l.clone();
                 padded.resize(left_arity + right_arity);
-                out.push(padded);
+                matches.push(padded);
             }
+            Ok(matches)
+        });
+        for matches in per_left {
+            out.extend(matches?);
         }
     }
     Ok(out)
@@ -522,7 +571,8 @@ mod tests {
 
     #[test]
     fn expression_projection() {
-        let b = run("SELECT name, population * 2 AS double_pop FROM countries WHERE name = 'Japan'");
+        let b =
+            run("SELECT name, population * 2 AS double_pop FROM countries WHERE name = 'Japan'");
         assert_eq!(cell(&b, 0, 1), Value::Int(250));
         assert_eq!(b.schema.names()[1], "double_pop");
     }
@@ -560,10 +610,7 @@ mod tests {
         );
         // every country appears; countries without cities padded with NULL city
         assert_eq!(
-            b.rows
-                .iter()
-                .filter(|r| r.get(0).is_null())
-                .count(),
+            b.rows.iter().filter(|r| r.get(0).is_null()).count(),
             3 // Peru, Kenya, Iceland
         );
     }
@@ -601,9 +648,8 @@ mod tests {
 
     #[test]
     fn having_filters_groups() {
-        let b = run(
-            "SELECT region, COUNT(*) AS n FROM countries GROUP BY region HAVING COUNT(*) > 1",
-        );
+        let b =
+            run("SELECT region, COUNT(*) AS n FROM countries GROUP BY region HAVING COUNT(*) > 1");
         assert_eq!(b.len(), 1);
         assert_eq!(cell(&b, 0, 0), Value::Text("Europe".into()));
     }
@@ -637,12 +683,18 @@ mod tests {
 
     #[test]
     fn in_and_between_and_like() {
-        assert_eq!(run("SELECT name FROM countries WHERE region IN ('Asia', 'Africa')").len(), 2);
+        assert_eq!(
+            run("SELECT name FROM countries WHERE region IN ('Asia', 'Africa')").len(),
+            2
+        );
         assert_eq!(
             run("SELECT name FROM countries WHERE population BETWEEN 50 AND 90").len(),
             3
         );
-        assert_eq!(run("SELECT name FROM countries WHERE name LIKE 'I%'").len(), 1);
+        assert_eq!(
+            run("SELECT name FROM countries WHERE name LIKE 'I%'").len(),
+            1
+        );
     }
 
     #[test]

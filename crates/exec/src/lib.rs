@@ -4,6 +4,14 @@
 //! physical scan operators over the relational store and the language-model
 //! storage layer, relational operators (filter, project, hash/nested-loop
 //! join, hash aggregate, sort, limit, distinct), and the plan interpreter.
+//!
+//! Execution is operator-at-a-time, but the latency-critical work inside an
+//! operator is parallel: LLM-backed scans dispatch prompt waves concurrently
+//! over a scoped worker pool ([`parallel::par_map`]) and CPU-heavy operators
+//! fan out above a row-count threshold, all governed by
+//! `EngineConfig::parallelism`. Output order and (for scans) the set of
+//! issued prompts are deterministic, so any parallelism setting produces
+//! byte-identical results for a fixed seed.
 
 #![warn(missing_docs)]
 
@@ -11,12 +19,16 @@ pub mod context;
 pub mod eval;
 pub mod executor;
 pub mod metrics;
+pub mod parallel;
 pub mod scan;
 
 pub use context::ExecContext;
 pub use eval::{eval, eval_predicate, AggAccumulator};
-pub use executor::{aggregate_rows, execute, execute_rows, join_rows, sort_rows};
-pub use metrics::{ExecMetrics, SharedMetrics};
+pub use executor::{
+    aggregate_rows, execute, execute_rows, join_rows, join_rows_with_parallelism, sort_rows,
+};
+pub use metrics::{ExecMetrics, InFlightGuard, SharedMetrics};
+pub use parallel::{par_map, try_par_map, PAR_ROW_THRESHOLD};
 pub use scan::{hybrid_scan, llm_scan, table_scan, ScanSpec};
 
 #[cfg(test)]

@@ -1,7 +1,13 @@
 //! Execution metrics collected while a query runs.
+//!
+//! Counter updates funnel through [`SharedMetrics`], which operators on any
+//! worker thread can clone and update concurrently. In-flight request
+//! tracking is lock-free (`AtomicU64`) so it can sit directly on the LLM
+//! dispatch hot path.
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -19,6 +25,10 @@ pub struct ExecMetrics {
     pub dropped_lines: u64,
     /// NULL cells filled from the model by hybrid scans.
     pub cells_filled_by_llm: u64,
+    /// Highest number of LLM requests that were in flight at the same time
+    /// (1 under sequential dispatch, up to `EngineConfig::parallelism` under
+    /// concurrent dispatch).
+    pub peak_in_flight: u64,
     /// LLM prompts issued, by task kind ("row_batch", "lookup", ...).
     pub llm_calls_by_kind: BTreeMap<String, u64>,
     /// Plan nodes executed, by operator name.
@@ -48,6 +58,7 @@ impl ExecMetrics {
         self.rows_output += other.rows_output;
         self.dropped_lines += other.dropped_lines;
         self.cells_filled_by_llm += other.cells_filled_by_llm;
+        self.peak_in_flight = self.peak_in_flight.max(other.peak_in_flight);
         for (k, v) in &other.llm_calls_by_kind {
             *self.llm_calls_by_kind.entry(k.clone()).or_default() += v;
         }
@@ -61,20 +72,25 @@ impl fmt::Display for ExecMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "store_rows={} llm_rows={} out_rows={} llm_calls={} dropped={} filled={}",
+            "store_rows={} llm_rows={} out_rows={} llm_calls={} dropped={} filled={} peak_in_flight={}",
             self.rows_from_store,
             self.rows_from_llm,
             self.rows_output,
             self.llm_calls(),
             self.dropped_lines,
-            self.cells_filled_by_llm
+            self.cells_filled_by_llm,
+            self.peak_in_flight
         )
     }
 }
 
 /// A shared, thread-safe metrics handle.
 #[derive(Clone, Default)]
-pub struct SharedMetrics(Arc<Mutex<ExecMetrics>>);
+pub struct SharedMetrics {
+    inner: Arc<Mutex<ExecMetrics>>,
+    in_flight: Arc<AtomicU64>,
+    peak_in_flight: Arc<AtomicU64>,
+}
 
 impl SharedMetrics {
     /// Create a fresh handle.
@@ -84,12 +100,49 @@ impl SharedMetrics {
 
     /// Run a closure with mutable access to the metrics.
     pub fn update(&self, f: impl FnOnce(&mut ExecMetrics)) {
-        f(&mut self.0.lock());
+        f(&mut self.inner.lock());
     }
 
-    /// Snapshot the current metrics.
+    /// Total LLM calls recorded so far, without cloning the metrics (cheap
+    /// enough for per-wave budget checks on the dispatch hot path).
+    pub fn llm_call_count(&self) -> u64 {
+        self.inner.lock().llm_calls()
+    }
+
+    /// Snapshot the current metrics (including the in-flight peak).
     pub fn snapshot(&self) -> ExecMetrics {
-        self.0.lock().clone()
+        let mut m = self.inner.lock().clone();
+        m.peak_in_flight = m
+            .peak_in_flight
+            .max(self.peak_in_flight.load(Ordering::SeqCst));
+        m
+    }
+
+    /// Mark one LLM request as in flight; the returned guard decrements the
+    /// gauge on drop. The observed maximum is reported as
+    /// [`ExecMetrics::peak_in_flight`].
+    pub fn track_in_flight(&self) -> InFlightGuard {
+        let now = self.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+        self.peak_in_flight.fetch_max(now, Ordering::SeqCst);
+        InFlightGuard {
+            in_flight: Arc::clone(&self.in_flight),
+        }
+    }
+
+    /// Requests currently in flight (0 when idle).
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::SeqCst)
+    }
+}
+
+/// RAII guard for one in-flight LLM request.
+pub struct InFlightGuard {
+    in_flight: Arc<AtomicU64>,
+}
+
+impl Drop for InFlightGuard {
+    fn drop(&mut self) {
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -112,16 +165,23 @@ mod tests {
 
     #[test]
     fn merge_adds_up() {
-        let mut a = ExecMetrics::default();
-        a.rows_from_llm = 5;
+        let mut a = ExecMetrics {
+            rows_from_llm: 5,
+            peak_in_flight: 2,
+            ..ExecMetrics::default()
+        };
         a.record_llm_call("lookup");
-        let mut b = ExecMetrics::default();
-        b.rows_from_llm = 7;
+        let mut b = ExecMetrics {
+            rows_from_llm: 7,
+            peak_in_flight: 4,
+            ..ExecMetrics::default()
+        };
         b.record_llm_call("lookup");
         b.record_llm_call("enumerate");
         a.merge(&b);
         assert_eq!(a.rows_from_llm, 12);
         assert_eq!(a.llm_calls(), 3);
+        assert_eq!(a.peak_in_flight, 4);
     }
 
     #[test]
@@ -130,5 +190,39 @@ mod tests {
         let clone = shared.clone();
         clone.update(|m| m.rows_output = 9);
         assert_eq!(shared.snapshot().rows_output, 9);
+    }
+
+    #[test]
+    fn in_flight_gauge_tracks_peak() {
+        let shared = SharedMetrics::new();
+        assert_eq!(shared.in_flight(), 0);
+        {
+            let _a = shared.track_in_flight();
+            let _b = shared.track_in_flight();
+            assert_eq!(shared.in_flight(), 2);
+            {
+                let _c = shared.track_in_flight();
+                assert_eq!(shared.in_flight(), 3);
+            }
+            assert_eq!(shared.in_flight(), 2);
+        }
+        assert_eq!(shared.in_flight(), 0);
+        assert_eq!(shared.snapshot().peak_in_flight, 3);
+    }
+
+    #[test]
+    fn peak_survives_across_threads() {
+        let shared = SharedMetrics::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let handle = shared.clone();
+                scope.spawn(move || {
+                    let _g = handle.track_in_flight();
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                });
+            }
+        });
+        assert!(shared.snapshot().peak_in_flight >= 2);
+        assert_eq!(shared.in_flight(), 0);
     }
 }

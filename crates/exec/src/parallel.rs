@@ -1,0 +1,156 @@
+//! A small scoped-thread worker pool for order-preserving parallel maps.
+//!
+//! This is the execution engine's only concurrency primitive: `par_map` runs
+//! a closure over a slice on up to `parallelism` worker threads and returns
+//! the results **in input order**, so callers get rayon-style data
+//! parallelism with deterministic output. Threads are scoped
+//! (`std::thread::scope`), so closures may borrow from the caller's stack —
+//! scan specs, catalogs and clients are shared by reference, never cloned
+//! per worker.
+//!
+//! Work distribution is a single atomic cursor (work stealing degenerates to
+//! chunk-free self-scheduling): workers race to claim the next index, which
+//! keeps long-latency items (LLM calls) from serializing behind a static
+//! partition.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Row-count threshold below which relational operators stay sequential:
+/// under ~this many rows, thread spawn overhead dwarfs the per-row work.
+pub const PAR_ROW_THRESHOLD: usize = 256;
+
+/// Map `f` over `items` with up to `parallelism` worker threads, returning
+/// results in input order. `f` receives `(index, &item)`.
+///
+/// With `parallelism <= 1` (or fewer than two items) this runs inline on the
+/// caller's thread with zero overhead — the sequential and parallel paths
+/// execute the same closure in the same logical order, which is what makes
+/// parallel scans bit-identical to sequential ones.
+///
+/// Panics in `f` propagate to the caller (the scope joins all workers
+/// first).
+pub fn par_map<'a, T, R, F>(parallelism: usize, items: &'a [T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &'a T) -> R + Sync,
+{
+    let workers = parallelism.min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                // Thread-local buffer keeps the shared lock off the hot path.
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    local.push((i, f(i, &items[i])));
+                }
+                collected
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .extend(local);
+            });
+        }
+    });
+
+    let mut pairs = collected.into_inner().unwrap_or_else(|e| e.into_inner());
+    debug_assert_eq!(pairs.len(), items.len());
+    pairs.sort_unstable_by_key(|(i, _)| *i);
+    pairs.into_iter().map(|(_, r)| r).collect()
+}
+
+/// `par_map` over fallible closures: stops at the first error **in input
+/// order** (later items may still have been evaluated, but their results are
+/// discarded), mirroring what a sequential `collect::<Result<_>>` reports.
+pub fn try_par_map<'a, T, R, E, F>(
+    parallelism: usize,
+    items: &'a [T],
+    f: F,
+) -> std::result::Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &'a T) -> std::result::Result<R, E> + Sync,
+{
+    par_map(parallelism, items, f).into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn preserves_order_at_any_parallelism() {
+        let items: Vec<u64> = (0..101).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * 3).collect();
+        for parallelism in [1, 2, 4, 8] {
+            let got = par_map(parallelism, &items, |_, &x| x * 3);
+            assert_eq!(got, expected, "parallelism {parallelism}");
+        }
+    }
+
+    #[test]
+    fn index_matches_item_position() {
+        let items = ["a", "b", "c", "d", "e"];
+        let got = par_map(4, &items, |i, s| format!("{i}{s}"));
+        assert_eq!(got, vec!["0a", "1b", "2c", "3d", "4e"]);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<i32> = vec![];
+        assert!(par_map(4, &empty, |_, x| *x).is_empty());
+        assert_eq!(par_map(4, &[7], |_, x| *x), vec![7]);
+    }
+
+    #[test]
+    fn actually_runs_concurrently() {
+        // 4 workers x 4 sleeps of 30ms: parallel wall time must be well under
+        // the 480ms a sequential run would take.
+        let items: Vec<u32> = (0..16).collect();
+        let start = std::time::Instant::now();
+        par_map(8, &items, |_, _| {
+            std::thread::sleep(std::time::Duration::from_millis(30))
+        });
+        assert!(
+            start.elapsed() < std::time::Duration::from_millis(300),
+            "took {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn try_par_map_reports_first_error_in_order() {
+        let items: Vec<i64> = (0..50).collect();
+        let attempts = AtomicU64::new(0);
+        let result: Result<Vec<i64>, String> = try_par_map(4, &items, |_, &x| {
+            attempts.fetch_add(1, Ordering::Relaxed);
+            if x % 20 == 19 {
+                Err(format!("bad {x}"))
+            } else {
+                Ok(x)
+            }
+        });
+        assert_eq!(result.unwrap_err(), "bad 19");
+    }
+
+    #[test]
+    fn workers_borrow_from_caller_stack() {
+        let data = vec![String::from("x"); 10];
+        let lens = par_map(4, &data, |_, s| s.len());
+        assert_eq!(lens, vec![1; 10]);
+        drop(data);
+    }
+}

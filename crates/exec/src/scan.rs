@@ -8,36 +8,65 @@
 //!   how exactly depends on the [`PromptStrategy`].
 //! * [`hybrid_scan`] — read the materialized (but incomplete) table and fill
 //!   NULL cells by prompting the model for the missing attribute values.
+//!
+//! # Concurrent dispatch
+//!
+//! Model calls dominate query latency, so every LLM-backed scan dispatches
+//! its prompts in *waves* of up to [`ExecContext::scan_fanout`] concurrent
+//! requests (`EngineConfig::parallelism`). Waves preserve the sequential
+//! scan's semantics exactly:
+//!
+//! * Prompts are planned deterministically (page offsets, tuple order), so
+//!   the prompt *set* does not depend on thread interleaving; completions are
+//!   reassembled in page/tuple order before any row is emitted. Same seed +
+//!   same query ⇒ byte-identical rows at any parallelism.
+//! * Call budgets (`max_llm_calls`) bound the wave size up front, so
+//!   parallelism never issues calls a sequential run would have skipped.
+//! * Pagination is speculative: a wave assumes every page comes back full.
+//!   When the relation ends mid-wave, responses after the first short page
+//!   are discarded. Wave sizes ramp up TCP-style (1, 2, 4, … capped at the
+//!   fanout), so the extra calls a scan can issue past the end of the
+//!   relation are bounded by the smaller of `parallelism - 1` and the page
+//!   count the relation already served — an empty relation costs exactly
+//!   one call, as in a sequential run. Budget-capped scans
+//!   (`LIMIT`/`max_scan_rows` reached before exhaustion) issue exactly the
+//!   sequential call count. Cost accounting reports every issued call
+//!   faithfully.
 
 use llmsql_llm::prompt::TaskSpec;
-use llmsql_llm::{parse_pipe_rows, parse_value_lines, parse_yes_no, CompletionRequest, YesNoAnswer};
+use llmsql_llm::{
+    parse_pipe_rows, parse_value_lines, parse_yes_no, CompletionRequest, CompletionResponse,
+    LlmClient, YesNoAnswer,
+};
 use llmsql_plan::BoundExpr;
 use llmsql_store::Table;
 use llmsql_types::{DataType, PromptStrategy, Result, Row, Schema, Value};
 
 use crate::context::ExecContext;
 use crate::eval::eval_predicate;
+use crate::parallel::par_map;
 
-/// Parameters of a scan, extracted from the logical plan node.
-#[derive(Debug, Clone)]
-pub struct ScanSpec {
+/// Parameters of a scan, extracted from the logical plan node. Borrows the
+/// plan's data — constructing a spec allocates nothing.
+#[derive(Debug, Clone, Copy)]
+pub struct ScanSpec<'a> {
     /// Catalog table name.
-    pub table: String,
+    pub table: &'a str,
     /// Base-table schema.
-    pub table_schema: Schema,
+    pub table_schema: &'a Schema,
     /// Filter over the base columns (pushed down by the optimizer).
-    pub pushed_filter: Option<BoundExpr>,
+    pub pushed_filter: Option<&'a BoundExpr>,
     /// Base columns that must be fetched (`None` = all).
-    pub prompt_columns: Option<Vec<usize>>,
+    pub prompt_columns: Option<&'a [usize]>,
     /// Row cap pushed from a LIMIT.
     pub pushed_limit: Option<usize>,
 }
 
-impl ScanSpec {
+impl ScanSpec<'_> {
     /// The columns the scan must actually obtain values for.
     fn needed_columns(&self) -> Vec<usize> {
-        match &self.prompt_columns {
-            Some(cols) => cols.clone(),
+        match self.prompt_columns {
+            Some(cols) => cols.to_vec(),
             None => (0..self.table_schema.arity()).collect(),
         }
     }
@@ -55,9 +84,7 @@ impl ScanSpec {
         if !ctx.config.enable_predicate_pushdown {
             return None;
         }
-        self.pushed_filter
-            .as_ref()
-            .and_then(|f| f.to_sql_text().ok())
+        self.pushed_filter.and_then(|f| f.to_sql_text().ok())
     }
 
     /// The column names to request from the model (respecting projection
@@ -78,6 +105,44 @@ impl ScanSpec {
             .collect();
         (indices, names, types)
     }
+
+    /// Index of the primary-key column (first column when none is marked).
+    fn key_column(&self) -> usize {
+        self.table_schema
+            .columns
+            .iter()
+            .position(|c| c.primary_key)
+            .unwrap_or(0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wave dispatch
+// ---------------------------------------------------------------------------
+
+/// Issue one wave of prompts concurrently (up to the context's scan fanout),
+/// returning responses in prompt order. Every prompt is recorded as one LLM
+/// call of `kind` and tracked in the in-flight gauge while outstanding.
+fn dispatch_wave(
+    ctx: &ExecContext,
+    client: &LlmClient,
+    kind: &str,
+    prompts: &[String],
+) -> Vec<Result<CompletionResponse>> {
+    ctx.metrics.update(|m| {
+        for _ in prompts {
+            m.record_llm_call(kind);
+        }
+    });
+    par_map(ctx.scan_fanout(), prompts, |_, prompt| {
+        let _in_flight = ctx.metrics.track_in_flight();
+        client.complete(&CompletionRequest::new(prompt.as_str()))
+    })
+}
+
+/// LLM calls already issued for this query.
+fn calls_used(ctx: &ExecContext) -> usize {
+    ctx.metrics.llm_call_count() as usize
 }
 
 // ---------------------------------------------------------------------------
@@ -85,11 +150,11 @@ impl ScanSpec {
 // ---------------------------------------------------------------------------
 
 /// Scan a materialized table, applying the pushed filter locally.
-pub fn table_scan(ctx: &ExecContext, spec: &ScanSpec, table: &Table) -> Result<Vec<Row>> {
+pub fn table_scan(ctx: &ExecContext, spec: &ScanSpec<'_>, table: &Table) -> Result<Vec<Row>> {
     let mut rows = Vec::new();
     let budget = spec.row_budget(ctx);
     for row in table.scan() {
-        if let Some(filter) = &spec.pushed_filter {
+        if let Some(filter) = spec.pushed_filter {
             if eval_predicate(filter, &row)? != Some(true) {
                 continue;
             }
@@ -99,7 +164,8 @@ pub fn table_scan(ctx: &ExecContext, spec: &ScanSpec, table: &Table) -> Result<V
             break;
         }
     }
-    ctx.metrics.update(|m| m.rows_from_store += rows.len() as u64);
+    ctx.metrics
+        .update(|m| m.rows_from_store += rows.len() as u64);
     Ok(rows)
 }
 
@@ -108,23 +174,23 @@ pub fn table_scan(ctx: &ExecContext, spec: &ScanSpec, table: &Table) -> Result<V
 // ---------------------------------------------------------------------------
 
 /// Materialize a virtual relation by prompting the model.
-pub fn llm_scan(ctx: &ExecContext, spec: &ScanSpec) -> Result<Vec<Row>> {
+pub fn llm_scan(ctx: &ExecContext, spec: &ScanSpec<'_>) -> Result<Vec<Row>> {
     let strategy = ctx.config.strategy;
     let rows = match strategy {
         PromptStrategy::TupleAtATime => llm_scan_tuple_at_a_time(ctx, spec, true)?,
         PromptStrategy::DecomposedOperators => llm_scan_decomposed(ctx, spec)?,
         // FullQuery is handled at the engine level; if a scan still ends up
         // here (e.g. a mixed plan), fall back to batched pagination.
-        PromptStrategy::BatchedRows | PromptStrategy::FullQuery => {
-            llm_scan_batched(ctx, spec)?
-        }
+        PromptStrategy::BatchedRows | PromptStrategy::FullQuery => llm_scan_batched(ctx, spec)?,
     };
     ctx.metrics.update(|m| m.rows_from_llm += rows.len() as u64);
     Ok(rows)
 }
 
-/// Page through the relation with `RowBatch` prompts.
-fn llm_scan_batched(ctx: &ExecContext, spec: &ScanSpec) -> Result<Vec<Row>> {
+/// Page through the relation with `RowBatch` prompts, dispatching each wave
+/// of pages concurrently at precomputed offsets and reassembling results in
+/// page order.
+fn llm_scan_batched(ctx: &ExecContext, spec: &ScanSpec<'_>) -> Result<Vec<Row>> {
     let client = ctx.require_client()?;
     let (indices, names, types) = spec.prompt_column_names(ctx);
     let filter = spec.prompt_filter(ctx);
@@ -133,37 +199,95 @@ fn llm_scan_batched(ctx: &ExecContext, spec: &ScanSpec) -> Result<Vec<Row>> {
 
     let mut rows: Vec<Row> = Vec::new();
     let mut offset = 0usize;
-    let mut calls = 0usize;
-    while rows.len() < budget && calls < ctx.config.max_llm_calls {
-        let want = page.min(budget - rows.len());
-        let task = TaskSpec::RowBatch {
-            table: spec.table.clone(),
-            columns: names.clone(),
-            filter: filter.clone(),
-            limit: want,
-            offset,
-        };
-        let prompt = task.to_prompt(Some(&spec.table_schema));
-        ctx.metrics.update(|m| m.record_llm_call(task.kind()));
-        let response = client.complete(&CompletionRequest::new(prompt))?;
-        calls += 1;
-        let parsed = parse_pipe_rows(&response.text, &types);
-        ctx.metrics
-            .update(|m| m.dropped_lines += parsed.dropped_lines as u64);
-        // Lines the model produced for this page, whether or not they parsed:
-        // the relation is only exhausted when the model had fewer rows to say
-        // than we asked for, not when some lines were malformed.
-        let got_lines = parsed.rows.len() + parsed.dropped_lines;
-        for partial in parsed.rows {
-            rows.push(widen_row(&indices, partial, spec.table_schema.arity()));
+    let mut exhausted = false;
+    // Slow-start ramp: speculative pagination past the end of the relation
+    // wastes calls, and before the first response nothing is known about the
+    // relation's size. The first wave is a single probe page; each full wave
+    // doubles the next one up to the configured fanout, so overshoot at the
+    // relation's end is bounded by what the relation has already
+    // demonstrated (an empty relation costs exactly 1 call, like a
+    // sequential scan).
+    let mut ramp = 1usize;
+    // The call cap is query-global (shared with any other scans of the same
+    // query through the metrics channel), like in the other strategies.
+    while !exhausted && rows.len() < budget && calls_used(ctx) < ctx.config.max_llm_calls {
+        let call_budget = ctx.config.max_llm_calls - calls_used(ctx);
+        // Plan the wave. A wave may only contain *full* pages (`limit` =
+        // `page`): their prompts depend on nothing but the page offset, which
+        // advances by exactly `page` while pages come back full, so they can
+        // be fetched concurrently and still match a sequential run prompt-
+        // for-prompt. A budget-clamped final page is different — its `limit`
+        // is `budget - rows.len()`, which depends on how many rows the
+        // earlier pages actually *parsed* (fidelity noise drops lines) — so
+        // it is always issued alone, planned from the true row count.
+        let mut wave: Vec<(usize, usize)> = Vec::new(); // (offset, want)
+        let mut planned_rows = rows.len();
+        let mut planned_offset = offset;
+        while wave.len() < ctx.scan_fanout().min(ramp).min(call_budget) && planned_rows < budget {
+            let remaining = budget - planned_rows;
+            if remaining < page {
+                // Budget-clamped page: speculation about earlier pages'
+                // parsed counts would leak into its prompt. Issue it alone
+                // (wave of one, planned from actual state) or after the
+                // current wave of full pages drains.
+                if wave.is_empty() {
+                    wave.push((planned_offset, remaining));
+                }
+                break;
+            }
+            wave.push((planned_offset, page));
+            planned_rows += page;
+            planned_offset += page;
+        }
+        let prompts: Vec<String> = wave
+            .iter()
+            .map(|&(page_offset, want)| {
+                TaskSpec::RowBatch {
+                    table: spec.table.to_string(),
+                    columns: names.clone(),
+                    filter: filter.clone(),
+                    limit: want,
+                    offset: page_offset,
+                }
+                .to_prompt(Some(spec.table_schema))
+            })
+            .collect();
+        let responses = dispatch_wave(ctx, client, "row_batch", &prompts);
+
+        for (&(page_offset, want), response) in wave.iter().zip(responses) {
+            let response = response?;
+            let parsed = parse_pipe_rows(&response.text, &types);
+            ctx.metrics
+                .update(|m| m.dropped_lines += parsed.dropped_lines as u64);
+            // Lines the model produced for this page, whether or not they
+            // parsed: the relation is only exhausted when the model had fewer
+            // rows to say than we asked for, not when some lines were
+            // malformed. A backend that disobeys the prompt and emits *more*
+            // lines than requested is clamped to the requested page size —
+            // later pages were (or will be) dispatched at offsets assuming at
+            // most `want` lines per page, so consuming overshoot here would
+            // duplicate rows and desynchronize pagination.
+            let got_lines = (parsed.rows.len() + parsed.dropped_lines).min(want);
+            for partial in parsed.rows.into_iter().take(want) {
+                rows.push(widen_row(&indices, partial, spec.table_schema.arity()));
+                if rows.len() >= budget {
+                    break;
+                }
+            }
+            if got_lines < want {
+                // End of relation: later pages in this wave were speculative
+                // fetches past the end — discard them.
+                exhausted = true;
+                break;
+            }
+            offset = page_offset + got_lines;
             if rows.len() >= budget {
                 break;
             }
         }
-        if got_lines < want {
-            break;
+        if !exhausted {
+            ramp = (ramp * 2).min(ctx.scan_fanout().max(1));
         }
-        offset += got_lines;
     }
     if !ctx.config.enable_predicate_pushdown {
         apply_local_filter(ctx, spec, &mut rows)?;
@@ -171,21 +295,17 @@ fn llm_scan_batched(ctx: &ExecContext, spec: &ScanSpec) -> Result<Vec<Row>> {
     Ok(rows)
 }
 
-/// Enumerate keys, then one `Lookup` prompt per entity.
+/// Enumerate keys, then one `Lookup` prompt per entity; lookups for distinct
+/// entities are independent and dispatched in concurrent waves.
 fn llm_scan_tuple_at_a_time(
     ctx: &ExecContext,
-    spec: &ScanSpec,
+    spec: &ScanSpec<'_>,
     push_filter_into_enumeration: bool,
 ) -> Result<Vec<Row>> {
     let client = ctx.require_client()?;
     let (indices, names, _types) = spec.prompt_column_names(ctx);
     let budget = spec.row_budget(ctx);
-    let key_idx = spec
-        .table_schema
-        .columns
-        .iter()
-        .position(|c| c.primary_key)
-        .unwrap_or(0);
+    let key_idx = spec.key_column();
     let key_name = spec.table_schema.columns[key_idx].name.clone();
     let key_type = spec.table_schema.columns[key_idx].data_type;
 
@@ -196,18 +316,30 @@ fn llm_scan_tuple_at_a_time(
         None
     };
     let enumerate = TaskSpec::Enumerate {
-        table: spec.table.clone(),
+        table: spec.table.to_string(),
         filter,
         limit: budget,
         offset: 0,
     };
-    ctx.metrics.update(|m| m.record_llm_call(enumerate.kind()));
-    let response = client.complete(&CompletionRequest::new(
-        enumerate.to_prompt(Some(&spec.table_schema)),
-    ))?;
+    let responses = dispatch_wave(
+        ctx,
+        client,
+        enumerate.kind(),
+        &[enumerate.to_prompt(Some(spec.table_schema))],
+    );
+    let response = responses
+        .into_iter()
+        .next()
+        .expect("one enumerate prompt")?;
     let keys = parse_value_lines(&response.text, key_type);
     ctx.metrics
         .update(|m| m.dropped_lines += keys.dropped_lines as u64);
+    let keys: Vec<Value> = keys
+        .rows
+        .into_iter()
+        .take(budget)
+        .map(|row| row.get(0).clone())
+        .collect();
 
     // 2. One lookup per entity for the remaining columns.
     let other_names: Vec<String> = names.iter().filter(|n| **n != key_name).cloned().collect();
@@ -219,38 +351,61 @@ fn llm_scan_tuple_at_a_time(
         .collect();
 
     let mut rows = Vec::new();
-    for key_row in keys.rows.into_iter().take(budget) {
-        if ctx.metrics.snapshot().llm_calls() as usize >= ctx.config.max_llm_calls {
-            break;
-        }
-        let key = key_row.get(0).clone();
-        let mut full = vec![Value::Null; spec.table_schema.arity()];
-        full[key_idx] = key.clone();
-        if !other_names.is_empty() {
-            let lookup = TaskSpec::Lookup {
-                table: spec.table.clone(),
-                key: key.to_display_string(),
-                columns: other_names.clone(),
-            };
-            ctx.metrics.update(|m| m.record_llm_call(lookup.kind()));
-            let response = client.complete(&CompletionRequest::new(
-                lookup.to_prompt(Some(&spec.table_schema)),
-            ))?;
-            let parsed = parse_pipe_rows(&response.text, &other_types);
-            ctx.metrics
-                .update(|m| m.dropped_lines += parsed.dropped_lines as u64);
-            if let Some(values) = parsed.rows.into_iter().next() {
-                let mut vi = 0;
-                for (&idx, name) in indices.iter().zip(&names) {
-                    if *name == key_name {
-                        continue;
-                    }
-                    full[idx] = values.get(vi).clone();
-                    vi += 1;
-                }
+    if other_names.is_empty() {
+        // Key-only projection: no lookups needed; the call-budget check is
+        // kept for parity with the per-lookup path (and hoisted — the loop
+        // itself issues no calls).
+        if calls_used(ctx) < ctx.config.max_llm_calls {
+            for key in keys {
+                let mut full = vec![Value::Null; spec.table_schema.arity()];
+                full[key_idx] = key;
+                rows.push(Row::new(full));
             }
         }
-        rows.push(Row::new(full));
+    } else {
+        let mut cursor = 0;
+        while cursor < keys.len() {
+            let call_budget = ctx.config.max_llm_calls.saturating_sub(calls_used(ctx));
+            if call_budget == 0 {
+                break;
+            }
+            let wave_len = (keys.len() - cursor)
+                .min(ctx.scan_fanout())
+                .min(call_budget);
+            let wave_keys = &keys[cursor..cursor + wave_len];
+            let prompts: Vec<String> = wave_keys
+                .iter()
+                .map(|key| {
+                    TaskSpec::Lookup {
+                        table: spec.table.to_string(),
+                        key: key.to_display_string(),
+                        columns: other_names.clone(),
+                    }
+                    .to_prompt(Some(spec.table_schema))
+                })
+                .collect();
+            let responses = dispatch_wave(ctx, client, "lookup", &prompts);
+            for (key, response) in wave_keys.iter().zip(responses) {
+                let response = response?;
+                let parsed = parse_pipe_rows(&response.text, &other_types);
+                ctx.metrics
+                    .update(|m| m.dropped_lines += parsed.dropped_lines as u64);
+                let mut full = vec![Value::Null; spec.table_schema.arity()];
+                full[key_idx] = key.clone();
+                if let Some(values) = parsed.rows.into_iter().next() {
+                    let mut vi = 0;
+                    for (&idx, name) in indices.iter().zip(&names) {
+                        if *name == key_name {
+                            continue;
+                        }
+                        full[idx] = values.get(vi).clone();
+                        vi += 1;
+                    }
+                }
+                rows.push(Row::new(full));
+            }
+            cursor += wave_len;
+        }
     }
 
     // The per-tuple strategy re-checks the predicate locally: it has the
@@ -261,16 +416,17 @@ fn llm_scan_tuple_at_a_time(
 }
 
 /// Decomposed-operator strategy: enumerate + lookups *without* pushing the
-/// predicate, then a `FilterCheck` prompt per candidate row.
-fn llm_scan_decomposed(ctx: &ExecContext, spec: &ScanSpec) -> Result<Vec<Row>> {
+/// predicate, then a `FilterCheck` prompt per candidate row, dispatched in
+/// concurrent waves.
+fn llm_scan_decomposed(ctx: &ExecContext, spec: &ScanSpec<'_>) -> Result<Vec<Row>> {
     let client = ctx.require_client()?;
     // Materialize without the filter so the filter becomes its own operator.
     let unfiltered_spec = ScanSpec {
         pushed_filter: None,
-        ..spec.clone()
+        ..*spec
     };
     let rows = llm_scan_tuple_at_a_time(ctx, &unfiltered_spec, false)?;
-    let Some(filter) = &spec.pushed_filter else {
+    let Some(filter) = spec.pushed_filter else {
         return Ok(rows);
     };
     let Ok(condition) = filter.to_sql_text() else {
@@ -279,29 +435,42 @@ fn llm_scan_decomposed(ctx: &ExecContext, spec: &ScanSpec) -> Result<Vec<Row>> {
         apply_local_filter(ctx, spec, &mut rows)?;
         return Ok(rows);
     };
-    let key_idx = spec
-        .table_schema
-        .columns
-        .iter()
-        .position(|c| c.primary_key)
-        .unwrap_or(0);
+    let key_idx = spec.key_column();
+
+    let mut slots: Vec<Option<Row>> = rows.into_iter().map(Some).collect();
     let mut kept = Vec::new();
-    for row in rows {
-        if ctx.metrics.snapshot().llm_calls() as usize >= ctx.config.max_llm_calls {
+    let mut cursor = 0;
+    while cursor < slots.len() {
+        let call_budget = ctx.config.max_llm_calls.saturating_sub(calls_used(ctx));
+        if call_budget == 0 {
             break;
         }
-        let task = TaskSpec::FilterCheck {
-            table: spec.table.clone(),
-            key: row.get(key_idx).to_display_string(),
-            condition: condition.clone(),
-        };
-        ctx.metrics.update(|m| m.record_llm_call(task.kind()));
-        let response = client.complete(&CompletionRequest::new(
-            task.to_prompt(Some(&spec.table_schema)),
-        ))?;
-        if parse_yes_no(&response.text) == YesNoAnswer::Yes {
-            kept.push(row);
+        let wave_len = (slots.len() - cursor)
+            .min(ctx.scan_fanout())
+            .min(call_budget);
+        let prompts: Vec<String> = slots[cursor..cursor + wave_len]
+            .iter()
+            .map(|row| {
+                TaskSpec::FilterCheck {
+                    table: spec.table.to_string(),
+                    key: row
+                        .as_ref()
+                        .expect("unconsumed slot")
+                        .get(key_idx)
+                        .to_display_string(),
+                    condition: condition.clone(),
+                }
+                .to_prompt(Some(spec.table_schema))
+            })
+            .collect();
+        let responses = dispatch_wave(ctx, client, "filter_check", &prompts);
+        for (i, response) in responses.into_iter().enumerate() {
+            let response = response?;
+            if parse_yes_no(&response.text) == YesNoAnswer::Yes {
+                kept.push(slots[cursor + i].take().expect("unconsumed slot"));
+            }
         }
+        cursor += wave_len;
     }
     Ok(kept)
 }
@@ -311,49 +480,81 @@ fn llm_scan_decomposed(ctx: &ExecContext, spec: &ScanSpec) -> Result<Vec<Row>> {
 // ---------------------------------------------------------------------------
 
 /// Read a materialized (incomplete) table and fill NULL cells in the needed
-/// columns by asking the model.
-pub fn hybrid_scan(ctx: &ExecContext, spec: &ScanSpec, table: &Table) -> Result<Vec<Row>> {
+/// columns by asking the model. Fill lookups for distinct rows are
+/// independent and dispatched in concurrent waves.
+pub fn hybrid_scan(ctx: &ExecContext, spec: &ScanSpec<'_>, table: &Table) -> Result<Vec<Row>> {
     let client = ctx.require_client()?;
     let (indices, _names, _types) = spec.prompt_column_names(ctx);
-    let key_idx = spec
-        .table_schema
-        .columns
-        .iter()
-        .position(|c| c.primary_key)
-        .unwrap_or(0);
+    let key_idx = spec.key_column();
     let budget = spec.row_budget(ctx);
 
-    let mut rows = Vec::new();
-    for mut row in table.scan() {
-        // Which needed cells are missing?
-        let missing: Vec<usize> = indices
+    let missing_in = |row: &Row| -> Vec<usize> {
+        indices
             .iter()
             .copied()
             .filter(|&i| row.get(i).is_null() && i != key_idx)
+            .collect()
+    };
+
+    let mut all_rows: Vec<Row> = table.scan();
+    let mut rows = Vec::new();
+    let mut cursor = 0;
+    'segments: while cursor < all_rows.len() && rows.len() < budget {
+        // Collect a segment: consecutive rows containing at most one wave's
+        // worth of fill lookups. With the call budget exhausted, remaining
+        // rows pass through unfilled (as in a sequential run). The segment
+        // never spans more rows than the remaining row budget: a sequential
+        // scan stops issuing lookups once `budget` rows are emitted, so
+        // planning fills past that point would pay for lookups a sequential
+        // run never makes (rows filtered out along the way only make the
+        // scan continue into a *later* segment, never skip a lookup).
+        let wave_cap = ctx
+            .config
+            .max_llm_calls
+            .saturating_sub(calls_used(ctx))
+            .min(ctx.scan_fanout());
+        let seg_cap = cursor + (budget - rows.len());
+        let mut seg_end = cursor;
+        let mut lookups: Vec<(usize, Vec<usize>)> = Vec::new(); // (row index, missing cols)
+        while seg_end < all_rows.len() && seg_end < seg_cap {
+            let missing = missing_in(&all_rows[seg_end]);
+            if !missing.is_empty() && wave_cap > 0 {
+                if lookups.len() == wave_cap {
+                    break;
+                }
+                lookups.push((seg_end, missing));
+            }
+            seg_end += 1;
+        }
+
+        let prompts: Vec<String> = lookups
+            .iter()
+            .map(|(row_idx, missing)| {
+                TaskSpec::Lookup {
+                    table: spec.table.to_string(),
+                    key: all_rows[*row_idx].get(key_idx).to_display_string(),
+                    columns: missing
+                        .iter()
+                        .map(|&i| spec.table_schema.columns[i].name.clone())
+                        .collect(),
+                }
+                .to_prompt(Some(spec.table_schema))
+            })
             .collect();
-        let calls_so_far = ctx.metrics.snapshot().llm_calls() as usize;
-        if !missing.is_empty() && calls_so_far < ctx.config.max_llm_calls {
-            let columns: Vec<String> = missing
-                .iter()
-                .map(|&i| spec.table_schema.columns[i].name.clone())
-                .collect();
+        let responses = dispatch_wave(ctx, client, "lookup", &prompts);
+
+        // Apply fills in row order.
+        for ((row_idx, missing), response) in lookups.iter().zip(responses) {
+            let response = response?;
             let types: Vec<DataType> = missing
                 .iter()
                 .map(|&i| spec.table_schema.columns[i].data_type)
                 .collect();
-            let task = TaskSpec::Lookup {
-                table: spec.table.clone(),
-                key: row.get(key_idx).to_display_string(),
-                columns,
-            };
-            ctx.metrics.update(|m| m.record_llm_call(task.kind()));
-            let response = client.complete(&CompletionRequest::new(
-                task.to_prompt(Some(&spec.table_schema)),
-            ))?;
             let parsed = parse_pipe_rows(&response.text, &types);
             ctx.metrics
                 .update(|m| m.dropped_lines += parsed.dropped_lines as u64);
             if let Some(values) = parsed.rows.into_iter().next() {
+                let row = &mut all_rows[*row_idx];
                 for (vi, &col) in missing.iter().enumerate() {
                     let v = values.get(vi).clone();
                     if !v.is_null() {
@@ -363,17 +564,24 @@ pub fn hybrid_scan(ctx: &ExecContext, spec: &ScanSpec, table: &Table) -> Result<
                 }
             }
         }
-        if let Some(filter) = &spec.pushed_filter {
-            if eval_predicate(filter, &row)? != Some(true) {
-                continue;
+
+        // Emit the segment's rows in order, applying the pushed filter.
+        for slot in &mut all_rows[cursor..seg_end] {
+            let row = std::mem::replace(slot, Row::empty());
+            if let Some(filter) = spec.pushed_filter {
+                if eval_predicate(filter, &row)? != Some(true) {
+                    continue;
+                }
+            }
+            rows.push(row);
+            if rows.len() >= budget {
+                break 'segments;
             }
         }
-        rows.push(row);
-        if rows.len() >= budget {
-            break;
-        }
+        cursor = seg_end;
     }
-    ctx.metrics.update(|m| m.rows_from_store += rows.len() as u64);
+    ctx.metrics
+        .update(|m| m.rows_from_store += rows.len() as u64);
     Ok(rows)
 }
 
@@ -391,9 +599,9 @@ fn widen_row(indices: &[usize], partial: Row, arity: usize) -> Row {
 
 /// Apply the pushed filter locally (rows with missing evidence are kept out
 /// only when the predicate definitively fails — NULL-tolerant).
-fn apply_local_filter(ctx: &ExecContext, spec: &ScanSpec, rows: &mut Vec<Row>) -> Result<()> {
+fn apply_local_filter(ctx: &ExecContext, spec: &ScanSpec<'_>, rows: &mut Vec<Row>) -> Result<()> {
     let _ = ctx;
-    if let Some(filter) = &spec.pushed_filter {
+    if let Some(filter) = spec.pushed_filter {
         let mut out = Vec::with_capacity(rows.len());
         for row in rows.drain(..) {
             if eval_predicate(filter, &row)? == Some(true) {
@@ -451,13 +659,32 @@ mod tests {
         ExecContext::new(catalog, Some(client), config)
     }
 
-    fn spec(filter: Option<BoundExpr>, prompt_columns: Option<Vec<usize>>) -> ScanSpec {
-        ScanSpec {
-            table: "countries".into(),
-            table_schema: country_schema(),
-            pushed_filter: filter,
+    /// Owns the borrowed parts of a [`ScanSpec`] for tests.
+    struct SpecParts {
+        schema: Schema,
+        filter: Option<BoundExpr>,
+        prompt_columns: Option<Vec<usize>>,
+        pushed_limit: Option<usize>,
+    }
+
+    fn parts(filter: Option<BoundExpr>, prompt_columns: Option<Vec<usize>>) -> SpecParts {
+        SpecParts {
+            schema: country_schema(),
+            filter,
             prompt_columns,
             pushed_limit: None,
+        }
+    }
+
+    impl SpecParts {
+        fn spec(&self) -> ScanSpec<'_> {
+            ScanSpec {
+                table: "countries",
+                table_schema: &self.schema,
+                pushed_filter: self.filter.as_ref(),
+                prompt_columns: self.prompt_columns.as_deref(),
+                pushed_limit: self.pushed_limit,
+            }
         }
     }
 
@@ -472,7 +699,7 @@ mod tests {
     #[test]
     fn batched_scan_pages_through_table() {
         let ctx = context(PromptStrategy::BatchedRows, LlmFidelity::perfect());
-        let rows = llm_scan(&ctx, &spec(None, None)).unwrap();
+        let rows = llm_scan(&ctx, &parts(None, None).spec()).unwrap();
         assert_eq!(rows.len(), 5);
         let m = ctx.metrics.snapshot();
         // page size 2 over 5 rows: at least 3 calls
@@ -483,7 +710,7 @@ mod tests {
     #[test]
     fn batched_scan_with_filter_and_pruning() {
         let ctx = context(PromptStrategy::BatchedRows, LlmFidelity::perfect());
-        let rows = llm_scan(&ctx, &spec(Some(gt_filter(60)), Some(vec![0, 2]))).unwrap();
+        let rows = llm_scan(&ctx, &parts(Some(gt_filter(60)), Some(vec![0, 2])).spec()).unwrap();
         assert_eq!(rows.len(), 3);
         for r in &rows {
             // pruned column (region) is NULL
@@ -495,7 +722,7 @@ mod tests {
     #[test]
     fn tuple_strategy_issues_lookup_per_row() {
         let ctx = context(PromptStrategy::TupleAtATime, LlmFidelity::perfect());
-        let rows = llm_scan(&ctx, &spec(Some(gt_filter(60)), None)).unwrap();
+        let rows = llm_scan(&ctx, &parts(Some(gt_filter(60)), None).spec()).unwrap();
         assert_eq!(rows.len(), 3);
         let m = ctx.metrics.snapshot();
         assert_eq!(m.llm_calls_by_kind["enumerate"], 1);
@@ -505,7 +732,7 @@ mod tests {
     #[test]
     fn decomposed_strategy_uses_filter_checks() {
         let ctx = context(PromptStrategy::DecomposedOperators, LlmFidelity::perfect());
-        let rows = llm_scan(&ctx, &spec(Some(gt_filter(60)), None)).unwrap();
+        let rows = llm_scan(&ctx, &parts(Some(gt_filter(60)), None).spec()).unwrap();
         assert_eq!(rows.len(), 3);
         let m = ctx.metrics.snapshot();
         assert_eq!(m.llm_calls_by_kind["filter_check"], 5);
@@ -514,9 +741,9 @@ mod tests {
     #[test]
     fn pushed_limit_caps_rows_and_calls() {
         let ctx = context(PromptStrategy::BatchedRows, LlmFidelity::perfect());
-        let mut s = spec(None, None);
-        s.pushed_limit = Some(2);
-        let rows = llm_scan(&ctx, &s).unwrap();
+        let mut p = parts(None, None);
+        p.pushed_limit = Some(2);
+        let rows = llm_scan(&ctx, &p.spec()).unwrap();
         assert_eq!(rows.len(), 2);
         assert_eq!(ctx.metrics.snapshot().llm_calls(), 1);
     }
@@ -525,8 +752,99 @@ mod tests {
     fn max_scan_rows_is_respected() {
         let mut ctx = context(PromptStrategy::BatchedRows, LlmFidelity::perfect());
         ctx.config.max_scan_rows = 3;
-        let rows = llm_scan(&ctx, &spec(None, None)).unwrap();
+        let rows = llm_scan(&ctx, &parts(None, None).spec()).unwrap();
         assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn budget_clamped_scan_under_noise_matches_sequential() {
+        // Regression: a row budget close to the table size makes the final
+        // page's `limit` depend on how many rows earlier pages *parsed*.
+        // With fidelity noise dropping lines, an optimistic wave planner
+        // would issue that page with a speculated limit (a different prompt
+        // than sequential), changing both results and call counts. Waves
+        // must therefore contain only full pages and issue clamped pages
+        // alone.
+        let big_schema = Schema::virtual_table(
+            "countries",
+            vec![
+                Column::new("name", DataType::Text).primary_key(),
+                Column::new("region", DataType::Text),
+                Column::new("population", DataType::Int),
+            ],
+        );
+        let big_rows: Vec<Row> = (0..60)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Text(format!("Country {i:04}")),
+                    Value::Text("Europe".into()),
+                    Value::Int(1000 + i as i64),
+                ])
+            })
+            .collect();
+        let context_with = |parallelism: usize| {
+            let mut kb = KnowledgeBase::new();
+            kb.add_table(big_schema.clone(), big_rows.clone());
+            let sim = SimLlm::new(kb.into_shared(), LlmFidelity::medium(), 7);
+            let catalog = Catalog::new();
+            catalog.create_virtual_table(big_schema.clone()).unwrap();
+            let mut config = EngineConfig::default()
+                .with_mode(ExecutionMode::LlmOnly)
+                .with_strategy(PromptStrategy::BatchedRows)
+                .with_batch_size(5)
+                .with_parallelism(parallelism);
+            config.max_scan_rows = 12;
+            ExecContext::new(catalog, Some(LlmClient::new(Arc::new(sim))), config)
+        };
+        let p = parts(None, None);
+        let seq_ctx = context_with(1);
+        let expected = llm_scan(&seq_ctx, &p.spec()).unwrap();
+        let expected_calls = seq_ctx.metrics.snapshot().llm_calls();
+        for parallelism in [4, 8] {
+            let ctx = context_with(parallelism);
+            let got = llm_scan(&ctx, &p.spec()).unwrap();
+            assert_eq!(expected, got, "rows diverged at parallelism {parallelism}");
+            assert_eq!(
+                expected_calls,
+                ctx.metrics.snapshot().llm_calls(),
+                "call count diverged at parallelism {parallelism}"
+            );
+        }
+    }
+
+    #[test]
+    fn max_llm_calls_caps_waves() {
+        for parallelism in [1, 4] {
+            let mut ctx = context(PromptStrategy::TupleAtATime, LlmFidelity::perfect());
+            ctx.config.parallelism = parallelism;
+            // 1 enumerate + at most 2 lookups.
+            ctx.config.max_llm_calls = 3;
+            let rows = llm_scan(&ctx, &parts(None, None).spec()).unwrap();
+            assert_eq!(rows.len(), 2, "parallelism {parallelism}");
+            assert_eq!(ctx.metrics.snapshot().llm_calls(), 3);
+        }
+    }
+
+    #[test]
+    fn batched_call_cap_is_query_global() {
+        // Two consecutive batched scans in the same query context share one
+        // max_llm_calls budget: the second scan gets only what the first
+        // left over.
+        for parallelism in [1, 4] {
+            let mut ctx = context(PromptStrategy::BatchedRows, LlmFidelity::perfect());
+            ctx.config.parallelism = parallelism;
+            ctx.config.max_llm_calls = 4;
+            let p = parts(None, None);
+            let first = llm_scan(&ctx, &p.spec()).unwrap();
+            // 5 rows at page size 2: the relation needs 3 calls to drain.
+            assert_eq!(first.len(), 5, "parallelism {parallelism}");
+            let second = llm_scan(&ctx, &p.spec()).unwrap();
+            assert!(
+                second.len() <= 2,
+                "parallelism {parallelism}: second scan exceeded the shared budget"
+            );
+            assert!(ctx.metrics.snapshot().llm_calls() <= 4);
+        }
     }
 
     #[test]
@@ -543,14 +861,13 @@ mod tests {
         let table = catalog.create_table(schema).unwrap();
         table.insert_many(world_rows()).unwrap();
         let ctx = ExecContext::new(catalog, None, EngineConfig::default());
-        let rows = table_scan(&ctx, &spec(Some(gt_filter(60)), None), &table).unwrap();
+        let p = parts(Some(gt_filter(60)), None);
+        let rows = table_scan(&ctx, &p.spec(), &table).unwrap();
         assert_eq!(rows.len(), 3);
         assert_eq!(ctx.metrics.snapshot().rows_from_store, 3);
     }
 
-    #[test]
-    fn hybrid_scan_fills_nulls() {
-        // Store with some NULL populations; the model knows the truth.
+    fn hybrid_fixture() -> (ExecContext, Table) {
         let catalog = Catalog::new();
         let schema = Schema::new(
             "countries",
@@ -580,7 +897,15 @@ mod tests {
             Some(client),
             EngineConfig::default().with_mode(ExecutionMode::Hybrid),
         );
-        let rows = hybrid_scan(&ctx, &spec(None, None), &table).unwrap();
+        (ctx, table)
+    }
+
+    #[test]
+    fn hybrid_scan_fills_nulls() {
+        // Store with some NULL populations; the model knows the truth.
+        let (ctx, table) = hybrid_fixture();
+        let p = parts(None, None);
+        let rows = hybrid_scan(&ctx, &p.spec(), &table).unwrap();
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].get(2), &Value::Int(68));
         assert_eq!(rows[1].get(1), &Value::Text("Asia".into()));
@@ -590,14 +915,77 @@ mod tests {
     }
 
     #[test]
+    fn hybrid_scan_stops_filling_at_row_budget() {
+        // Regression: a pushed LIMIT must stop fill lookups exactly where a
+        // sequential row-at-a-time scan would — planning fills for rows past
+        // the budget pays for calls that are never needed.
+        for parallelism in [1, 8] {
+            let (mut ctx, table) = hybrid_fixture();
+            ctx.config.parallelism = parallelism;
+            let mut p = parts(None, None);
+            // Both stored rows have a missing cell, but only the first is
+            // within the budget.
+            p.pushed_limit = Some(1);
+            let rows = hybrid_scan(&ctx, &p.spec(), &table).unwrap();
+            assert_eq!(rows.len(), 1);
+            assert_eq!(
+                ctx.metrics.snapshot().llm_calls(),
+                1,
+                "parallelism {parallelism} issued lookups past the row budget"
+            );
+        }
+    }
+
+    #[test]
+    fn hybrid_scan_parallel_matches_sequential() {
+        let (seq_ctx, seq_table) = hybrid_fixture();
+        let p = parts(None, None);
+        let expected = hybrid_scan(&seq_ctx, &p.spec(), &seq_table).unwrap();
+
+        let (mut par_ctx, par_table) = hybrid_fixture();
+        par_ctx.config.parallelism = 4;
+        let got = hybrid_scan(&par_ctx, &p.spec(), &par_table).unwrap();
+        assert_eq!(expected, got);
+        assert_eq!(
+            seq_ctx.metrics.snapshot().llm_calls(),
+            par_ctx.metrics.snapshot().llm_calls()
+        );
+    }
+
+    #[test]
     fn weak_model_loses_rows() {
         let ctx = context(PromptStrategy::BatchedRows, LlmFidelity::weak());
-        let rows = llm_scan(&ctx, &spec(None, None)).unwrap();
+        let rows = llm_scan(&ctx, &parts(None, None).spec()).unwrap();
         // The weak model forgets entities and mangles lines: strictly fewer
         // than or equal to the real 5, and deterministic for the seed.
         assert!(rows.len() <= 5);
         let ctx2 = context(PromptStrategy::BatchedRows, LlmFidelity::weak());
-        let rows2 = llm_scan(&ctx2, &spec(None, None)).unwrap();
+        let rows2 = llm_scan(&ctx2, &parts(None, None).spec()).unwrap();
         assert_eq!(rows.len(), rows2.len());
+    }
+
+    #[test]
+    fn parallel_scans_match_sequential_for_all_strategies() {
+        for strategy in [
+            PromptStrategy::BatchedRows,
+            PromptStrategy::TupleAtATime,
+            PromptStrategy::DecomposedOperators,
+        ] {
+            for fidelity in [LlmFidelity::perfect(), LlmFidelity::medium()] {
+                let p = parts(Some(gt_filter(40)), None);
+                let seq_ctx = context(strategy, fidelity);
+                let expected = llm_scan(&seq_ctx, &p.spec()).unwrap();
+                for parallelism in [2, 4, 8] {
+                    let mut ctx = context(strategy, fidelity);
+                    ctx.config.parallelism = parallelism;
+                    let got = llm_scan(&ctx, &p.spec()).unwrap();
+                    assert_eq!(
+                        expected, got,
+                        "{strategy:?} diverged at parallelism {parallelism}"
+                    );
+                    assert!(ctx.metrics.snapshot().peak_in_flight >= 1);
+                }
+            }
+        }
     }
 }

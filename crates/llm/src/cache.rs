@@ -1,66 +1,110 @@
-//! A simple prompt cache.
+//! A sharded prompt cache.
 //!
 //! Identical prompts within one engine session return the cached completion
 //! without touching the model. Because the simulator is deterministic per
 //! (seed, prompt) the cache does not change answers — it only changes the
 //! call count and cost, which is exactly what the cost experiments measure.
+//!
+//! The map is split into [`PromptCache::DEFAULT_SHARDS`] independently locked
+//! shards selected by a hash of the prompt, so concurrent scan workers
+//! completing different prompts do not serialize on one lock. Hit/miss
+//! counters are lock-free `AtomicU64`s: a cache read costs one shard read
+//! lock and one atomic increment (the old design took three lock
+//! acquisitions per read).
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::RwLock;
 
 use crate::model::CompletionResponse;
 
-/// A thread-safe prompt → completion cache.
-#[derive(Default)]
+/// A thread-safe, sharded prompt → completion cache.
 pub struct PromptCache {
-    map: RwLock<HashMap<String, CompletionResponse>>,
-    hits: RwLock<u64>,
-    misses: RwLock<u64>,
+    shards: Box<[RwLock<HashMap<String, CompletionResponse>>]>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for PromptCache {
+    fn default() -> Self {
+        PromptCache::new()
+    }
 }
 
 impl PromptCache {
-    /// Create an empty cache.
+    /// Shard count used by [`PromptCache::new`].
+    pub const DEFAULT_SHARDS: usize = 16;
+
+    /// Create an empty cache with the default shard count.
     pub fn new() -> Self {
-        PromptCache::default()
+        PromptCache::with_shards(Self::DEFAULT_SHARDS)
+    }
+
+    /// Create an empty cache with an explicit shard count (rounded up to 1).
+    pub fn with_shards(shards: usize) -> Self {
+        let shards = shards.max(1);
+        PromptCache {
+            shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards the key space is split into.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_for(&self, prompt: &str) -> &RwLock<HashMap<String, CompletionResponse>> {
+        let mut hasher = DefaultHasher::new();
+        prompt.hash(&mut hasher);
+        &self.shards[(hasher.finish() % self.shards.len() as u64) as usize]
     }
 
     /// Look up a prompt.
     pub fn get(&self, prompt: &str) -> Option<CompletionResponse> {
-        let found = self.map.read().get(prompt).cloned();
+        let found = self.shard_for(prompt).read().get(prompt).cloned();
         if found.is_some() {
-            *self.hits.write() += 1;
+            self.hits.fetch_add(1, Ordering::Relaxed);
         } else {
-            *self.misses.write() += 1;
+            self.misses.fetch_add(1, Ordering::Relaxed);
         }
         found
     }
 
     /// Store a completion.
     pub fn put(&self, prompt: String, response: CompletionResponse) {
-        self.map.write().insert(prompt, response);
+        self.shard_for(&prompt).write().insert(prompt, response);
     }
 
     /// Number of cached prompts.
     pub fn len(&self) -> usize {
-        self.map.read().len()
+        self.shards.iter().map(|s| s.read().len()).sum()
     }
 
     /// True if the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.map.read().is_empty()
+        self.shards.iter().all(|s| s.read().is_empty())
     }
 
     /// Remove all entries and reset counters.
     pub fn clear(&self) {
-        self.map.write().clear();
-        *self.hits.write() = 0;
-        *self.misses.write() = 0;
+        for shard in self.shards.iter() {
+            shard.write().clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
     }
 
     /// (hits, misses) counters.
     pub fn stats(&self) -> (u64, u64) {
-        (*self.hits.read(), *self.misses.read())
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
     }
 }
 
@@ -106,5 +150,52 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.stats(), (0, 0));
+    }
+
+    #[test]
+    fn entries_spread_across_shards() {
+        let cache = PromptCache::with_shards(8);
+        assert_eq!(cache.shard_count(), 8);
+        for i in 0..200 {
+            cache.put(format!("prompt-{i}"), resp("x"));
+        }
+        assert_eq!(cache.len(), 200);
+        // With 200 keys over 8 shards, more than one shard must be populated.
+        let populated = cache.shards.iter().filter(|s| !s.read().is_empty()).count();
+        assert!(populated > 1, "all keys landed in one shard");
+        for i in 0..200 {
+            assert!(cache.get(&format!("prompt-{i}")).is_some());
+        }
+        assert_eq!(cache.stats(), (200, 0));
+    }
+
+    #[test]
+    fn single_shard_still_works() {
+        let cache = PromptCache::with_shards(0);
+        assert_eq!(cache.shard_count(), 1);
+        cache.put("p".into(), resp("r"));
+        assert_eq!(cache.get("p").unwrap().text, "r");
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers() {
+        let cache = PromptCache::new();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        let key = format!("k-{t}-{i}");
+                        cache.put(key.clone(), resp("v"));
+                        assert!(cache.get(&key).is_some());
+                        cache.get("shared-missing");
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 400);
+        let (hits, misses) = cache.stats();
+        assert_eq!(hits, 400);
+        assert_eq!(misses, 400);
     }
 }

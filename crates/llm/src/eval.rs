@@ -157,10 +157,18 @@ fn eval_binary(l: &Value, op: BinaryOp, r: &Value) -> Result<Value> {
         }
         Eq => Ok(Value::Bool(l.semantic_eq(r))),
         NotEq => Ok(Value::Bool(!l.semantic_eq(r))),
-        Lt => Ok(Value::Bool(num_or_text_cmp(l, r) == std::cmp::Ordering::Less)),
-        LtEq => Ok(Value::Bool(num_or_text_cmp(l, r) != std::cmp::Ordering::Greater)),
-        Gt => Ok(Value::Bool(num_or_text_cmp(l, r) == std::cmp::Ordering::Greater)),
-        GtEq => Ok(Value::Bool(num_or_text_cmp(l, r) != std::cmp::Ordering::Less)),
+        Lt => Ok(Value::Bool(
+            num_or_text_cmp(l, r) == std::cmp::Ordering::Less,
+        )),
+        LtEq => Ok(Value::Bool(
+            num_or_text_cmp(l, r) != std::cmp::Ordering::Greater,
+        )),
+        Gt => Ok(Value::Bool(
+            num_or_text_cmp(l, r) == std::cmp::Ordering::Greater,
+        )),
+        GtEq => Ok(Value::Bool(
+            num_or_text_cmp(l, r) != std::cmp::Ordering::Less,
+        )),
         Like => Ok(Value::Bool(like_match(
             &l.to_display_string(),
             &r.to_display_string(),
@@ -248,9 +256,7 @@ pub fn like_match(text: &str, pattern: &str) -> bool {
                 let _ = tc;
                 inner(&t[1..], &p[1..])
             }
-            (Some(tc), Some(pc)) => {
-                tc.eq_ignore_ascii_case(pc) && inner(&t[1..], &p[1..])
-            }
+            (Some(tc), Some(pc)) => tc.eq_ignore_ascii_case(pc) && inner(&t[1..], &p[1..]),
         }
     }
     let t: Vec<char> = text.chars().collect();
@@ -338,7 +344,10 @@ mod tests {
     fn in_between_like() {
         assert_eq!(check("region IN ('Europe', 'Asia')"), Some(true));
         assert_eq!(check("region NOT IN ('Europe')"), Some(false));
-        assert_eq!(check("population BETWEEN 1000000 AND 100000000"), Some(true));
+        assert_eq!(
+            check("population BETWEEN 1000000 AND 100000000"),
+            Some(true)
+        );
         assert_eq!(check("population NOT BETWEEN 1 AND 10"), Some(true));
         assert_eq!(check("name LIKE 'Fra%'"), Some(true));
         assert_eq!(check("name LIKE '%ance'"), Some(true));

@@ -168,8 +168,16 @@ mod tests {
             ],
         );
         let rows = vec![
-            Row::new(vec!["France".into(), "Paris".into(), Value::Int(68_000_000)]),
-            Row::new(vec!["Japan".into(), "Tokyo".into(), Value::Int(125_000_000)]),
+            Row::new(vec![
+                "France".into(),
+                "Paris".into(),
+                Value::Int(68_000_000),
+            ]),
+            Row::new(vec![
+                "Japan".into(),
+                "Tokyo".into(),
+                Value::Int(125_000_000),
+            ]),
             Row::new(vec!["Peru".into(), "Lima".into(), Value::Null]),
         ];
         let mut kb = KnowledgeBase::new();

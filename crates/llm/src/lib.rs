@@ -50,14 +50,18 @@ mod proptests {
         let ident = "[a-z][a-z0-9_]{0,8}";
         let cols = proptest::collection::vec("[a-z][a-z0-9_]{0,8}", 1..4);
         prop_oneof![
-            (ident, proptest::option::of("[a-z][a-z0-9_ ><=']{0,19}"), 1usize..200, 0usize..50).prop_map(
-                |(table, filter, limit, offset)| TaskSpec::Enumerate {
+            (
+                ident,
+                proptest::option::of("[a-z][a-z0-9_ ><=']{0,19}"),
+                1usize..200,
+                0usize..50
+            )
+                .prop_map(|(table, filter, limit, offset)| TaskSpec::Enumerate {
                     table,
                     filter: filter.map(|f| f.trim().to_string()),
                     limit,
                     offset
-                }
-            ),
+                }),
             (ident, cols.clone(), 1usize..200, 0usize..50).prop_map(
                 |(table, columns, limit, offset)| TaskSpec::RowBatch {
                     table,

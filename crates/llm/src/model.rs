@@ -72,6 +72,41 @@ pub trait LanguageModel: Send + Sync {
     }
 }
 
+/// Tracks prompts with a completion currently being computed, so concurrent
+/// requests for the same prompt collapse into one model call (single-flight).
+#[derive(Default)]
+struct InFlightPrompts {
+    leaders: std::sync::Mutex<std::collections::HashSet<String>>,
+    done: std::sync::Condvar,
+}
+
+impl InFlightPrompts {
+    /// Become the leader for `prompt`, or block until the current leader
+    /// finishes (returning `false`, after which the caller re-checks the
+    /// cache).
+    fn claim(&self, prompt: &str) -> bool {
+        let mut leaders = self.leaders.lock().unwrap_or_else(|e| e.into_inner());
+        if leaders.insert(prompt.to_string()) {
+            return true;
+        }
+        // Follower: wait for some leader to finish, then re-check the cache.
+        let _guard = self
+            .done
+            .wait_while(leaders, |l| l.contains(prompt))
+            .unwrap_or_else(|e| e.into_inner());
+        false
+    }
+
+    /// Leader is done (successfully or not): wake followers.
+    fn release(&self, prompt: &str) {
+        self.leaders
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(prompt);
+        self.done.notify_all();
+    }
+}
+
 /// The client the executor uses: wraps a model with a prompt cache and a
 /// usage accumulator. Cloning shares the cache and the counters.
 #[derive(Clone)]
@@ -79,6 +114,7 @@ pub struct LlmClient {
     model: Arc<dyn LanguageModel>,
     cache: Option<Arc<PromptCache>>,
     usage: Arc<Mutex<UsageStats>>,
+    in_flight: Arc<InFlightPrompts>,
 }
 
 impl LlmClient {
@@ -88,6 +124,7 @@ impl LlmClient {
             model,
             cache: Some(Arc::new(PromptCache::new())),
             usage: Arc::new(Mutex::new(UsageStats::default())),
+            in_flight: Arc::new(InFlightPrompts::default()),
         }
     }
 
@@ -97,6 +134,7 @@ impl LlmClient {
             model,
             cache: None,
             usage: Arc::new(Mutex::new(UsageStats::default())),
+            in_flight: Arc::new(InFlightPrompts::default()),
         }
     }
 
@@ -105,22 +143,54 @@ impl LlmClient {
         self.model.name()
     }
 
-    /// Issue a completion, consulting the cache first.
+    /// Issue a completion, consulting the cache first. Concurrent calls with
+    /// an identical prompt are deduplicated (single-flight): one thread
+    /// queries the model, the others wait and take the cached result, so
+    /// parallel dispatch never pays for a completion a sequential run would
+    /// have served from the cache.
     pub fn complete(&self, request: &CompletionRequest) -> Result<CompletionResponse> {
-        if let Some(cache) = &self.cache {
+        let Some(cache) = &self.cache else {
+            return self.complete_uncached(request);
+        };
+        loop {
             if let Some(hit) = cache.get(&request.prompt) {
                 let mut usage = self.usage.lock();
                 usage.cache_hits += 1;
                 return Ok(hit);
             }
+            if self.in_flight.claim(&request.prompt) {
+                // Release on every exit path, including unwinding, so
+                // followers are never stranded.
+                struct ReleaseOnDrop<'a>(&'a InFlightPrompts, &'a str);
+                impl Drop for ReleaseOnDrop<'_> {
+                    fn drop(&mut self) {
+                        self.0.release(self.1);
+                    }
+                }
+                let _release = ReleaseOnDrop(&self.in_flight, &request.prompt);
+                // Double-check: a previous leader may have populated the
+                // cache between our miss and our claim.
+                if let Some(hit) = cache.get(&request.prompt) {
+                    let mut usage = self.usage.lock();
+                    usage.cache_hits += 1;
+                    return Ok(hit);
+                }
+                let response = self.complete_uncached(request);
+                if let Ok(response) = &response {
+                    cache.put(request.prompt.clone(), response.clone());
+                }
+                return response;
+            }
+            // A leader just finished this prompt; loop to pick up its result
+            // from the cache (or claim leadership if it failed).
         }
+    }
+
+    fn complete_uncached(&self, request: &CompletionRequest) -> Result<CompletionResponse> {
         let response = self.model.complete(request)?;
         {
             let mut usage = self.usage.lock();
             usage.record(&response);
-        }
-        if let Some(cache) = &self.cache {
-            cache.put(request.prompt.clone(), response.clone());
         }
         Ok(response)
     }
@@ -224,6 +294,51 @@ mod tests {
         client.clear_cache();
         assert_eq!(client.cache_len(), 0);
     }
+
+    #[test]
+    fn concurrent_identical_prompts_are_single_flight() {
+        // A slow model: 8 threads racing on one prompt must produce exactly
+        // one model call; the rest wait for the leader and take cache hits.
+        struct SlowModel {
+            calls: Mutex<usize>,
+        }
+        impl LanguageModel for SlowModel {
+            fn name(&self) -> String {
+                "slow".into()
+            }
+            fn complete(&self, request: &CompletionRequest) -> Result<CompletionResponse> {
+                *self.calls.lock() += 1;
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                Ok(CompletionResponse {
+                    text: "r".into(),
+                    prompt_tokens: count_tokens(&request.prompt),
+                    completion_tokens: 1,
+                    latency_ms: 1.0,
+                    cost_usd: 0.001,
+                })
+            }
+        }
+        let model = Arc::new(SlowModel {
+            calls: Mutex::new(0),
+        });
+        let client = LlmClient::new(model.clone());
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let client = client.clone();
+                scope.spawn(move || {
+                    client
+                        .complete(&CompletionRequest::new("same prompt"))
+                        .unwrap()
+                });
+            }
+        });
+        assert_eq!(*model.calls.lock(), 1, "model called more than once");
+        let usage = client.usage();
+        assert_eq!(usage.calls, 1);
+        assert_eq!(usage.cache_hits, 7);
+    }
+
+    use crate::tokenizer::count_tokens;
 
     #[test]
     fn usage_reset() {

@@ -126,7 +126,7 @@ impl NoiseModel {
                 // Off by a relative factor between -20% and +20% (never zero).
                 let pct = ((h % 39) as i64 - 19).max(1);
                 let delta = (*i as i128 * pct as i128 / 100).max(1) as i64;
-                Value::Int(i + if h % 2 == 0 { delta } else { -delta })
+                Value::Int(i + if h.is_multiple_of(2) { delta } else { -delta })
             }
             (Value::Float(f), _) => {
                 let pct = ((h % 39) as f64 - 19.0) / 100.0;
@@ -141,7 +141,7 @@ impl NoiseModel {
                 }
                 let pos = (h as usize) % chars.len();
                 let mut out: String = chars[..pos].iter().collect();
-                if h % 2 == 0 {
+                if h.is_multiple_of(2) {
                     out.push(chars[pos]);
                     out.push(chars[pos]);
                     out.extend(chars[pos + 1..].iter());
@@ -169,7 +169,7 @@ impl NoiseModel {
         match data_type {
             DataType::Int => Value::Int(((h % 9_000_000) + 1_000) as i64),
             DataType::Float => Value::Float(((h % 900_000) as f64 / 100.0) + 1.0),
-            DataType::Bool => Value::Bool(h % 2 == 0),
+            DataType::Bool => Value::Bool(h.is_multiple_of(2)),
             DataType::Text => {
                 const SYLLABLES: [&str; 8] =
                     ["ar", "ben", "cor", "dal", "eth", "fol", "gan", "hul"];
@@ -303,8 +303,12 @@ mod tests {
     fn different_seeds_give_different_worlds() {
         let m1 = NoiseModel::new(LlmFidelity::medium(), 1);
         let m2 = NoiseModel::new(LlmFidelity::medium(), 2);
-        let k1: Vec<bool> = (0..200).map(|i| m1.knows_entity("t", &format!("e{i}"))).collect();
-        let k2: Vec<bool> = (0..200).map(|i| m2.knows_entity("t", &format!("e{i}"))).collect();
+        let k1: Vec<bool> = (0..200)
+            .map(|i| m1.knows_entity("t", &format!("e{i}")))
+            .collect();
+        let k2: Vec<bool> = (0..200)
+            .map(|i| m2.knows_entity("t", &format!("e{i}")))
+            .collect();
         assert_ne!(k1, k2);
     }
 

@@ -26,7 +26,9 @@ fn is_noise_line(line: &str) -> bool {
     }
     let lower = t.to_ascii_lowercase();
     // markdown table separators and code fences
-    if t.chars().all(|c| matches!(c, '-' | '|' | '+' | ' ' | '=' | ':')) {
+    if t.chars()
+        .all(|c| matches!(c, '-' | '|' | '+' | ' ' | '=' | ':'))
+    {
         return true;
     }
     if t.starts_with("```") {
@@ -281,7 +283,10 @@ mod tests {
         assert_eq!(parse_yes_no("Yes."), YesNoAnswer::Yes);
         assert_eq!(parse_yes_no(" NO "), YesNoAnswer::No);
         assert_eq!(parse_yes_no("unknown"), YesNoAnswer::Unknown);
-        assert_eq!(parse_yes_no("I believe the answer is yes"), YesNoAnswer::Yes);
+        assert_eq!(
+            parse_yes_no("I believe the answer is yes"),
+            YesNoAnswer::Yes
+        );
         assert_eq!(parse_yes_no("definitely not, no"), YesNoAnswer::No);
         assert_eq!(parse_yes_no(""), YesNoAnswer::Unknown);
     }

@@ -154,7 +154,12 @@ impl TaskSpec {
     /// Render the natural-language instruction section.
     fn instructions(&self) -> String {
         match self {
-            TaskSpec::Enumerate { limit, filter, offset, .. } => {
+            TaskSpec::Enumerate {
+                limit,
+                filter,
+                offset,
+                ..
+            } => {
                 let mut s = format!(
                     "You are acting as the storage layer of a relational database. \
                      Using only your internal knowledge, list up to {limit} distinct entities \
@@ -164,7 +169,9 @@ impl TaskSpec {
                     s.push_str(" that satisfy the filter condition");
                 }
                 if *offset > 0 {
-                    s.push_str(&format!(", skipping the first {offset} entities you would otherwise list"));
+                    s.push_str(&format!(
+                        ", skipping the first {offset} entities you would otherwise list"
+                    ));
                 }
                 s.push_str(
                     ". Respond with exactly one entity identifier per line, no numbering, \
@@ -172,7 +179,13 @@ impl TaskSpec {
                 );
                 s
             }
-            TaskSpec::RowBatch { limit, filter, offset, columns, .. } => {
+            TaskSpec::RowBatch {
+                limit,
+                filter,
+                offset,
+                columns,
+                ..
+            } => {
                 let mut s = format!(
                     "You are acting as the storage layer of a relational database. \
                      Produce up to {limit} rows of the relation described above, returning the \
@@ -183,7 +196,9 @@ impl TaskSpec {
                     s.push_str(", including only rows that satisfy the filter condition");
                 }
                 if *offset > 0 {
-                    s.push_str(&format!(", skipping the first {offset} rows you would otherwise return"));
+                    s.push_str(&format!(
+                        ", skipping the first {offset} rows you would otherwise return"
+                    ));
                 }
                 s.push_str(
                     ". Respond with one row per line, column values separated by \" | \". \
@@ -287,12 +302,13 @@ pub fn parse_task(prompt: &str) -> Result<TaskSpec> {
         get(name).ok_or_else(|| Error::llm(format!("task header missing '{name}'")))
     };
     let parse_usize = |name: &str, default: usize| -> usize {
-        get(name)
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default)
+        get(name).and_then(|v| v.parse().ok()).unwrap_or(default)
     };
     let parse_columns = |v: String| -> Vec<String> {
-        v.split('|').map(|c| c.trim().to_string()).filter(|c| !c.is_empty()).collect()
+        v.split('|')
+            .map(|c| c.trim().to_string())
+            .filter(|c| !c.is_empty())
+            .collect()
     };
 
     let spec = match kind.as_str() {

@@ -17,6 +17,13 @@
 //!   *observed* (noisy) view of the data, with an extra reliability penalty
 //!   per join — mirroring the empirical finding that one-shot whole-query
 //!   prompting degrades quickly with query complexity.
+//! * `SimLlm` is fully thread-safe and cheap to call from many scan workers
+//!   at once: it carries no interior mutability or shared RNG stream. Every
+//!   noise decision is re-derived per call from a hash of
+//!   `(seed, table, entity, column)` / `(seed, prompt, line)` — the moral
+//!   equivalent of a per-call RNG seeded with `seed ⊕ hash(prompt)` — so
+//!   fidelity noise is byte-identical regardless of how calls interleave
+//!   across threads.
 
 use std::sync::Arc;
 
@@ -41,6 +48,11 @@ pub struct SimLlm {
     /// Upper bound on rows the simulator will ever emit for one prompt
     /// (defensive cap, roughly a context-window limit).
     max_rows_per_completion: usize,
+    /// When nonzero, `complete` blocks the calling thread for this many
+    /// milliseconds per request, emulating the network round-trip of a real
+    /// endpoint. Parallel-dispatch benchmarks use this to make request
+    /// overlap observable in wall-clock time.
+    simulated_latency_ms: f64,
 }
 
 impl SimLlm {
@@ -51,12 +63,20 @@ impl SimLlm {
             noise: NoiseModel::new(fidelity, seed),
             cost_model: LlmCostModel::default(),
             max_rows_per_completion: 500,
+            simulated_latency_ms: 0.0,
         }
     }
 
     /// Override the cost model.
     pub fn with_cost_model(mut self, cost_model: LlmCostModel) -> Self {
         self.cost_model = cost_model;
+        self
+    }
+
+    /// Make every `complete` call sleep for `ms` milliseconds, emulating
+    /// endpoint latency (0 disables; negative values are clamped to 0).
+    pub fn with_simulated_latency_ms(mut self, ms: f64) -> Self {
+        self.simulated_latency_ms = ms.max(0.0);
         self
     }
 
@@ -76,7 +96,14 @@ impl SimLlm {
 
     /// The value the model reports for one attribute of one entity, or `None`
     /// when it omits the attribute.
-    fn observe_attr(&self, table: &str, key_norm: &str, schema: &Schema, row: &Row, col: usize) -> Option<Value> {
+    fn observe_attr(
+        &self,
+        table: &str,
+        key_norm: &str,
+        schema: &Schema,
+        row: &Row,
+        col: usize,
+    ) -> Option<Value> {
         let column = &schema.columns[col];
         if column.primary_key {
             // The identifier itself is what the model was asked about; it is
@@ -193,8 +220,7 @@ impl SimLlm {
         offset: usize,
     ) -> Result<Vec<String>> {
         let (schema, rows) = self.observed_table(table)?;
-        let col_indices: Vec<Option<usize>> =
-            columns.iter().map(|c| schema.index_of(c)).collect();
+        let col_indices: Vec<Option<usize>> = columns.iter().map(|c| schema.index_of(c)).collect();
         let mut lines = Vec::new();
         for row in &rows {
             if let Some(pred) = filter {
@@ -259,15 +285,17 @@ impl SimLlm {
         let key_norm = normalize_key(&key_value);
         let Some(row) = kb_table.row_for_key(&key_value) else {
             // Unknown entity: hedge, or guess when hallucinating.
-            return Ok(vec![if self.noise.hallucinates_fact(table, &key_norm, condition) {
-                if hash01(&["guess", table, &key_norm, condition], self.noise.seed) < 0.5 {
-                    "yes".to_string()
+            return Ok(vec![
+                if self.noise.hallucinates_fact(table, &key_norm, condition) {
+                    if hash01(&["guess", table, &key_norm, condition], self.noise.seed) < 0.5 {
+                        "yes".to_string()
+                    } else {
+                        "no".to_string()
+                    }
                 } else {
-                    "no".to_string()
-                }
-            } else {
-                "unknown".to_string()
-            }]);
+                    "unknown".to_string()
+                },
+            ]);
         };
         if !self.noise.knows_entity(table, &key_norm) {
             return Ok(vec!["unknown".to_string()]);
@@ -309,8 +337,7 @@ impl SimLlm {
         // grows with the number of joins.
         let join_count = stmt.from.as_ref().map(|f| f.join_count()).unwrap_or(0);
         if join_count > 0 {
-            let penalty =
-                ((1.0 - self.noise.fidelity.recall) * 0.5 * join_count as f64).min(0.9);
+            let penalty = ((1.0 - self.noise.fidelity.recall) * 0.5 * join_count as f64).min(0.9);
             rows.retain(|r| {
                 hash01(&["join_penalty", &r.to_pipe_string()], self.noise.seed) >= penalty
             });
@@ -354,9 +381,7 @@ impl SimLlm {
                     let mut keyed: Vec<(Value, Vec<Value>)> = rows
                         .iter()
                         .zip(out_rows.iter())
-                        .map(|(r, o)| {
-                            (eval_expr(&schema, r, &e).unwrap_or(Value::Null), o.clone())
-                        })
+                        .map(|(r, o)| (eval_expr(&schema, r, &e).unwrap_or(Value::Null), o.clone()))
                         .collect();
                     keyed.sort_by(|a, b| a.0.total_cmp(&b.0));
                     if !first.ascending {
@@ -496,15 +521,18 @@ impl SimLlm {
                 match item {
                     SelectItem::Expr { expr, .. } => {
                         let v = self.eval_projection_with_aggregates(
-                            expr, names, schema, &key, &group_exprs, &members,
+                            expr,
+                            names,
+                            schema,
+                            &key,
+                            &group_exprs,
+                            &members,
                         )?;
                         row_out.push(v);
                     }
-                    _ => {
-                        return Err(Error::llm(
-                            "wildcard projections are not supported with GROUP BY in one-shot prompts",
-                        ))
-                    }
+                    _ => return Err(Error::llm(
+                        "wildcard projections are not supported with GROUP BY in one-shot prompts",
+                    )),
                 }
             }
             out.push(row_out);
@@ -687,7 +715,10 @@ fn rewrite(expr: &Expr, resolve: &impl Fn(&Option<String>, &str) -> Result<usize
             negated,
         } => Expr::InList {
             expr: Box::new(rewrite(expr, resolve)?),
-            list: list.iter().map(|e| rewrite(e, resolve)).collect::<Result<_>>()?,
+            list: list
+                .iter()
+                .map(|e| rewrite(e, resolve))
+                .collect::<Result<_>>()?,
             negated: *negated,
         },
         Expr::Between {
@@ -742,6 +773,11 @@ impl LanguageModel for SimLlm {
     }
 
     fn complete(&self, request: &CompletionRequest) -> Result<CompletionResponse> {
+        if self.simulated_latency_ms > 0.0 {
+            std::thread::sleep(std::time::Duration::from_secs_f64(
+                self.simulated_latency_ms / 1000.0,
+            ));
+        }
         let task = parse_task(&request.prompt)?;
         let lines = match &task {
             TaskSpec::Enumerate {
@@ -833,7 +869,9 @@ mod tests {
         ];
         let rows = data
             .iter()
-            .map(|(n, r, c, p)| Row::new(vec![(*n).into(), (*r).into(), (*c).into(), Value::Int(*p)]))
+            .map(|(n, r, c, p)| {
+                Row::new(vec![(*n).into(), (*r).into(), (*c).into(), Value::Int(*p)])
+            })
             .collect();
 
         let city_schema = Schema::virtual_table(
@@ -847,7 +885,11 @@ mod tests {
         let cities = vec![
             Row::new(vec!["Paris".into(), "France".into(), Value::Int(2_148_000)]),
             Row::new(vec!["Lyon".into(), "France".into(), Value::Int(513_000)]),
-            Row::new(vec!["Berlin".into(), "Germany".into(), Value::Int(3_645_000)]),
+            Row::new(vec![
+                "Berlin".into(),
+                "Germany".into(),
+                Value::Int(3_645_000),
+            ]),
             Row::new(vec!["Tokyo".into(), "Japan".into(), Value::Int(13_960_000)]),
         ];
 
@@ -1072,6 +1114,52 @@ mod tests {
     }
 
     #[test]
+    fn simulator_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimLlm>();
+    }
+
+    #[test]
+    fn concurrent_calls_match_sequential_calls() {
+        // Same (seed, prompt) must produce the same completion no matter how
+        // calls interleave across threads — the property parallel scans rely
+        // on for determinism.
+        let sim = SimLlm::new(world(), LlmFidelity::medium(), 9);
+        let specs: Vec<TaskSpec> = (0..8)
+            .map(|i| TaskSpec::RowBatch {
+                table: "countries".into(),
+                columns: vec!["name".into(), "population".into()],
+                filter: None,
+                limit: 2,
+                offset: i,
+            })
+            .collect();
+        let sequential: Vec<String> = specs.iter().map(|s| complete(&sim, s)).collect();
+        let concurrent: Vec<String> = std::thread::scope(|scope| {
+            let handles: Vec<_> = specs
+                .iter()
+                .map(|s| scope.spawn(|| complete(&sim, s)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(sequential, concurrent);
+    }
+
+    #[test]
+    fn simulated_latency_delays_completion() {
+        let sim = SimLlm::new(world(), LlmFidelity::perfect(), 1).with_simulated_latency_ms(20.0);
+        let spec = TaskSpec::Enumerate {
+            table: "countries".into(),
+            filter: None,
+            limit: 5,
+            offset: 0,
+        };
+        let start = std::time::Instant::now();
+        complete(&sim, &spec);
+        assert!(start.elapsed().as_millis() >= 15);
+    }
+
+    #[test]
     fn deterministic_given_seed() {
         let sim1 = SimLlm::new(world(), LlmFidelity::medium(), 9);
         let sim2 = SimLlm::new(world(), LlmFidelity::medium(), 9);
@@ -1090,7 +1178,12 @@ mod tests {
         let sim = perfect();
         let spec = TaskSpec::RowBatch {
             table: "countries".into(),
-            columns: vec!["name".into(), "region".into(), "capital".into(), "population".into()],
+            columns: vec![
+                "name".into(),
+                "region".into(),
+                "capital".into(),
+                "population".into(),
+            ],
             filter: None,
             limit: 100,
             offset: 0,
@@ -1147,9 +1240,15 @@ mod tests {
     #[test]
     fn aggregate_helper() {
         let vals = vec![Value::Int(1), Value::Int(5), Value::Int(3)];
-        assert_eq!(compute_aggregate(AggregateFunc::Count, &vals), Value::Int(3));
+        assert_eq!(
+            compute_aggregate(AggregateFunc::Count, &vals),
+            Value::Int(3)
+        );
         assert_eq!(compute_aggregate(AggregateFunc::Sum, &vals), Value::Int(9));
-        assert_eq!(compute_aggregate(AggregateFunc::Avg, &vals), Value::Float(3.0));
+        assert_eq!(
+            compute_aggregate(AggregateFunc::Avg, &vals),
+            Value::Float(3.0)
+        );
         assert_eq!(compute_aggregate(AggregateFunc::Min, &vals), Value::Int(1));
         assert_eq!(compute_aggregate(AggregateFunc::Max, &vals), Value::Int(5));
         assert_eq!(compute_aggregate(AggregateFunc::Sum, &[]), Value::Null);

@@ -110,7 +110,11 @@ mod tests {
         let pieces = tokenize(text);
         let rebuilt = detokenize(&pieces);
         // All alphanumeric content survives
-        let strip = |s: &str| s.chars().filter(|c| c.is_alphanumeric()).collect::<String>();
+        let strip = |s: &str| {
+            s.chars()
+                .filter(|c| c.is_alphanumeric())
+                .collect::<String>()
+        };
         assert_eq!(strip(&rebuilt), strip(text));
     }
 

@@ -1,9 +1,7 @@
 //! The binder: semantic analysis turning a parsed `SELECT` into a
 //! [`LogicalPlan`] against a catalog of schemas.
 
-use llmsql_sql::ast::{
-    Expr, JoinKind, OrderByItem, SelectItem, SelectStatement, TableExpr,
-};
+use llmsql_sql::ast::{Expr, JoinKind, OrderByItem, SelectItem, SelectStatement, TableExpr};
 use llmsql_store::Catalog;
 use llmsql_types::{DataType, Error, Field, RelSchema, Result, Schema};
 
@@ -57,12 +55,7 @@ impl Binder<'_> {
             for (expr, alias) in &items {
                 let bound = bind_expr(expr, &input_schema)?;
                 let name = alias.clone().unwrap_or_else(|| bound.default_name());
-                fields.push(Field::new(
-                    None,
-                    name,
-                    bound.data_type(),
-                    true,
-                ));
+                fields.push(Field::new(None, name, bound.data_type(), true));
                 exprs.push(bound);
             }
             // ORDER BY: try binding against the projection output first
@@ -138,7 +131,9 @@ impl Binder<'_> {
                         .filter(|f| f.qualifier.as_deref() == Some(q_l.as_str()))
                         .collect();
                     if matched.is_empty() {
-                        return Err(Error::binding(format!("unknown table alias '{q}' in {q}.*")));
+                        return Err(Error::binding(format!(
+                            "unknown table alias '{q}' in {q}.*"
+                        )));
                     }
                     for f in matched {
                         out.push((
@@ -541,7 +536,11 @@ fn rewrite_post_aggregate(
                 })
                 .collect::<Option<Vec<_>>>()?,
             else_expr: match else_expr {
-                Some(e) => Some(Box::new(rewrite_post_aggregate(e, group_exprs, aggregates)?)),
+                Some(e) => Some(Box::new(rewrite_post_aggregate(
+                    e,
+                    group_exprs,
+                    aggregates,
+                )?)),
                 None => None,
             },
         },
@@ -649,10 +648,9 @@ mod tests {
 
     #[test]
     fn join_binding() {
-        let plan = bind(
-            "SELECT c.name, ci.name FROM countries c JOIN cities ci ON ci.country = c.name",
-        )
-        .unwrap();
+        let plan =
+            bind("SELECT c.name, ci.name FROM countries c JOIN cities ci ON ci.country = c.name")
+                .unwrap();
         assert_eq!(plan.schema().len(), 2);
         let mut joins = 0;
         plan.visit(&mut |p| {
@@ -679,7 +677,11 @@ mod tests {
         .unwrap();
         assert_eq!(
             plan.schema().names(),
-            vec!["region".to_string(), "n".to_string(), "sum(population)".to_string()]
+            vec![
+                "region".to_string(),
+                "n".to_string(),
+                "sum(population)".to_string()
+            ]
         );
         let text = plan.explain();
         assert!(text.contains("Aggregate"));
@@ -729,7 +731,11 @@ mod tests {
     fn limit_offset_distinct() {
         let plan = bind("SELECT DISTINCT region FROM countries LIMIT 5 OFFSET 2").unwrap();
         match &plan {
-            LogicalPlan::Limit { limit, offset, input } => {
+            LogicalPlan::Limit {
+                limit,
+                offset,
+                input,
+            } => {
                 assert_eq!(*limit, Some(5));
                 assert_eq!(*offset, 2);
                 assert!(matches!(**input, LogicalPlan::Distinct { .. }));
@@ -741,7 +747,10 @@ mod tests {
     #[test]
     fn select_without_from() {
         let plan = bind("SELECT 1 + 1 AS two, 'x' AS s").unwrap();
-        assert_eq!(plan.schema().names(), vec!["two".to_string(), "s".to_string()]);
+        assert_eq!(
+            plan.schema().names(),
+            vec!["two".to_string(), "s".to_string()]
+        );
     }
 
     #[test]

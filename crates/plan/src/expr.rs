@@ -145,10 +145,9 @@ impl BoundExpr {
             BoundExpr::Aggregate { func, arg, .. } => match func {
                 AggregateFunc::Count => DataType::Int,
                 AggregateFunc::Avg => DataType::Float,
-                AggregateFunc::Sum | AggregateFunc::Min | AggregateFunc::Max => arg
-                    .as_ref()
-                    .map(|a| a.data_type())
-                    .unwrap_or(DataType::Int),
+                AggregateFunc::Sum | AggregateFunc::Min | AggregateFunc::Max => {
+                    arg.as_ref().map(|a| a.data_type()).unwrap_or(DataType::Int)
+                }
             },
         }
     }
@@ -169,11 +168,7 @@ impl BoundExpr {
             }
             BoundExpr::Between {
                 expr, low, high, ..
-            } => {
-                expr.contains_aggregate()
-                    || low.contains_aggregate()
-                    || high.contains_aggregate()
-            }
+            } => expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate(),
             BoundExpr::Case {
                 branches,
                 else_expr,
@@ -181,7 +176,10 @@ impl BoundExpr {
                 branches
                     .iter()
                     .any(|(c, v)| c.contains_aggregate() || v.contains_aggregate())
-                    || else_expr.as_ref().map(|e| e.contains_aggregate()).unwrap_or(false)
+                    || else_expr
+                        .as_ref()
+                        .map(|e| e.contains_aggregate())
+                        .unwrap_or(false)
             }
         }
     }

@@ -44,7 +44,7 @@ mod proptests {
         let col = prop_oneof![Just("id"), Just("a"), Just("b"), Just("c")];
         let pred = (col.clone(), 0i64..100).prop_map(|(c, v)| {
             if c == "b" {
-                format!("b LIKE '%x%'")
+                "b LIKE '%x%'".to_string()
             } else {
                 format!("{c} > {v}")
             }

@@ -150,7 +150,11 @@ impl LogicalPlan {
 
     /// Number of plan nodes (for tests and metrics).
     pub fn node_count(&self) -> usize {
-        1 + self.children().iter().map(|c| c.node_count()).sum::<usize>()
+        1 + self
+            .children()
+            .iter()
+            .map(|c| c.node_count())
+            .sum::<usize>()
     }
 
     /// Names of all scanned base tables.

@@ -577,7 +577,11 @@ mod tests {
         );
         match scan_of(&p, "countries") {
             LogicalPlan::Scan { pushed_filter, .. } => {
-                assert!(pushed_filter.as_ref().unwrap().to_string().contains("region"));
+                assert!(pushed_filter
+                    .as_ref()
+                    .unwrap()
+                    .to_string()
+                    .contains("region"));
             }
             _ => unreachable!(),
         }

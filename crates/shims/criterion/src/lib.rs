@@ -1,0 +1,246 @@
+//! Offline stand-in for the `criterion` crate (see `crates/shims/README.md`).
+//!
+//! A real measuring harness, minus criterion's statistics machinery: every
+//! benchmark warms up briefly, then runs `sample_size` timed samples and
+//! reports min / mean / max per-iteration wall time to stdout. Keeps the
+//! `criterion_group!` / `criterion_main!` / `bench_with_input` surface so the
+//! bench sources compile unchanged against the real crate.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run a single benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id, self.sample_size, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size: 20,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run a benchmark identified by `id` with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_bench(&label, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Run a benchmark without an input value.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_bench(&label, self.sample_size, &mut f);
+        self
+    }
+
+    /// Finish the group (reporting is per-benchmark; this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name plus parameter.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Passed to benchmark closures; times the routine under test.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    timing: bool,
+}
+
+impl Bencher {
+    /// Time `routine`, recording one sample of `iters_per_sample` iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if !self.timing {
+            // Calibration pass: a single untimed iteration.
+            black_box(routine());
+            return;
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(routine());
+        }
+        self.samples.push(start.elapsed());
+    }
+}
+
+fn run_bench(id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    // Calibration: one untimed run to estimate cost and warm caches.
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: 1,
+        timing: false,
+    };
+    let calib_start = Instant::now();
+    f(&mut bencher);
+    let calib = calib_start.elapsed();
+
+    // Aim for ~2ms per sample, capped to keep total runtime bounded.
+    let per_iter_ns = calib.as_nanos().max(1);
+    let iters = (2_000_000 / per_iter_ns).clamp(1, 10_000) as u64;
+
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        iters_per_sample: iters,
+        timing: true,
+    };
+    for _ in 0..sample_size {
+        f(&mut bencher);
+    }
+
+    let per_iter: Vec<f64> = bencher
+        .samples
+        .iter()
+        .map(|d| d.as_secs_f64() / iters as f64)
+        .collect();
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len().max(1) as f64;
+    let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = per_iter.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "{id:<48} time: [{} {} {}]  ({} samples x {} iters)",
+        fmt_time(min),
+        fmt_time(mean),
+        fmt_time(max),
+        per_iter.len(),
+        iters,
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Declare a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declare the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut count = 0u64;
+        c.bench_function("noop", |b| b.iter(|| count += 1));
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn group_with_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::new("case", 1), &41, |b, &x| b.iter(|| x + 1));
+        group.finish();
+    }
+}

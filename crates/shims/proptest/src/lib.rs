@@ -1,0 +1,584 @@
+//! Offline stand-in for the `proptest` crate (see `crates/shims/README.md`).
+//!
+//! Implements the strategy combinators and the `proptest!` macro surface this
+//! workspace uses. Differences from the real crate: no shrinking, a fixed
+//! number of cases per property (see [`test_runner::CASES`]), and string
+//! "regex" strategies support only the subset actually used here (sequences
+//! of character classes with optional `{n,m}` repetition).
+
+pub mod test_runner {
+    /// Cases generated per property.
+    pub const CASES: usize = 48;
+
+    /// Deterministic splitmix64-based generator for property inputs.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed from a property name so every property gets its own stream.
+        pub fn from_name(name: &str) -> Self {
+            let mut state = 0xA076_1D64_78BD_642F_u64;
+            for b in name.bytes() {
+                state = (state ^ b as u64).wrapping_mul(0x100_0000_01B3);
+            }
+            TestRng { state }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform usize in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: usize) -> usize {
+            (self.next_u64() % bound as u64) as usize
+        }
+
+        /// Uniform f64 in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::Range;
+    use std::sync::Arc;
+
+    /// A generator of values for property tests.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generate one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Discard generated values failing a predicate (resampling).
+        fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                reason,
+                f,
+            }
+        }
+
+        /// Build a recursive strategy: `f` receives the strategy for the
+        /// previous depth level and returns the strategy for one level up.
+        /// `_size` / `_branch` are accepted for API compatibility.
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _size: u32,
+            _branch: u32,
+            f: F,
+        ) -> ArcStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S2: Strategy<Value = Self::Value> + 'static,
+            F: Fn(ArcStrategy<Self::Value>) -> S2,
+        {
+            let leaf = ArcStrategy::new(self);
+            let mut current = leaf.clone();
+            for _ in 0..depth {
+                let branch = ArcStrategy::new(f(current));
+                // Mostly-leaf mix bounds the expected tree size.
+                current = ArcStrategy::new(Union::weighted(vec![(2, leaf.clone()), (1, branch)]));
+            }
+            current
+        }
+
+        /// Type-erase into a shareable handle.
+        fn boxed(self) -> ArcStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            ArcStrategy::new(self)
+        }
+    }
+
+    /// Shareable, clonable, type-erased strategy handle.
+    pub struct ArcStrategy<V>(Arc<dyn Strategy<Value = V>>);
+
+    impl<V> ArcStrategy<V> {
+        /// Erase a concrete strategy.
+        pub fn new<S: Strategy<Value = V> + 'static>(inner: S) -> Self {
+            ArcStrategy(Arc::new(inner))
+        }
+    }
+
+    impl<V> Clone for ArcStrategy<V> {
+        fn clone(&self) -> Self {
+            ArcStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<V> Strategy for ArcStrategy<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut TestRng) -> V {
+            self.0.sample(rng)
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Clone)]
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: &'static str,
+        f: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.sample(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter exhausted retries: {}", self.reason);
+        }
+    }
+
+    /// Weighted union of same-valued strategies (backs `prop_oneof!`).
+    pub struct Union<V> {
+        arms: Vec<(u32, ArcStrategy<V>)>,
+        total: u32,
+    }
+
+    impl<V> Union<V> {
+        /// Equal-weight union.
+        pub fn new(arms: Vec<ArcStrategy<V>>) -> Self {
+            Union::weighted(arms.into_iter().map(|a| (1, a)).collect())
+        }
+
+        /// Weighted union.
+        pub fn weighted(arms: Vec<(u32, ArcStrategy<V>)>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            let total = arms.iter().map(|(w, _)| *w).sum();
+            Union { arms, total }
+        }
+    }
+
+    impl<V> Clone for Union<V> {
+        fn clone(&self) -> Self {
+            Union {
+                arms: self.arms.clone(),
+                total: self.total,
+            }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut TestRng) -> V {
+            let mut pick = (rng.next_u64() % self.total as u64) as u32;
+            for (weight, arm) in &self.arms {
+                if pick < *weight {
+                    return arm.sample(rng);
+                }
+                pick -= weight;
+            }
+            unreachable!("union weights exhausted")
+        }
+    }
+
+    // Ranges ------------------------------------------------------------
+
+    macro_rules! int_range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = self.end.wrapping_sub(self.start) as u64;
+                    self.start.wrapping_add((rng.next_u64() % span) as $ty)
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(i64, u64, usize, i32, u32);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    // any::<T>() --------------------------------------------------------
+
+    /// Types with a full-domain default strategy.
+    pub trait Arbitrary {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for i64 {
+        fn arbitrary(rng: &mut TestRng) -> i64 {
+            rng.next_u64() as i64
+        }
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    /// Strategy for [`Arbitrary`] types; build with [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The default strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    // Tuples ------------------------------------------------------------
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+    }
+
+    // String patterns ---------------------------------------------------
+
+    /// One `[class]{min,max}` element of a pattern.
+    struct PatternAtom {
+        alphabet: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    /// Compile the regex subset used in this workspace: a sequence of
+    /// character classes, each optionally followed by `{n}` or `{n,m}`.
+    fn compile_pattern(pattern: &str) -> Vec<PatternAtom> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let alphabet = if chars[i] == '[' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed '[' in pattern '{pattern}'"));
+                let class = &chars[i + 1..i + close];
+                i += close + 1;
+                expand_class(class, pattern)
+            } else {
+                let c = chars[i];
+                i += 1;
+                vec![c]
+            };
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unclosed '{{' in pattern '{pattern}'"));
+                let body: String = chars[i + 1..i + close].iter().collect();
+                i += close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("pattern repeat lower bound"),
+                        hi.trim().parse().expect("pattern repeat upper bound"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("pattern repeat count");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            atoms.push(PatternAtom { alphabet, min, max });
+        }
+        atoms
+    }
+
+    fn expand_class(class: &[char], pattern: &str) -> Vec<char> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < class.len() {
+            let c = match class[i] {
+                '\\' if i + 1 < class.len() => {
+                    i += 1;
+                    match class[i] {
+                        'n' => '\n',
+                        't' => '\t',
+                        other => other,
+                    }
+                }
+                other => other,
+            };
+            // Range: current char, '-', and a following non-']' char.
+            if i + 2 < class.len() && class[i + 1] == '-' {
+                let hi = class[i + 2];
+                assert!(c <= hi, "inverted range in pattern '{pattern}'");
+                for code in c as u32..=hi as u32 {
+                    if let Some(ch) = char::from_u32(code) {
+                        out.push(ch);
+                    }
+                }
+                i += 3;
+            } else {
+                out.push(c);
+                i += 1;
+            }
+        }
+        assert!(!out.is_empty(), "empty character class in '{pattern}'");
+        out
+    }
+
+    impl Strategy for &'static str {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            let atoms = compile_pattern(self);
+            let mut out = String::new();
+            for atom in &atoms {
+                let count = atom.min + rng.below(atom.max - atom.min + 1);
+                for _ in 0..count {
+                    out.push(atom.alphabet[rng.below(atom.alphabet.len())]);
+                }
+            }
+            out
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s of values; build with [`vec`].
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        sizes: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.sizes.end.saturating_sub(self.sizes.start).max(1);
+            let len = self.sizes.start + rng.below(span);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec(element, size_range)`.
+    pub fn vec<S: Strategy>(element: S, sizes: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, sizes }
+    }
+}
+
+pub mod option {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Strategy producing `Option`s; build with [`of`].
+    #[derive(Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.sample(rng))
+            }
+        }
+    }
+
+    /// `proptest::option::of(strategy)`: `None` about a quarter of the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Any, Arbitrary, ArcStrategy, Just, Strategy, Union};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Define property tests. Each property runs [`test_runner::CASES`] cases
+/// with inputs drawn from the given strategies.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$attr:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let __strategies = ($($strat,)+);
+                let mut __rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+                for __case in 0..$crate::test_runner::CASES {
+                    let ($($arg,)+) =
+                        $crate::strategy::Strategy::sample(&__strategies, &mut __rng);
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a property (panics on failure, like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Pick among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::ArcStrategy::new($arm)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_patterns_match_shape() {
+        let mut rng = crate::test_runner::TestRng::from_name("shape");
+        for _ in 0..200 {
+            let s = Strategy::sample(&"[a-z][a-z0-9_]{0,6}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 7, "got '{s}'");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            let p = Strategy::sample(&"[ -~\n]{0,40}", &mut rng);
+            assert!(p.len() <= 40);
+            assert!(p.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples(a in 0i64..10, pair in (0usize..5, crate::option::of(0u64..3))) {
+            prop_assert!((0..10).contains(&a));
+            prop_assert!(pair.0 < 5);
+            if let Some(v) = pair.1 {
+                prop_assert!(v < 3);
+            }
+        }
+
+        #[test]
+        fn oneof_and_map(v in prop_oneof![
+            Just(0i64),
+            (5i64..10).prop_map(|x| x * 2),
+        ]) {
+            prop_assert!(v == 0 || (10..20).contains(&v));
+        }
+
+        #[test]
+        fn vectors_respect_size(items in crate::collection::vec(0i64..100, 2..6)) {
+            prop_assert!((2..6).contains(&items.len()));
+        }
+
+        #[test]
+        fn filter_holds(s in "[a-z]{1,6}".prop_filter("not abc", |s| s != "abc")) {
+            prop_assert_ne!(s.as_str(), "abc");
+        }
+    }
+}

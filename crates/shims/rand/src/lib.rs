@@ -1,0 +1,187 @@
+//! Offline stand-in for the `rand` crate (see `crates/shims/README.md`).
+//!
+//! Implements the subset this workspace uses: `rngs::StdRng` seeded via
+//! `SeedableRng::seed_from_u64`, and `Rng::{gen_range, gen_bool}` over
+//! integer, float and usize ranges. The generator is xoshiro256**-style
+//! seeded through splitmix64 — deterministic and well-distributed, but *not*
+//! bit-compatible with the real crate's ChaCha-based `StdRng`.
+
+use std::ops::Range;
+
+/// Seedable random number generators.
+pub trait SeedableRng: Sized {
+    /// Construct from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The subset of rand's `Rng` extension trait used by this workspace.
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open range.
+    fn gen_range<T: SampleRange>(&mut self, range: Range<T>) -> T {
+        T::sample(self.next_u64_dyn(), range)
+    }
+
+    /// Bernoulli sample with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool probability {p}");
+        to_unit_f64(self.next_u64_dyn()) < p
+    }
+
+    /// A uniformly random value of a supported primitive type.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::standard(self.next_u64_dyn())
+    }
+}
+
+/// Core entropy source.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64_dyn(&mut self) -> u64;
+}
+
+impl<R: RngCore> Rng for R {}
+
+pub mod rngs {
+    use super::*;
+
+    /// Deterministic xoshiro256**-style generator.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 expansion of the seed into the xoshiro state.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            let mut s = [next(), next(), next(), next()];
+            if s.iter().all(|&w| w == 0) {
+                s[0] = 0x1234_5678_9ABC_DEF0;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64_dyn(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Map 64 random bits to a float in `[0, 1)`.
+pub(crate) fn to_unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Types that can be sampled uniformly from a `Range`.
+pub trait SampleRange: Copy + PartialOrd {
+    fn sample(bits: u64, range: Range<Self>) -> Self;
+}
+
+impl SampleRange for i64 {
+    fn sample(bits: u64, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "empty gen_range");
+        let span = range.end.wrapping_sub(range.start) as u64;
+        range.start.wrapping_add((bits % span) as i64)
+    }
+}
+
+impl SampleRange for u64 {
+    fn sample(bits: u64, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "empty gen_range");
+        range.start + bits % (range.end - range.start)
+    }
+}
+
+impl SampleRange for usize {
+    fn sample(bits: u64, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "empty gen_range");
+        range.start + (bits % (range.end - range.start) as u64) as usize
+    }
+}
+
+impl SampleRange for f64 {
+    fn sample(bits: u64, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "empty gen_range");
+        range.start + to_unit_f64(bits) * (range.end - range.start)
+    }
+}
+
+/// Types with a "standard" uniform distribution (rand's `Standard`).
+pub trait Standard {
+    fn standard(bits: u64) -> Self;
+}
+
+impl Standard for bool {
+    fn standard(bits: u64) -> Self {
+        bits & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn standard(bits: u64) -> Self {
+        bits
+    }
+}
+
+impl Standard for f64 {
+    fn standard(bits: u64) -> Self {
+        to_unit_f64(bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64_dyn(), b.next_u64_dyn());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64_dyn(), c.next_u64_dyn());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let i = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&i));
+            let u = rng.gen_range(3usize..9);
+            assert!((3..9).contains(&u));
+            let f = rng.gen_range(1.0f64..2.0);
+            assert!((1.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_rates() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let trues = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2000..4000).contains(&trues), "got {trues}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+}

@@ -71,10 +71,7 @@ impl<'a> Lexer<'a> {
                     // A dot starting a number like ".5" is handled in number
                     // lexing only when preceded by nothing useful; standalone
                     // dots are member access.
-                    if self
-                        .peek(1)
-                        .map(|c| c.is_ascii_digit())
-                        .unwrap_or(false)
+                    if self.peek(1).map(|c| c.is_ascii_digit()).unwrap_or(false)
                         && !self.last_token_is_value_like()
                     {
                         self.lex_number()?;
@@ -115,22 +112,20 @@ impl<'a> Lexer<'a> {
                         return Err(Error::parse("unexpected character '!'").at(start));
                     }
                 }
-                '<' => {
-                    match self.peek(1) {
-                        Some('=') => {
-                            self.push(Token::LtEq, start);
-                            self.pos += 2;
-                        }
-                        Some('>') => {
-                            self.push(Token::NotEq, start);
-                            self.pos += 2;
-                        }
-                        _ => {
-                            self.push(Token::Lt, start);
-                            self.pos += 1;
-                        }
+                '<' => match self.peek(1) {
+                    Some('=') => {
+                        self.push(Token::LtEq, start);
+                        self.pos += 2;
                     }
-                }
+                    Some('>') => {
+                        self.push(Token::NotEq, start);
+                        self.pos += 2;
+                    }
+                    _ => {
+                        self.push(Token::Lt, start);
+                        self.pos += 1;
+                    }
+                },
                 '>' => {
                     if self.peek(1) == Some('=') {
                         self.push(Token::GtEq, start);
@@ -322,7 +317,11 @@ mod tests {
     use super::*;
 
     fn toks(sql: &str) -> Vec<Token> {
-        tokenize(sql).unwrap().into_iter().map(|t| t.token).collect()
+        tokenize(sql)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.token)
+            .collect()
     }
 
     #[test]

@@ -55,22 +55,27 @@ mod proptests {
         ];
         leaf.prop_recursive(3, 24, 4, |inner| {
             prop_oneof![
-                (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::binary(a, BinaryOp::Plus, b)),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::binary(
+                    a,
+                    BinaryOp::Plus,
+                    b
+                )),
                 (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::binary(a, BinaryOp::Eq, b)),
                 (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::binary(a, BinaryOp::And, b)),
-                (inner.clone(), inner.clone())
-                    .prop_map(|(a, b)| Expr::binary(a, BinaryOp::Lt, b)),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::binary(a, BinaryOp::Lt, b)),
                 inner.clone().prop_map(|e| Expr::IsNull {
                     expr: Box::new(e),
                     negated: false
                 }),
-                (inner.clone(), proptest::collection::vec(inner.clone(), 1..4)).prop_map(
-                    |(e, list)| Expr::InList {
+                (
+                    inner.clone(),
+                    proptest::collection::vec(inner.clone(), 1..4)
+                )
+                    .prop_map(|(e, list)| Expr::InList {
                         expr: Box::new(e),
                         list,
                         negated: true
-                    }
-                ),
+                    }),
             ]
         })
     }

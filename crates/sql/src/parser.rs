@@ -90,7 +90,9 @@ impl Parser {
     }
 
     fn advance(&mut self) -> Token {
-        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].token.clone();
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)]
+            .token
+            .clone();
         if self.pos < self.tokens.len() - 1 {
             self.pos += 1;
         }
@@ -1013,7 +1015,10 @@ mod tests {
                     Some("the common English name")
                 );
                 assert!(c.columns[2].not_null);
-                assert_eq!(c.comment.as_deref(), Some("sovereign countries of the world"));
+                assert_eq!(
+                    c.comment.as_deref(),
+                    Some("sovereign countries of the world")
+                );
             }
             _ => panic!(),
         }
@@ -1033,8 +1038,7 @@ mod tests {
 
     #[test]
     fn insert() {
-        let stmt =
-            parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, NULL)").unwrap();
+        let stmt = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, NULL)").unwrap();
         match stmt {
             Statement::Insert(i) => {
                 assert_eq!(i.table, "t");

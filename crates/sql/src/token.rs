@@ -273,6 +273,8 @@ mod tests {
         assert_eq!(Token::Ident("foo".into()).describe(), "identifier 'foo'");
         assert_eq!(Token::Integer(5).describe(), "integer 5");
         assert_eq!(Token::Eof.describe(), "end of input");
-        assert!(Token::Keyword(Keyword::Select).describe().contains("SELECT"));
+        assert!(Token::Keyword(Keyword::Select)
+            .describe()
+            .contains("SELECT"));
     }
 }

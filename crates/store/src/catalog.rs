@@ -133,9 +133,7 @@ impl Catalog {
 
     /// True if the name exists.
     pub fn contains(&self, name: &str) -> bool {
-        self.entries
-            .read()
-            .contains_key(&name.to_ascii_lowercase())
+        self.entries.read().contains_key(&name.to_ascii_lowercase())
     }
 
     /// All table names in sorted order.

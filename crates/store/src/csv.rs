@@ -265,8 +265,12 @@ mod tests {
 
     #[test]
     fn dump_includes_header_and_nulls() {
-        let t = table_from_csv(schema(), "name,country,population\nParis,France,100\nOslo,,\n", true)
-            .unwrap();
+        let t = table_from_csv(
+            schema(),
+            "name,country,population\nParis,France,100\nOslo,,\n",
+            true,
+        )
+        .unwrap();
         let text = dump_csv(&t);
         assert!(text.starts_with("name,country,population\n"));
         assert!(text.contains("Paris,France,100"));

@@ -100,10 +100,7 @@ pub fn degrade_table(table: &Table, spec: &DegradeSpec) -> Result<(Table, Degrad
 
 /// Produce a degraded deep copy of an entire catalog. Virtual tables are
 /// copied unchanged (they have no stored rows to degrade).
-pub fn degrade_catalog(
-    catalog: &Catalog,
-    spec: &DegradeSpec,
-) -> Result<(Catalog, DegradeReport)> {
+pub fn degrade_catalog(catalog: &Catalog, spec: &DegradeSpec) -> Result<(Catalog, DegradeReport)> {
     let out = Catalog::new();
     let mut total = DegradeReport::default();
     for name in catalog.table_names() {
@@ -138,10 +135,20 @@ mod tests {
     fn big_table() -> Table {
         let schema = simple_schema(
             "nums",
-            &[("id", DataType::Int), ("a", DataType::Int), ("b", DataType::Text)],
+            &[
+                ("id", DataType::Int),
+                ("a", DataType::Int),
+                ("b", DataType::Text),
+            ],
         );
         let rows = (0..200)
-            .map(|i| vec![Value::Int(i), Value::Int(i * 2), Value::Text(format!("v{i}"))])
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::Int(i * 2),
+                    Value::Text(format!("v{i}")),
+                ]
+            })
             .collect();
         table_with_rows(schema, rows).unwrap()
     }
@@ -153,8 +160,11 @@ mod tests {
         assert_eq!(d.row_count(), 200);
         assert_eq!(report.dropped_rows, 0);
         // 400 degradable cells, expect ~200 nulled; allow generous slack
-        assert!(report.nulled_values > 120 && report.nulled_values < 280,
-            "nulled {}", report.nulled_values);
+        assert!(
+            report.nulled_values > 120 && report.nulled_values < 280,
+            "nulled {}",
+            report.nulled_values
+        );
         // primary keys never nulled
         assert!(d.scan().iter().all(|r| !r.get(0).is_null()));
     }
@@ -181,7 +191,14 @@ mod tests {
             },
         )
         .unwrap();
-        assert_eq!(report, DegradeReport { nulled_values: 0, dropped_rows: 0, kept_rows: 200 });
+        assert_eq!(
+            report,
+            DegradeReport {
+                nulled_values: 0,
+                dropped_rows: 0,
+                kept_rows: 200
+            }
+        );
         assert_eq!(d.scan(), t.scan());
     }
 

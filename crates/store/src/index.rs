@@ -132,7 +132,10 @@ mod tests {
             idx.insert(Value::Int(*v), i);
         }
         idx.insert(Value::Null, 99);
-        assert_eq!(idx.range(Some(&Value::Int(15)), Some(&Value::Int(35))), vec![1, 2]);
+        assert_eq!(
+            idx.range(Some(&Value::Int(15)), Some(&Value::Int(35))),
+            vec![1, 2]
+        );
         assert_eq!(idx.range(None, Some(&Value::Int(10))), vec![0]);
         assert_eq!(idx.range(Some(&Value::Int(45)), None), Vec::<usize>::new());
         // unbounded both sides returns everything except NULL

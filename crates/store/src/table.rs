@@ -135,7 +135,9 @@ impl Table {
                 if exists {
                     return Err(Error::storage(format!(
                         "duplicate primary key {:?} in table '{}'",
-                        key.iter().map(|v| v.to_display_string()).collect::<Vec<_>>(),
+                        key.iter()
+                            .map(|v| v.to_display_string())
+                            .collect::<Vec<_>>(),
                         schema.name
                     )));
                 }
@@ -228,7 +230,9 @@ impl Table {
                 if v.is_null() {
                     return false;
                 }
-                let ge = low.map(|l| v.total_cmp(l) != std::cmp::Ordering::Less).unwrap_or(true);
+                let ge = low
+                    .map(|l| v.total_cmp(l) != std::cmp::Ordering::Less)
+                    .unwrap_or(true);
                 let le = high
                     .map(|h| v.total_cmp(h) != std::cmp::Ordering::Greater)
                     .unwrap_or(true);
@@ -264,11 +268,7 @@ impl Table {
 
     /// Update rows matching `pred`, applying `f`; returns the number updated.
     /// Indexes are rebuilt afterwards.
-    pub fn update_where(
-        &self,
-        pred: impl Fn(&Row) -> bool,
-        f: impl Fn(&mut Row),
-    ) -> Result<usize> {
+    pub fn update_where(&self, pred: impl Fn(&Row) -> bool, f: impl Fn(&mut Row)) -> Result<usize> {
         let mut inner = self.inner.write();
         let schema = inner.schema.clone();
         let mut updated = 0;

@@ -276,6 +276,12 @@ pub struct EngineConfig {
     pub max_llm_calls: usize,
     /// Random seed driving the simulator's noise; fixed for reproducibility.
     pub seed: u64,
+    /// Worker threads used to dispatch independent LLM requests (and to run
+    /// CPU-heavy relational operators) concurrently. `1` means fully
+    /// sequential execution; results are identical at any setting because
+    /// scans reassemble completions in page/tuple order and the simulator's
+    /// noise is a pure function of `(seed, prompt)`.
+    pub parallelism: usize,
     /// Whether the prompt cache is enabled.
     pub enable_prompt_cache: bool,
     /// Whether optimizer rules run (turned off by the ablation experiment).
@@ -297,6 +303,7 @@ impl Default for EngineConfig {
             max_scan_rows: 1000,
             max_llm_calls: 10_000,
             seed: 42,
+            parallelism: 1,
             enable_prompt_cache: true,
             enable_optimizer: true,
             enable_predicate_pushdown: true,
@@ -331,6 +338,12 @@ impl EngineConfig {
         self.batch_size = batch_size;
         self
     }
+    /// Builder-style: set the worker-pool width for concurrent LLM dispatch
+    /// and parallel relational operators.
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
 
     /// Validate the configuration.
     pub fn validate(&self) -> Result<()> {
@@ -344,6 +357,9 @@ impl EngineConfig {
         if self.max_llm_calls == 0 {
             return Err(Error::config("max_llm_calls must be at least 1"));
         }
+        if self.parallelism == 0 {
+            return Err(Error::config("parallelism must be at least 1"));
+        }
         Ok(())
     }
 }
@@ -354,9 +370,18 @@ mod tests {
 
     #[test]
     fn mode_parsing() {
-        assert_eq!(ExecutionMode::parse("traditional").unwrap(), ExecutionMode::Traditional);
-        assert_eq!(ExecutionMode::parse("LLM-only").unwrap(), ExecutionMode::LlmOnly);
-        assert_eq!(ExecutionMode::parse("hybrid").unwrap(), ExecutionMode::Hybrid);
+        assert_eq!(
+            ExecutionMode::parse("traditional").unwrap(),
+            ExecutionMode::Traditional
+        );
+        assert_eq!(
+            ExecutionMode::parse("LLM-only").unwrap(),
+            ExecutionMode::LlmOnly
+        );
+        assert_eq!(
+            ExecutionMode::parse("hybrid").unwrap(),
+            ExecutionMode::Hybrid
+        );
         assert!(ExecutionMode::parse("quantum").is_err());
         assert_eq!(ExecutionMode::Traditional.to_string(), "traditional");
     }
@@ -399,8 +424,10 @@ mod tests {
 
     #[test]
     fn fidelity_validation_rejects_out_of_range() {
-        let mut f = LlmFidelity::default();
-        f.recall = 1.5;
+        let mut f = LlmFidelity {
+            recall: 1.5,
+            ..LlmFidelity::default()
+        };
         assert!(f.validate().is_err());
         f.recall = f64::NAN;
         assert!(f.validate().is_err());
@@ -420,13 +447,22 @@ mod tests {
             .with_mode(ExecutionMode::Hybrid)
             .with_strategy(PromptStrategy::TupleAtATime)
             .with_seed(7)
-            .with_batch_size(5);
+            .with_batch_size(5)
+            .with_parallelism(4);
         assert_eq!(cfg.mode, ExecutionMode::Hybrid);
         assert_eq!(cfg.strategy, PromptStrategy::TupleAtATime);
         assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.parallelism, 4);
         cfg.validate().unwrap();
 
         let bad = EngineConfig::default().with_batch_size(0);
         assert!(bad.validate().is_err());
+        let bad = EngineConfig::default().with_parallelism(0);
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn parallelism_defaults_to_sequential() {
+        assert_eq!(EngineConfig::default().parallelism, 1);
     }
 }

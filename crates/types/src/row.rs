@@ -158,7 +158,10 @@ impl Batch {
 
     /// Create an empty batch with the given schema.
     pub fn empty(schema: RelSchema) -> Self {
-        Batch { schema, rows: vec![] }
+        Batch {
+            schema,
+            rows: vec![],
+        }
     }
 
     /// Number of rows.

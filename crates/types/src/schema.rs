@@ -175,7 +175,10 @@ impl Schema {
             .iter()
             .find(|c| c.name.eq_ignore_ascii_case(name))
             .ok_or_else(|| {
-                Error::binding(format!("column '{}' not found in table '{}'", name, self.name))
+                Error::binding(format!(
+                    "column '{}' not found in table '{}'",
+                    name, self.name
+                ))
             })
     }
 
@@ -454,7 +457,10 @@ mod tests {
     fn prompt_phrases() {
         let s = sample_schema();
         assert_eq!(s.prompt_phrase(), "countries");
-        assert_eq!(s.column("population").unwrap().prompt_phrase(), "population in 2023");
+        assert_eq!(
+            s.column("population").unwrap().prompt_phrase(),
+            "population in 2023"
+        );
         assert_eq!(s.column("area_km2").unwrap().prompt_phrase(), "area km2");
     }
 
@@ -462,7 +468,10 @@ mod tests {
     fn validation_catches_duplicates() {
         let s = Schema::new(
             "t",
-            vec![Column::new("a", DataType::Int), Column::new("A", DataType::Text)],
+            vec![
+                Column::new("a", DataType::Int),
+                Column::new("A", DataType::Text),
+            ],
         );
         assert!(s.validate().is_err());
         assert!(sample_schema().validate().is_ok());

@@ -123,21 +123,18 @@ impl Value {
 
             (Value::Text(s), DataType::Text) => Value::Text(s.clone()),
             (Value::Text(s), DataType::Int) => {
-                let parsed = parse_int_lenient(s).ok_or_else(|| {
-                    Error::type_error(format!("cannot cast '{s}' to INTEGER"))
-                })?;
+                let parsed = parse_int_lenient(s)
+                    .ok_or_else(|| Error::type_error(format!("cannot cast '{s}' to INTEGER")))?;
                 Value::Int(parsed)
             }
             (Value::Text(s), DataType::Float) => {
-                let parsed = parse_float_lenient(s).ok_or_else(|| {
-                    Error::type_error(format!("cannot cast '{s}' to FLOAT"))
-                })?;
+                let parsed = parse_float_lenient(s)
+                    .ok_or_else(|| Error::type_error(format!("cannot cast '{s}' to FLOAT")))?;
                 Value::Float(parsed)
             }
             (Value::Text(s), DataType::Bool) => {
-                let parsed = parse_bool_lenient(s).ok_or_else(|| {
-                    Error::type_error(format!("cannot cast '{s}' to BOOLEAN"))
-                })?;
+                let parsed = parse_bool_lenient(s)
+                    .ok_or_else(|| Error::type_error(format!("cannot cast '{s}' to BOOLEAN")))?;
                 Value::Bool(parsed)
             }
             (v, t) => {
@@ -382,7 +379,7 @@ impl Hash for Value {
 
 impl PartialOrd for Value {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.total_cmp(other))
+        Some(self.cmp(other))
     }
 }
 
@@ -467,8 +464,14 @@ mod tests {
 
     #[test]
     fn cast_int_to_others() {
-        assert_eq!(Value::Int(3).cast(DataType::Float).unwrap(), Value::Float(3.0));
-        assert_eq!(Value::Int(0).cast(DataType::Bool).unwrap(), Value::Bool(false));
+        assert_eq!(
+            Value::Int(3).cast(DataType::Float).unwrap(),
+            Value::Float(3.0)
+        );
+        assert_eq!(
+            Value::Int(0).cast(DataType::Bool).unwrap(),
+            Value::Bool(false)
+        );
         assert_eq!(
             Value::Int(42).cast(DataType::Text).unwrap(),
             Value::Text("42".into())
@@ -490,7 +493,12 @@ mod tests {
 
     #[test]
     fn cast_null_is_null() {
-        for ty in [DataType::Bool, DataType::Int, DataType::Float, DataType::Text] {
+        for ty in [
+            DataType::Bool,
+            DataType::Int,
+            DataType::Float,
+            DataType::Text,
+        ] {
             assert_eq!(Value::Null.cast(ty).unwrap(), Value::Null);
         }
     }
@@ -512,7 +520,10 @@ mod tests {
             Value::from_llm_text("yes", DataType::Bool),
             Value::Bool(true)
         );
-        assert_eq!(Value::from_llm_text("garbage", DataType::Float), Value::Null);
+        assert_eq!(
+            Value::from_llm_text("garbage", DataType::Float),
+            Value::Null
+        );
     }
 
     #[test]
@@ -546,7 +557,11 @@ mod tests {
 
     #[test]
     fn nan_sorts_last_among_floats() {
-        let mut vals = vec![Value::Float(f64::NAN), Value::Float(1.0), Value::Float(-1.0)];
+        let mut vals = [
+            Value::Float(f64::NAN),
+            Value::Float(1.0),
+            Value::Float(-1.0),
+        ];
         vals.sort();
         assert_eq!(vals[0], Value::Float(-1.0));
         assert_eq!(vals[1], Value::Float(1.0));

@@ -74,7 +74,7 @@ pub fn standard_suite(world: &World, per_class: usize) -> Vec<QueryCase> {
 
 /// Generate `count` queries of a single class.
 pub fn class_suite(world: &World, class: QueryClass, count: usize) -> Vec<QueryCase> {
-    let mut rng = StdRng::seed_from_u64(world.spec.seed ^ (class as u64 + 1) * 0x9E37);
+    let mut rng = StdRng::seed_from_u64(world.spec.seed ^ ((class as u64 + 1) * 0x9E37));
     let countries = world.country_names();
     let median_pop = world.median_population();
     let mut out = Vec::with_capacity(count);
@@ -258,7 +258,13 @@ mod tests {
             .chain(cardinality_suite(&[5, 20]))
         {
             let result = oracle.execute(&q.sql);
-            assert!(result.is_ok(), "query {} failed: {:?}\n{}", q.id, result.err(), q.sql);
+            assert!(
+                result.is_ok(),
+                "query {} failed: {:?}\n{}",
+                q.id,
+                result.err(),
+                q.sql
+            );
         }
     }
 

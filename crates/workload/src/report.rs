@@ -29,7 +29,8 @@ impl Report {
 
     /// Append a row of displayable cells.
     pub fn row<D: Display>(&mut self, cells: Vec<D>) -> &mut Self {
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
         self
     }
 
@@ -104,7 +105,11 @@ mod tests {
     #[test]
     fn renders_aligned_table() {
         let mut r = Report::new(vec!["class", "precision", "recall"]).with_title("Table 1");
-        r.row(vec!["selection".to_string(), fmt_score(0.91), fmt_score(0.8)]);
+        r.row(vec![
+            "selection".to_string(),
+            fmt_score(0.91),
+            fmt_score(0.8),
+        ]);
         r.row(vec!["join".to_string(), fmt_score(0.755), fmt_score(0.61)]);
         let text = r.render();
         assert!(text.contains("== Table 1 =="));

@@ -17,9 +17,7 @@ use rand::{Rng, SeedableRng};
 use llmsql_core::Engine;
 use llmsql_llm::KnowledgeBase;
 use llmsql_store::Catalog;
-use llmsql_types::{
-    Column, DataType, EngineConfig, ExecutionMode, Result, Row, Schema, Value,
-};
+use llmsql_types::{Column, DataType, EngineConfig, ExecutionMode, Result, Row, Schema, Value};
 
 /// Size and seed of the generated world.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -136,10 +134,8 @@ impl World {
                     .with_description("the short English name of the country"),
                 Column::new("region", DataType::Text)
                     .with_description("the continent or world region"),
-                Column::new("capital", DataType::Text)
-                    .with_description("the capital city"),
-                Column::new("population", DataType::Int)
-                    .with_description("the total population"),
+                Column::new("capital", DataType::Text).with_description("the capital city"),
+                Column::new("population", DataType::Int).with_description("the total population"),
                 Column::new("area_km2", DataType::Float)
                     .with_description("the land area in square kilometres"),
                 Column::new("gdp_usd", DataType::Int)
@@ -180,8 +176,7 @@ impl World {
                     .with_description("the city name"),
                 Column::new("country", DataType::Text)
                     .with_description("the country the city belongs to"),
-                Column::new("population", DataType::Int)
-                    .with_description("the city population"),
+                Column::new("population", DataType::Int).with_description("the city population"),
                 Column::new("is_capital", DataType::Bool)
                     .with_description("whether the city is the national capital"),
             ],
@@ -193,7 +188,10 @@ impl World {
                 let (name, is_capital) = if c == 0 {
                     (capitals[ci].clone(), true)
                 } else {
-                    (unique(proper_name(&mut rng, 2, "ville"), &mut used_names), false)
+                    (
+                        unique(proper_name(&mut rng, 2, "ville"), &mut used_names),
+                        false,
+                    )
                 };
                 let population = rng.gen_range(20_000i64..15_000_000);
                 cities.insert(Row::new(vec![
@@ -212,12 +210,10 @@ impl World {
                 Column::new("name", DataType::Text)
                     .primary_key()
                     .with_description("the person's full name"),
-                Column::new("birth_year", DataType::Int)
-                    .with_description("the year of birth"),
+                Column::new("birth_year", DataType::Int).with_description("the year of birth"),
                 Column::new("nationality", DataType::Text)
                     .with_description("the country of citizenship"),
-                Column::new("profession", DataType::Text)
-                    .with_description("the main profession"),
+                Column::new("profession", DataType::Text).with_description("the main profession"),
             ],
         )
         .with_description("notable people of the synthetic world");
@@ -251,12 +247,10 @@ impl World {
                 Column::new("title", DataType::Text)
                     .primary_key()
                     .with_description("the movie title"),
-                Column::new("year", DataType::Int)
-                    .with_description("the release year"),
+                Column::new("year", DataType::Int).with_description("the release year"),
                 Column::new("director", DataType::Text)
                     .with_description("the director's full name"),
-                Column::new("genre", DataType::Text)
-                    .with_description("the primary genre"),
+                Column::new("genre", DataType::Text).with_description("the primary genre"),
                 Column::new("rating", DataType::Float)
                     .with_description("the average critic rating from 0 to 10"),
                 Column::new("country", DataType::Text)
@@ -371,7 +365,10 @@ mod tests {
     fn sizes_match_spec() {
         let spec = WorldSpec::tiny();
         let w = World::generate(spec).unwrap();
-        assert_eq!(w.catalog.table("countries").unwrap().row_count(), spec.countries);
+        assert_eq!(
+            w.catalog.table("countries").unwrap().row_count(),
+            spec.countries
+        );
         assert_eq!(
             w.catalog.table("cities").unwrap().row_count(),
             spec.countries * spec.cities_per_country
@@ -383,8 +380,7 @@ mod tests {
     #[test]
     fn referential_integrity() {
         let w = World::generate(WorldSpec::tiny()).unwrap();
-        let countries: std::collections::HashSet<String> =
-            w.country_names().into_iter().collect();
+        let countries: std::collections::HashSet<String> = w.country_names().into_iter().collect();
         for city in w.catalog.table("cities").unwrap().scan() {
             assert!(countries.contains(&city.get(1).to_display_string()));
         }

@@ -19,7 +19,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seed: 11,
     })?;
     let oracle = world.oracle_engine();
-    let sql = "SELECT name, capital FROM countries WHERE region = 'Europe' AND population > 1000000";
+    let sql =
+        "SELECT name, capital FROM countries WHERE region = 'Europe' AND population > 1000000";
     let truth = oracle.execute(sql)?;
     println!("SQL> {sql}");
     println!("ground truth: {} rows\n", truth.row_count());

@@ -43,7 +43,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", result.to_ascii_table());
 
     println!("-- The plan the engine ran --");
-    let explain = engine.execute("EXPLAIN SELECT name FROM countries WHERE population > 50000000")?;
+    let explain =
+        engine.execute("EXPLAIN SELECT name FROM countries WHERE population > 50000000")?;
     println!("{}", explain.plan.unwrap_or_default());
 
     Ok(())

@@ -98,8 +98,18 @@ fn accuracy_improves_with_model_quality() {
         let outcome = run_suite(&oracle, &subject, &suite, &EvalOptions::exact()).unwrap();
         f1s.push(outcome.overall().f1());
     }
-    assert!(f1s[0] < f1s[1], "weak {} should be below strong {}", f1s[0], f1s[1]);
-    assert!(f1s[1] <= f1s[2] + 1e-9, "strong {} should not beat perfect {}", f1s[1], f1s[2]);
+    assert!(
+        f1s[0] < f1s[1],
+        "weak {} should be below strong {}",
+        f1s[0],
+        f1s[1]
+    );
+    assert!(
+        f1s[1] <= f1s[2] + 1e-9,
+        "strong {} should not beat perfect {}",
+        f1s[1],
+        f1s[2]
+    );
     assert!(f1s[2] > 0.999);
 }
 
@@ -137,7 +147,10 @@ fn hybrid_execution_recovers_missing_values() {
     let hybrid_score = score_batches(&hybrid_result.batch, &truth.batch, &EvalOptions::exact());
 
     assert!(hybrid_score.f1 >= damaged_score.f1);
-    assert!(hybrid_score.exact, "perfect-fidelity hybrid must restore the answer");
+    assert!(
+        hybrid_score.exact,
+        "perfect-fidelity hybrid must restore the answer"
+    );
     assert!(hybrid_result.metrics.cells_filled_by_llm > 0);
 }
 

@@ -43,7 +43,11 @@ fn optimizer_never_changes_traditional_answers() {
         let a = optimized.execute(&q.sql).unwrap();
         let b = unoptimized.execute(&q.sql).unwrap();
         let score = score_batches(&a.batch, &b.batch, &EvalOptions::exact());
-        assert!(score.exact, "optimizer changed the answer of {}: {score:?}", q.sql);
+        assert!(
+            score.exact,
+            "optimizer changed the answer of {}: {score:?}",
+            q.sql
+        );
     }
 }
 
@@ -155,7 +159,10 @@ fn fidelity_knobs_shift_precision_and_recall_in_the_expected_direction() {
         &truth.batch,
         &EvalOptions::exact(),
     );
-    assert!(score.recall < 0.9, "forgetful model should miss rows: {score:?}");
+    assert!(
+        score.recall < 0.9,
+        "forgetful model should miss rows: {score:?}"
+    );
     assert!(
         score.precision >= score.recall,
         "forgetting should hurt recall more than precision: {score:?}"
@@ -180,5 +187,53 @@ fn fidelity_knobs_shift_precision_and_recall_in_the_expected_direction() {
         &truth.batch,
         &EvalOptions::exact(),
     );
-    assert!(score.precision < 1.0, "fabricating model should hallucinate rows: {score:?}");
+    assert!(
+        score.precision < 1.0,
+        "fabricating model should hallucinate rows: {score:?}"
+    );
+}
+
+#[test]
+fn parallel_dispatch_is_deterministic_at_any_width() {
+    // Same seed + same query must yield byte-identical result batches — and
+    // therefore identical fidelity-noise outcomes — whether scan prompts are
+    // dispatched sequentially or 4/8 at a time. Noise is a pure function of
+    // (seed, prompt) and scans reassemble completions in page/tuple order,
+    // so thread interleaving must never leak into answers.
+    let w = world();
+    let run = |strategy: PromptStrategy, fidelity: LlmFidelity, parallelism: usize| {
+        let subject = w
+            .subject_engine(
+                EngineConfig::default()
+                    .with_mode(ExecutionMode::LlmOnly)
+                    .with_strategy(strategy)
+                    .with_fidelity(fidelity)
+                    .with_seed(77)
+                    .with_parallelism(parallelism),
+            )
+            .unwrap();
+        let mut tables = Vec::new();
+        for q in standard_suite(&w, 2) {
+            tables.push(subject.execute(&q.sql).unwrap().batch.to_ascii_table());
+        }
+        tables
+    };
+    for strategy in [
+        PromptStrategy::BatchedRows,
+        PromptStrategy::TupleAtATime,
+        PromptStrategy::DecomposedOperators,
+    ] {
+        // medium fidelity exercises recall loss, hallucination, corruption
+        // and format noise; perfect fidelity pins the lossless path.
+        for fidelity in [LlmFidelity::perfect(), LlmFidelity::medium()] {
+            let sequential = run(strategy, fidelity, 1);
+            for parallelism in [4, 8] {
+                let parallel = run(strategy, fidelity, parallelism);
+                assert_eq!(
+                    sequential, parallel,
+                    "strategy {strategy} diverged at parallelism {parallelism}"
+                );
+            }
+        }
+    }
 }

@@ -44,15 +44,24 @@ fn texts(e: &Engine, sql: &str) -> Vec<String> {
 fn predicates_and_ordering() {
     let e = engine();
     assert_eq!(
-        texts(&e, "SELECT name FROM emp WHERE salary >= 120 ORDER BY salary DESC"),
+        texts(
+            &e,
+            "SELECT name FROM emp WHERE salary >= 120 ORDER BY salary DESC"
+        ),
         vec!["grace", "barbara", "ada"]
     );
     assert_eq!(
-        texts(&e, "SELECT name FROM emp WHERE salary BETWEEN 90 AND 110 ORDER BY name"),
+        texts(
+            &e,
+            "SELECT name FROM emp WHERE salary BETWEEN 90 AND 110 ORDER BY name"
+        ),
         vec!["alan", "donald", "edsger"]
     );
     assert_eq!(
-        texts(&e, "SELECT name FROM emp WHERE name LIKE '%a_a%' ORDER BY name"),
+        texts(
+            &e,
+            "SELECT name FROM emp WHERE name LIKE '%a_a%' ORDER BY name"
+        ),
         vec!["ada", "alan", "barbara"]
     );
     assert_eq!(
@@ -60,11 +69,17 @@ fn predicates_and_ordering() {
         vec!["donald"]
     );
     assert_eq!(
-        texts(&e, "SELECT name FROM emp WHERE dept_id IN (2, 3) ORDER BY name"),
+        texts(
+            &e,
+            "SELECT name FROM emp WHERE dept_id IN (2, 3) ORDER BY name"
+        ),
         vec!["alan", "edsger"]
     );
     assert_eq!(
-        texts(&e, "SELECT name FROM emp WHERE NOT (salary > 100) AND dept_id IS NOT NULL"),
+        texts(
+            &e,
+            "SELECT name FROM emp WHERE NOT (salary > 100) AND dept_id IS NOT NULL"
+        ),
         vec!["alan"]
     );
 }
@@ -95,12 +110,18 @@ fn joins_inner_left_right_cross() {
     let e = engine();
     // inner join drops donald (NULL dept)
     assert_eq!(
-        ints(&e, "SELECT COUNT(*) FROM emp e JOIN dept d ON e.dept_id = d.id"),
+        ints(
+            &e,
+            "SELECT COUNT(*) FROM emp e JOIN dept d ON e.dept_id = d.id"
+        ),
         vec![5]
     );
     // left join keeps him
     assert_eq!(
-        ints(&e, "SELECT COUNT(*) FROM emp e LEFT JOIN dept d ON e.dept_id = d.id"),
+        ints(
+            &e,
+            "SELECT COUNT(*) FROM emp e LEFT JOIN dept d ON e.dept_id = d.id"
+        ),
         vec![6]
     );
     // right join keeps every department even if we filter employees
@@ -111,7 +132,10 @@ fn joins_inner_left_right_cross() {
         ),
         vec![3]
     );
-    assert_eq!(ints(&e, "SELECT COUNT(*) FROM emp CROSS JOIN dept"), vec![18]);
+    assert_eq!(
+        ints(&e, "SELECT COUNT(*) FROM emp CROSS JOIN dept"),
+        vec![18]
+    );
     // join + residual predicate + projection from both sides
     assert_eq!(
         texts(
@@ -140,7 +164,10 @@ fn aggregation_grouping_having() {
     assert_eq!(ints(&e, "SELECT COUNT(*) FROM emp"), vec![6]);
     assert_eq!(ints(&e, "SELECT COUNT(DISTINCT dept_id) FROM emp"), vec![3]);
     assert_eq!(ints(&e, "SELECT MIN(hired) FROM emp"), vec![2010]);
-    assert_eq!(ints(&e, "SELECT MAX(salary) FROM emp WHERE dept_id = 2"), vec![90]);
+    assert_eq!(
+        ints(&e, "SELECT MAX(salary) FROM emp WHERE dept_id = 2"),
+        vec![90]
+    );
     assert_eq!(ints(&e, "SELECT SUM(salary) FROM emp"), vec![670]);
 }
 
@@ -148,12 +175,18 @@ fn aggregation_grouping_having() {
 fn distinct_limit_offset_subquery() {
     let e = engine();
     assert_eq!(
-        ints(&e, "SELECT DISTINCT dept_id FROM emp WHERE dept_id IS NOT NULL ORDER BY dept_id")
-            .len(),
+        ints(
+            &e,
+            "SELECT DISTINCT dept_id FROM emp WHERE dept_id IS NOT NULL ORDER BY dept_id"
+        )
+        .len(),
         3
     );
     assert_eq!(
-        texts(&e, "SELECT name FROM emp ORDER BY salary DESC LIMIT 2 OFFSET 1"),
+        texts(
+            &e,
+            "SELECT name FROM emp ORDER BY salary DESC LIMIT 2 OFFSET 1"
+        ),
         vec!["barbara", "ada"]
     );
     assert_eq!(
@@ -171,7 +204,9 @@ fn describe_explain_and_errors() {
     let e = engine();
     let d = e.execute("DESCRIBE dept").unwrap();
     assert_eq!(d.row_count(), 3);
-    let x = e.execute("EXPLAIN SELECT e.name FROM emp e JOIN dept d ON e.dept_id = d.id").unwrap();
+    let x = e
+        .execute("EXPLAIN SELECT e.name FROM emp e JOIN dept d ON e.dept_id = d.id")
+        .unwrap();
     let plan = x.plan.unwrap();
     assert!(plan.contains("JOIN"));
     assert!(plan.contains("Scan emp"));
@@ -179,17 +214,23 @@ fn describe_explain_and_errors() {
     assert!(e.execute("SELECT nope FROM emp").is_err());
     assert!(e.execute("SELECT * FROM missing_table").is_err());
     assert!(e.execute("SELECT name FROM emp WHERE").is_err());
-    assert!(e.execute("INSERT INTO dept VALUES (1, 'dup', 0.0)").is_err());
+    assert!(e
+        .execute("INSERT INTO dept VALUES (1, 'dup', 0.0)")
+        .is_err());
 }
 
 #[test]
 fn insert_update_visibility_and_null_handling() {
     let e = engine();
-    e.execute("INSERT INTO emp (id, name, salary) VALUES (7, 'tony', 80)").unwrap();
+    e.execute("INSERT INTO emp (id, name, salary) VALUES (7, 'tony', 80)")
+        .unwrap();
     assert_eq!(ints(&e, "SELECT COUNT(*) FROM emp"), vec![7]);
     // NULL dept_id does not join
     assert_eq!(
-        ints(&e, "SELECT COUNT(*) FROM emp e JOIN dept d ON e.dept_id = d.id"),
+        ints(
+            &e,
+            "SELECT COUNT(*) FROM emp e JOIN dept d ON e.dept_id = d.id"
+        ),
         vec![5]
     );
     // aggregates ignore NULL inputs
