@@ -10,8 +10,8 @@ use llmsql_core::Engine;
 use llmsql_llm::{KnowledgeBase, SimLlm};
 use llmsql_store::Catalog;
 use llmsql_types::{
-    Column, DataType, EngineConfig, ExecutionMode, LlmFidelity, PromptStrategy, Result, Row,
-    Schema, Value,
+    Column, DataType, EngineConfig, ExecutionMode, LlmFidelity, PromptStrategy, Result,
+    RoutingPolicy, Row, Schema, Value,
 };
 use llmsql_workload::{World, WorldSpec};
 
@@ -102,7 +102,39 @@ pub fn parallel_scan_engine(rows: usize, parallelism: usize, latency_ms: f64) ->
     config.max_scan_rows = rows;
     config.enable_prompt_cache = false;
     let mut engine = Engine::with_catalog(catalog, config);
-    engine.attach_model(std::sync::Arc::new(sim));
+    engine
+        .attach_model(std::sync::Arc::new(sim))
+        .expect("no backends configured");
+    engine
+}
+
+/// The standard multi-backend scenario shared by the routing bench, the
+/// failover integration tests and the `multi_backend` example: the
+/// [`parallel_scan_engine`] workload served through the canonical
+/// mixed-backend deployment ([`llmsql_workload::mixed_backend_config`]:
+/// `edge-a` hard down when `one_failing`, `edge-b` vanilla, `edge-c` at
+/// premium pricing).
+pub fn multi_backend_engine(
+    rows: usize,
+    parallelism: usize,
+    latency_ms: f64,
+    policy: RoutingPolicy,
+    one_failing: bool,
+) -> Engine {
+    let (catalog, sim) = parallel_world(rows, LlmFidelity::perfect(), latency_ms);
+    let base = EngineConfig::default()
+        .with_mode(ExecutionMode::LlmOnly)
+        .with_strategy(PromptStrategy::BatchedRows)
+        .with_batch_size(10)
+        .with_parallelism(parallelism)
+        .with_routing_policy(policy);
+    let mut config = llmsql_workload::mixed_backend_config(base, one_failing);
+    config.max_scan_rows = rows;
+    config.enable_prompt_cache = false;
+    let mut engine = Engine::with_catalog(catalog, config);
+    engine
+        .attach_model(std::sync::Arc::new(sim))
+        .expect("canonical backend specs are valid");
     engine
 }
 

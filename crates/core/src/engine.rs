@@ -7,7 +7,8 @@ use std::time::Instant;
 use llmsql_exec::{eval as eval_expr, execute as execute_plan, ExecContext, ExecMetrics};
 use llmsql_llm::prompt::TaskSpec;
 use llmsql_llm::{
-    parse_pipe_rows, CompletionRequest, KnowledgeBase, LanguageModel, LlmClient, SimLlm,
+    parse_pipe_rows, BackendPool, CompletionRequest, KnowledgeBase, LanguageModel, LlmClient,
+    SimLlm,
 };
 use llmsql_plan::{bind_select, optimize, schema_from_create, LogicalPlan, OptimizerOptions};
 use llmsql_sql::ast::{InsertStatement, SelectStatement, Statement};
@@ -58,20 +59,42 @@ impl Engine {
     }
 
     /// Attach a language model (wrapped in a caching, usage-tracking client).
-    pub fn attach_model(&mut self, model: Arc<dyn LanguageModel>) {
-        self.client = Some(if self.config.enable_prompt_cache {
-            LlmClient::new(model)
+    ///
+    /// With `config.backends` non-empty the model is served through a
+    /// [`llmsql_llm::BackendPool`] of deterministic remote-like endpoints
+    /// (one per [`llmsql_types::BackendSpec`]) with the configured routing
+    /// policy and failover; otherwise it is called directly. Fails when the
+    /// backend list is invalid (duplicate or empty names, out-of-range
+    /// rates) — the same errors `EngineConfig::validate` reports.
+    pub fn attach_model(&mut self, model: Arc<dyn LanguageModel>) -> Result<()> {
+        let cached = self.config.enable_prompt_cache;
+        self.client = Some(if self.config.backends.is_empty() {
+            if cached {
+                LlmClient::new(model)
+            } else {
+                LlmClient::without_cache(model)
+            }
         } else {
-            LlmClient::without_cache(model)
+            let pool = BackendPool::from_specs(
+                model,
+                &self.config.backends,
+                self.config.routing_policy,
+                self.config.seed,
+            )?
+            .with_retries(self.config.backend_retries)
+            .with_backoff_base_ms(self.config.backend_backoff_ms);
+            LlmClient::from_pool(Arc::new(pool), cached)
         });
+        Ok(())
     }
 
     /// Attach the simulated model over the given knowledge base, using the
-    /// engine configuration's fidelity, cost model and seed.
-    pub fn attach_simulator(&mut self, kb: Arc<KnowledgeBase>) {
+    /// engine configuration's fidelity, cost model and seed. Fails under the
+    /// same conditions as [`Engine::attach_model`].
+    pub fn attach_simulator(&mut self, kb: Arc<KnowledgeBase>) -> Result<()> {
         let sim = SimLlm::new(kb, self.config.fidelity, self.config.seed)
             .with_cost_model(self.config.cost_model);
-        self.attach_model(Arc::new(sim));
+        self.attach_model(Arc::new(sim))
     }
 
     /// Build a knowledge base mirroring every materialized table of a
@@ -255,6 +278,7 @@ impl Engine {
             .first()
             .and_then(|t| self.catalog.schema_of(t).ok());
         let prompt = task.to_prompt(context_schema.as_ref());
+        let backend_baseline = client.backend_stats();
         let response = client.complete(&CompletionRequest::new(prompt))?;
 
         let types: Vec<DataType> = schema.fields.iter().map(|f| f.data_type).collect();
@@ -265,6 +289,27 @@ impl Engine {
         metrics.dropped_lines = parsed.dropped_lines as u64;
         metrics.rows_from_llm = parsed.rows.len() as u64;
         metrics.rows_output = parsed.rows.len() as u64;
+        // Multi-backend deployments: this one prompt may have failed over /
+        // retried; surface the physical per-backend deltas like plan
+        // execution does.
+        if let (Some(before), Some(after)) = (backend_baseline, client.backend_stats()) {
+            for current in &after {
+                let base = before.iter().find(|b| b.id == current.id);
+                let (calls, errors, latency) = match base {
+                    Some(b) => (
+                        current.calls.saturating_sub(b.calls),
+                        current.errors.saturating_sub(b.errors),
+                        (current.latency_ms - b.latency_ms).max(0.0),
+                    ),
+                    None => (current.calls, current.errors, current.latency_ms),
+                };
+                metrics.backend_calls.insert(current.id.clone(), calls);
+                metrics.backend_errors.insert(current.id.clone(), errors);
+                metrics
+                    .backend_latency_ms
+                    .insert(current.id.clone(), latency);
+            }
+        }
 
         let mut rows = parsed.rows;
         for row in &mut rows {
@@ -399,7 +444,7 @@ mod tests {
                 .with_strategy(strategy)
                 .with_fidelity(fidelity),
         );
-        engine.attach_simulator(kb.into_shared());
+        engine.attach_simulator(kb.into_shared()).unwrap();
         engine
     }
 

@@ -1,6 +1,6 @@
 //! Execution context shared by all operators of one query.
 
-use llmsql_llm::LlmClient;
+use llmsql_llm::{BackendStats, LlmClient};
 use llmsql_store::Catalog;
 use llmsql_types::{EngineConfig, Error, Result};
 
@@ -18,17 +18,56 @@ pub struct ExecContext {
     pub config: EngineConfig,
     /// Metrics sink.
     pub metrics: SharedMetrics,
+    /// Per-backend counters at context creation: the client (and its pool)
+    /// outlive a single query, so this query's contribution is the delta
+    /// against this snapshot (see [`ExecContext::sync_backend_metrics`]).
+    backend_baseline: Vec<BackendStats>,
 }
 
 impl ExecContext {
     /// Create a context.
     pub fn new(catalog: Catalog, client: Option<LlmClient>, config: EngineConfig) -> Self {
+        let backend_baseline = client
+            .as_ref()
+            .and_then(|c| c.backend_stats())
+            .unwrap_or_default();
         ExecContext {
             catalog,
             client,
             config,
             metrics: SharedMetrics::new(),
+            backend_baseline,
         }
+    }
+
+    /// Copy this query's per-backend physical-call counters (the delta since
+    /// context creation) into [`crate::ExecMetrics`]. Called once at the end
+    /// of plan execution; callers driving scans directly can invoke it
+    /// manually before snapshotting metrics.
+    pub fn sync_backend_metrics(&self) {
+        let Some(stats) = self.client.as_ref().and_then(|c| c.backend_stats()) else {
+            return;
+        };
+        self.metrics.update(|m| {
+            for current in &stats {
+                let base = self
+                    .backend_baseline
+                    .iter()
+                    .find(|b| b.id == current.id)
+                    .cloned()
+                    .unwrap_or_default();
+                m.backend_calls
+                    .insert(current.id.clone(), current.calls.saturating_sub(base.calls));
+                m.backend_errors.insert(
+                    current.id.clone(),
+                    current.errors.saturating_sub(base.errors),
+                );
+                m.backend_latency_ms.insert(
+                    current.id.clone(),
+                    (current.latency_ms - base.latency_ms).max(0.0),
+                );
+            }
+        });
     }
 
     /// The LLM client, or an error explaining that the query needs one.

@@ -25,6 +25,9 @@ use crate::scan::{hybrid_scan, llm_scan, table_scan, ScanSpec};
 pub fn execute(ctx: &ExecContext, plan: &LogicalPlan) -> Result<Batch> {
     let rows = execute_rows(ctx, plan)?;
     ctx.metrics.update(|m| m.rows_output = rows.len() as u64);
+    // Multi-backend deployments: surface this query's per-backend
+    // physical-call counters alongside the logical-call metrics.
+    ctx.sync_backend_metrics();
     Ok(Batch::new(plan.schema(), rows))
 }
 
@@ -425,31 +428,54 @@ pub fn aggregate_rows(
         .collect())
 }
 
-/// Stable multi-key sort.
+/// Stable multi-key sort. NULL keys sort first under both ASC and DESC
+/// (NULLS FIRST, as in PostgreSQL's `NULLS FIRST` / SQLite's default for
+/// ASC — we extend it to DESC so missing evidence always surfaces at the top
+/// rather than flipping ends with the direction).
 pub fn sort_rows(rows: &mut [Row], keys: &[SortKey]) -> Result<()> {
-    // Precompute key values to keep the comparator infallible.
-    let mut keyed: Vec<(Vec<Value>, Row)> = rows
+    // Precompute key values (keeps the comparator infallible) and sort an
+    // index permutation: rows — arbitrarily wide — are never cloned, only
+    // moved once into their sorted slots at the end.
+    let key_values: Vec<Vec<Value>> = rows
         .iter()
         .map(|row| {
-            let ks = keys
-                .iter()
+            keys.iter()
                 .map(|k| eval(&k.expr, row))
-                .collect::<Result<Vec<_>>>()?;
-            Ok((ks, row.clone()))
+                .collect::<Result<Vec<_>>>()
         })
         .collect::<Result<_>>()?;
-    keyed.sort_by(|(a, _), (b, _)| {
+    let mut order: Vec<usize> = (0..rows.len()).collect();
+    // Stable sort over indices: equal keys keep input order.
+    order.sort_by(|&a, &b| {
         for (i, key) in keys.iter().enumerate() {
-            let ord = a[i].total_cmp(&b[i]);
-            let ord = if key.ascending { ord } else { ord.reverse() };
+            let (ka, kb) = (&key_values[a][i], &key_values[b][i]);
+            let ord = match (ka.is_null(), kb.is_null()) {
+                (true, true) => std::cmp::Ordering::Equal,
+                // NULLS FIRST regardless of direction.
+                (true, false) => std::cmp::Ordering::Less,
+                (false, true) => std::cmp::Ordering::Greater,
+                (false, false) => {
+                    let ord = ka.total_cmp(kb);
+                    if key.ascending {
+                        ord
+                    } else {
+                        ord.reverse()
+                    }
+                }
+            };
             if ord != std::cmp::Ordering::Equal {
                 return ord;
             }
         }
         std::cmp::Ordering::Equal
     });
-    for (slot, (_, row)) in rows.iter_mut().zip(keyed) {
-        *slot = row;
+    // Apply the permutation by moving rows (no deep clones).
+    let mut taken: Vec<Option<Row>> = rows
+        .iter_mut()
+        .map(|r| Some(std::mem::replace(r, Row::empty())))
+        .collect();
+    for (slot, &src) in rows.iter_mut().zip(&order) {
+        *slot = taken[src].take().expect("each source row moved once");
     }
     Ok(())
 }
@@ -783,5 +809,63 @@ mod tests {
         assert!(m.operators.contains_key("Scan"));
         assert!(m.operators.contains_key("Project"));
         assert_eq!(m.llm_calls(), 0);
+    }
+
+    #[test]
+    fn sort_rows_puts_nulls_first_in_both_directions() {
+        use llmsql_types::DataType;
+        let make_rows = || -> Vec<Row> {
+            vec![
+                Row::new(vec!["b".into(), Value::Int(2)]),
+                Row::new(vec!["n1".into(), Value::Null]),
+                Row::new(vec!["a".into(), Value::Int(1)]),
+                Row::new(vec!["n2".into(), Value::Null]),
+                Row::new(vec!["c".into(), Value::Int(3)]),
+            ]
+        };
+        let key = |ascending: bool| {
+            vec![SortKey {
+                expr: BoundExpr::col(1, "v", DataType::Int),
+                ascending,
+            }]
+        };
+        let labels = |rows: &[Row]| -> Vec<String> {
+            rows.iter().map(|r| r.get(0).to_display_string()).collect()
+        };
+
+        let mut asc = make_rows();
+        sort_rows(&mut asc, &key(true)).unwrap();
+        // NULLs lead and preserve input order (stable sort).
+        assert_eq!(labels(&asc), vec!["n1", "n2", "a", "b", "c"]);
+
+        let mut desc = make_rows();
+        sort_rows(&mut desc, &key(false)).unwrap();
+        // NULLs still first even though the value order flips.
+        assert_eq!(labels(&desc), vec!["n1", "n2", "c", "b", "a"]);
+    }
+
+    #[test]
+    fn sort_rows_multi_key_stability() {
+        use llmsql_types::DataType;
+        let mut rows = vec![
+            Row::new(vec!["x".into(), Value::Int(1), Value::Int(10)]),
+            Row::new(vec!["y".into(), Value::Int(1), Value::Null]),
+            Row::new(vec!["z".into(), Value::Int(0), Value::Int(5)]),
+        ];
+        let keys = vec![
+            SortKey {
+                expr: BoundExpr::col(1, "k1", DataType::Int),
+                ascending: true,
+            },
+            SortKey {
+                expr: BoundExpr::col(2, "k2", DataType::Int),
+                ascending: false,
+            },
+        ];
+        sort_rows(&mut rows, &keys).unwrap();
+        let order: Vec<String> = rows.iter().map(|r| r.get(0).to_display_string()).collect();
+        // k1 ascending groups z first; within k1 = 1 the NULL k2 leads even
+        // under DESC.
+        assert_eq!(order, vec!["z", "y", "x"]);
     }
 }

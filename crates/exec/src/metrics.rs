@@ -31,6 +31,14 @@ pub struct ExecMetrics {
     pub peak_in_flight: u64,
     /// LLM prompts issued, by task kind ("row_batch", "lookup", ...).
     pub llm_calls_by_kind: BTreeMap<String, u64>,
+    /// Physical attempts per backend (multi-backend deployments only;
+    /// includes failed attempts and retries, so the sum can exceed
+    /// [`ExecMetrics::llm_calls`], which counts *logical* prompts).
+    pub backend_calls: BTreeMap<String, u64>,
+    /// Failed attempts per backend.
+    pub backend_errors: BTreeMap<String, u64>,
+    /// Reported completion latency accumulated per backend, milliseconds.
+    pub backend_latency_ms: BTreeMap<String, f64>,
     /// Plan nodes executed, by operator name.
     pub operators: BTreeMap<String, u64>,
 }
@@ -61,6 +69,15 @@ impl ExecMetrics {
         self.peak_in_flight = self.peak_in_flight.max(other.peak_in_flight);
         for (k, v) in &other.llm_calls_by_kind {
             *self.llm_calls_by_kind.entry(k.clone()).or_default() += v;
+        }
+        for (k, v) in &other.backend_calls {
+            *self.backend_calls.entry(k.clone()).or_default() += v;
+        }
+        for (k, v) in &other.backend_errors {
+            *self.backend_errors.entry(k.clone()).or_default() += v;
+        }
+        for (k, v) in &other.backend_latency_ms {
+            *self.backend_latency_ms.entry(k.clone()).or_default() += v;
         }
         for (k, v) in &other.operators {
             *self.operators.entry(k.clone()).or_default() += v;

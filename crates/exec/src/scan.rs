@@ -32,6 +32,17 @@
 //!   (`LIMIT`/`max_scan_rows` reached before exhaustion) issue exactly the
 //!   sequential call count. Cost accounting reports every issued call
 //!   faithfully.
+//!
+//! # Multi-backend fan-out
+//!
+//! When the client wraps a `BackendPool`, the concurrent requests of one wave
+//! spread across the pool's endpoints per its routing policy (round-robin
+//! interleaves a wave; least-in-flight reacts to stragglers). This is
+//! invisible to the wave planner: pooled backends are semantically identical
+//! and failover happens inside the pool, so rows stay byte-identical and the
+//! query-global call budget (`max_llm_calls`) keeps counting *logical*
+//! prompts — a retried or failed-over prompt consumes exactly one unit of
+//! budget no matter how many physical attempts it took.
 
 use llmsql_llm::prompt::TaskSpec;
 use llmsql_llm::{

@@ -5,6 +5,11 @@
 //! (seed, prompt) the cache does not change answers — it only changes the
 //! call count and cost, which is exactly what the cost experiments measure.
 //!
+//! Keys are opaque strings; [`crate::LlmClient`] composes them from the model
+//! fingerprint plus the request parameters (`max_tokens`, `temperature`) plus
+//! the prompt, so one cache instance can safely be shared between clients
+//! over different model configurations without collisions.
+//!
 //! The map is split into [`PromptCache::DEFAULT_SHARDS`] independently locked
 //! shards selected by a hash of the prompt, so concurrent scan workers
 //! completing different prompts do not serialize on one lock. Hit/miss
@@ -58,15 +63,15 @@ impl PromptCache {
         self.shards.len()
     }
 
-    fn shard_for(&self, prompt: &str) -> &RwLock<HashMap<String, CompletionResponse>> {
+    fn shard_for(&self, key: &str) -> &RwLock<HashMap<String, CompletionResponse>> {
         let mut hasher = DefaultHasher::new();
-        prompt.hash(&mut hasher);
+        key.hash(&mut hasher);
         &self.shards[(hasher.finish() % self.shards.len() as u64) as usize]
     }
 
-    /// Look up a prompt.
-    pub fn get(&self, prompt: &str) -> Option<CompletionResponse> {
-        let found = self.shard_for(prompt).read().get(prompt).cloned();
+    /// Look up a key.
+    pub fn get(&self, key: &str) -> Option<CompletionResponse> {
+        let found = self.shard_for(key).read().get(key).cloned();
         if found.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -76,8 +81,8 @@ impl PromptCache {
     }
 
     /// Store a completion.
-    pub fn put(&self, prompt: String, response: CompletionResponse) {
-        self.shard_for(&prompt).write().insert(prompt, response);
+    pub fn put(&self, key: String, response: CompletionResponse) {
+        self.shard_for(&key).write().insert(key, response);
     }
 
     /// Number of cached prompts.

@@ -238,30 +238,41 @@ fn arith(l: &Value, op: BinaryOp, r: &Value) -> Option<Value> {
 
 /// SQL LIKE matching with `%` (any run) and `_` (single char), case-insensitive
 /// (mirrors how an LLM treats string questions).
+///
+/// Iterative two-pointer algorithm with `%`-backtracking: on a mismatch the
+/// scan resumes one text position past where the most recent `%` started
+/// matching, so the worst case is O(|text| × |pattern|) — never the
+/// exponential blowup (and stack overflow) of naive recursion on adversarial
+/// patterns like `%a%a%a%b`.
 pub fn like_match(text: &str, pattern: &str) -> bool {
-    fn inner(t: &[char], p: &[char]) -> bool {
-        match (t.first(), p.first()) {
-            (_, None) => t.is_empty(),
-            (_, Some('%')) => {
-                if inner(t, &p[1..]) {
-                    return true;
-                }
-                if !t.is_empty() {
-                    return inner(&t[1..], p);
-                }
-                false
-            }
-            (None, Some(_)) => false,
-            (Some(tc), Some('_')) => {
-                let _ = tc;
-                inner(&t[1..], &p[1..])
-            }
-            (Some(tc), Some(pc)) => tc.eq_ignore_ascii_case(pc) && inner(&t[1..], &p[1..]),
-        }
-    }
     let t: Vec<char> = text.chars().collect();
     let p: Vec<char> = pattern.chars().collect();
-    inner(&t, &p)
+    let mut ti = 0; // cursor into text
+    let mut pi = 0; // cursor into pattern
+                    // Backtracking state: the pattern index just past the last `%`, and the
+                    // text index that `%` is currently assumed to have consumed up to.
+    let mut star_pi = usize::MAX;
+    let mut star_ti = 0;
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi].eq_ignore_ascii_case(&t[ti])) {
+            ti += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star_pi = pi + 1;
+            star_ti = ti;
+            pi = star_pi;
+        } else if star_pi != usize::MAX {
+            // Mismatch after a `%`: widen that `%` by one character and
+            // retry the remainder of the pattern from there.
+            star_ti += 1;
+            ti = star_ti;
+            pi = star_pi;
+        } else {
+            return false;
+        }
+    }
+    // Text exhausted: the remaining pattern must be all `%`.
+    p[pi..].iter().all(|&c| c == '%')
 }
 
 #[cfg(test)]
@@ -385,5 +396,63 @@ mod tests {
         assert!(like_match("ABC", "abc"));
         assert!(!like_match("abc", "a%d"));
         assert!(like_match("a|b", "a|b"));
+        assert!(like_match("abc", "%%%"));
+        assert!(like_match("abc", "%_c"));
+        assert!(like_match("abc", "_b_"));
+        assert!(!like_match("abc", "abcd"));
+        assert!(!like_match("abcd", "abc"));
+        assert!(like_match("ab%cd", "ab%cd"));
+    }
+
+    #[test]
+    fn like_adversarial_pattern_is_fast() {
+        // Regression: the old recursive matcher backtracked exponentially on
+        // repeated `%x` groups over a long non-matching text (and could
+        // overflow the stack). The iterative matcher is O(|text|·|pattern|).
+        let text: String = "a".repeat(5_000);
+        let pattern = "%a%a%a%a%a%a%a%a%a%a%b";
+        let start = std::time::Instant::now();
+        assert!(!like_match(&text, pattern));
+        assert!(like_match(&(text.clone() + "b"), pattern));
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < std::time::Duration::from_secs(1),
+            "adversarial LIKE took {elapsed:?}"
+        );
+    }
+
+    /// Naive exponential reference matcher: `%` tries every split. Only safe
+    /// on the short inputs the property test generates.
+    fn naive_like(t: &[char], p: &[char]) -> bool {
+        match p.split_first() {
+            None => t.is_empty(),
+            Some((&'%', rest)) => (0..=t.len()).any(|k| naive_like(&t[k..], rest)),
+            Some((&'_', rest)) => !t.is_empty() && naive_like(&t[1..], rest),
+            Some((pc, rest)) => match t.split_first() {
+                Some((tc, trest)) => tc.eq_ignore_ascii_case(pc) && naive_like(trest, rest),
+                None => false,
+            },
+        }
+    }
+
+    proptest::proptest! {
+        /// The iterative matcher agrees with the naive reference on random
+        /// pattern/text pairs over a small alphabet (dense in collisions, so
+        /// `%`-backtracking paths actually get exercised).
+        #[test]
+        fn like_matches_naive_reference(
+            text in "[abAB]{0,10}",
+            pattern in "[ab%_]{0,8}",
+        ) {
+            let t: Vec<char> = text.chars().collect();
+            let p: Vec<char> = pattern.chars().collect();
+            proptest::prop_assert_eq!(
+                like_match(&text, &pattern),
+                naive_like(&t, &p),
+                "text={:?} pattern={:?}",
+                text,
+                pattern
+            );
+        }
     }
 }

@@ -7,6 +7,10 @@
 //!
 //! * the [`LanguageModel`] trait and the [`LlmClient`] wrapper (prompt cache +
 //!   usage accounting) the executor talks to,
+//! * the [`backend`] dispatch subsystem: the [`Backend`] endpoint trait, the
+//!   deterministic [`RemoteLlm`] endpoint simulator, and the [`BackendPool`]
+//!   router (round-robin / least-in-flight / cost-aware routing with bounded
+//!   retry + exponential-backoff failover),
 //! * [`SimLlm`]: a deterministic, seedable **simulated model** over an
 //!   explicit [`KnowledgeBase`], with configurable recall, hallucination,
 //!   value corruption and format noise ([`llmsql_types::LlmFidelity`]),
@@ -20,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod cache;
 pub mod cost;
 pub mod eval;
@@ -31,6 +36,7 @@ pub mod prompt;
 pub mod sim;
 pub mod tokenizer;
 
+pub use backend::{Backend, BackendPool, BackendStats, DirectBackend, RemoteLlm};
 pub use cache::PromptCache;
 pub use cost::UsageStats;
 pub use knowledge::{KbTable, KnowledgeBase};

@@ -1,10 +1,12 @@
 //! The `LanguageModel` abstraction and the tracked client wrapper.
 //!
 //! The engine only ever talks to a [`LanguageModel`] through a
-//! [`LlmClient`], which adds prompt caching and usage accounting. The
-//! simulator ([`crate::sim::SimLlm`]) is the only implementation shipped in
-//! this reproduction; a production deployment would add an HTTP-backed
-//! implementation without touching the engine.
+//! [`LlmClient`], which adds prompt caching and usage accounting. Two
+//! implementations ship in this reproduction: the simulator
+//! ([`crate::sim::SimLlm`]) and the multi-backend router
+//! ([`crate::backend::BackendPool`], itself composed of [`crate::backend::Backend`]
+//! endpoints); a production deployment would add an HTTP-backed endpoint
+//! without touching the engine.
 
 use std::sync::Arc;
 
@@ -12,6 +14,7 @@ use parking_lot::Mutex;
 
 use llmsql_types::{LlmCostModel, Result};
 
+use crate::backend::{BackendPool, BackendStats};
 use crate::cache::PromptCache;
 use crate::cost::UsageStats;
 
@@ -66,6 +69,16 @@ pub trait LanguageModel: Send + Sync {
     /// Produce a completion for the request.
     fn complete(&self, request: &CompletionRequest) -> Result<CompletionResponse>;
 
+    /// Semantic identity of this model: two models with equal fingerprints
+    /// must produce byte-identical completion text for every prompt. Folded
+    /// into prompt-cache and single-flight keys so clients over different
+    /// model configurations can share a cache without collisions. The default
+    /// reuses [`LanguageModel::name`]; override it when the name omits
+    /// configuration that changes completions.
+    fn fingerprint(&self) -> String {
+        self.name()
+    }
+
     /// The cost model of this endpoint (used for reporting only).
     fn cost_model(&self) -> LlmCostModel {
         LlmCostModel::default()
@@ -112,7 +125,14 @@ impl InFlightPrompts {
 #[derive(Clone)]
 pub struct LlmClient {
     model: Arc<dyn LanguageModel>,
+    /// When the model is a [`BackendPool`], a typed handle to it so callers
+    /// can read per-backend counters.
+    pool: Option<Arc<BackendPool>>,
     cache: Option<Arc<PromptCache>>,
+    /// Semantic fingerprint of the wrapped model, folded into every cache /
+    /// single-flight key: prompts are only shared between requests that the
+    /// same model configuration would answer identically.
+    fingerprint: Arc<str>,
     usage: Arc<Mutex<UsageStats>>,
     in_flight: Arc<InFlightPrompts>,
 }
@@ -120,9 +140,19 @@ pub struct LlmClient {
 impl LlmClient {
     /// Wrap a model with caching enabled.
     pub fn new(model: Arc<dyn LanguageModel>) -> Self {
+        Self::with_shared_cache(model, Arc::new(PromptCache::new()))
+    }
+
+    /// Wrap a model over an existing (possibly shared) prompt cache. Clients
+    /// over *different* model configurations can safely share one cache: the
+    /// model fingerprint is part of every key.
+    pub fn with_shared_cache(model: Arc<dyn LanguageModel>, cache: Arc<PromptCache>) -> Self {
+        let fingerprint: Arc<str> = model.fingerprint().into();
         LlmClient {
             model,
-            cache: Some(Arc::new(PromptCache::new())),
+            pool: None,
+            cache: Some(cache),
+            fingerprint,
             usage: Arc::new(Mutex::new(UsageStats::default())),
             in_flight: Arc::new(InFlightPrompts::default()),
         }
@@ -130,12 +160,28 @@ impl LlmClient {
 
     /// Wrap a model without a prompt cache.
     pub fn without_cache(model: Arc<dyn LanguageModel>) -> Self {
+        let fingerprint: Arc<str> = model.fingerprint().into();
         LlmClient {
             model,
+            pool: None,
             cache: None,
+            fingerprint,
             usage: Arc::new(Mutex::new(UsageStats::default())),
             in_flight: Arc::new(InFlightPrompts::default()),
         }
+    }
+
+    /// Wrap a multi-backend pool (with caching when `cached`). Completions
+    /// route through the pool's policy + failover; [`LlmClient::backend_stats`]
+    /// exposes the per-backend counters.
+    pub fn from_pool(pool: Arc<BackendPool>, cached: bool) -> Self {
+        let mut client = if cached {
+            Self::new(Arc::clone(&pool) as Arc<dyn LanguageModel>)
+        } else {
+            Self::without_cache(Arc::clone(&pool) as Arc<dyn LanguageModel>)
+        };
+        client.pool = Some(pool);
+        client
     }
 
     /// The wrapped model's name.
@@ -143,8 +189,24 @@ impl LlmClient {
         self.model.name()
     }
 
+    /// Per-backend physical-call counters, when the client wraps a pool.
+    pub fn backend_stats(&self) -> Option<Vec<BackendStats>> {
+        self.pool.as_ref().map(|p| p.stats())
+    }
+
+    /// The cache / single-flight key for a request: the model fingerprint
+    /// plus every request parameter that can change the completion. Two
+    /// queries sharing a prompt string but differing in model config,
+    /// `max_tokens` or `temperature` never collide.
+    fn request_key(&self, request: &CompletionRequest) -> String {
+        format!(
+            "{}\u{1f}{}\u{1f}{}\u{1f}{}",
+            self.fingerprint, request.max_tokens, request.temperature, request.prompt
+        )
+    }
+
     /// Issue a completion, consulting the cache first. Concurrent calls with
-    /// an identical prompt are deduplicated (single-flight): one thread
+    /// an identical request key are deduplicated (single-flight): one thread
     /// queries the model, the others wait and take the cached result, so
     /// parallel dispatch never pays for a completion a sequential run would
     /// have served from the cache.
@@ -152,13 +214,14 @@ impl LlmClient {
         let Some(cache) = &self.cache else {
             return self.complete_uncached(request);
         };
+        let key = self.request_key(request);
         loop {
-            if let Some(hit) = cache.get(&request.prompt) {
+            if let Some(hit) = cache.get(&key) {
                 let mut usage = self.usage.lock();
                 usage.cache_hits += 1;
                 return Ok(hit);
             }
-            if self.in_flight.claim(&request.prompt) {
+            if self.in_flight.claim(&key) {
                 // Release on every exit path, including unwinding, so
                 // followers are never stranded.
                 struct ReleaseOnDrop<'a>(&'a InFlightPrompts, &'a str);
@@ -167,17 +230,17 @@ impl LlmClient {
                         self.0.release(self.1);
                     }
                 }
-                let _release = ReleaseOnDrop(&self.in_flight, &request.prompt);
+                let _release = ReleaseOnDrop(&self.in_flight, &key);
                 // Double-check: a previous leader may have populated the
                 // cache between our miss and our claim.
-                if let Some(hit) = cache.get(&request.prompt) {
+                if let Some(hit) = cache.get(&key) {
                     let mut usage = self.usage.lock();
                     usage.cache_hits += 1;
                     return Ok(hit);
                 }
                 let response = self.complete_uncached(request);
                 if let Ok(response) = &response {
-                    cache.put(request.prompt.clone(), response.clone());
+                    cache.put(key.clone(), response.clone());
                 }
                 return response;
             }
@@ -362,5 +425,51 @@ mod tests {
         let r = CompletionRequest::new("hi").with_max_tokens(16);
         assert_eq!(r.max_tokens, 16);
         assert_eq!(r.temperature, 0.0);
+    }
+
+    #[test]
+    fn shared_cache_does_not_collide_across_model_configs() {
+        // Regression: cache keys used to be the prompt text alone, so two
+        // clients over *different* model configurations sharing a cache (or
+        // a future cross-query cache) could serve each other's completions.
+        struct NamedModel(&'static str);
+        impl LanguageModel for NamedModel {
+            fn name(&self) -> String {
+                self.0.to_string()
+            }
+            fn complete(&self, request: &CompletionRequest) -> Result<CompletionResponse> {
+                Ok(CompletionResponse {
+                    text: format!("{}-answer", self.0),
+                    prompt_tokens: count_tokens(&request.prompt),
+                    completion_tokens: 2,
+                    latency_ms: 1.0,
+                    cost_usd: 0.001,
+                })
+            }
+        }
+        let cache = Arc::new(PromptCache::new());
+        let a = LlmClient::with_shared_cache(Arc::new(NamedModel("model-a")), Arc::clone(&cache));
+        let b = LlmClient::with_shared_cache(Arc::new(NamedModel("model-b")), Arc::clone(&cache));
+        let req = CompletionRequest::new("shared prompt");
+        assert_eq!(a.complete(&req).unwrap().text, "model-a-answer");
+        assert_eq!(b.complete(&req).unwrap().text, "model-b-answer");
+        // Each client still hits its own entry on repeat.
+        assert_eq!(a.complete(&req).unwrap().text, "model-a-answer");
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn request_params_are_part_of_the_cache_key() {
+        // The same prompt at different max_tokens can produce different
+        // (truncated) completions — those must not share a cache slot.
+        let client = LlmClient::new(Arc::new(CannedModel::new("x")));
+        client
+            .complete(&CompletionRequest::new("p").with_max_tokens(8))
+            .unwrap();
+        client
+            .complete(&CompletionRequest::new("p").with_max_tokens(2048))
+            .unwrap();
+        assert_eq!(client.usage().calls, 2, "different max_tokens collided");
+        assert_eq!(client.cache_len(), 2);
     }
 }

@@ -772,6 +772,23 @@ impl LanguageModel for SimLlm {
         )
     }
 
+    /// Every knob that changes completion text is part of the identity:
+    /// clients sharing a prompt cache must not mix configurations that answer
+    /// the same prompt differently.
+    fn fingerprint(&self) -> String {
+        let f = &self.noise.fidelity;
+        format!(
+            "sim-llm(r={},h={},v={},f={},e={},seed={},cap={})",
+            f.recall,
+            f.hallucination,
+            f.value_noise,
+            f.format_noise,
+            f.enumeration_coverage,
+            self.noise.seed,
+            self.max_rows_per_completion,
+        )
+    }
+
     fn complete(&self, request: &CompletionRequest) -> Result<CompletionResponse> {
         if self.simulated_latency_ms > 0.0 {
             std::thread::sleep(std::time::Duration::from_secs_f64(

@@ -105,6 +105,134 @@ impl fmt::Display for PromptStrategy {
     }
 }
 
+/// How the backend pool picks the endpoint serving the next LLM request.
+///
+/// Routing never changes query *results*: every backend of a pool must be
+/// semantically identical (same completion text for the same prompt), so the
+/// policy only shifts latency, load distribution and spend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RoutingPolicy {
+    /// Rotate through the backends in registration order.
+    #[default]
+    RoundRobin,
+    /// Prefer the backend with the fewest requests currently in flight
+    /// (ties broken by registration order).
+    LeastInFlight,
+    /// Prefer the backend with the cheapest per-token pricing (ties broken by
+    /// registration order); more expensive backends only serve failover
+    /// traffic.
+    CostAware,
+}
+
+impl RoutingPolicy {
+    /// All policies, for sweeps.
+    pub const ALL: [RoutingPolicy; 3] = [
+        RoutingPolicy::RoundRobin,
+        RoutingPolicy::LeastInFlight,
+        RoutingPolicy::CostAware,
+    ];
+
+    /// Short label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RoutingPolicy::RoundRobin => "round-robin",
+            RoutingPolicy::LeastInFlight => "least-in-flight",
+            RoutingPolicy::CostAware => "cost-aware",
+        }
+    }
+
+    /// Parse from a user-facing name.
+    pub fn parse(s: &str) -> Result<Self> {
+        match s.to_ascii_lowercase().replace('_', "-").as_str() {
+            "round-robin" | "roundrobin" | "rr" => Ok(RoutingPolicy::RoundRobin),
+            "least-in-flight" | "least-loaded" | "lif" => Ok(RoutingPolicy::LeastInFlight),
+            "cost-aware" | "cheapest" | "cost" => Ok(RoutingPolicy::CostAware),
+            other => Err(Error::config(format!("unknown routing policy '{other}'"))),
+        }
+    }
+}
+
+impl fmt::Display for RoutingPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Declarative description of one LLM endpoint in a multi-backend deployment.
+///
+/// The engine turns each spec into a deterministic "remote-like" backend
+/// wrapping the attached model: same completions, but with the spec's own
+/// latency, failure behaviour and pricing. See `llmsql_llm::backend` for the
+/// runtime contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendSpec {
+    /// Unique backend name (shows up in per-backend metrics).
+    pub name: String,
+    /// Simulated network round-trip per request, in milliseconds.
+    pub latency_ms: f64,
+    /// Probability in [0, 1] that one attempt on this backend fails with a
+    /// transient error (deterministic per `(backend, prompt, attempt)`).
+    /// `1.0` means the backend is hard down and every attempt fails.
+    pub error_rate: f64,
+    /// Per-backend pricing and latency model.
+    pub cost_model: LlmCostModel,
+}
+
+impl BackendSpec {
+    /// A healthy backend with default pricing and no extra latency.
+    pub fn new(name: impl Into<String>) -> Self {
+        BackendSpec {
+            name: name.into(),
+            latency_ms: 0.0,
+            error_rate: 0.0,
+            cost_model: LlmCostModel::default(),
+        }
+    }
+
+    /// Builder-style: set the simulated per-request latency.
+    pub fn with_latency_ms(mut self, latency_ms: f64) -> Self {
+        self.latency_ms = latency_ms;
+        self
+    }
+
+    /// Builder-style: set the per-attempt transient error probability.
+    pub fn with_error_rate(mut self, error_rate: f64) -> Self {
+        self.error_rate = error_rate;
+        self
+    }
+
+    /// Builder-style: mark the backend as hard down (every attempt fails).
+    pub fn failing(self) -> Self {
+        self.with_error_rate(1.0)
+    }
+
+    /// Builder-style: set the per-backend pricing model.
+    pub fn with_cost_model(mut self, cost_model: LlmCostModel) -> Self {
+        self.cost_model = cost_model;
+        self
+    }
+
+    /// Validate the spec.
+    pub fn validate(&self) -> Result<()> {
+        if self.name.is_empty() {
+            return Err(Error::config("backend name must not be empty"));
+        }
+        if !(0.0..=1.0).contains(&self.error_rate) || self.error_rate.is_nan() {
+            return Err(Error::config(format!(
+                "backend '{}' error_rate must be in [0,1], got {}",
+                self.name, self.error_rate
+            )));
+        }
+        if !self.latency_ms.is_finite() || self.latency_ms < 0.0 {
+            return Err(Error::config(format!(
+                "backend '{}' latency_ms must be finite and non-negative",
+                self.name
+            )));
+        }
+        Ok(())
+    }
+}
+
 /// The fidelity model of the simulated language model: what fraction of facts
 /// it recalls, how often it fabricates, and how noisy its formatting is.
 ///
@@ -282,6 +410,19 @@ pub struct EngineConfig {
     /// scans reassemble completions in page/tuple order and the simulator's
     /// noise is a pure function of `(seed, prompt)`.
     pub parallelism: usize,
+    /// Multi-backend deployment: when non-empty, the attached model is served
+    /// through a pool of these endpoints (with failover) instead of being
+    /// called directly. Empty (the default) means a single direct backend.
+    pub backends: Vec<BackendSpec>,
+    /// How the backend pool routes requests when `backends` is non-empty.
+    pub routing_policy: RoutingPolicy,
+    /// Retries per backend before failing over to the next one (bounded
+    /// retry: a request touches each candidate backend at most
+    /// `1 + backend_retries` times).
+    pub backend_retries: usize,
+    /// Base of the exponential backoff between retry attempts, in
+    /// milliseconds (doubled per attempt, capped internally).
+    pub backend_backoff_ms: f64,
     /// Whether the prompt cache is enabled.
     pub enable_prompt_cache: bool,
     /// Whether optimizer rules run (turned off by the ablation experiment).
@@ -304,6 +445,10 @@ impl Default for EngineConfig {
             max_llm_calls: 10_000,
             seed: 42,
             parallelism: 1,
+            backends: Vec::new(),
+            routing_policy: RoutingPolicy::RoundRobin,
+            backend_retries: 1,
+            backend_backoff_ms: 1.0,
             enable_prompt_cache: true,
             enable_optimizer: true,
             enable_predicate_pushdown: true,
@@ -344,10 +489,36 @@ impl EngineConfig {
         self.parallelism = parallelism;
         self
     }
+    /// Builder-style: serve the attached model through a pool of backends
+    /// (with failover) instead of calling it directly.
+    pub fn with_backends(mut self, backends: Vec<BackendSpec>) -> Self {
+        self.backends = backends;
+        self
+    }
+    /// Builder-style: set the backend-pool routing policy.
+    pub fn with_routing_policy(mut self, policy: RoutingPolicy) -> Self {
+        self.routing_policy = policy;
+        self
+    }
 
     /// Validate the configuration.
     pub fn validate(&self) -> Result<()> {
         self.fidelity.validate()?;
+        let mut names = std::collections::BTreeSet::new();
+        for backend in &self.backends {
+            backend.validate()?;
+            if !names.insert(backend.name.as_str()) {
+                return Err(Error::config(format!(
+                    "duplicate backend name '{}'",
+                    backend.name
+                )));
+            }
+        }
+        if !self.backend_backoff_ms.is_finite() || self.backend_backoff_ms < 0.0 {
+            return Err(Error::config(
+                "backend_backoff_ms must be finite and non-negative",
+            ));
+        }
         if self.batch_size == 0 {
             return Err(Error::config("batch_size must be at least 1"));
         }
@@ -464,5 +635,73 @@ mod tests {
     #[test]
     fn parallelism_defaults_to_sequential() {
         assert_eq!(EngineConfig::default().parallelism, 1);
+    }
+
+    #[test]
+    fn routing_policy_parsing_and_labels() {
+        for p in RoutingPolicy::ALL {
+            assert_eq!(RoutingPolicy::parse(p.label()).unwrap(), p);
+            assert_eq!(p.to_string(), p.label());
+        }
+        assert_eq!(
+            RoutingPolicy::parse("rr").unwrap(),
+            RoutingPolicy::RoundRobin
+        );
+        assert_eq!(
+            RoutingPolicy::parse("cheapest").unwrap(),
+            RoutingPolicy::CostAware
+        );
+        assert!(RoutingPolicy::parse("dowsing").is_err());
+        assert_eq!(RoutingPolicy::default(), RoutingPolicy::RoundRobin);
+    }
+
+    #[test]
+    fn backend_spec_builders_and_validation() {
+        let spec = BackendSpec::new("edge-1")
+            .with_latency_ms(5.0)
+            .with_error_rate(0.25);
+        assert_eq!(spec.name, "edge-1");
+        assert_eq!(spec.latency_ms, 5.0);
+        assert_eq!(spec.error_rate, 0.25);
+        spec.validate().unwrap();
+        assert_eq!(BackendSpec::new("down").failing().error_rate, 1.0);
+
+        assert!(BackendSpec::new("").validate().is_err());
+        assert!(BackendSpec::new("x")
+            .with_error_rate(1.5)
+            .validate()
+            .is_err());
+        assert!(BackendSpec::new("x")
+            .with_latency_ms(-1.0)
+            .validate()
+            .is_err());
+        assert!(BackendSpec::new("x")
+            .with_latency_ms(f64::INFINITY)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn config_validates_backend_lists() {
+        let good = EngineConfig::default()
+            .with_backends(vec![BackendSpec::new("a"), BackendSpec::new("b").failing()])
+            .with_routing_policy(RoutingPolicy::LeastInFlight);
+        assert_eq!(good.backends.len(), 2);
+        assert_eq!(good.routing_policy, RoutingPolicy::LeastInFlight);
+        good.validate().unwrap();
+
+        let dup = EngineConfig::default()
+            .with_backends(vec![BackendSpec::new("a"), BackendSpec::new("a")]);
+        assert!(dup.validate().is_err());
+
+        let bad_rate = EngineConfig::default()
+            .with_backends(vec![BackendSpec::new("a").with_error_rate(f64::NAN)]);
+        assert!(bad_rate.validate().is_err());
+
+        let bad_backoff = EngineConfig {
+            backend_backoff_ms: -1.0,
+            ..EngineConfig::default()
+        };
+        assert!(bad_backoff.validate().is_err());
     }
 }

@@ -15,7 +15,10 @@ pub mod row;
 pub mod schema;
 pub mod value;
 
-pub use config::{EngineConfig, ExecutionMode, LlmCostModel, LlmFidelity, PromptStrategy};
+pub use config::{
+    BackendSpec, EngineConfig, ExecutionMode, LlmCostModel, LlmFidelity, PromptStrategy,
+    RoutingPolicy,
+};
 pub use error::{Error, ErrorKind, Result};
 pub use row::{Batch, Row};
 pub use schema::{Column, ColumnRef, DataType, Field, RelSchema, Schema};

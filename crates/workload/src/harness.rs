@@ -193,6 +193,34 @@ mod tests {
     }
 
     #[test]
+    fn mixed_backend_suite_matches_single_backend_suite() {
+        // The full query suite over a mixed-health backend pool (one endpoint
+        // hard down) must score and *answer* exactly like the single-backend
+        // run: failover changes which endpoint serves each prompt, never the
+        // completion — and the logical call accounting must agree too.
+        let w = world();
+        let oracle = w.oracle_engine();
+        let base = || {
+            EngineConfig::default()
+                .with_mode(ExecutionMode::LlmOnly)
+                .with_strategy(PromptStrategy::BatchedRows)
+                .with_fidelity(LlmFidelity::medium())
+                .with_parallelism(4)
+        };
+        let suite = standard_suite(&w, 2);
+        let single = w.subject_engine(base()).unwrap();
+        let pooled = w.subject_engine_multi_backend(base()).unwrap();
+        let single_out = run_suite(&oracle, &single, &suite, &EvalOptions::exact()).unwrap();
+        let pooled_out = run_suite(&oracle, &pooled, &suite, &EvalOptions::exact()).unwrap();
+        for (a, b) in single_out.cases.iter().zip(&pooled_out.cases) {
+            assert_eq!(a.case.sql, b.case.sql);
+            assert_eq!(a.score, b.score, "score diverged on {}", a.case.sql);
+            assert_eq!(a.llm_calls, b.llm_calls, "calls diverged on {}", a.case.sql);
+        }
+        assert_eq!(single_out.total_llm_calls(), pooled_out.total_llm_calls());
+    }
+
+    #[test]
     fn by_class_partitions_all_cases() {
         let w = world();
         let oracle = w.oracle_engine();

@@ -22,4 +22,4 @@ pub use queries::{
     cardinality_suite, class_suite, join_chain_suite, standard_suite, QueryCase, QueryClass,
 };
 pub use report::{fmt_f2, fmt_score, Report};
-pub use world::{World, WorldSpec};
+pub use world::{mixed_backend_config, World, WorldSpec};

@@ -305,8 +305,17 @@ impl World {
     /// hybrid experiments can degrade it without touching the oracle.
     pub fn subject_engine(&self, config: EngineConfig) -> Result<Engine> {
         let mut engine = Engine::with_catalog(self.catalog.deep_clone()?, config);
-        engine.attach_simulator(self.knowledge()?);
+        engine.attach_simulator(self.knowledge()?)?;
         Ok(engine)
+    }
+
+    /// A subject engine whose model is served through a mixed-health backend
+    /// pool (see [`mixed_backend_config`]): the standard multi-backend
+    /// scenario for suite-level experiments. Scores must match the plain
+    /// [`World::subject_engine`] exactly — failover changes which endpoint
+    /// answers, never what it answers.
+    pub fn subject_engine_multi_backend(&self, config: EngineConfig) -> Result<Engine> {
+        self.subject_engine(mixed_backend_config(config, true))
     }
 
     /// A subject engine over an explicitly provided (e.g. degraded) catalog.
@@ -316,7 +325,7 @@ impl World {
         config: EngineConfig,
     ) -> Result<Engine> {
         let mut engine = Engine::with_catalog(catalog, config);
-        engine.attach_simulator(self.knowledge()?);
+        engine.attach_simulator(self.knowledge()?)?;
         Ok(engine)
     }
 
@@ -344,6 +353,32 @@ impl World {
         pops.sort_unstable();
         pops.get(pops.len() / 2).copied().unwrap_or(0)
     }
+}
+
+/// Layer the standard mixed-backend deployment onto a configuration — the
+/// canonical scenario shared by the suite tests, the routing bench and the
+/// `multi_backend` example: three deterministic remote-like endpoints,
+/// `edge-a` (hard down when `one_failing`, exercising failover on every
+/// request routed to it), `edge-b` (vanilla) and `edge-c` (premium pricing,
+/// so cost-aware routing is observable) — with backoff disabled to keep
+/// suites fast.
+pub fn mixed_backend_config(base: EngineConfig, one_failing: bool) -> EngineConfig {
+    let premium = llmsql_types::LlmCostModel {
+        usd_per_1k_prompt_tokens: 0.006,
+        usd_per_1k_completion_tokens: 0.012,
+        ..llmsql_types::LlmCostModel::default()
+    };
+    let mut first = llmsql_types::BackendSpec::new("edge-a");
+    if one_failing {
+        first = first.failing();
+    }
+    let mut config = base.with_backends(vec![
+        first,
+        llmsql_types::BackendSpec::new("edge-b"),
+        llmsql_types::BackendSpec::new("edge-c").with_cost_model(premium),
+    ]);
+    config.backend_backoff_ms = 0.0;
+    config
 }
 
 #[cfg(test)]

@@ -250,7 +250,7 @@ fn traditional_mode_never_calls_the_model() {
         w.catalog.clone(),
         EngineConfig::default().with_mode(ExecutionMode::Traditional),
     );
-    engine.attach_simulator(w.knowledge().unwrap());
+    engine.attach_simulator(w.knowledge().unwrap()).unwrap();
     let r = engine
         .execute("SELECT region, COUNT(*) FROM countries GROUP BY region")
         .unwrap();
@@ -269,7 +269,7 @@ fn virtual_table_declared_in_sql_is_answered_by_the_model() {
             .with_mode(ExecutionMode::LlmOnly)
             .with_fidelity(LlmFidelity::perfect()),
     );
-    engine.attach_simulator(w.knowledge().unwrap());
+    engine.attach_simulator(w.knowledge().unwrap()).unwrap();
     // Declare a virtual relation matching (a subset of) the model's knowledge.
     engine
         .execute(
