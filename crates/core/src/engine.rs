@@ -4,7 +4,9 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use llmsql_exec::{eval as eval_expr, execute as execute_plan, ExecContext, ExecMetrics};
+use llmsql_exec::{
+    eval as eval_expr, execute as execute_plan, CallSlots, ExecContext, ExecMetrics,
+};
 use llmsql_llm::prompt::TaskSpec;
 use llmsql_llm::{
     parse_pipe_rows, BackendPool, CompletionRequest, KnowledgeBase, LanguageModel, LlmClient,
@@ -37,6 +39,9 @@ pub struct Engine {
     catalog: Catalog,
     config: EngineConfig,
     client: Option<LlmClient>,
+    /// Global LLM-call slot pool shared with other engines/queries (attached
+    /// by a cross-query scheduler). `None` means unthrottled dispatch.
+    slots: Option<Arc<CallSlots>>,
 }
 
 impl Engine {
@@ -46,6 +51,7 @@ impl Engine {
             catalog: Catalog::new(),
             config,
             client: None,
+            slots: None,
         }
     }
 
@@ -55,7 +61,23 @@ impl Engine {
             catalog,
             config,
             client: None,
+            slots: None,
         }
+    }
+
+    /// Throttle every LLM dispatch of this engine through a shared
+    /// [`CallSlots`] pool: across all queries (and all engines sharing the
+    /// pool), at most `pool.capacity()` model requests are in flight at
+    /// once. Attached by `llmsql_sched::QueryScheduler`; harmless to set
+    /// directly. Throttling delays dispatch only — rows and logical call
+    /// counts are unchanged.
+    pub fn set_call_slots(&mut self, slots: Arc<CallSlots>) {
+        self.slots = Some(slots);
+    }
+
+    /// The attached global slot pool, if any.
+    pub fn call_slots(&self) -> Option<&Arc<CallSlots>> {
+        self.slots.as_ref()
     }
 
     /// Attach a language model (wrapped in a caching, usage-tracking client).
@@ -82,7 +104,11 @@ impl Engine {
                 self.config.seed,
             )?
             .with_retries(self.config.backend_retries)
-            .with_backoff_base_ms(self.config.backend_backoff_ms);
+            .with_backoff_base_ms(self.config.backend_backoff_ms)
+            .with_breaker(
+                self.config.breaker_threshold,
+                self.config.breaker_cooldown_ms,
+            );
             LlmClient::from_pool(Arc::new(pool), cached)
         });
         Ok(())
@@ -238,11 +264,14 @@ impl Engine {
             return self.execute_full_query(select, &plan, sql_text);
         }
 
-        let ctx = ExecContext::new(
+        let mut ctx = ExecContext::new(
             self.catalog.clone(),
             self.client.clone(),
             self.config.clone(),
         );
+        if let Some(slots) = &self.slots {
+            ctx = ctx.with_slots(Arc::clone(slots));
+        }
         let batch = execute_plan(&ctx, &plan)?;
         Ok(QueryResult {
             metrics: ctx.metrics.snapshot(),
@@ -279,13 +308,27 @@ impl Engine {
             .and_then(|t| self.catalog.schema_of(t).ok());
         let prompt = task.to_prompt(context_schema.as_ref());
         let backend_baseline = client.backend_stats();
-        let response = client.complete(&CompletionRequest::new(prompt))?;
+        // The one-shot path bypasses ExecContext, so it gates its global
+        // call slot (when a scheduler attached a pool) directly; a cached
+        // answer takes no slot at all.
+        let mut slot_wait_ms = None;
+        let response = client.complete_gated(&CompletionRequest::new(prompt), || {
+            self.slots.as_ref().map(|s| {
+                let (guard, waited_ms) = s.acquire();
+                slot_wait_ms = Some(waited_ms);
+                guard
+            })
+        })?;
 
         let types: Vec<DataType> = schema.fields.iter().map(|f| f.data_type).collect();
         let parsed = parse_pipe_rows(&response.text, &types);
 
         let mut metrics = ExecMetrics::default();
         metrics.record_llm_call(task.kind());
+        if let Some(waited_ms) = slot_wait_ms {
+            metrics.slot_waits = 1;
+            metrics.slot_wait_ms = waited_ms;
+        }
         metrics.dropped_lines = parsed.dropped_lines as u64;
         metrics.rows_from_llm = parsed.rows.len() as u64;
         metrics.rows_output = parsed.rows.len() as u64;
@@ -368,8 +411,15 @@ impl Engine {
     }
 
     fn eval_constant(&self, expr: &llmsql_sql::ast::Expr) -> Result<Value> {
-        let bound = llmsql_plan::bind_expr(expr, &RelSchema::empty())
-            .map_err(|_| Error::execution("INSERT values must be constant expressions"))?;
+        // Keep the binder's structured error (kind + message): "not a
+        // constant" is a binding failure, and the original message names the
+        // offending column reference.
+        let bound = llmsql_plan::bind_expr(expr, &RelSchema::empty()).map_err(|e| {
+            Error::new(
+                e.kind,
+                format!("INSERT values must be constant expressions: {}", e.message),
+            )
+        })?;
         eval_expr(&bound, &Row::empty())
     }
 
@@ -405,12 +455,26 @@ impl Engine {
     }
 
     /// Execute a script of semicolon-separated statements, returning the last
-    /// result.
+    /// result. A failing statement aborts the script; the error keeps its
+    /// structured kind and gains the 1-based statement ordinal so callers can
+    /// locate the failure inside the script.
     pub fn execute_script(&self, sql: &str) -> Result<QueryResult> {
         let statements = llmsql_sql::parse_script(sql)?;
         let mut last = QueryResult::default();
-        for stmt in &statements {
-            last = self.execute_statement(stmt, None)?;
+        for (index, stmt) in statements.iter().enumerate() {
+            last = self.execute_statement(stmt, None).map_err(|e| {
+                let mut contextual = Error::new(
+                    e.kind,
+                    format!(
+                        "statement {} of {}: {}",
+                        index + 1,
+                        statements.len(),
+                        e.message
+                    ),
+                );
+                contextual.offset = e.offset;
+                contextual
+            })?;
         }
         Ok(last)
     }
@@ -585,5 +649,51 @@ mod tests {
             .execute_script("CREATE TABLE t (a INT PRIMARY KEY); INSERT INTO t VALUES (1), (2); SELECT COUNT(*) FROM t")
             .unwrap();
         assert_eq!(r.scalar(), Some(Value::Int(2)));
+    }
+
+    #[test]
+    fn execute_script_errors_are_structured_and_located() {
+        let engine = Engine::new(EngineConfig::default().with_mode(ExecutionMode::Traditional));
+        let err = engine
+            .execute_script(
+                "CREATE TABLE t (a INT PRIMARY KEY); SELECT nope FROM t; SELECT COUNT(*) FROM t",
+            )
+            .unwrap_err();
+        assert_eq!(err.kind, llmsql_types::ErrorKind::Binding);
+        assert!(
+            err.message.starts_with("statement 2 of 3:"),
+            "missing location context: {err}"
+        );
+    }
+
+    #[test]
+    fn insert_constant_errors_keep_the_binding_cause() {
+        let engine = traditional_engine();
+        let err = engine
+            .execute("INSERT INTO countries VALUES (population, 'x', 1)")
+            .unwrap_err();
+        assert_eq!(err.kind, llmsql_types::ErrorKind::Binding);
+        assert!(
+            err.message.contains("constant"),
+            "missing constant-expression context: {err}"
+        );
+    }
+
+    #[test]
+    fn attached_slot_pool_throttles_without_changing_results() {
+        let free = llm_engine(LlmFidelity::perfect(), PromptStrategy::BatchedRows);
+        let sql = "SELECT name, population FROM countries ORDER BY name";
+        let expected = free.execute(sql).unwrap();
+
+        let mut throttled = llm_engine(LlmFidelity::perfect(), PromptStrategy::BatchedRows);
+        throttled.config_mut().parallelism = 4;
+        let slots = Arc::new(CallSlots::new(1));
+        throttled.set_call_slots(Arc::clone(&slots));
+        assert!(throttled.call_slots().is_some());
+        let got = throttled.execute(sql).unwrap();
+        assert_eq!(expected.rows(), got.rows());
+        assert_eq!(expected.metrics.llm_calls(), got.metrics.llm_calls());
+        assert_eq!(got.metrics.slot_waits, got.metrics.llm_calls());
+        assert!(slots.peak_in_use() <= 1);
     }
 }

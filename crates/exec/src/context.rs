@@ -1,10 +1,13 @@
 //! Execution context shared by all operators of one query.
 
+use std::sync::Arc;
+
 use llmsql_llm::{BackendStats, LlmClient};
 use llmsql_store::Catalog;
 use llmsql_types::{EngineConfig, Error, Result};
 
 use crate::metrics::SharedMetrics;
+use crate::slots::{CallSlots, SlotGuard};
 
 /// Everything an operator needs: the catalog, the (optional) LLM client, the
 /// engine configuration and the metrics sink.
@@ -22,6 +25,9 @@ pub struct ExecContext {
     /// outlive a single query, so this query's contribution is the delta
     /// against this snapshot (see [`ExecContext::sync_backend_metrics`]).
     backend_baseline: Vec<BackendStats>,
+    /// Global LLM-call slot pool (cross-query admission). `None` outside a
+    /// scheduler: dispatch is bounded only by this query's `parallelism`.
+    slots: Option<Arc<CallSlots>>,
 }
 
 impl ExecContext {
@@ -37,7 +43,29 @@ impl ExecContext {
             config,
             metrics: SharedMetrics::new(),
             backend_baseline,
+            slots: None,
         }
+    }
+
+    /// Builder-style: throttle this query's LLM dispatch through a shared
+    /// [`CallSlots`] pool (see the [`crate::slots`] module docs for the
+    /// contract). Wave planning is unaffected — only dispatch timing is.
+    pub fn with_slots(mut self, slots: Arc<CallSlots>) -> Self {
+        self.slots = Some(slots);
+        self
+    }
+
+    /// Acquire a global call slot before dispatching one model request,
+    /// recording the blocked time in [`crate::ExecMetrics::slot_wait_ms`].
+    /// Returns `None` (no throttling) when no pool is attached.
+    pub fn acquire_slot(&self) -> Option<SlotGuard<'_>> {
+        let slots = self.slots.as_deref()?;
+        let (guard, waited_ms) = slots.acquire();
+        self.metrics.update(|m| {
+            m.slot_waits += 1;
+            m.slot_wait_ms += waited_ms;
+        });
+        Some(guard)
     }
 
     /// Copy this query's per-backend physical-call counters (the delta since

@@ -21,6 +21,7 @@ pub mod executor;
 pub mod metrics;
 pub mod parallel;
 pub mod scan;
+pub mod slots;
 
 pub use context::ExecContext;
 pub use eval::{eval, eval_predicate, AggAccumulator};
@@ -30,6 +31,7 @@ pub use executor::{
 pub use metrics::{ExecMetrics, InFlightGuard, SharedMetrics};
 pub use parallel::{par_map, try_par_map, PAR_ROW_THRESHOLD};
 pub use scan::{hybrid_scan, llm_scan, table_scan, ScanSpec};
+pub use slots::{CallSlots, SlotGuard};
 
 #[cfg(test)]
 mod proptests {

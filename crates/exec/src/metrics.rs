@@ -29,6 +29,13 @@ pub struct ExecMetrics {
     /// (1 under sequential dispatch, up to `EngineConfig::parallelism` under
     /// concurrent dispatch).
     pub peak_in_flight: u64,
+    /// Dispatches that went through a shared cross-query slot pool.
+    pub slot_waits: u64,
+    /// Total time this query's workers spent blocked waiting for a global
+    /// LLM-call slot, milliseconds (0 outside a scheduler). High values mean
+    /// the deployment's slot pool, not this query's parallelism, is the
+    /// bottleneck.
+    pub slot_wait_ms: f64,
     /// LLM prompts issued, by task kind ("row_batch", "lookup", ...).
     pub llm_calls_by_kind: BTreeMap<String, u64>,
     /// Physical attempts per backend (multi-backend deployments only;
@@ -67,6 +74,8 @@ impl ExecMetrics {
         self.dropped_lines += other.dropped_lines;
         self.cells_filled_by_llm += other.cells_filled_by_llm;
         self.peak_in_flight = self.peak_in_flight.max(other.peak_in_flight);
+        self.slot_waits += other.slot_waits;
+        self.slot_wait_ms += other.slot_wait_ms;
         for (k, v) in &other.llm_calls_by_kind {
             *self.llm_calls_by_kind.entry(k.clone()).or_default() += v;
         }

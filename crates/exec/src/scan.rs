@@ -27,10 +27,13 @@
 //!   are discarded. Wave sizes ramp up TCP-style (1, 2, 4, … capped at the
 //!   fanout), so the extra calls a scan can issue past the end of the
 //!   relation are bounded by the smaller of `parallelism - 1` and the page
-//!   count the relation already served — an empty relation costs exactly
-//!   one call, as in a sequential run. Budget-capped scans
-//!   (`LIMIT`/`max_scan_rows` reached before exhaustion) issue exactly the
-//!   sequential call count. Cost accounting reports every issued call
+//!   count the relation already served — an empty relation costs at most
+//!   one call, as in a sequential run. Models that report a
+//!   relation-cardinality hint (`LanguageModel::relation_cardinality`)
+//!   eliminate the tail overshoot entirely: pages past the reported end are
+//!   never planned, and an empty relation costs zero calls. Budget-capped
+//!   scans (`LIMIT`/`max_scan_rows` reached before exhaustion) issue exactly
+//!   the sequential call count. Cost accounting reports every issued call
 //!   faithfully.
 //!
 //! # Multi-backend fan-out
@@ -134,6 +137,13 @@ impl ScanSpec<'_> {
 /// Issue one wave of prompts concurrently (up to the context's scan fanout),
 /// returning responses in prompt order. Every prompt is recorded as one LLM
 /// call of `kind` and tracked in the in-flight gauge while outstanding.
+///
+/// Under a cross-query scheduler each request additionally holds a global
+/// call slot while in flight ([`ExecContext::acquire_slot`], injected via
+/// [`LlmClient::complete_gated`] so prompt-cache hits and single-flight
+/// followers bypass the slot pool entirely): the wave is fully planned
+/// before any slot is taken, so throttling delays dispatch but never
+/// changes the prompt set, the rows, or the logical call count.
 fn dispatch_wave(
     ctx: &ExecContext,
     client: &LlmClient,
@@ -147,7 +157,9 @@ fn dispatch_wave(
     });
     par_map(ctx.scan_fanout(), prompts, |_, prompt| {
         let _in_flight = ctx.metrics.track_in_flight();
-        client.complete(&CompletionRequest::new(prompt.as_str()))
+        client.complete_gated(&CompletionRequest::new(prompt.as_str()), || {
+            ctx.acquire_slot()
+        })
     })
 }
 
@@ -211,6 +223,14 @@ fn llm_scan_batched(ctx: &ExecContext, spec: &ScanSpec<'_>) -> Result<Vec<Row>> 
     let mut rows: Vec<Row> = Vec::new();
     let mut offset = 0usize;
     let mut exhausted = false;
+    // Relation-cardinality hint: when the model reports how many lines an
+    // unfiltered enumeration would produce, pages at offsets past that count
+    // can only come back empty — planning stops there instead of paying for
+    // them. With a pushed filter the hint is still a sound upper bound (the
+    // model emits at most one line per observed row), and the short-page
+    // check below still detects the filtered relation's earlier end. Without
+    // a hint the slow-start ramp bounds the overshoot as before.
+    let cardinality_hint = client.relation_cardinality(spec.table).map(|n| n as usize);
     // Slow-start ramp: speculative pagination past the end of the relation
     // wastes calls, and before the first response nothing is known about the
     // relation's size. The first wave is a single probe page; each full wave
@@ -235,6 +255,9 @@ fn llm_scan_batched(ctx: &ExecContext, spec: &ScanSpec<'_>) -> Result<Vec<Row>> 
         let mut planned_rows = rows.len();
         let mut planned_offset = offset;
         while wave.len() < ctx.scan_fanout().min(ramp).min(call_budget) && planned_rows < budget {
+            if cardinality_hint.is_some_and(|n| planned_offset >= n) {
+                break;
+            }
             let remaining = budget - planned_rows;
             if remaining < page {
                 // Budget-clamped page: speculation about earlier pages'
@@ -249,6 +272,11 @@ fn llm_scan_batched(ctx: &ExecContext, spec: &ScanSpec<'_>) -> Result<Vec<Row>> 
             wave.push((planned_offset, page));
             planned_rows += page;
             planned_offset += page;
+        }
+        if wave.is_empty() {
+            // The hint capped planning at the relation's end: nothing left
+            // to fetch (an empty relation costs zero calls).
+            break;
         }
         let prompts: Vec<String> = wave
             .iter()
@@ -821,6 +849,101 @@ mod tests {
                 "call count diverged at parallelism {parallelism}"
             );
         }
+    }
+
+    #[test]
+    fn cardinality_hint_eliminates_tail_overshoot() {
+        // 20 rows at page size 5 is an exact multiple: without a hint the
+        // scan must probe past the end (a sequential run pays 1 extra empty
+        // page; a ramped wave can pay more). The simulator reports its
+        // observed cardinality, so planning stops at page 4 exactly — same
+        // rows, minimal calls, at any parallelism.
+        let schema = country_schema();
+        let rows_20: Vec<Row> = (0..20)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Text(format!("Country {i:02}")),
+                    Value::Text("Europe".into()),
+                    Value::Int(100 + i as i64),
+                ])
+            })
+            .collect();
+        let context_with = |parallelism: usize| {
+            let mut kb = KnowledgeBase::new();
+            kb.add_table(schema.clone(), rows_20.clone());
+            let sim = SimLlm::new(kb.into_shared(), LlmFidelity::perfect(), 7);
+            let catalog = Catalog::new();
+            catalog.create_virtual_table(schema.clone()).unwrap();
+            let config = EngineConfig::default()
+                .with_mode(ExecutionMode::LlmOnly)
+                .with_strategy(PromptStrategy::BatchedRows)
+                .with_batch_size(5)
+                .with_parallelism(parallelism);
+            ExecContext::new(catalog, Some(LlmClient::new(Arc::new(sim))), config)
+        };
+        let p = SpecParts {
+            schema: country_schema(),
+            filter: None,
+            prompt_columns: None,
+            pushed_limit: None,
+        };
+        let seq_ctx = context_with(1);
+        let expected = llm_scan(&seq_ctx, &p.spec()).unwrap();
+        assert_eq!(expected.len(), 20);
+        assert_eq!(
+            seq_ctx.metrics.snapshot().llm_calls(),
+            4,
+            "hint should stop the sequential scan at exactly 4 full pages"
+        );
+        for parallelism in [4, 8] {
+            let ctx = context_with(parallelism);
+            let got = llm_scan(&ctx, &p.spec()).unwrap();
+            assert_eq!(expected, got, "rows diverged at parallelism {parallelism}");
+            assert_eq!(
+                ctx.metrics.snapshot().llm_calls(),
+                4,
+                "ramped wave overshot the hinted end at parallelism {parallelism}"
+            );
+        }
+    }
+
+    #[test]
+    fn cardinality_hint_makes_empty_relations_free() {
+        let schema = country_schema();
+        let mut kb = KnowledgeBase::new();
+        kb.add_table(schema.clone(), Vec::new());
+        let sim = SimLlm::new(kb.into_shared(), LlmFidelity::perfect(), 7);
+        let catalog = Catalog::new();
+        catalog.create_virtual_table(schema).unwrap();
+        let config = EngineConfig::default()
+            .with_mode(ExecutionMode::LlmOnly)
+            .with_strategy(PromptStrategy::BatchedRows)
+            .with_batch_size(5);
+        let ctx = ExecContext::new(catalog, Some(LlmClient::new(Arc::new(sim))), config);
+        let rows = llm_scan(&ctx, &parts(None, None).spec()).unwrap();
+        assert!(rows.is_empty());
+        assert_eq!(ctx.metrics.snapshot().llm_calls(), 0);
+    }
+
+    #[test]
+    fn slot_pool_throttles_dispatch_without_changing_results() {
+        use crate::slots::CallSlots;
+        let p = parts(None, None);
+        let free_ctx = context(PromptStrategy::BatchedRows, LlmFidelity::medium());
+        let expected = llm_scan(&free_ctx, &p.spec()).unwrap();
+        let expected_calls = free_ctx.metrics.snapshot().llm_calls();
+
+        let slots = Arc::new(CallSlots::new(2));
+        let mut throttled_ctx = context(PromptStrategy::BatchedRows, LlmFidelity::medium());
+        throttled_ctx.config.parallelism = 8;
+        let throttled_ctx = throttled_ctx.with_slots(Arc::clone(&slots));
+        let got = llm_scan(&throttled_ctx, &p.spec()).unwrap();
+        assert_eq!(expected, got, "slot throttling changed scan output");
+        let m = throttled_ctx.metrics.snapshot();
+        assert_eq!(expected_calls, m.llm_calls());
+        assert_eq!(m.slot_waits, m.llm_calls(), "every dispatch takes a slot");
+        assert!(slots.peak_in_use() <= 2, "slot cap exceeded");
+        assert!(slots.peak_in_use() >= 1);
     }
 
     #[test]

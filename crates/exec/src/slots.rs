@@ -1,0 +1,195 @@
+//! A shared pool of LLM-call slots: the mechanism by which a cross-query
+//! scheduler enforces a *global* in-flight cap across many concurrent
+//! queries.
+//!
+//! `EngineConfig::parallelism` bounds how many requests one query keeps in
+//! flight; with many queries running against one deployment that per-query
+//! bound multiplies out. A [`CallSlots`] pool is a counting semaphore every
+//! scan worker must pass through right before dispatching a model request:
+//! no matter how many queries run or what parallelism each uses, at most
+//! `capacity` requests are in flight at once.
+//!
+//! The slot/ticket contract (relied on by `llmsql-sched`):
+//!
+//! * A slot is held only for the duration of one `LlmClient::complete` call
+//!   and released on every exit path (RAII guard) — slots are never held
+//!   across waves, so waiting for a slot cannot deadlock: some holder is
+//!   always inside a completion that finishes.
+//! * Slot acquisition throttles *when* a planned prompt is sent, never
+//!   *whether* — wave planning happens before acquisition, so a query's
+//!   prompt set, row output and logical call count are byte-identical with
+//!   or without a slot pool.
+//! * Waits are measured: the time a worker blocked waiting for a slot is
+//!   surfaced as `ExecMetrics::slot_wait_ms`, making over-subscription
+//!   visible per query.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// A counting semaphore over LLM-call slots. Cheap to share (`Arc`), fair
+/// enough for throttling (wakeups race; the OS picks the winner).
+pub struct CallSlots {
+    capacity: usize,
+    available: Mutex<usize>,
+    freed: Condvar,
+    /// Highest number of slots ever held at once (global in-flight peak).
+    peak_in_use: AtomicU64,
+    /// Total acquisitions that had to block.
+    contended: AtomicU64,
+    /// Total time acquisitions spent blocked, microseconds.
+    wait_us: AtomicU64,
+}
+
+impl CallSlots {
+    /// Create a pool of `capacity` slots (clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        CallSlots {
+            capacity,
+            available: Mutex::new(capacity),
+            freed: Condvar::new(),
+            peak_in_use: AtomicU64::new(0),
+            contended: AtomicU64::new(0),
+            wait_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Block until a slot is free and take it. Returns the guard (releasing
+    /// on drop) and how long the call blocked, in milliseconds.
+    pub fn acquire(&self) -> (SlotGuard<'_>, f64) {
+        let start = Instant::now();
+        let mut available = self.available.lock().unwrap_or_else(|e| e.into_inner());
+        if *available == 0 {
+            self.contended.fetch_add(1, Ordering::Relaxed);
+            available = self
+                .freed
+                .wait_while(available, |a| *a == 0)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        *available -= 1;
+        let in_use = (self.capacity - *available) as u64;
+        drop(available);
+        self.peak_in_use.fetch_max(in_use, Ordering::Relaxed);
+        let waited = start.elapsed();
+        self.wait_us
+            .fetch_add(waited.as_micros() as u64, Ordering::Relaxed);
+        (SlotGuard { pool: self }, waited.as_secs_f64() * 1000.0)
+    }
+
+    /// The configured slot count.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Slots currently held.
+    pub fn in_use(&self) -> usize {
+        self.capacity - *self.available.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Highest number of slots ever held at once.
+    pub fn peak_in_use(&self) -> u64 {
+        self.peak_in_use.load(Ordering::Relaxed)
+    }
+
+    /// Acquisitions that had to block for a slot.
+    pub fn contended_acquisitions(&self) -> u64 {
+        self.contended.load(Ordering::Relaxed)
+    }
+
+    /// Total time spent blocked waiting for slots, milliseconds.
+    pub fn total_wait_ms(&self) -> f64 {
+        self.wait_us.load(Ordering::Relaxed) as f64 / 1000.0
+    }
+
+    fn release(&self) {
+        let mut available = self.available.lock().unwrap_or_else(|e| e.into_inner());
+        *available += 1;
+        debug_assert!(*available <= self.capacity);
+        drop(available);
+        self.freed.notify_one();
+    }
+}
+
+/// RAII guard for one held call slot.
+pub struct SlotGuard<'a> {
+    pool: &'a CallSlots,
+}
+
+impl Drop for SlotGuard<'_> {
+    fn drop(&mut self) {
+        self.pool.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn acquire_and_release_track_usage() {
+        let slots = CallSlots::new(2);
+        assert_eq!(slots.capacity(), 2);
+        assert_eq!(slots.in_use(), 0);
+        {
+            let (_a, wait_a) = slots.acquire();
+            let (_b, wait_b) = slots.acquire();
+            assert_eq!(slots.in_use(), 2);
+            assert!(wait_a < 100.0 && wait_b < 100.0);
+        }
+        assert_eq!(slots.in_use(), 0);
+        assert_eq!(slots.peak_in_use(), 2);
+        assert_eq!(slots.contended_acquisitions(), 0);
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_one() {
+        let slots = CallSlots::new(0);
+        assert_eq!(slots.capacity(), 1);
+        let (_g, _) = slots.acquire();
+        assert_eq!(slots.in_use(), 1);
+    }
+
+    #[test]
+    fn concurrent_holders_never_exceed_capacity() {
+        let slots = Arc::new(CallSlots::new(3));
+        let max_seen = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..12 {
+                let slots = Arc::clone(&slots);
+                let max_seen = Arc::clone(&max_seen);
+                scope.spawn(move || {
+                    for _ in 0..5 {
+                        let (_g, _) = slots.acquire();
+                        max_seen.fetch_max(slots.in_use() as u64, Ordering::Relaxed);
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                });
+            }
+        });
+        assert!(max_seen.load(Ordering::Relaxed) <= 3);
+        assert_eq!(slots.peak_in_use(), 3);
+        assert_eq!(slots.in_use(), 0);
+        // 12 threads over 3 slots: someone must have blocked.
+        assert!(slots.contended_acquisitions() > 0);
+    }
+
+    #[test]
+    fn blocked_acquire_measures_wait() {
+        let slots = Arc::new(CallSlots::new(1));
+        let (guard, _) = slots.acquire();
+        let waiter = {
+            let slots = Arc::clone(&slots);
+            std::thread::spawn(move || slots.acquire().1)
+        };
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        drop(guard);
+        let waited_ms = waiter.join().unwrap();
+        assert!(
+            waited_ms >= 20.0,
+            "waiter should have blocked ~30ms, measured {waited_ms:.1}ms"
+        );
+        assert!(slots.total_wait_ms() >= 20.0);
+    }
+}

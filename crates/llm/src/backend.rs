@@ -33,9 +33,34 @@
 //! attempts are *physical* calls — they show up in the per-backend counters
 //! ([`BackendPool::stats`]) but never in the engine's logical call budget
 //! (`max_llm_calls`), which counts prompts, not attempts.
+//!
+//! # Circuit breaker (backend health tracking)
+//!
+//! Without health tracking a hard-down backend costs `1 + retries` wasted
+//! attempts on *every* request routed to it. With
+//! [`BackendPool::with_breaker`] each backend carries a breaker:
+//!
+//! * **closed** — requests flow normally; every success resets the
+//!   consecutive-error count.
+//! * **open** — after `threshold` consecutive failed attempts the backend is
+//!   skipped by the candidate walk entirely (recorded as
+//!   [`BackendStats::short_circuits`]); the total attempts a hard-down
+//!   backend absorbs is bounded by the threshold (plus in-flight races), not
+//!   by request count.
+//! * **half-open** — once `cooldown_ms` elapses, exactly one probe request
+//!   is let through. Success closes the breaker; failure re-opens it for
+//!   another cooldown.
+//!
+//! The breaker is disabled by default (`threshold == 0`): with it off, the
+//! physical retry/failover trace is the PR 2 pure function of
+//! `(backend, prompt, attempt)`; with it on, wall-clock cooldowns make the
+//! trace time-dependent by design — health tracking trades trace
+//! reproducibility for bounded waste. Completion *text* is unaffected either
+//! way.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use llmsql_types::{BackendSpec, Error, LlmCostModel, Result, RoutingPolicy};
 
@@ -59,6 +84,12 @@ pub trait Backend: Send + Sync {
     /// This endpoint's pricing/latency model (cost-aware routing reads it).
     fn cost_model(&self) -> LlmCostModel {
         LlmCostModel::default()
+    }
+
+    /// The served model's observed cardinality of `table`, if the endpoint
+    /// reports one (see [`LanguageModel::relation_cardinality`]).
+    fn relation_cardinality(&self, _table: &str) -> Option<u64> {
+        None
     }
 }
 
@@ -146,6 +177,10 @@ impl Backend for RemoteLlm {
     fn cost_model(&self) -> LlmCostModel {
         self.cost_model
     }
+
+    fn relation_cardinality(&self, table: &str) -> Option<u64> {
+        self.inner.relation_cardinality(table)
+    }
 }
 
 /// A snapshot of one backend's physical-call counters.
@@ -164,6 +199,12 @@ pub struct BackendStats {
     pub latency_ms: f64,
     /// Requests currently being served by this backend.
     pub in_flight: u64,
+    /// Requests that skipped this backend because its circuit breaker was
+    /// open (each one saved `1 + retries` doomed attempts).
+    pub short_circuits: u64,
+    /// True while the breaker is not closed (open, or awaiting the outcome
+    /// of a half-open probe).
+    pub breaker_open: bool,
 }
 
 /// Lock-free per-backend counters (see [`BackendStats`] for the snapshot).
@@ -175,11 +216,108 @@ struct SlotCounters {
     /// Latency accumulated in microseconds (an atomic f64 is not portable).
     latency_us: AtomicU64,
     in_flight: AtomicU64,
+    short_circuits: AtomicU64,
+}
+
+/// Circuit-breaker state of one backend. Lock-free: the candidate walk reads
+/// it on every request.
+#[derive(Default)]
+struct BreakerState {
+    /// Failed attempts since the last success.
+    consecutive_errors: AtomicU64,
+    /// `0` = closed. Otherwise the pool-epoch-relative time (ms, saturated
+    /// to at least 1 so it never collides with the closed sentinel) at which
+    /// the cooldown expires and a half-open probe may go through.
+    open_until_ms: AtomicU64,
+    /// Guards the half-open state: only one request probes per cooldown.
+    probing: AtomicBool,
+}
+
+/// What the breaker allows for the next request on a backend.
+#[derive(PartialEq)]
+enum Admission {
+    /// Breaker closed: attempt normally.
+    Normal,
+    /// Cooldown elapsed: this request is the single half-open probe.
+    Probe,
+    /// Breaker open: skip the backend.
+    Skip,
+}
+
+impl BreakerState {
+    fn admission(&self, now_ms: u64) -> Admission {
+        let open_until = self.open_until_ms.load(Ordering::Acquire);
+        if open_until == 0 {
+            return Admission::Normal;
+        }
+        if now_ms < open_until {
+            return Admission::Skip;
+        }
+        // Cooldown elapsed: let exactly one caller through as the probe;
+        // everyone else keeps skipping until the probe resolves.
+        if self
+            .probing
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            Admission::Probe
+        } else {
+            Admission::Skip
+        }
+    }
+
+    fn on_success(&self) {
+        self.consecutive_errors.store(0, Ordering::Release);
+        self.open_until_ms.store(0, Ordering::Release);
+        self.probing.store(false, Ordering::Release);
+    }
+
+    /// Open the breaker until `now_ms + cooldown_ms`. Saturating: an absurd
+    /// (but finite, so validation-passing) cooldown pins the expiry at
+    /// `u64::MAX` instead of overflowing.
+    fn open(&self, now_ms: u64, cooldown_ms: f64) {
+        let cooldown = cooldown_ms.max(0.0) as u64; // f64→u64 casts saturate
+        self.open_until_ms
+            .store(now_ms.saturating_add(cooldown).max(1), Ordering::Release);
+        self.probing.store(false, Ordering::Release);
+    }
+
+    /// Record a failed attempt; returns true when the breaker is now open
+    /// (so the caller stops burning retries on this backend).
+    fn on_error(&self, now_ms: u64, threshold: u64, cooldown_ms: f64, was_probe: bool) -> bool {
+        let errors = self.consecutive_errors.fetch_add(1, Ordering::AcqRel) + 1;
+        // A failed probe goes straight back to open for another cooldown;
+        // otherwise the threshold decides.
+        if was_probe || (threshold > 0 && errors >= threshold) {
+            self.open(now_ms, cooldown_ms);
+            return true;
+        }
+        false
+    }
+}
+
+/// Unwind guard for the half-open probe: if `Backend::complete` panics while
+/// serving the probe, the `probing` flag is cleared on the way out so the
+/// backend is probed again after the next cooldown instead of being
+/// short-circuited forever. Defused on every normal path ([`BreakerState`]'s
+/// `on_success`/`on_error` own the flag there).
+struct ProbeAbortGuard<'a> {
+    breaker: &'a BreakerState,
+    armed: bool,
+}
+
+impl Drop for ProbeAbortGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.breaker.probing.store(false, Ordering::Release);
+        }
+    }
 }
 
 struct PoolSlot {
     backend: Arc<dyn Backend>,
     counters: SlotCounters,
+    breaker: BreakerState,
 }
 
 /// A registry of semantically identical backends with routing and failover.
@@ -196,6 +334,13 @@ pub struct BackendPool {
     retries: usize,
     /// Exponential backoff base between attempts, milliseconds.
     backoff_base_ms: f64,
+    /// Circuit breaker: consecutive errors that open a backend's breaker
+    /// (0 = breaker disabled).
+    breaker_threshold: u64,
+    /// Circuit breaker: cooldown before a half-open probe, milliseconds.
+    breaker_cooldown_ms: f64,
+    /// Monotonic base for the breakers' cooldown clocks.
+    epoch: Instant,
 }
 
 /// Hard cap on a single backoff sleep so a misconfigured base cannot stall
@@ -234,12 +379,16 @@ impl BackendPool {
                 .map(|backend| PoolSlot {
                     backend,
                     counters: SlotCounters::default(),
+                    breaker: BreakerState::default(),
                 })
                 .collect(),
             policy,
             rr_cursor: AtomicUsize::new(0),
             retries: 1,
             backoff_base_ms: 1.0,
+            breaker_threshold: 0,
+            breaker_cooldown_ms: 250.0,
+            epoch: Instant::now(),
         })
     }
 
@@ -277,6 +426,16 @@ impl BackendPool {
         self
     }
 
+    /// Builder-style: enable the circuit breaker — open a backend after
+    /// `threshold` consecutive failed attempts and allow one half-open probe
+    /// after `cooldown_ms` (see the module docs). `threshold == 0` disables
+    /// the breaker (the default).
+    pub fn with_breaker(mut self, threshold: usize, cooldown_ms: f64) -> Self {
+        self.breaker_threshold = threshold as u64;
+        self.breaker_cooldown_ms = cooldown_ms.max(0.0);
+        self
+    }
+
     /// Number of backends in the pool.
     pub fn len(&self) -> usize {
         self.slots.len()
@@ -303,12 +462,19 @@ impl BackendPool {
                 retries: slot.counters.retries.load(Ordering::Relaxed),
                 latency_ms: slot.counters.latency_us.load(Ordering::Relaxed) as f64 / 1000.0,
                 in_flight: slot.counters.in_flight.load(Ordering::Relaxed),
+                short_circuits: slot.counters.short_circuits.load(Ordering::Relaxed),
+                breaker_open: slot.breaker.open_until_ms.load(Ordering::Relaxed) != 0,
             })
             .collect()
     }
 
+    /// Milliseconds since pool creation (the breakers' cooldown clock).
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
     /// Candidate order for the next request under the configured policy.
-    fn candidate_order(&self) -> Vec<usize> {
+    fn candidate_order(&self, request: &CompletionRequest) -> Vec<usize> {
         let n = self.slots.len();
         let mut order: Vec<usize> = (0..n).collect();
         match self.policy {
@@ -330,19 +496,44 @@ impl BackendPool {
                     price(a).total_cmp(&price(b)).then(a.cmp(&b))
                 });
             }
+            RoutingPolicy::PromptHash => {
+                // The start index is a pure function of the prompt text, so
+                // the backend serving each prompt (and the whole physical
+                // trace) is reproducible at any parallelism.
+                let start = (hash01(&["route", &request.prompt], 0) * n as f64) as usize % n;
+                order.rotate_left(start);
+            }
         }
         order
     }
 
     /// Route one request: walk the candidate list with bounded per-backend
-    /// retry and exponential backoff. Physical attempts are recorded in the
-    /// per-backend counters; the caller sees exactly one logical completion
-    /// (or the last error once every candidate is exhausted).
+    /// retry and exponential backoff, skipping backends whose circuit
+    /// breaker is open. Physical attempts are recorded in the per-backend
+    /// counters; the caller sees exactly one logical completion (or the last
+    /// error once every candidate is exhausted).
     fn route(&self, request: &CompletionRequest) -> Result<CompletionResponse> {
         let mut last_err = None;
-        for idx in self.candidate_order() {
+        let mut short_circuited = 0usize;
+        for idx in self.candidate_order(request) {
             let slot = &self.slots[idx];
-            for attempt in 0..=self.retries {
+            let probe = if self.breaker_threshold > 0 {
+                match slot.breaker.admission(self.now_ms()) {
+                    Admission::Skip => {
+                        slot.counters.short_circuits.fetch_add(1, Ordering::Relaxed);
+                        short_circuited += 1;
+                        continue;
+                    }
+                    Admission::Probe => true,
+                    Admission::Normal => false,
+                }
+            } else {
+                false
+            };
+            // A half-open probe is a single attempt: burning the retry budget
+            // on a backend still suspected down defeats the breaker.
+            let max_attempt = if probe { 0 } else { self.retries };
+            for attempt in 0..=max_attempt {
                 if attempt > 0 {
                     slot.counters.retries.fetch_add(1, Ordering::Relaxed);
                     let backoff = (self.backoff_base_ms * (1u64 << (attempt - 1).min(20)) as f64)
@@ -353,23 +544,53 @@ impl BackendPool {
                 }
                 slot.counters.calls.fetch_add(1, Ordering::Relaxed);
                 slot.counters.in_flight.fetch_add(1, Ordering::Relaxed);
+                let mut probe_guard = ProbeAbortGuard {
+                    breaker: &slot.breaker,
+                    armed: probe,
+                };
                 let outcome = slot.backend.complete(request, attempt);
+                // Normal return: on_success/on_error below own the flag.
+                probe_guard.armed = false;
+                drop(probe_guard);
                 slot.counters.in_flight.fetch_sub(1, Ordering::Relaxed);
                 match outcome {
                     Ok(response) => {
                         slot.counters
                             .latency_us
                             .fetch_add((response.latency_ms * 1000.0) as u64, Ordering::Relaxed);
+                        if self.breaker_threshold > 0 {
+                            slot.breaker.on_success();
+                        }
                         return Ok(response);
                     }
                     Err(e) => {
                         slot.counters.errors.fetch_add(1, Ordering::Relaxed);
                         last_err = Some(e);
+                        if self.breaker_threshold > 0
+                            && slot.breaker.on_error(
+                                self.now_ms(),
+                                self.breaker_threshold,
+                                self.breaker_cooldown_ms,
+                                probe,
+                            )
+                        {
+                            // Breaker just opened: remaining retries on this
+                            // backend are doomed attempts — fail over now.
+                            break;
+                        }
                     }
                 }
             }
         }
-        Err(last_err.unwrap_or_else(|| Error::llm("backend pool has no backends")))
+        Err(last_err.unwrap_or_else(|| {
+            if short_circuited > 0 {
+                Error::llm(format!(
+                    "all {short_circuited} backend(s) are circuit-broken; retry after the cooldown"
+                ))
+            } else {
+                Error::llm("backend pool has no backends")
+            }
+        }))
     }
 }
 
@@ -391,6 +612,12 @@ impl LanguageModel for BackendPool {
 
     fn cost_model(&self) -> LlmCostModel {
         self.slots[0].backend.cost_model()
+    }
+
+    fn relation_cardinality(&self, table: &str) -> Option<u64> {
+        // Members are semantically identical (enforced at construction), so
+        // any member's hint is the pool's hint.
+        self.slots[0].backend.relation_cardinality(table)
     }
 }
 
@@ -427,6 +654,10 @@ impl Backend for DirectBackend {
 
     fn cost_model(&self) -> LlmCostModel {
         self.inner.cost_model()
+    }
+
+    fn relation_cardinality(&self, table: &str) -> Option<u64> {
+        self.inner.relation_cardinality(table)
     }
 }
 
@@ -630,6 +861,255 @@ mod tests {
         assert_eq!(pool.len(), 2);
         assert!(!pool.is_empty());
         assert_eq!(pool.policy(), RoutingPolicy::LeastInFlight);
+    }
+
+    #[test]
+    fn prompt_hash_routing_is_a_pure_function_of_the_prompt() {
+        // The same prompt set must produce the same per-backend counters no
+        // matter how calls interleave — sequential vs 8 threads racing.
+        let specs = [spec("a"), spec("b"), spec("c")];
+        let prompts: Vec<String> = (0..24).map(|i| format!("prompt {i}")).collect();
+
+        let (_, sequential) = pool_over(&specs, RoutingPolicy::PromptHash);
+        for p in &prompts {
+            sequential
+                .complete(&CompletionRequest::new(p.clone()))
+                .unwrap();
+        }
+
+        let (_, concurrent) = pool_over(&specs, RoutingPolicy::PromptHash);
+        let concurrent = Arc::new(concurrent);
+        std::thread::scope(|scope| {
+            for chunk in prompts.chunks(3) {
+                let pool = Arc::clone(&concurrent);
+                scope.spawn(move || {
+                    for p in chunk {
+                        pool.complete(&CompletionRequest::new(p.clone())).unwrap();
+                    }
+                });
+            }
+        });
+
+        let seq: Vec<u64> = sequential.stats().iter().map(|s| s.calls).collect();
+        let conc: Vec<u64> = concurrent.stats().iter().map(|s| s.calls).collect();
+        assert_eq!(seq, conc, "physical trace depends on interleaving");
+        assert!(
+            seq.iter().filter(|&&c| c > 0).count() >= 2,
+            "24 hashed prompts should spread over >= 2 of 3 backends: {seq:?}"
+        );
+    }
+
+    #[test]
+    fn breaker_opens_and_bounds_attempts_on_a_hard_down_backend() {
+        let (_, pool) = pool_over(
+            &[spec("down").failing(), spec("up")],
+            RoutingPolicy::RoundRobin,
+        );
+        // Threshold 3, cooldown far beyond the test duration.
+        let pool = pool.with_breaker(3, 60_000.0);
+        for i in 0..50 {
+            pool.complete(&CompletionRequest::new(format!("p{i}")))
+                .unwrap();
+        }
+        let stats = pool.stats();
+        let down = stats.iter().find(|s| s.id == "down").unwrap();
+        // Without the breaker the down backend would absorb 2 attempts per
+        // request routed to it (~50 total); with it, attempts stop at the
+        // threshold and later requests short-circuit.
+        assert_eq!(down.calls, 3, "attempts not bounded by threshold: {down:?}");
+        assert!(down.breaker_open);
+        assert!(
+            down.short_circuits > 0,
+            "open breaker never short-circuited: {down:?}"
+        );
+        let up = stats.iter().find(|s| s.id == "up").unwrap();
+        assert_eq!(up.calls, 50);
+    }
+
+    #[test]
+    fn breaker_half_open_probe_reopens_on_failure_and_closes_on_recovery() {
+        /// A backend whose health is flipped by the test.
+        struct FlakyBackend {
+            inner: Arc<dyn LanguageModel>,
+            healthy: std::sync::atomic::AtomicBool,
+        }
+        impl Backend for FlakyBackend {
+            fn id(&self) -> &str {
+                "flappy"
+            }
+            fn complete(
+                &self,
+                request: &CompletionRequest,
+                _attempt: usize,
+            ) -> Result<CompletionResponse> {
+                if self.healthy.load(Ordering::Relaxed) {
+                    self.inner.complete(request)
+                } else {
+                    Err(Error::llm("flappy is down"))
+                }
+            }
+            fn fingerprint(&self) -> String {
+                self.inner.fingerprint()
+            }
+        }
+
+        let model = Arc::new(EchoModel::new("m"));
+        let flaky = Arc::new(FlakyBackend {
+            inner: Arc::clone(&model) as Arc<dyn LanguageModel>,
+            healthy: std::sync::atomic::AtomicBool::new(false),
+        });
+        let backup: Arc<dyn Backend> = Arc::new(DirectBackend::new(
+            "backup",
+            Arc::clone(&model) as Arc<dyn LanguageModel>,
+        ));
+        // Cost-aware with equal prices degenerates to registration order, so
+        // every request tries the flaky backend first — which keeps the
+        // request-to-breaker-transition mapping exact.
+        let pool = BackendPool::new(
+            vec![Arc::clone(&flaky) as Arc<dyn Backend>, backup],
+            RoutingPolicy::CostAware,
+        )
+        .unwrap()
+        .with_retries(0)
+        .with_backoff_base_ms(0.0)
+        .with_breaker(2, 20.0);
+
+        // Two failures open the breaker.
+        pool.complete(&CompletionRequest::new("a")).unwrap();
+        pool.complete(&CompletionRequest::new("b")).unwrap();
+        assert!(pool.stats()[0].breaker_open);
+        let attempts_when_opened = pool.stats()[0].calls;
+        assert_eq!(attempts_when_opened, 2);
+
+        // Inside the cooldown: short-circuited, no new attempts.
+        pool.complete(&CompletionRequest::new("c")).unwrap();
+        assert_eq!(pool.stats()[0].calls, attempts_when_opened);
+
+        // After the cooldown, one probe goes through; the backend is still
+        // down, so the probe fails and the breaker reopens.
+        std::thread::sleep(std::time::Duration::from_millis(25));
+        pool.complete(&CompletionRequest::new("d")).unwrap();
+        let after_probe = pool.stats()[0].clone();
+        assert_eq!(after_probe.calls, attempts_when_opened + 1);
+        assert!(after_probe.breaker_open, "failed probe must reopen");
+
+        // Backend recovers; the next probe succeeds and closes the breaker.
+        flaky.healthy.store(true, Ordering::Relaxed);
+        std::thread::sleep(std::time::Duration::from_millis(25));
+        pool.complete(&CompletionRequest::new("e")).unwrap();
+        let recovered = pool.stats()[0].clone();
+        assert!(!recovered.breaker_open, "successful probe must close");
+        // Closed again: requests flow to it normally (round robin).
+        pool.complete(&CompletionRequest::new("f")).unwrap();
+        pool.complete(&CompletionRequest::new("g")).unwrap();
+        assert!(pool.stats()[0].calls > recovered.calls);
+    }
+
+    #[test]
+    fn panicking_probe_does_not_wedge_the_half_open_state() {
+        #[derive(PartialEq)]
+        enum Mode {
+            Err,
+            Panic,
+            Healthy,
+        }
+        struct MoodyBackend {
+            inner: Arc<dyn LanguageModel>,
+            mode: parking_lot::Mutex<Mode>,
+        }
+        impl Backend for MoodyBackend {
+            fn id(&self) -> &str {
+                "moody"
+            }
+            fn complete(
+                &self,
+                request: &CompletionRequest,
+                _attempt: usize,
+            ) -> Result<CompletionResponse> {
+                match *self.mode.lock() {
+                    Mode::Err => Err(Error::llm("moody is down")),
+                    Mode::Panic => panic!("moody panicked mid-probe"),
+                    Mode::Healthy => self.inner.complete(request),
+                }
+            }
+            fn fingerprint(&self) -> String {
+                self.inner.fingerprint()
+            }
+        }
+
+        let model = Arc::new(EchoModel::new("m"));
+        let moody = Arc::new(MoodyBackend {
+            inner: Arc::clone(&model) as Arc<dyn LanguageModel>,
+            mode: parking_lot::Mutex::new(Mode::Err),
+        });
+        let backup: Arc<dyn Backend> = Arc::new(DirectBackend::new(
+            "backup",
+            Arc::clone(&model) as Arc<dyn LanguageModel>,
+        ));
+        let pool = BackendPool::new(
+            vec![Arc::clone(&moody) as Arc<dyn Backend>, backup],
+            RoutingPolicy::CostAware,
+        )
+        .unwrap()
+        .with_retries(0)
+        .with_backoff_base_ms(0.0)
+        .with_breaker(1, 10.0);
+
+        // One error opens the breaker.
+        pool.complete(&CompletionRequest::new("a")).unwrap();
+        assert!(pool.stats()[0].breaker_open);
+
+        // The half-open probe panics. Without the unwind guard this would
+        // leave `probing` set forever, permanently short-circuiting the
+        // backend.
+        *moody.mode.lock() = Mode::Panic;
+        std::thread::sleep(std::time::Duration::from_millis(15));
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.complete(&CompletionRequest::new("b"))
+        }));
+        assert!(panicked.is_err(), "probe should have panicked");
+
+        // Backend recovers: the next cooldown expiry must still admit a
+        // probe, which succeeds and closes the breaker.
+        *moody.mode.lock() = Mode::Healthy;
+        std::thread::sleep(std::time::Duration::from_millis(15));
+        let resp = pool.complete(&CompletionRequest::new("c")).unwrap();
+        assert_eq!(resp.text, "m:c");
+        assert!(
+            !pool.stats()[0].breaker_open,
+            "recovered backend stayed short-circuited: {:?}",
+            pool.stats()[0]
+        );
+    }
+
+    #[test]
+    fn absurd_cooldowns_saturate_instead_of_overflowing() {
+        // A finite-but-enormous cooldown passes config validation; the
+        // breaker must pin the expiry at u64::MAX, not overflow (debug
+        // panic / release wraparound that would silently re-close it).
+        let (_, pool) = pool_over(&[spec("d").failing(), spec("up")], RoutingPolicy::CostAware);
+        let pool = pool.with_breaker(1, 3.0e19);
+        pool.complete(&CompletionRequest::new("x")).unwrap();
+        pool.complete(&CompletionRequest::new("y")).unwrap();
+        let down = &pool.stats()[0];
+        assert_eq!(down.calls, 1, "breaker failed to hold open: {down:?}");
+        assert!(down.breaker_open);
+        assert!(down.short_circuits >= 1);
+    }
+
+    #[test]
+    fn all_breakers_open_is_a_clean_error() {
+        let (_, pool) = pool_over(&[spec("d").failing()], RoutingPolicy::RoundRobin);
+        let pool = pool.with_breaker(1, 60_000.0);
+        // First request trips the breaker (and fails through the normal
+        // path); subsequent requests fail fast with a breaker error.
+        pool.complete(&CompletionRequest::new("x")).unwrap_err();
+        let err = pool.complete(&CompletionRequest::new("y")).unwrap_err();
+        assert!(
+            err.to_string().contains("circuit-broken"),
+            "unexpected error: {err}"
+        );
+        assert_eq!(pool.stats()[0].calls, 1, "fail-fast must cost no attempts");
     }
 
     #[test]

@@ -83,6 +83,18 @@ pub trait LanguageModel: Send + Sync {
     fn cost_model(&self) -> LlmCostModel {
         LlmCostModel::default()
     }
+
+    /// How many lines this model would emit for an unfiltered, unpaginated
+    /// enumeration of `table` — its *observed* cardinality of the relation
+    /// (which under fidelity noise differs from the ground truth: forgotten
+    /// entities are missing, fabricated ones included). Scans use the hint to
+    /// stop speculative pagination at the relation's end instead of paying
+    /// for pages past it. `None` (the default) means the model offers no
+    /// hint and scans probe for the end as before. When a hint is returned
+    /// it must be exact and stable across calls, or pagination desyncs.
+    fn relation_cardinality(&self, _table: &str) -> Option<u64> {
+        None
+    }
 }
 
 /// Tracks prompts with a completion currently being computed, so concurrent
@@ -194,6 +206,12 @@ impl LlmClient {
         self.pool.as_ref().map(|p| p.stats())
     }
 
+    /// The wrapped model's observed cardinality of `table`, if it reports
+    /// one (see [`LanguageModel::relation_cardinality`]).
+    pub fn relation_cardinality(&self, table: &str) -> Option<u64> {
+        self.model.relation_cardinality(table)
+    }
+
     /// The cache / single-flight key for a request: the model fingerprint
     /// plus every request parameter that can change the completion. Two
     /// queries sharing a prompt string but differing in model config,
@@ -211,10 +229,26 @@ impl LlmClient {
     /// parallel dispatch never pays for a completion a sequential run would
     /// have served from the cache.
     pub fn complete(&self, request: &CompletionRequest) -> Result<CompletionResponse> {
+        self.complete_gated(request, || ())
+    }
+
+    /// [`LlmClient::complete`] with an admission gate: `gate` is invoked
+    /// immediately before the model is actually dispatched to — and only
+    /// then — and whatever it returns (typically an RAII permit such as a
+    /// `CallSlots` guard) is held until the model responds. Cache hits and
+    /// single-flight followers never invoke the gate, so under a cross-query
+    /// scheduler they neither consume slot capacity nor wait for it.
+    pub fn complete_gated<G>(
+        &self,
+        request: &CompletionRequest,
+        gate: impl FnOnce() -> G,
+    ) -> Result<CompletionResponse> {
         let Some(cache) = &self.cache else {
+            let _permit = gate();
             return self.complete_uncached(request);
         };
         let key = self.request_key(request);
+        let mut gate = Some(gate);
         loop {
             if let Some(hit) = cache.get(&key) {
                 let mut usage = self.usage.lock();
@@ -238,6 +272,7 @@ impl LlmClient {
                     usage.cache_hits += 1;
                     return Ok(hit);
                 }
+                let _permit = (gate.take().expect("gate invoked at most once"))();
                 let response = self.complete_uncached(request);
                 if let Ok(response) = &response {
                     cache.put(key.clone(), response.clone());
@@ -456,6 +491,67 @@ mod tests {
         // Each client still hits its own entry on repeat.
         assert_eq!(a.complete(&req).unwrap().text, "model-a-answer");
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn gate_is_only_invoked_on_real_dispatch() {
+        // Cache hits and single-flight followers must not pay admission
+        // (slot) costs: the gate closure runs exactly once per model call.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let model = Arc::new(CannedModel::new("x"));
+        let client = LlmClient::new(model.clone());
+        let gates = AtomicUsize::new(0);
+        let req = CompletionRequest::new("p");
+        for _ in 0..3 {
+            client
+                .complete_gated(&req, || gates.fetch_add(1, Ordering::Relaxed))
+                .unwrap();
+        }
+        assert_eq!(*model.calls.lock(), 1);
+        assert_eq!(
+            gates.load(Ordering::Relaxed),
+            1,
+            "cache hits must bypass the gate"
+        );
+
+        // Single-flight: 8 threads race one slow prompt; only the leader
+        // gates.
+        struct SlowModel;
+        impl LanguageModel for SlowModel {
+            fn name(&self) -> String {
+                "slow".into()
+            }
+            fn complete(&self, request: &CompletionRequest) -> Result<CompletionResponse> {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                Ok(CompletionResponse {
+                    text: "r".into(),
+                    prompt_tokens: count_tokens(&request.prompt),
+                    completion_tokens: 1,
+                    latency_ms: 1.0,
+                    cost_usd: 0.001,
+                })
+            }
+        }
+        let client = LlmClient::new(Arc::new(SlowModel));
+        let gates = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let client = client.clone();
+                let gates = &gates;
+                scope.spawn(move || {
+                    client
+                        .complete_gated(&CompletionRequest::new("same"), || {
+                            gates.fetch_add(1, Ordering::Relaxed)
+                        })
+                        .unwrap()
+                });
+            }
+        });
+        assert_eq!(
+            gates.load(Ordering::Relaxed),
+            1,
+            "single-flight followers must bypass the gate"
+        );
     }
 
     #[test]

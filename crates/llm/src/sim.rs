@@ -858,6 +858,16 @@ impl LanguageModel for SimLlm {
     fn cost_model(&self) -> LlmCostModel {
         self.cost_model
     }
+
+    /// The simulator's observed row count for `table`: known entities minus
+    /// forgotten ones plus fabricated ones — exactly the number of lines an
+    /// unfiltered enumeration of the relation would produce, and a pure
+    /// function of `(seed, table)`, so the hint is stable across calls.
+    fn relation_cardinality(&self, table: &str) -> Option<u64> {
+        self.observed_table(table)
+            .ok()
+            .map(|(_, rows)| rows.len() as u64)
+    }
 }
 
 #[cfg(test)]

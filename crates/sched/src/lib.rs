@@ -1,0 +1,69 @@
+//! # llmsql-sched
+//!
+//! The cross-query scheduler: the shared runtime that sits between client
+//! sessions and one `llmsql_core::Engine`, arbitrating the engine's scarcest
+//! resource — LLM-call slots — between many concurrent queries.
+//!
+//! PR 1 made a *single* query parallel and PR 2 gave it multiple backends;
+//! neither stops two queries from dispatching `2 × parallelism` requests at
+//! once. [`QueryScheduler`] closes that gap with three mechanisms:
+//!
+//! * **Admission control.** [`QueryScheduler::submit`] enqueues a query under
+//!   a tenant and a [`llmsql_types::Priority`]. The queue is bounded
+//!   globally ([`llmsql_types::SchedConfig::max_queue_depth`]) and per
+//!   tenant ([`llmsql_types::SchedConfig::tenant_queue_cap`]); submissions
+//!   beyond either cap are rejected immediately with a
+//!   [`llmsql_types::ErrorKind::Scheduler`] error instead of piling up
+//!   unbounded. A [`llmsql_types::SchedPolicy`] picks the next admitted
+//!   query: FIFO, priority, or weighted fair share (per-tenant deficit
+//!   counters charged with each query's completed LLM calls; the tenant with
+//!   the smallest weight-normalized charge runs next, so completed-call
+//!   shares converge to the configured weights under backlog and no tenant
+//!   can starve another).
+//!
+//! * **Slot-based throttling.** The scheduler owns a global
+//!   [`llmsql_exec::CallSlots`] pool of `llm_slots` call slots and attaches
+//!   it to the engine; every scan worker of every running query takes a slot
+//!   for exactly the duration of one model request. Global in-flight never
+//!   exceeds the pool, *whatever* each query's `parallelism` is — and
+//!   because waves are planned before slots are taken, throttling delays
+//!   dispatch without changing any query's prompt set, rows, or logical
+//!   call count (see the slot/ticket contract in [`llmsql_exec::slots`]).
+//!
+//! * **Per-query tickets.** [`submit`](QueryScheduler::submit) returns a
+//!   [`QueryTicket`]; [`QueryTicket::wait`] blocks until the query ran and
+//!   yields a [`QueryOutcome`] carrying the result plus queue time, run
+//!   time, slot-wait time (from `ExecMetrics::slot_wait_ms`), LLM calls and
+//!   the global completion ordinal — the accounting a billing or QoS layer
+//!   needs per query.
+//!
+//! Backend *health* tracking (the circuit breaker that stops a hard-down
+//! backend from costing retries on every request) lives one layer down, in
+//! `llmsql_llm::backend`, enabled via `EngineConfig::with_circuit_breaker`;
+//! the scheduler composes with it by simply running queries against an
+//! engine so configured.
+//!
+//! ```
+//! use llmsql_core::Engine;
+//! use llmsql_sched::QueryScheduler;
+//! use llmsql_types::{EngineConfig, ExecutionMode, Priority, SchedConfig};
+//!
+//! let mut engine = Engine::new(EngineConfig::default().with_mode(ExecutionMode::Traditional));
+//! engine.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)").unwrap();
+//! engine.execute("INSERT INTO t VALUES (1), (2), (3)").unwrap();
+//!
+//! let sched = QueryScheduler::new(engine, SchedConfig::default()).unwrap();
+//! let ticket = sched
+//!     .submit("tenant-a", Priority::NORMAL, "SELECT COUNT(*) FROM t")
+//!     .unwrap();
+//! let outcome = ticket.wait();
+//! assert_eq!(outcome.result.unwrap().scalar(), Some(llmsql_types::Value::Int(3)));
+//! ```
+
+#![warn(missing_docs)]
+
+mod scheduler;
+mod ticket;
+
+pub use scheduler::{QueryScheduler, SchedStats};
+pub use ticket::{QueryOutcome, QueryTicket};

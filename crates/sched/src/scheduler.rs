@@ -1,0 +1,733 @@
+//! The scheduler runtime: admission queue, worker pool, policy dispatch and
+//! aggregate statistics.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use llmsql_core::Engine;
+use llmsql_exec::CallSlots;
+use llmsql_types::{Error, Priority, Result, SchedConfig, SchedPolicy, TenantId};
+
+use crate::ticket::{QueryOutcome, QueryTicket, TicketState};
+
+/// One admitted, not-yet-running query.
+struct Job {
+    sql: String,
+    tenant: TenantId,
+    priority: Priority,
+    /// Admission ordinal: the FIFO key, and the tiebreaker everywhere else.
+    seq: u64,
+    submitted: Instant,
+    ticket: Arc<TicketState>,
+}
+
+/// Mutable queue state, guarded by one mutex (admission and dispatch are
+/// control-plane operations; queries execute outside the lock).
+struct QueueState {
+    /// Admitted jobs in admission order (`seq` ascending).
+    jobs: VecDeque<Job>,
+    /// Queued (not running) jobs per tenant, for the per-tenant cap.
+    queued_per_tenant: BTreeMap<TenantId, usize>,
+    /// Per-tenant deficit counters: LLM calls completed so far. Weighted
+    /// fair share serves the tenant minimizing `charged / weight`.
+    charges: BTreeMap<TenantId, u64>,
+    next_seq: u64,
+    paused: bool,
+    shutdown: bool,
+}
+
+struct SchedCore {
+    engine: Engine,
+    slots: Arc<CallSlots>,
+    config: SchedConfig,
+    state: Mutex<QueueState>,
+    work: Condvar,
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    finish_seq: AtomicU64,
+}
+
+/// Aggregate scheduler statistics (see [`QueryScheduler::stats`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedStats {
+    /// Queries admitted over the scheduler's lifetime.
+    pub submitted: u64,
+    /// Queries rejected at admission (queue or tenant cap).
+    pub rejected: u64,
+    /// Queries completed (successfully or with an error).
+    pub completed: u64,
+    /// Queries currently queued (admitted, not yet running).
+    pub queued: usize,
+    /// The configured global LLM-call slot count.
+    pub slot_capacity: usize,
+    /// Highest number of LLM requests in flight at once across all queries —
+    /// never exceeds `slot_capacity`.
+    pub peak_slots_in_use: u64,
+    /// Total time all queries spent blocked waiting for call slots, ms.
+    pub total_slot_wait_ms: f64,
+    /// Per-tenant deficit counters: LLM calls completed per tenant. Under
+    /// [`SchedPolicy::WeightedFair`] with sustained backlog these converge
+    /// to the configured weight ratios.
+    pub tenant_calls: BTreeMap<TenantId, u64>,
+}
+
+/// The cross-query scheduler. See the crate docs for the model.
+///
+/// Owns the engine it schedules onto and a worker-thread pool. Dropping the
+/// scheduler is graceful: admission closes, already-queued queries still
+/// run, and the workers are joined.
+pub struct QueryScheduler {
+    core: Arc<SchedCore>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl QueryScheduler {
+    /// Wrap `engine` in a scheduler configured by `config`. The engine's LLM
+    /// dispatch is throttled through a fresh [`CallSlots`] pool of
+    /// `config.llm_slots` slots; `config.workers` threads execute admitted
+    /// queries.
+    pub fn new(mut engine: Engine, config: SchedConfig) -> Result<QueryScheduler> {
+        config.validate()?;
+        let slots = Arc::new(CallSlots::new(config.llm_slots));
+        engine.set_call_slots(Arc::clone(&slots));
+        let worker_count = config.workers;
+        let start_paused = config.start_paused;
+        let core = Arc::new(SchedCore {
+            engine,
+            slots,
+            config,
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                queued_per_tenant: BTreeMap::new(),
+                charges: BTreeMap::new(),
+                next_seq: 1,
+                paused: start_paused,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            submitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            finish_seq: AtomicU64::new(0),
+        });
+        let workers = (0..worker_count)
+            .map(|i| {
+                let core = Arc::clone(&core);
+                std::thread::Builder::new()
+                    .name(format!("llmsql-sched-{i}"))
+                    .spawn(move || worker_loop(&core))
+                    .map_err(|e| Error::scheduler(format!("failed to spawn worker: {e}")))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(QueryScheduler { core, workers })
+    }
+
+    /// Admit one query under `tenant` with `priority`, or reject it when the
+    /// global queue or the tenant's queue is at capacity
+    /// ([`llmsql_types::ErrorKind::Scheduler`]). On admission the returned
+    /// [`QueryTicket`] resolves once the query ran.
+    pub fn submit(
+        &self,
+        tenant: impl Into<TenantId>,
+        priority: Priority,
+        sql: impl Into<String>,
+    ) -> Result<QueryTicket> {
+        let tenant = tenant.into();
+        let sql = sql.into();
+        let mut state = self.lock_state();
+        if state.shutdown {
+            return Err(Error::scheduler("scheduler is shutting down"));
+        }
+        if state.jobs.len() >= self.core.config.max_queue_depth {
+            self.core.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(Error::scheduler(format!(
+                "admission queue full ({} queued, cap {})",
+                state.jobs.len(),
+                self.core.config.max_queue_depth
+            )));
+        }
+        let tenant_queued = state.queued_per_tenant.entry(tenant.clone()).or_insert(0);
+        if *tenant_queued >= self.core.config.tenant_queue_cap {
+            self.core.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(Error::scheduler(format!(
+                "tenant '{tenant}' queue full ({tenant_queued} queued, cap {})",
+                self.core.config.tenant_queue_cap
+            )));
+        }
+        *tenant_queued += 1;
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        let ticket_state = TicketState::new();
+        state.jobs.push_back(Job {
+            sql,
+            tenant: tenant.clone(),
+            priority,
+            seq,
+            submitted: Instant::now(),
+            ticket: Arc::clone(&ticket_state),
+        });
+        drop(state);
+        self.core.submitted.fetch_add(1, Ordering::Relaxed);
+        self.core.work.notify_one();
+        Ok(QueryTicket {
+            state: ticket_state,
+            id: seq,
+            tenant,
+        })
+    }
+
+    /// Unpause a scheduler created with
+    /// [`llmsql_types::SchedConfig::start_paused`]: queued queries start
+    /// executing. Idempotent.
+    pub fn resume(&self) {
+        let mut state = self.lock_state();
+        state.paused = false;
+        drop(state);
+        self.core.work.notify_all();
+    }
+
+    /// The scheduled engine (for catalog inspection, backend stats, ...).
+    pub fn engine(&self) -> &Engine {
+        &self.core.engine
+    }
+
+    /// A snapshot of the aggregate statistics.
+    pub fn stats(&self) -> SchedStats {
+        let state = self.lock_state();
+        SchedStats {
+            submitted: self.core.submitted.load(Ordering::Relaxed),
+            rejected: self.core.rejected.load(Ordering::Relaxed),
+            completed: self.core.completed.load(Ordering::Relaxed),
+            queued: state.jobs.len(),
+            slot_capacity: self.core.slots.capacity(),
+            peak_slots_in_use: self.core.slots.peak_in_use(),
+            total_slot_wait_ms: self.core.slots.total_wait_ms(),
+            tenant_calls: state.charges.clone(),
+        }
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, QueueState> {
+        self.core.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl Drop for QueryScheduler {
+    /// Graceful shutdown: close admission, let queued queries finish (a
+    /// paused scheduler is resumed so they can), join the workers.
+    fn drop(&mut self) {
+        {
+            let mut state = self.lock_state();
+            state.shutdown = true;
+            state.paused = false;
+        }
+        self.core.work.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Pick (and remove) the next job per the configured policy. Caller holds
+/// the state lock.
+fn pick_next(state: &mut QueueState, config: &SchedConfig) -> Option<Job> {
+    if state.jobs.is_empty() {
+        return None;
+    }
+    let index = match config.policy {
+        // Jobs sit in admission order, so FIFO is the front.
+        SchedPolicy::Fifo => 0,
+        // Highest priority wins; admission order within a level. This scans
+        // the whole queue (not per-tenant fronts): a tenant's later
+        // high-priority query overtakes its own earlier low-priority ones
+        // too.
+        SchedPolicy::Priority => state
+            .jobs
+            .iter()
+            .enumerate()
+            .max_by(|(ai, a), (bi, b)| {
+                a.priority
+                    .cmp(&b.priority)
+                    .then(b.seq.cmp(&a.seq))
+                    .then(bi.cmp(ai))
+            })
+            .map(|(i, _)| i)?,
+        // Deficit scheduling: among tenants with queued work, serve the one
+        // with the smallest weight-normalized charge; its earliest job runs.
+        SchedPolicy::WeightedFair => {
+            let tenant = state
+                .jobs
+                .iter()
+                .map(|j| j.tenant.as_str())
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .min_by(|a, b| {
+                    let deficit = |t: &str| {
+                        state.charges.get(t).copied().unwrap_or(0) as f64
+                            / config.weight_of(t) as f64
+                    };
+                    deficit(a).total_cmp(&deficit(b)).then(a.cmp(b))
+                })?
+                .to_string();
+            state.jobs.iter().position(|j| j.tenant == tenant)?
+        }
+    };
+    let job = state.jobs.remove(index)?;
+    if let Some(queued) = state.queued_per_tenant.get_mut(&job.tenant) {
+        *queued = queued.saturating_sub(1);
+    }
+    Some(job)
+}
+
+fn worker_loop(core: &SchedCore) {
+    loop {
+        let job = {
+            let mut state = core.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if !state.paused {
+                    if let Some(job) = pick_next(&mut state, &core.config) {
+                        break job;
+                    }
+                    if state.shutdown {
+                        return;
+                    }
+                }
+                state = core.work.wait(state).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        run_job(core, job);
+    }
+}
+
+fn run_job(core: &SchedCore, job: Job) {
+    let queue_ms = job.submitted.elapsed().as_secs_f64() * 1000.0;
+    let run_start = Instant::now();
+    // A panicking query must not take its worker thread (and every later
+    // queued query's ticket) down with it.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        core.engine.execute(&job.sql)
+    }))
+    .unwrap_or_else(|_| Err(Error::execution("query execution panicked")));
+    let run_ms = run_start.elapsed().as_secs_f64() * 1000.0;
+
+    let (llm_calls, slot_wait_ms) = match &result {
+        Ok(r) => (r.metrics.llm_calls(), r.metrics.slot_wait_ms),
+        Err(_) => (0, 0.0),
+    };
+    {
+        let mut state = core.state.lock().unwrap_or_else(|e| e.into_inner());
+        // Charge the tenant's deficit counter with the calls the query
+        // consumed; a call-free query is charged 1 so spinning cheap queries
+        // cannot monopolize the fair-share rotation for free.
+        *state.charges.entry(job.tenant.clone()).or_insert(0) += llm_calls.max(1);
+    }
+    let finish_seq = core.finish_seq.fetch_add(1, Ordering::Relaxed) + 1;
+    core.completed.fetch_add(1, Ordering::Relaxed);
+    job.ticket.fulfill(QueryOutcome {
+        tenant: job.tenant,
+        priority: job.priority,
+        result,
+        queue_ms,
+        run_ms,
+        slot_wait_ms,
+        llm_calls,
+        finish_seq,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmsql_llm::KnowledgeBase;
+    use llmsql_store::Catalog;
+    use llmsql_types::{
+        Column, DataType, EngineConfig, ErrorKind, ExecutionMode, LlmFidelity, PromptStrategy, Row,
+        Schema, Value,
+    };
+
+    /// A traditional in-memory engine (no model): queries are instant, which
+    /// keeps policy tests about ordering, not timing.
+    fn store_engine() -> Engine {
+        let engine = Engine::new(EngineConfig::default().with_mode(ExecutionMode::Traditional));
+        engine
+            .execute_script(
+                "CREATE TABLE nums (n INTEGER PRIMARY KEY); \
+                 INSERT INTO nums VALUES (1), (2), (3), (4)",
+            )
+            .unwrap();
+        engine
+    }
+
+    /// An LLM-only engine over a small virtual relation, cache off so every
+    /// query pays a stable, identical number of logical calls.
+    fn llm_engine(parallelism: usize) -> Engine {
+        let schema = Schema::virtual_table(
+            "countries",
+            vec![
+                Column::new("name", DataType::Text).primary_key(),
+                Column::new("population", DataType::Int),
+            ],
+        );
+        let rows: Vec<Row> = (0..10)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Text(format!("Country {i:02}")),
+                    Value::Int(100 + i as i64),
+                ])
+            })
+            .collect();
+        let catalog = Catalog::new();
+        catalog.create_virtual_table(schema.clone()).unwrap();
+        let mut kb = KnowledgeBase::new();
+        kb.add_table(schema, rows);
+        let mut config = EngineConfig::default()
+            .with_mode(ExecutionMode::LlmOnly)
+            .with_strategy(PromptStrategy::BatchedRows)
+            .with_fidelity(LlmFidelity::perfect())
+            .with_batch_size(5)
+            .with_seed(11)
+            .with_parallelism(parallelism);
+        config.enable_prompt_cache = false;
+        let mut engine = Engine::with_catalog(catalog, config);
+        engine.attach_simulator(kb.into_shared()).unwrap();
+        engine
+    }
+
+    #[test]
+    fn scheduler_handles_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QueryScheduler>();
+        assert_send_sync::<SchedStats>();
+    }
+
+    #[test]
+    fn fifo_completes_in_admission_order() {
+        let sched = QueryScheduler::new(
+            store_engine(),
+            SchedConfig::default().with_workers(1).paused(),
+        )
+        .unwrap();
+        let tickets: Vec<QueryTicket> = (0..6)
+            .map(|i| {
+                sched
+                    .submit(
+                        format!("tenant-{}", i % 3),
+                        Priority::NORMAL,
+                        "SELECT COUNT(*) FROM nums",
+                    )
+                    .unwrap()
+            })
+            .collect();
+        sched.resume();
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            let outcome = ticket.wait();
+            assert_eq!(outcome.finish_seq, i as u64 + 1, "FIFO order violated");
+            assert!(outcome.result.is_ok());
+            assert!(outcome.queue_ms >= 0.0 && outcome.run_ms >= 0.0);
+        }
+        let stats = sched.stats();
+        assert_eq!(stats.submitted, 6);
+        assert_eq!(stats.completed, 6);
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.queued, 0);
+    }
+
+    #[test]
+    fn priority_flood_cannot_starve_a_high_priority_query() {
+        // Regression for the starvation scenario: a flood of low-priority
+        // queries is admitted first; one high-priority query submitted after
+        // them must run before the flood, not behind it.
+        let sched = QueryScheduler::new(
+            store_engine(),
+            SchedConfig::default()
+                .with_workers(1)
+                .with_policy(SchedPolicy::Priority)
+                .paused(),
+        )
+        .unwrap();
+        let flood: Vec<QueryTicket> = (0..20)
+            .map(|_| {
+                sched
+                    .submit("bulk", Priority::LOW, "SELECT COUNT(*) FROM nums")
+                    .unwrap()
+            })
+            .collect();
+        let urgent = sched
+            .submit(
+                "interactive",
+                Priority::HIGH,
+                "SELECT n FROM nums WHERE n = 1",
+            )
+            .unwrap();
+        sched.resume();
+        let outcome = urgent.wait();
+        assert_eq!(
+            outcome.finish_seq, 1,
+            "high-priority query was starved behind the flood"
+        );
+        for t in flood {
+            assert!(t.wait().finish_seq > 1);
+        }
+    }
+
+    #[test]
+    fn equal_priorities_keep_admission_order() {
+        let sched = QueryScheduler::new(
+            store_engine(),
+            SchedConfig::default()
+                .with_workers(1)
+                .with_policy(SchedPolicy::Priority)
+                .paused(),
+        )
+        .unwrap();
+        let tickets: Vec<QueryTicket> = (0..5)
+            .map(|_| {
+                sched
+                    .submit("t", Priority::NORMAL, "SELECT COUNT(*) FROM nums")
+                    .unwrap()
+            })
+            .collect();
+        sched.resume();
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            assert_eq!(ticket.wait().finish_seq, i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn admission_rejects_beyond_global_and_tenant_caps() {
+        let sched = QueryScheduler::new(
+            store_engine(),
+            SchedConfig::default()
+                .with_workers(1)
+                .with_max_queue_depth(4)
+                .with_tenant_queue_cap(2)
+                .paused(),
+        )
+        .unwrap();
+        let sql = "SELECT COUNT(*) FROM nums";
+        // Tenant cap: the third submission from one tenant is rejected.
+        sched.submit("a", Priority::NORMAL, sql).unwrap();
+        sched.submit("a", Priority::NORMAL, sql).unwrap();
+        let err = sched.submit("a", Priority::NORMAL, sql).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Scheduler);
+        assert!(err.message.contains("tenant 'a'"), "{err}");
+        // Global cap: other tenants fill the queue to 4, then everyone is
+        // rejected.
+        sched.submit("b", Priority::NORMAL, sql).unwrap();
+        sched.submit("c", Priority::NORMAL, sql).unwrap();
+        let err = sched.submit("d", Priority::NORMAL, sql).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Scheduler);
+        assert!(err.message.contains("admission queue full"), "{err}");
+        assert_eq!(sched.stats().rejected, 2);
+        sched.resume();
+    }
+
+    #[test]
+    fn weighted_fair_serves_tenants_by_weight() {
+        // Deterministic companion to the proptest below: weights 3:1 with a
+        // single worker; among the first 8 completions tenant shares must
+        // track the weights (6:2), not the alternating admission order.
+        let sched = QueryScheduler::new(
+            llm_engine(1),
+            SchedConfig::default()
+                .with_workers(1)
+                .with_policy(SchedPolicy::WeightedFair)
+                .with_tenant_weight("gold", 3)
+                .with_tenant_weight("bronze", 1)
+                .paused(),
+        )
+        .unwrap();
+        let mut tickets = Vec::new();
+        for _ in 0..8 {
+            tickets.push(
+                sched
+                    .submit("gold", Priority::NORMAL, "SELECT name FROM countries")
+                    .unwrap(),
+            );
+            tickets.push(
+                sched
+                    .submit("bronze", Priority::NORMAL, "SELECT name FROM countries")
+                    .unwrap(),
+            );
+        }
+        sched.resume();
+        let outcomes: Vec<QueryOutcome> = tickets.into_iter().map(QueryTicket::wait).collect();
+        let prefix_share = |tenant: &str| {
+            outcomes
+                .iter()
+                .filter(|o| o.finish_seq <= 8 && o.tenant == tenant)
+                .count()
+        };
+        let gold = prefix_share("gold");
+        let bronze = prefix_share("bronze");
+        assert_eq!(gold + bronze, 8);
+        assert_eq!(gold, 6, "gold should get 3/4 of the prefix, got {gold}/8");
+        assert_eq!(bronze, 2);
+        // Every query issued the same logical call count (uniform cost).
+        let calls: std::collections::BTreeSet<u64> = outcomes.iter().map(|o| o.llm_calls).collect();
+        assert_eq!(calls.len(), 1, "expected uniform cost, got {calls:?}");
+    }
+
+    #[test]
+    fn scheduler_drop_completes_queued_work() {
+        let tickets: Vec<QueryTicket> = {
+            let sched = QueryScheduler::new(
+                store_engine(),
+                SchedConfig::default().with_workers(2).paused(),
+            )
+            .unwrap();
+            (0..5)
+                .map(|_| {
+                    sched
+                        .submit("t", Priority::NORMAL, "SELECT COUNT(*) FROM nums")
+                        .unwrap()
+                })
+                .collect()
+            // Dropped while paused with 5 queries queued: shutdown resumes
+            // and drains before joining the workers.
+        };
+        for ticket in tickets {
+            let outcome = ticket.wait();
+            assert_eq!(
+                outcome.result.unwrap().scalar(),
+                Some(Value::Int(4)),
+                "queued query was dropped unexecuted"
+            );
+        }
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_rejected() {
+        let sched = QueryScheduler::new(store_engine(), SchedConfig::default()).unwrap();
+        sched.lock_state().shutdown = true;
+        let err = sched
+            .submit("t", Priority::NORMAL, "SELECT COUNT(*) FROM nums")
+            .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Scheduler);
+        assert!(err.message.contains("shutting down"), "{err}");
+    }
+
+    #[test]
+    fn failing_queries_resolve_their_tickets_and_spare_the_worker() {
+        let sched = QueryScheduler::new(store_engine(), SchedConfig::default()).unwrap();
+        let bad = sched
+            .submit("t", Priority::NORMAL, "SELECT missing_col FROM nums")
+            .unwrap();
+        let outcome = bad.wait();
+        assert_eq!(outcome.result.unwrap_err().kind, ErrorKind::Binding);
+        // The worker survives and keeps serving.
+        let ok = sched
+            .submit("t", Priority::NORMAL, "SELECT COUNT(*) FROM nums")
+            .unwrap();
+        assert!(ok.wait().result.is_ok());
+    }
+
+    #[test]
+    fn slot_pool_caps_global_in_flight_across_queries() {
+        // 8 queries at parallelism 4 through 2 slots: without the pool,
+        // in-flight would reach workers * parallelism; with it, the global
+        // peak cannot exceed 2.
+        let sched = QueryScheduler::new(
+            llm_engine(4),
+            SchedConfig::default().with_workers(4).with_llm_slots(2),
+        )
+        .unwrap();
+        let tickets: Vec<QueryTicket> = (0..8)
+            .map(|i| {
+                sched
+                    .submit(
+                        format!("t{}", i % 2),
+                        Priority::NORMAL,
+                        "SELECT name, population FROM countries",
+                    )
+                    .unwrap()
+            })
+            .collect();
+        let outcomes: Vec<QueryOutcome> = tickets.into_iter().map(QueryTicket::wait).collect();
+        assert!(outcomes.iter().all(|o| o.result.is_ok()));
+        let stats = sched.stats();
+        assert_eq!(stats.slot_capacity, 2);
+        assert!(
+            stats.peak_slots_in_use <= 2,
+            "global in-flight exceeded the slot pool: {stats:?}"
+        );
+        assert!(stats.peak_slots_in_use >= 1);
+        assert_eq!(stats.completed, 8);
+        // Per-tenant deficit counters saw every query's calls.
+        assert_eq!(
+            stats.tenant_calls.values().sum::<u64>(),
+            outcomes.iter().map(|o| o.llm_calls).sum::<u64>()
+        );
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Under weighted fair share with sustained backlog, the
+            /// completed-call shares of any completion prefix track the
+            /// configured weights: the deficit counters keep
+            /// |calls_a/w_a - calls_b/w_b| within one query's cost.
+            #[test]
+            fn weighted_fair_shares_converge_to_weights(
+                weight_a in 1u32..5,
+                weight_b in 1u32..5,
+            ) {
+                let per_tenant = 12usize;
+                let sched = QueryScheduler::new(
+                    llm_engine(1),
+                    SchedConfig::default()
+                        .with_workers(1)
+                        .with_policy(SchedPolicy::WeightedFair)
+                        .with_tenant_weight("a", weight_a)
+                        .with_tenant_weight("b", weight_b)
+                        .paused(),
+                )
+                .unwrap();
+                let mut tickets = Vec::new();
+                for _ in 0..per_tenant {
+                    tickets.push(sched.submit("a", Priority::NORMAL,
+                        "SELECT name FROM countries").unwrap());
+                    tickets.push(sched.submit("b", Priority::NORMAL,
+                        "SELECT name FROM countries").unwrap());
+                }
+                sched.resume();
+                let outcomes: Vec<QueryOutcome> =
+                    tickets.into_iter().map(QueryTicket::wait).collect();
+                let cost = outcomes[0].llm_calls.max(1);
+                prop_assert!(outcomes.iter().all(|o| o.llm_calls == outcomes[0].llm_calls),
+                    "non-uniform query cost breaks the share math");
+
+                // Prefix short enough that both tenants still had backlog
+                // throughout with margin (the heavier tenant drains first at
+                // ~prefix * max_w / (w_a + w_b) completions; keep that well
+                // under per_tenant).
+                let max_w = weight_a.max(weight_b) as usize;
+                let prefix =
+                    (per_tenant * (weight_a + weight_b) as usize * 3 / (4 * max_w)) as u64;
+                let calls_in_prefix = |tenant: &str| -> u64 {
+                    outcomes
+                        .iter()
+                        .filter(|o| o.tenant == tenant && o.finish_seq <= prefix)
+                        .map(|o| o.llm_calls)
+                        .sum()
+                };
+                let (calls_a, calls_b) = (calls_in_prefix("a"), calls_in_prefix("b"));
+                prop_assert_eq!(calls_a % cost, 0);
+                // Deficit bound: weight-normalized charges never drift apart
+                // by more than one query's cost.
+                let norm_a = calls_a as f64 / weight_a as f64;
+                let norm_b = calls_b as f64 / weight_b as f64;
+                prop_assert!(
+                    (norm_a - norm_b).abs() <= cost as f64 + 1e-9,
+                    "shares diverged from weights: a={} (w={}), b={} (w={}), prefix={}",
+                    calls_a, weight_a, calls_b, weight_b, prefix
+                );
+            }
+        }
+    }
+}

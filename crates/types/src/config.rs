@@ -122,14 +122,21 @@ pub enum RoutingPolicy {
     /// registration order); more expensive backends only serve failover
     /// traffic.
     CostAware,
+    /// Start the candidate walk at `hash(prompt) % pool_size`: the backend
+    /// serving each prompt is a pure function of the prompt text, so the
+    /// *physical* per-backend trace is reproducible at any parallelism —
+    /// round robin's cursor advances in request-arrival order, which thread
+    /// interleaving scrambles; a prompt hash does not.
+    PromptHash,
 }
 
 impl RoutingPolicy {
     /// All policies, for sweeps.
-    pub const ALL: [RoutingPolicy; 3] = [
+    pub const ALL: [RoutingPolicy; 4] = [
         RoutingPolicy::RoundRobin,
         RoutingPolicy::LeastInFlight,
         RoutingPolicy::CostAware,
+        RoutingPolicy::PromptHash,
     ];
 
     /// Short label used in reports.
@@ -138,6 +145,7 @@ impl RoutingPolicy {
             RoutingPolicy::RoundRobin => "round-robin",
             RoutingPolicy::LeastInFlight => "least-in-flight",
             RoutingPolicy::CostAware => "cost-aware",
+            RoutingPolicy::PromptHash => "prompt-hash",
         }
     }
 
@@ -147,6 +155,7 @@ impl RoutingPolicy {
             "round-robin" | "roundrobin" | "rr" => Ok(RoutingPolicy::RoundRobin),
             "least-in-flight" | "least-loaded" | "lif" => Ok(RoutingPolicy::LeastInFlight),
             "cost-aware" | "cheapest" | "cost" => Ok(RoutingPolicy::CostAware),
+            "prompt-hash" | "prompthash" | "hash" => Ok(RoutingPolicy::PromptHash),
             other => Err(Error::config(format!("unknown routing policy '{other}'"))),
         }
     }
@@ -423,6 +432,13 @@ pub struct EngineConfig {
     /// Base of the exponential backoff between retry attempts, in
     /// milliseconds (doubled per attempt, capped internally).
     pub backend_backoff_ms: f64,
+    /// Circuit breaker: consecutive failed attempts after which a backend is
+    /// taken out of the routing rotation ("open"). `0` (the default)
+    /// disables the breaker, preserving PR 2's always-attempt behaviour.
+    pub breaker_threshold: usize,
+    /// Circuit breaker: how long an opened backend stays out of rotation
+    /// before one half-open probe request is allowed through, milliseconds.
+    pub breaker_cooldown_ms: f64,
     /// Whether the prompt cache is enabled.
     pub enable_prompt_cache: bool,
     /// Whether optimizer rules run (turned off by the ablation experiment).
@@ -449,6 +465,8 @@ impl Default for EngineConfig {
             routing_policy: RoutingPolicy::RoundRobin,
             backend_retries: 1,
             backend_backoff_ms: 1.0,
+            breaker_threshold: 0,
+            breaker_cooldown_ms: 250.0,
             enable_prompt_cache: true,
             enable_optimizer: true,
             enable_predicate_pushdown: true,
@@ -500,6 +518,15 @@ impl EngineConfig {
         self.routing_policy = policy;
         self
     }
+    /// Builder-style: enable the backend circuit breaker — a backend is
+    /// taken out of rotation after `threshold` consecutive failed attempts
+    /// and probed again after `cooldown_ms` (see
+    /// [`EngineConfig::breaker_threshold`]).
+    pub fn with_circuit_breaker(mut self, threshold: usize, cooldown_ms: f64) -> Self {
+        self.breaker_threshold = threshold;
+        self.breaker_cooldown_ms = cooldown_ms;
+        self
+    }
 
     /// Validate the configuration.
     pub fn validate(&self) -> Result<()> {
@@ -517,6 +544,11 @@ impl EngineConfig {
         if !self.backend_backoff_ms.is_finite() || self.backend_backoff_ms < 0.0 {
             return Err(Error::config(
                 "backend_backoff_ms must be finite and non-negative",
+            ));
+        }
+        if !self.breaker_cooldown_ms.is_finite() || self.breaker_cooldown_ms < 0.0 {
+            return Err(Error::config(
+                "breaker_cooldown_ms must be finite and non-negative",
             ));
         }
         if self.batch_size == 0 {
@@ -703,5 +735,23 @@ mod tests {
             ..EngineConfig::default()
         };
         assert!(bad_backoff.validate().is_err());
+    }
+
+    #[test]
+    fn circuit_breaker_config() {
+        // Disabled by default: PR 2 deployments keep their exact behaviour.
+        assert_eq!(EngineConfig::default().breaker_threshold, 0);
+        let cfg = EngineConfig::default().with_circuit_breaker(5, 100.0);
+        assert_eq!(cfg.breaker_threshold, 5);
+        assert_eq!(cfg.breaker_cooldown_ms, 100.0);
+        cfg.validate().unwrap();
+        assert!(EngineConfig::default()
+            .with_circuit_breaker(5, f64::NAN)
+            .validate()
+            .is_err());
+        assert!(EngineConfig::default()
+            .with_circuit_breaker(5, -1.0)
+            .validate()
+            .is_err());
     }
 }

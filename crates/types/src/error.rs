@@ -28,6 +28,8 @@ pub enum ErrorKind {
     Unsupported,
     /// Configuration errors.
     Config,
+    /// Cross-query scheduler errors (admission rejections, shutdown races).
+    Scheduler,
 }
 
 impl fmt::Display for ErrorKind {
@@ -43,6 +45,7 @@ impl fmt::Display for ErrorKind {
             ErrorKind::Storage => "storage error",
             ErrorKind::Unsupported => "unsupported",
             ErrorKind::Config => "configuration error",
+            ErrorKind::Scheduler => "scheduler error",
         };
         write!(f, "{s}")
     }
@@ -116,6 +119,10 @@ impl Error {
     pub fn config(message: impl Into<String>) -> Self {
         Error::new(ErrorKind::Config, message)
     }
+    /// Scheduler error constructor (admission rejections, shutdown races).
+    pub fn scheduler(message: impl Into<String>) -> Self {
+        Error::new(ErrorKind::Scheduler, message)
+    }
 }
 
 impl fmt::Display for Error {
@@ -146,6 +153,7 @@ mod tests {
         assert_eq!(Error::storage("x").kind, ErrorKind::Storage);
         assert_eq!(Error::unsupported("x").kind, ErrorKind::Unsupported);
         assert_eq!(Error::config("x").kind, ErrorKind::Config);
+        assert_eq!(Error::scheduler("x").kind, ErrorKind::Scheduler);
     }
 
     #[test]

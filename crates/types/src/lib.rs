@@ -12,6 +12,7 @@
 pub mod config;
 pub mod error;
 pub mod row;
+pub mod sched;
 pub mod schema;
 pub mod value;
 
@@ -21,6 +22,7 @@ pub use config::{
 };
 pub use error::{Error, ErrorKind, Result};
 pub use row::{Batch, Row};
+pub use sched::{Priority, SchedConfig, SchedPolicy, TenantId};
 pub use schema::{Column, ColumnRef, DataType, Field, RelSchema, Schema};
 pub use value::Value;
 

@@ -1,0 +1,280 @@
+//! Cross-query scheduling types: tenants, priorities, scheduling policies
+//! and the [`SchedConfig`] consumed by `llmsql-sched`'s `QueryScheduler`.
+//!
+//! These live in `llmsql-types` (like [`crate::EngineConfig`]) so every layer
+//! can talk about tenants and scheduling without depending on the scheduler
+//! runtime itself.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::{Error, Result};
+
+/// Identifies the tenant (user, team, API key) a query is submitted under.
+/// Quotas and fair-share weights are tracked per tenant.
+pub type TenantId = String;
+
+/// Query priority: higher values run first under [`SchedPolicy::Priority`].
+///
+/// Ordering is total (`u8` semantics); ties are broken by admission order, so
+/// equal-priority queries never reorder relative to each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Priority(pub u8);
+
+impl Priority {
+    /// Background / best-effort work.
+    pub const LOW: Priority = Priority(0);
+    /// The default for interactive queries.
+    pub const NORMAL: Priority = Priority(10);
+    /// Latency-sensitive work that should jump the queue.
+    pub const HIGH: Priority = Priority(20);
+}
+
+impl Default for Priority {
+    fn default() -> Self {
+        Priority::NORMAL
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// How the scheduler picks the next admitted query to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SchedPolicy {
+    /// Strict admission order across all tenants.
+    #[default]
+    Fifo,
+    /// Highest [`Priority`] first; admission order within a priority level.
+    Priority,
+    /// Weighted fair share across tenants via per-tenant deficit counters:
+    /// every completed query charges its tenant's counter by the LLM calls it
+    /// consumed, and the scheduler always serves the tenant with the smallest
+    /// weight-normalized charge. Under sustained backlog, completed-call
+    /// shares converge to the configured [`SchedConfig::tenant_weights`].
+    WeightedFair,
+}
+
+impl SchedPolicy {
+    /// All policies, for sweeps.
+    pub const ALL: [SchedPolicy; 3] = [
+        SchedPolicy::Fifo,
+        SchedPolicy::Priority,
+        SchedPolicy::WeightedFair,
+    ];
+
+    /// Short label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchedPolicy::Fifo => "fifo",
+            SchedPolicy::Priority => "priority",
+            SchedPolicy::WeightedFair => "weighted-fair",
+        }
+    }
+
+    /// Parse from a user-facing name.
+    pub fn parse(s: &str) -> Result<Self> {
+        match s.to_ascii_lowercase().replace('_', "-").as_str() {
+            "fifo" | "arrival" => Ok(SchedPolicy::Fifo),
+            "priority" | "prio" => Ok(SchedPolicy::Priority),
+            "weighted-fair" | "fair" | "drr" | "wfq" => Ok(SchedPolicy::WeightedFair),
+            other => Err(Error::config(format!(
+                "unknown scheduling policy '{other}'"
+            ))),
+        }
+    }
+}
+
+impl fmt::Display for SchedPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Configuration of the cross-query scheduler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedConfig {
+    /// Global pool of LLM-call slots shared by every running query: at most
+    /// this many model requests are in flight across the whole deployment,
+    /// regardless of how many queries run or what `parallelism` each uses.
+    pub llm_slots: usize,
+    /// Worker threads executing admitted queries (queries running at once).
+    pub workers: usize,
+    /// Hard cap on queries queued (admitted but not yet running) across all
+    /// tenants; submissions beyond it are rejected at admission.
+    pub max_queue_depth: usize,
+    /// Per-tenant cap on queued queries, so one tenant cannot fill the whole
+    /// admission queue.
+    pub tenant_queue_cap: usize,
+    /// How the next query is picked from the admission queue.
+    pub policy: SchedPolicy,
+    /// Fair-share weights per tenant ([`SchedPolicy::WeightedFair`] only).
+    /// Tenants absent from the map get [`SchedConfig::default_weight`].
+    pub tenant_weights: BTreeMap<TenantId, u32>,
+    /// Weight for tenants without an explicit entry in `tenant_weights`.
+    pub default_weight: u32,
+    /// Start with the workers paused: submissions queue up but nothing runs
+    /// until `QueryScheduler::resume` is called. Lets tests (and batch
+    /// loads) build a backlog so the policy, not arrival order, decides the
+    /// run order.
+    pub start_paused: bool,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        SchedConfig {
+            llm_slots: 8,
+            workers: 4,
+            max_queue_depth: 256,
+            tenant_queue_cap: 64,
+            policy: SchedPolicy::Fifo,
+            tenant_weights: BTreeMap::new(),
+            default_weight: 1,
+            start_paused: false,
+        }
+    }
+}
+
+impl SchedConfig {
+    /// Builder-style: set the global LLM-call slot pool size.
+    pub fn with_llm_slots(mut self, llm_slots: usize) -> Self {
+        self.llm_slots = llm_slots;
+        self
+    }
+    /// Builder-style: set the number of query worker threads.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+    /// Builder-style: set the global admission-queue depth.
+    pub fn with_max_queue_depth(mut self, depth: usize) -> Self {
+        self.max_queue_depth = depth;
+        self
+    }
+    /// Builder-style: set the per-tenant queued-query cap.
+    pub fn with_tenant_queue_cap(mut self, cap: usize) -> Self {
+        self.tenant_queue_cap = cap;
+        self
+    }
+    /// Builder-style: set the scheduling policy.
+    pub fn with_policy(mut self, policy: SchedPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+    /// Builder-style: set one tenant's fair-share weight.
+    pub fn with_tenant_weight(mut self, tenant: impl Into<TenantId>, weight: u32) -> Self {
+        self.tenant_weights.insert(tenant.into(), weight);
+        self
+    }
+    /// Builder-style: start paused (see [`SchedConfig::start_paused`]).
+    pub fn paused(mut self) -> Self {
+        self.start_paused = true;
+        self
+    }
+
+    /// The fair-share weight of a tenant.
+    pub fn weight_of(&self, tenant: &str) -> u32 {
+        self.tenant_weights
+            .get(tenant)
+            .copied()
+            .unwrap_or(self.default_weight)
+    }
+
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.llm_slots == 0 {
+            return Err(Error::config("llm_slots must be at least 1"));
+        }
+        if self.workers == 0 {
+            return Err(Error::config("workers must be at least 1"));
+        }
+        if self.max_queue_depth == 0 {
+            return Err(Error::config("max_queue_depth must be at least 1"));
+        }
+        if self.tenant_queue_cap == 0 {
+            return Err(Error::config("tenant_queue_cap must be at least 1"));
+        }
+        if self.default_weight == 0 {
+            return Err(Error::config("default_weight must be at least 1"));
+        }
+        for (tenant, weight) in &self.tenant_weights {
+            if *weight == 0 {
+                return Err(Error::config(format!(
+                    "tenant '{tenant}' has weight 0; weights must be at least 1"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_ordering_and_labels() {
+        assert!(Priority::HIGH > Priority::NORMAL);
+        assert!(Priority::NORMAL > Priority::LOW);
+        assert_eq!(Priority::default(), Priority::NORMAL);
+        assert_eq!(Priority(7).to_string(), "p7");
+    }
+
+    #[test]
+    fn policy_parsing_round_trips() {
+        for p in SchedPolicy::ALL {
+            assert_eq!(SchedPolicy::parse(p.label()).unwrap(), p);
+            assert_eq!(p.to_string(), p.label());
+        }
+        assert_eq!(
+            SchedPolicy::parse("drr").unwrap(),
+            SchedPolicy::WeightedFair
+        );
+        assert!(SchedPolicy::parse("lottery").is_err());
+        assert_eq!(SchedPolicy::default(), SchedPolicy::Fifo);
+    }
+
+    #[test]
+    fn config_builders_and_weights() {
+        let cfg = SchedConfig::default()
+            .with_llm_slots(3)
+            .with_workers(2)
+            .with_max_queue_depth(10)
+            .with_tenant_queue_cap(5)
+            .with_policy(SchedPolicy::WeightedFair)
+            .with_tenant_weight("gold", 4)
+            .paused();
+        assert_eq!(cfg.llm_slots, 3);
+        assert_eq!(cfg.workers, 2);
+        assert_eq!(cfg.weight_of("gold"), 4);
+        assert_eq!(cfg.weight_of("anonymous"), 1);
+        assert!(cfg.start_paused);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn config_validation_rejects_zeroes() {
+        assert!(SchedConfig::default().with_llm_slots(0).validate().is_err());
+        assert!(SchedConfig::default().with_workers(0).validate().is_err());
+        assert!(SchedConfig::default()
+            .with_max_queue_depth(0)
+            .validate()
+            .is_err());
+        assert!(SchedConfig::default()
+            .with_tenant_queue_cap(0)
+            .validate()
+            .is_err());
+        assert!(SchedConfig::default()
+            .with_tenant_weight("t", 0)
+            .validate()
+            .is_err());
+        let zero_default = SchedConfig {
+            default_weight: 0,
+            ..SchedConfig::default()
+        };
+        assert!(zero_default.validate().is_err());
+    }
+}

@@ -19,7 +19,8 @@ pub mod world;
 
 pub use harness::{run_suite, CaseOutcome, SuiteOutcome};
 pub use queries::{
-    cardinality_suite, class_suite, join_chain_suite, standard_suite, QueryCase, QueryClass,
+    cardinality_suite, class_suite, join_chain_suite, multi_tenant_suite, standard_suite,
+    QueryCase, QueryClass,
 };
 pub use report::{fmt_f2, fmt_score, Report};
 pub use world::{mixed_backend_config, World, WorldSpec};

@@ -215,6 +215,32 @@ pub fn join_chain_suite(max_joins: usize) -> Vec<QueryCase> {
     out
 }
 
+/// A multi-tenant workload for cross-query scheduler scenarios: three
+/// tenants with recognisably different traffic shapes —
+///
+/// * `interactive` — short equality selections (latency-sensitive),
+/// * `analytics` — grouped aggregates (mid-weight),
+/// * `bulk` — full projections (throughput traffic that would starve the
+///   others without admission control).
+///
+/// Returns `(tenant, query)` pairs, `per_tenant` queries each, generated
+/// deterministically from the world like every other suite.
+pub fn multi_tenant_suite(world: &World, per_tenant: usize) -> Vec<(String, QueryCase)> {
+    let tenants = [
+        ("interactive", QueryClass::Selection),
+        ("analytics", QueryClass::Aggregate),
+        ("bulk", QueryClass::Projection),
+    ];
+    tenants
+        .iter()
+        .flat_map(|&(tenant, class)| {
+            class_suite(world, class, per_tenant)
+                .into_iter()
+                .map(move |case| (tenant.to_string(), case))
+        })
+        .collect()
+}
+
 /// Cardinality-sweep queries: `LIMIT k` scans used by E3.
 pub fn cardinality_suite(ks: &[usize]) -> Vec<QueryCase> {
     ks.iter()
@@ -246,6 +272,11 @@ mod tests {
         }
         assert_eq!(join_chain_suite(3).len(), 4);
         assert_eq!(cardinality_suite(&[1, 10, 100]).len(), 3);
+        let tenants = multi_tenant_suite(&w, 3);
+        assert_eq!(tenants.len(), 9);
+        for tenant in ["interactive", "analytics", "bulk"] {
+            assert_eq!(tenants.iter().filter(|(t, _)| t == tenant).count(), 3);
+        }
     }
 
     #[test]
@@ -256,6 +287,7 @@ mod tests {
             .into_iter()
             .chain(join_chain_suite(3))
             .chain(cardinality_suite(&[5, 20]))
+            .chain(multi_tenant_suite(&w, 2).into_iter().map(|(_, q)| q))
         {
             let result = oracle.execute(&q.sql);
             assert!(

@@ -6,10 +6,15 @@ pub use llmsql_core as core;
 pub use llmsql_exec as exec;
 pub use llmsql_llm as llm;
 pub use llmsql_plan as plan;
+pub use llmsql_sched as sched;
 pub use llmsql_sql as sql;
 pub use llmsql_store as store;
 pub use llmsql_types as types;
 pub use llmsql_workload as workload;
 
 pub use llmsql_core::Engine;
-pub use llmsql_types::{EngineConfig, ExecutionMode, LlmFidelity, PromptStrategy, Result};
+pub use llmsql_sched::{QueryOutcome, QueryScheduler, QueryTicket, SchedStats};
+pub use llmsql_types::{
+    EngineConfig, ExecutionMode, LlmFidelity, Priority, PromptStrategy, Result, SchedConfig,
+    SchedPolicy,
+};
