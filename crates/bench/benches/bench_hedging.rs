@@ -1,0 +1,70 @@
+//! Tail-latency bench: p50/p99 per-query latency with and without hedged
+//! requests against a pool with one 10×-slow outlier.
+//!
+//! Round-robin routing keeps feeding the outlier a third of the traffic —
+//! the worst case hedging is designed to rescue: a request stuck on the
+//! slow backend goes late at ~3× the fast members' EWMA and its hedge
+//! finishes in a fast round trip, so the scan's tail is bounded by
+//! `threshold + fast` instead of the outlier's full latency. Rows are
+//! asserted identical either way: hedging may only move latency.
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use llmsql_bench::slow_outlier_engine;
+use llmsql_types::RoutingPolicy;
+
+const ROWS: usize = 60;
+const SCAN_SQL: &str = "SELECT name, population FROM countries";
+const DISTRIBUTION_RUNS: usize = 30;
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn bench_hedging(c: &mut Criterion) {
+    let baseline = slow_outlier_engine(ROWS, 4, RoutingPolicy::RoundRobin, false)
+        .execute(SCAN_SQL)
+        .unwrap();
+
+    let mut group = c.benchmark_group("slow_outlier_scan");
+    group.sample_size(10);
+    for (label, hedge) in [("unhedged", false), ("hedged", true)] {
+        let engine = slow_outlier_engine(ROWS, 4, RoutingPolicy::RoundRobin, hedge);
+        // Correctness gate before timing: hedging must not change rows.
+        let probe = engine.execute(SCAN_SQL).unwrap();
+        assert_eq!(probe.rows(), baseline.rows(), "{label} changed rows");
+
+        // Distribution pass outside the criterion loop: per-query wall
+        // latencies, reported as p50/p99.
+        let mut latencies: Vec<f64> = (0..DISTRIBUTION_RUNS)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(engine.execute(SCAN_SQL).unwrap());
+                start.elapsed().as_secs_f64() * 1000.0
+            })
+            .collect();
+        latencies.sort_by(f64::total_cmp);
+        let last = engine.execute(SCAN_SQL).unwrap().metrics;
+        println!(
+            "  {label}: p50 {:.1} ms, p99 {:.1} ms (last query: {} hedge(s) issued, {} won)",
+            percentile(&latencies, 0.5),
+            percentile(&latencies, 0.99),
+            last.hedges_issued,
+            last.hedges_won
+        );
+
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(engine.execute(SCAN_SQL).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hedging);
+criterion_main!(benches);

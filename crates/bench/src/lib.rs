@@ -10,8 +10,8 @@ use llmsql_core::Engine;
 use llmsql_llm::{KnowledgeBase, SimLlm};
 use llmsql_store::Catalog;
 use llmsql_types::{
-    Column, DataType, EngineConfig, ExecutionMode, LlmFidelity, PromptStrategy, Result,
-    RoutingPolicy, Row, Schema, Value,
+    BackendSpec, Column, DataType, EngineConfig, ExecutionMode, LlmFidelity, PromptStrategy,
+    Result, RoutingPolicy, Row, Schema, Value,
 };
 use llmsql_workload::{World, WorldSpec};
 
@@ -135,6 +135,50 @@ pub fn multi_backend_engine(
     engine
         .attach_model(std::sync::Arc::new(sim))
         .expect("canonical backend specs are valid");
+    engine
+}
+
+/// Simulated round trip of the fast members of the tail-latency scenario,
+/// milliseconds.
+pub const OUTLIER_FAST_MS: f64 = 3.0;
+/// Simulated round trip of the slow outlier (10× the fast members).
+pub const OUTLIER_SLOW_MS: f64 = 30.0;
+
+/// The tail-latency scenario shared by the hedging bench, the acceptance
+/// test and the `deadlines_and_hedging` example: the [`parallel_scan_engine`]
+/// workload served through three backends, two fast and one with 10× their
+/// latency (`edge-slow`, registered last so latency-aware cold-start
+/// exploration reaches it only after the fast members have samples — at
+/// which point the exploratory request is already hedge-protected). With
+/// `hedge` true, requests late by 3× the pool's fastest EWMA are hedged.
+pub fn slow_outlier_engine(
+    rows: usize,
+    parallelism: usize,
+    policy: RoutingPolicy,
+    hedge: bool,
+) -> Engine {
+    let (catalog, sim) = parallel_world(rows, LlmFidelity::perfect(), 0.0);
+    let mut config = EngineConfig::default()
+        .with_mode(ExecutionMode::LlmOnly)
+        .with_strategy(PromptStrategy::BatchedRows)
+        .with_batch_size(10)
+        .with_parallelism(parallelism)
+        .with_routing_policy(policy)
+        .with_backends(vec![
+            BackendSpec::new("edge-fast-1").with_latency_ms(OUTLIER_FAST_MS),
+            BackendSpec::new("edge-fast-2").with_latency_ms(OUTLIER_FAST_MS),
+            BackendSpec::new("edge-slow").with_latency_ms(OUTLIER_SLOW_MS),
+        ]);
+    if hedge {
+        config = config.with_hedging(3.0, 1.0);
+    }
+    config.backend_backoff_ms = 0.0;
+    config.max_scan_rows = rows;
+    config.enable_prompt_cache = false;
+    let mut engine = Engine::with_catalog(catalog, config);
+    engine
+        .attach_model(std::sync::Arc::new(sim))
+        .expect("outlier backend specs are valid");
     engine
 }
 

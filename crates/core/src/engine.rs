@@ -71,8 +71,32 @@ impl Engine {
     /// once. Attached by `llmsql_sched::QueryScheduler`; harmless to set
     /// directly. Throttling delays dispatch only — rows and logical call
     /// counts are unchanged.
+    ///
+    /// When the engine routes through a `BackendPool`, the pool's hedge
+    /// admission gate is wired to this slot pool's non-blocking acquire:
+    /// hedges fire only against spare slot capacity and each holds a slot
+    /// while in flight.
     pub fn set_call_slots(&mut self, slots: Arc<CallSlots>) {
         self.slots = Some(slots);
+        self.wire_hedge_gate();
+    }
+
+    /// Point the backend pool's hedge admission gate at the attached slot
+    /// pool (no-op without a pool or without slots — hedges are then always
+    /// admitted, bounded only by the pool's one-hedge-per-request rule).
+    fn wire_hedge_gate(&self) {
+        let (Some(slots), Some(pool)) = (
+            self.slots.as_ref(),
+            self.client.as_ref().and_then(|c| c.pool()),
+        ) else {
+            return;
+        };
+        let slots = Arc::clone(slots);
+        pool.set_hedge_permit_gate(Some(Arc::new(move || {
+            slots
+                .try_acquire_owned()
+                .map(|guard| Box::new(guard) as Box<dyn std::any::Any + Send>)
+        })));
     }
 
     /// The attached global slot pool, if any.
@@ -108,9 +132,13 @@ impl Engine {
             .with_breaker(
                 self.config.breaker_threshold,
                 self.config.breaker_cooldown_ms,
-            );
+            )
+            .with_hedging(self.config.hedge_multiplier, self.config.hedge_min_ms);
             LlmClient::from_pool(Arc::new(pool), cached)
         });
+        // A scheduler may have attached its slot pool before the model was
+        // attached; (re)wire the hedge gate either way.
+        self.wire_hedge_gate();
         Ok(())
     }
 
@@ -163,6 +191,18 @@ impl Engine {
         self.execute_statement(&statement, Some(sql))
     }
 
+    /// Parse and execute one SQL statement under a per-call deadline (in
+    /// addition to any engine-wide `EngineConfig::deadline_ms`; the tighter
+    /// of the two wins). The deadline clock starts now: scans check it
+    /// between dispatch waves and fail with
+    /// [`llmsql_types::ErrorKind::DeadlineExceeded`] (carrying elapsed time
+    /// and calls issued) once it passes. Used by the scheduler to grant each
+    /// query only its remaining deadline budget after queueing.
+    pub fn execute_with_deadline(&self, sql: &str, deadline_ms: f64) -> Result<QueryResult> {
+        let statement = parse_statement(sql)?;
+        self.execute_statement_inner(&statement, Some(sql), Some(deadline_ms))
+    }
+
     /// Execute an already-parsed statement. `sql_text` (when available) is
     /// used verbatim for full-query prompting.
     pub fn execute_statement(
@@ -170,12 +210,34 @@ impl Engine {
         statement: &Statement,
         sql_text: Option<&str>,
     ) -> Result<QueryResult> {
+        self.execute_statement_inner(statement, sql_text, None)
+    }
+
+    fn execute_statement_inner(
+        &self,
+        statement: &Statement,
+        sql_text: Option<&str>,
+        deadline_override_ms: Option<f64>,
+    ) -> Result<QueryResult> {
         self.config.validate()?;
+        if let Some(d) = deadline_override_ms {
+            if !d.is_finite() || d <= 0.0 {
+                return Err(Error::config(
+                    "deadline_ms must be finite and greater than zero",
+                ));
+            }
+        }
+        // The effective deadline is the tighter of the engine-wide knob and
+        // the per-call override.
+        let deadline_ms = match (self.config.deadline_ms, deadline_override_ms) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
         let start = Instant::now();
         let usage_before = self.client.as_ref().map(|c| c.usage()).unwrap_or_default();
 
         let mut result = match statement {
-            Statement::Select(select) => self.execute_select(select, sql_text)?,
+            Statement::Select(select) => self.execute_select(select, sql_text, deadline_ms)?,
             Statement::CreateTable(create) => {
                 let schema = schema_from_create(
                     &create.name,
@@ -253,6 +315,7 @@ impl Engine {
         &self,
         select: &SelectStatement,
         sql_text: Option<&str>,
+        deadline_ms: Option<f64>,
     ) -> Result<QueryResult> {
         let plan = self.plan_select(select)?;
 
@@ -261,14 +324,12 @@ impl Engine {
             && self.config.strategy == PromptStrategy::FullQuery
             && !plan.scanned_tables().is_empty()
         {
-            return self.execute_full_query(select, &plan, sql_text);
+            return self.execute_full_query(select, &plan, sql_text, deadline_ms);
         }
 
-        let mut ctx = ExecContext::new(
-            self.catalog.clone(),
-            self.client.clone(),
-            self.config.clone(),
-        );
+        let mut config = self.config.clone();
+        config.deadline_ms = deadline_ms;
+        let mut ctx = ExecContext::new(self.catalog.clone(), self.client.clone(), config);
         if let Some(slots) = &self.slots {
             ctx = ctx.with_slots(Arc::clone(slots));
         }
@@ -288,7 +349,9 @@ impl Engine {
         select: &SelectStatement,
         plan: &LogicalPlan,
         sql_text: Option<&str>,
+        deadline_ms: Option<f64>,
     ) -> Result<QueryResult> {
+        let started = Instant::now();
         let client = self.client.as_ref().ok_or_else(|| {
             Error::execution("full-query prompting requires an attached language model")
         })?;
@@ -319,6 +382,19 @@ impl Engine {
                 guard
             })
         })?;
+        // One-shot prompting has no between-wave checkpoints, so the
+        // deadline is enforced on the completion itself: a response that
+        // lands past the budget fails like a scan wave would, with the
+        // partial accounting in the message.
+        if let Some(deadline_ms) = deadline_ms {
+            let elapsed_ms = started.elapsed().as_secs_f64() * 1000.0;
+            if elapsed_ms > deadline_ms {
+                return Err(Error::deadline_exceeded(format!(
+                    "query exceeded its {deadline_ms:.0}ms deadline after {elapsed_ms:.1}ms \
+                     with 1 LLM call(s) issued"
+                )));
+            }
+        }
 
         let types: Vec<DataType> = schema.fields.iter().map(|f| f.data_type).collect();
         let parsed = parse_pipe_rows(&response.text, &types);
@@ -677,6 +753,55 @@ mod tests {
             err.message.contains("constant"),
             "missing constant-expression context: {err}"
         );
+    }
+
+    #[test]
+    fn full_query_strategy_honors_deadlines() {
+        // The one-shot path has no wave checkpoints; the deadline is
+        // enforced on the completion itself.
+        let oracle = traditional_engine();
+        let kb = Engine::knowledge_from_catalog(oracle.catalog()).unwrap();
+        let mut engine = Engine::with_catalog(
+            oracle.catalog().deep_clone().unwrap(),
+            EngineConfig::default()
+                .with_mode(ExecutionMode::LlmOnly)
+                .with_strategy(PromptStrategy::FullQuery)
+                .with_fidelity(LlmFidelity::perfect()),
+        );
+        let sim = SimLlm::new(kb.into_shared(), LlmFidelity::perfect(), 42)
+            .with_simulated_latency_ms(30.0);
+        engine.attach_model(Arc::new(sim)).unwrap();
+        let sql = "SELECT name FROM countries WHERE region = 'Europe'";
+        let err = engine.execute_with_deadline(sql, 5.0).unwrap_err();
+        assert_eq!(err.kind, llmsql_types::ErrorKind::DeadlineExceeded);
+        assert!(err.message.contains("1 LLM call(s) issued"), "{err}");
+        // A generous deadline is transparent.
+        let ok = engine.execute_with_deadline(sql, 60_000.0).unwrap();
+        assert_eq!(ok.row_count(), 2);
+    }
+
+    #[test]
+    fn execute_with_deadline_enforces_and_is_transparent_when_unhit() {
+        let engine = llm_engine(LlmFidelity::perfect(), PromptStrategy::BatchedRows);
+        let sql = "SELECT name, population FROM countries";
+        let expected = engine.execute(sql).unwrap();
+
+        // A generous per-call deadline changes nothing.
+        let relaxed = engine.execute_with_deadline(sql, 60_000.0).unwrap();
+        assert_eq!(expected.rows(), relaxed.rows());
+        assert_eq!(expected.metrics.llm_calls(), relaxed.metrics.llm_calls());
+
+        // Invalid budgets are config errors.
+        assert!(engine.execute_with_deadline(sql, 0.0).is_err());
+        assert!(engine.execute_with_deadline(sql, f64::NAN).is_err());
+
+        // An engine-wide deadline combines with the per-call one (tighter
+        // wins): a sub-microsecond budget trips between waves.
+        let mut strict = llm_engine(LlmFidelity::perfect(), PromptStrategy::BatchedRows);
+        strict.config_mut().deadline_ms = Some(1e-4);
+        let err = strict.execute(sql).unwrap_err();
+        assert_eq!(err.kind, llmsql_types::ErrorKind::DeadlineExceeded);
+        assert!(err.message.contains("deadline"), "{err}");
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Execution context shared by all operators of one query.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use llmsql_llm::{BackendStats, LlmClient};
 use llmsql_store::Catalog;
@@ -28,6 +29,9 @@ pub struct ExecContext {
     /// Global LLM-call slot pool (cross-query admission). `None` outside a
     /// scheduler: dispatch is bounded only by this query's `parallelism`.
     slots: Option<Arc<CallSlots>>,
+    /// When this query started executing — the anchor for
+    /// `EngineConfig::deadline_ms` (see [`ExecContext::check_deadline`]).
+    started: Instant,
 }
 
 impl ExecContext {
@@ -44,7 +48,27 @@ impl ExecContext {
             metrics: SharedMetrics::new(),
             backend_baseline,
             slots: None,
+            started: Instant::now(),
         }
+    }
+
+    /// Fail the query once its deadline has passed. Scans call this between
+    /// dispatch waves, so a straggling wave is the most a late query still
+    /// pays for. The error carries the partial accounting at the moment of
+    /// failure: elapsed wall time and logical LLM calls already issued.
+    pub fn check_deadline(&self) -> Result<()> {
+        let Some(deadline_ms) = self.config.deadline_ms else {
+            return Ok(());
+        };
+        let elapsed_ms = self.started.elapsed().as_secs_f64() * 1000.0;
+        if elapsed_ms > deadline_ms {
+            let calls = self.metrics.llm_call_count();
+            return Err(Error::deadline_exceeded(format!(
+                "query exceeded its {deadline_ms:.0}ms deadline after {elapsed_ms:.1}ms \
+                 with {calls} LLM call(s) issued"
+            )));
+        }
+        Ok(())
     }
 
     /// Builder-style: throttle this query's LLM dispatch through a shared
@@ -77,6 +101,8 @@ impl ExecContext {
             return;
         };
         self.metrics.update(|m| {
+            m.hedges_issued = 0;
+            m.hedges_won = 0;
             for current in &stats {
                 let base = self
                     .backend_baseline
@@ -94,6 +120,8 @@ impl ExecContext {
                     current.id.clone(),
                     (current.latency_ms - base.latency_ms).max(0.0),
                 );
+                m.hedges_issued += current.hedges.saturating_sub(base.hedges);
+                m.hedges_won += current.hedges_won.saturating_sub(base.hedges_won);
             }
         });
     }

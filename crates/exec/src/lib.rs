@@ -31,7 +31,7 @@ pub use executor::{
 pub use metrics::{ExecMetrics, InFlightGuard, SharedMetrics};
 pub use parallel::{par_map, try_par_map, PAR_ROW_THRESHOLD};
 pub use scan::{hybrid_scan, llm_scan, table_scan, ScanSpec};
-pub use slots::{CallSlots, SlotGuard};
+pub use slots::{CallSlots, OwnedSlotGuard, SlotGuard};
 
 #[cfg(test)]
 mod proptests {

@@ -31,6 +31,15 @@ pub struct ExecMetrics {
     pub peak_in_flight: u64,
     /// Dispatches that went through a shared cross-query slot pool.
     pub slot_waits: u64,
+    /// Hedged requests issued on this query's behalf: duplicates of a late
+    /// in-flight request sent to a sibling backend. Hedges are physical
+    /// attempts — they never consume the logical call budget
+    /// (`max_llm_calls`), like retries — but each held a call slot while in
+    /// flight.
+    pub hedges_issued: u64,
+    /// Hedges whose response beat the late primary (each one shaved the
+    /// difference off this query's tail latency).
+    pub hedges_won: u64,
     /// Total time this query's workers spent blocked waiting for a global
     /// LLM-call slot, milliseconds (0 outside a scheduler). High values mean
     /// the deployment's slot pool, not this query's parallelism, is the
@@ -76,6 +85,8 @@ impl ExecMetrics {
         self.peak_in_flight = self.peak_in_flight.max(other.peak_in_flight);
         self.slot_waits += other.slot_waits;
         self.slot_wait_ms += other.slot_wait_ms;
+        self.hedges_issued += other.hedges_issued;
+        self.hedges_won += other.hedges_won;
         for (k, v) in &other.llm_calls_by_kind {
             *self.llm_calls_by_kind.entry(k.clone()).or_default() += v;
         }

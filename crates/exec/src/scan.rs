@@ -242,6 +242,9 @@ fn llm_scan_batched(ctx: &ExecContext, spec: &ScanSpec<'_>) -> Result<Vec<Row>> 
     // The call cap is query-global (shared with any other scans of the same
     // query through the metrics channel), like in the other strategies.
     while !exhausted && rows.len() < budget && calls_used(ctx) < ctx.config.max_llm_calls {
+        // Deadline check between waves: a query past its deadline fails
+        // before planning (or paying for) another wave.
+        ctx.check_deadline()?;
         let call_budget = ctx.config.max_llm_calls - calls_used(ctx);
         // Plan the wave. A wave may only contain *full* pages (`limit` =
         // `page`): their prompts depend on nothing but the page offset, which
@@ -349,6 +352,7 @@ fn llm_scan_tuple_at_a_time(
     let key_type = spec.table_schema.columns[key_idx].data_type;
 
     // 1. Enumerate entity keys.
+    ctx.check_deadline()?;
     let filter = if push_filter_into_enumeration {
         spec.prompt_filter(ctx)
     } else {
@@ -404,6 +408,7 @@ fn llm_scan_tuple_at_a_time(
     } else {
         let mut cursor = 0;
         while cursor < keys.len() {
+            ctx.check_deadline()?;
             let call_budget = ctx.config.max_llm_calls.saturating_sub(calls_used(ctx));
             if call_budget == 0 {
                 break;
@@ -480,6 +485,7 @@ fn llm_scan_decomposed(ctx: &ExecContext, spec: &ScanSpec<'_>) -> Result<Vec<Row
     let mut kept = Vec::new();
     let mut cursor = 0;
     while cursor < slots.len() {
+        ctx.check_deadline()?;
         let call_budget = ctx.config.max_llm_calls.saturating_sub(calls_used(ctx));
         if call_budget == 0 {
             break;
@@ -539,6 +545,7 @@ pub fn hybrid_scan(ctx: &ExecContext, spec: &ScanSpec<'_>, table: &Table) -> Res
     let mut rows = Vec::new();
     let mut cursor = 0;
     'segments: while cursor < all_rows.len() && rows.len() < budget {
+        ctx.check_deadline()?;
         // Collect a segment: consecutive rows containing at most one wave's
         // worth of fill lookups. With the call budget exhausted, remaining
         // rows pass through unfilled (as in a sequential run). The segment
@@ -944,6 +951,44 @@ mod tests {
         assert_eq!(m.slot_waits, m.llm_calls(), "every dispatch takes a slot");
         assert!(slots.peak_in_use() <= 2, "slot cap exceeded");
         assert!(slots.peak_in_use() >= 1);
+    }
+
+    #[test]
+    fn expired_deadline_fails_scans_with_partial_accounting() {
+        for strategy in [
+            PromptStrategy::BatchedRows,
+            PromptStrategy::TupleAtATime,
+            PromptStrategy::DecomposedOperators,
+        ] {
+            let mut ctx = context(strategy, LlmFidelity::perfect());
+            ctx.config.deadline_ms = Some(2.0);
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            let err = llm_scan(&ctx, &parts(None, None).spec()).unwrap_err();
+            assert_eq!(
+                err.kind,
+                llmsql_types::ErrorKind::DeadlineExceeded,
+                "{strategy:?}"
+            );
+            // Partial accounting: the scan failed before its first wave, so
+            // zero calls were issued — and the error says so.
+            assert!(err.message.contains("0 LLM call(s) issued"), "{err}");
+            assert_eq!(ctx.metrics.snapshot().llm_calls(), 0, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn unhit_deadline_leaves_scans_byte_identical() {
+        let p = parts(None, None);
+        let free_ctx = context(PromptStrategy::BatchedRows, LlmFidelity::medium());
+        let expected = llm_scan(&free_ctx, &p.spec()).unwrap();
+        let mut deadline_ctx = context(PromptStrategy::BatchedRows, LlmFidelity::medium());
+        deadline_ctx.config.deadline_ms = Some(60_000.0);
+        let got = llm_scan(&deadline_ctx, &p.spec()).unwrap();
+        assert_eq!(expected, got, "an unhit deadline changed scan output");
+        assert_eq!(
+            free_ctx.metrics.snapshot().llm_calls(),
+            deadline_ctx.metrics.snapshot().llm_calls()
+        );
     }
 
     #[test]

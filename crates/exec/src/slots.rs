@@ -24,7 +24,7 @@
 //!   visible per query.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 /// A counting semaphore over LLM-call slots. Cheap to share (`Arc`), fair
@@ -57,24 +57,52 @@ impl CallSlots {
 
     /// Block until a slot is free and take it. Returns the guard (releasing
     /// on drop) and how long the call blocked, in milliseconds.
+    ///
+    /// Accounting only charges *real* waits: a condvar that wakes spuriously
+    /// with a slot already free, or an acquisition that never blocked at
+    /// all, contributes neither to `contended_acquisitions` nor to
+    /// `total_wait_ms` (both counters are monotone — they only ever
+    /// `fetch_add` a non-negative measured duration).
     pub fn acquire(&self) -> (SlotGuard<'_>, f64) {
-        let start = Instant::now();
         let mut available = self.available.lock().unwrap_or_else(|e| e.into_inner());
+        let mut waited_us = 0u64;
         if *available == 0 {
-            self.contended.fetch_add(1, Ordering::Relaxed);
+            // Measure only the blocked portion, from the moment we found no
+            // slot free to the moment one was handed to us.
+            let start = Instant::now();
             available = self
                 .freed
                 .wait_while(available, |a| *a == 0)
                 .unwrap_or_else(|e| e.into_inner());
+            waited_us = start.elapsed().as_micros() as u64;
         }
         *available -= 1;
         let in_use = (self.capacity - *available) as u64;
         drop(available);
         self.peak_in_use.fetch_max(in_use, Ordering::Relaxed);
-        let waited = start.elapsed();
-        self.wait_us
-            .fetch_add(waited.as_micros() as u64, Ordering::Relaxed);
-        (SlotGuard { pool: self }, waited.as_secs_f64() * 1000.0)
+        if waited_us > 0 {
+            self.contended.fetch_add(1, Ordering::Relaxed);
+            self.wait_us.fetch_add(waited_us, Ordering::Relaxed);
+        }
+        (SlotGuard { pool: self }, waited_us as f64 / 1000.0)
+    }
+
+    /// Take a slot only if one is free right now, without blocking; the
+    /// guard owns an `Arc` to the pool, so it can outlive the caller's
+    /// stack frame (hedged requests hand it to a worker thread). Returns
+    /// `None` when the pool is saturated.
+    pub fn try_acquire_owned(self: &Arc<Self>) -> Option<OwnedSlotGuard> {
+        let mut available = self.available.lock().unwrap_or_else(|e| e.into_inner());
+        if *available == 0 {
+            return None;
+        }
+        *available -= 1;
+        let in_use = (self.capacity - *available) as u64;
+        drop(available);
+        self.peak_in_use.fetch_max(in_use, Ordering::Relaxed);
+        Some(OwnedSlotGuard {
+            pool: Arc::clone(self),
+        })
     }
 
     /// The configured slot count.
@@ -117,6 +145,18 @@ pub struct SlotGuard<'a> {
 }
 
 impl Drop for SlotGuard<'_> {
+    fn drop(&mut self) {
+        self.pool.release();
+    }
+}
+
+/// Owning variant of [`SlotGuard`]: keeps the pool alive and can be moved
+/// across threads (see [`CallSlots::try_acquire_owned`]).
+pub struct OwnedSlotGuard {
+    pool: Arc<CallSlots>,
+}
+
+impl Drop for OwnedSlotGuard {
     fn drop(&mut self) {
         self.pool.release();
     }
@@ -173,6 +213,80 @@ mod tests {
         assert_eq!(slots.in_use(), 0);
         // 12 threads over 3 slots: someone must have blocked.
         assert!(slots.contended_acquisitions() > 0);
+    }
+
+    #[test]
+    fn uncontended_acquisitions_charge_no_wait() {
+        // Regression: acquisitions that never block (including back-to-back
+        // reacquisition through the free list) must not count as contended
+        // or accumulate wait time.
+        let slots = CallSlots::new(2);
+        for _ in 0..100 {
+            let (_g, waited_ms) = slots.acquire();
+            assert_eq!(waited_ms, 0.0);
+        }
+        assert_eq!(slots.contended_acquisitions(), 0);
+        assert_eq!(slots.total_wait_ms(), 0.0);
+    }
+
+    #[test]
+    fn wait_accounting_is_monotone_under_concurrent_readers() {
+        // 8 writers hammer a 1-slot pool while a reader samples
+        // total_wait_ms / contended_acquisitions: both must only ever grow.
+        let slots = Arc::new(CallSlots::new(1));
+        let stop = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            {
+                let slots = Arc::clone(&slots);
+                let stop = Arc::clone(&stop);
+                scope.spawn(move || {
+                    let mut last_wait = 0.0f64;
+                    let mut last_contended = 0u64;
+                    while stop.load(Ordering::Relaxed) == 0 {
+                        let wait = slots.total_wait_ms();
+                        let contended = slots.contended_acquisitions();
+                        assert!(wait >= last_wait, "total_wait_ms went backwards");
+                        assert!(contended >= last_contended, "contended went backwards");
+                        last_wait = wait;
+                        last_contended = contended;
+                    }
+                });
+            }
+            std::thread::scope(|inner| {
+                for _ in 0..8 {
+                    let slots = Arc::clone(&slots);
+                    inner.spawn(move || {
+                        for _ in 0..10 {
+                            let (_g, waited_ms) = slots.acquire();
+                            assert!(waited_ms >= 0.0);
+                            std::thread::sleep(std::time::Duration::from_micros(200));
+                        }
+                    });
+                }
+            });
+            stop.store(1, Ordering::Relaxed);
+        });
+        // 8 threads over 1 slot: some acquisition must have measurably
+        // blocked, and every contended acquisition contributed wait time.
+        assert!(slots.contended_acquisitions() > 0);
+        assert!(slots.total_wait_ms() > 0.0);
+    }
+
+    #[test]
+    fn try_acquire_owned_never_blocks_and_respects_capacity() {
+        let slots = Arc::new(CallSlots::new(2));
+        let a = slots.try_acquire_owned().expect("slot 1 free");
+        let b = slots.try_acquire_owned().expect("slot 2 free");
+        assert!(slots.try_acquire_owned().is_none(), "pool is saturated");
+        assert_eq!(slots.in_use(), 2);
+        // The owned guard can cross threads and releases on drop there.
+        let handle = std::thread::spawn(move || drop(a));
+        handle.join().unwrap();
+        drop(b);
+        assert_eq!(slots.in_use(), 0);
+        assert_eq!(slots.peak_in_use(), 2);
+        // Non-blocking acquisition is never counted as contention.
+        assert_eq!(slots.contended_acquisitions(), 0);
     }
 
     #[test]

@@ -57,12 +57,60 @@
 //! trace time-dependent by design — health tracking trades trace
 //! reproducibility for bounded waste. Completion *text* is unaffected either
 //! way.
+//!
+//! # Latency tracking and hedged requests (tail-latency control)
+//!
+//! Every backend slot keeps a lock-free exponentially-weighted moving
+//! average of its *measured* request latency (wall-clock time around
+//! [`Backend::complete`], updated on success only — distinct from
+//! [`BackendStats::latency_ms`], which accumulates the *reported* simulated
+//! latencies). The EWMA powers two mechanisms:
+//!
+//! * [`llmsql_types::RoutingPolicy::LatencyAware`] orders candidates by
+//!   ascending EWMA; sample-less backends sort first so a cold pool explores
+//!   every member once before settling on the fastest.
+//! * **Hedged requests** ([`BackendPool::with_hedging`]). A request is *late*
+//!   once it has been in flight longer than
+//!   `multiplier × (lowest EWMA among healthy backends)`, floored at
+//!   `min_ms`. A late request gets exactly one duplicate ("hedge") on a
+//!   different healthy backend; the first success wins and the loser is
+//!   **cancelled by abandonment** — its thread runs to completion but its
+//!   response is discarded.
+//!
+//! The hedging contract:
+//!
+//! * **A hedge may fire only when** (a) hedging is enabled
+//!   (`multiplier > 0`) and the pool has ≥ 2 backends, (b) at least one
+//!   healthy backend has a latency sample (otherwise "late" is undefined and
+//!   the request falls back to the plain candidate walk), (c) the primary's
+//!   breaker is closed, (d) the primary is unsampled (exploration) or its
+//!   own EWMA predicts it will exceed the threshold — requests expected to
+//!   finish on time take the plain walk and pay no per-request thread
+//!   spawn, and (e) the hedge admission gate grants capacity
+//!   ([`BackendPool::set_hedge_permit_gate`] — wired to
+//!   `CallSlots::try_acquire_owned` under a cross-query scheduler, so a
+//!   hedge only ever uses *spare* slot capacity and never queues behind
+//!   planned work).
+//! * **Rows can never change**: pooled backends are fingerprint-equal
+//!   (contract rule 1), so primary and hedge produce byte-identical text;
+//!   whichever wins, the caller sees the same completion.
+//! * **Budget/slot semantics**: a hedge is a *physical* attempt — it shows
+//!   up in [`BackendStats::hedges`] / [`BackendStats::hedges_won`] and the
+//!   per-backend call counters, holds one call slot (the permit) for its
+//!   whole flight, but never consumes the engine's logical `max_llm_calls`
+//!   budget (which counts prompts, like retries). One caveat: when a hedge
+//!   wins, the abandoned primary's tail keeps running after the caller's
+//!   slot is released, so global in-flight can transiently exceed the slot
+//!   pool by the number of hedges currently winning.
+//! * Hedging, like the breaker, trades physical-trace reproducibility for
+//!   latency: whether a hedge fires depends on wall-clock timing. Completion
+//!   text, rows, and logical call counts are unaffected.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
-use std::time::Instant;
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
 
-use llmsql_types::{BackendSpec, Error, LlmCostModel, Result, RoutingPolicy};
+use llmsql_types::{AtomicEwmaMs, BackendSpec, Error, LlmCostModel, Result, RoutingPolicy};
 
 use crate::model::{CompletionRequest, CompletionResponse, LanguageModel};
 use crate::noise::hash01;
@@ -205,6 +253,12 @@ pub struct BackendStats {
     /// True while the breaker is not closed (open, or awaiting the outcome
     /// of a half-open probe).
     pub breaker_open: bool,
+    /// Hedge requests issued *to* this backend (duplicates of a late request
+    /// first dispatched elsewhere). Always zero with hedging disabled.
+    pub hedges: u64,
+    /// Hedges issued to this backend whose response won the race against the
+    /// late primary.
+    pub hedges_won: u64,
 }
 
 /// Lock-free per-backend counters (see [`BackendStats`] for the snapshot).
@@ -217,6 +271,34 @@ struct SlotCounters {
     latency_us: AtomicU64,
     in_flight: AtomicU64,
     short_circuits: AtomicU64,
+    hedges: AtomicU64,
+    hedges_won: AtomicU64,
+    /// EWMA of *measured* successful-request latency, milliseconds.
+    ewma: AtomicEwmaMs,
+}
+
+/// Reported completion latency → accumulated microseconds. Rounds to the
+/// nearest microsecond instead of truncating (which silently dropped sub-µs
+/// remainders on every call) and clamps NaN / negative simulated latencies
+/// to zero instead of letting the `f64 → u64` cast produce garbage.
+fn round_latency_us(latency_ms: f64) -> u64 {
+    let us = (latency_ms * 1000.0).round();
+    if us.is_finite() && us > 0.0 {
+        us as u64 // saturating cast: an absurd finite latency pins at u64::MAX
+    } else {
+        0
+    }
+}
+
+/// Decrements a slot's in-flight gauge on every exit path, including a
+/// panicking [`Backend::complete`] (hedged dispatch catches the unwind and
+/// must not leave the gauge stuck).
+struct InFlightDecrement<'a>(&'a AtomicU64);
+
+impl Drop for InFlightDecrement<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 /// Circuit-breaker state of one backend. Lock-free: the candidate walk reads
@@ -314,11 +396,26 @@ impl Drop for ProbeAbortGuard<'_> {
     }
 }
 
-struct PoolSlot {
-    backend: Arc<dyn Backend>,
+/// The per-backend state hedge worker threads need to outlive a single
+/// `complete` call (counters and breaker live behind one `Arc`).
+#[derive(Default)]
+struct SlotShared {
     counters: SlotCounters,
     breaker: BreakerState,
 }
+
+struct PoolSlot {
+    backend: Arc<dyn Backend>,
+    shared: Arc<SlotShared>,
+}
+
+/// Admission gate for hedge dispatch: invoked right before a hedge fires and
+/// expected to return a permit (any RAII guard — held for the hedge's whole
+/// flight) when spare capacity exists *right now*, or `None` to veto the
+/// hedge. The engine wires this to `CallSlots::try_acquire_owned` under a
+/// cross-query scheduler so hedges never queue behind planned work; with no
+/// gate attached, hedges are always admitted.
+pub type HedgePermitGate = Arc<dyn Fn() -> Option<Box<dyn std::any::Any + Send>> + Send + Sync>;
 
 /// A registry of semantically identical backends with routing and failover.
 ///
@@ -339,8 +436,25 @@ pub struct BackendPool {
     breaker_threshold: u64,
     /// Circuit breaker: cooldown before a half-open probe, milliseconds.
     breaker_cooldown_ms: f64,
+    /// Hedged requests: lateness threshold as a multiple of the pool's
+    /// lowest latency EWMA (0 = hedging disabled).
+    hedge_multiplier: f64,
+    /// Hedged requests: floor on the lateness threshold, milliseconds.
+    hedge_min_ms: f64,
+    /// Hedge admission gate (see [`HedgePermitGate`]); `None` = always admit.
+    hedge_gate: parking_lot::Mutex<Option<HedgePermitGate>>,
     /// Monotonic base for the breakers' cooldown clocks.
     epoch: Instant,
+}
+
+/// The dispatch decision for one hedged request.
+struct HedgePlan {
+    /// Candidate index serving the primary attempt.
+    primary: usize,
+    /// Candidate index the hedge goes to if the primary is late.
+    hedge: usize,
+    /// In-flight time after which the primary counts as late, milliseconds.
+    threshold_ms: f64,
 }
 
 /// Hard cap on a single backoff sleep so a misconfigured base cannot stall
@@ -378,8 +492,7 @@ impl BackendPool {
                 .into_iter()
                 .map(|backend| PoolSlot {
                     backend,
-                    counters: SlotCounters::default(),
-                    breaker: BreakerState::default(),
+                    shared: Arc::new(SlotShared::default()),
                 })
                 .collect(),
             policy,
@@ -388,6 +501,9 @@ impl BackendPool {
             backoff_base_ms: 1.0,
             breaker_threshold: 0,
             breaker_cooldown_ms: 250.0,
+            hedge_multiplier: 0.0,
+            hedge_min_ms: 1.0,
+            hedge_gate: parking_lot::Mutex::new(None),
             epoch: Instant::now(),
         })
     }
@@ -436,6 +552,24 @@ impl BackendPool {
         self
     }
 
+    /// Builder-style: enable hedged requests (see the module docs for the
+    /// full contract). A request late by `multiplier ×` the pool's lowest
+    /// latency EWMA (floored at `min_ms`) gets one duplicate on a different
+    /// healthy backend; first success wins. `multiplier == 0` disables
+    /// hedging (the default).
+    pub fn with_hedging(mut self, multiplier: f64, min_ms: f64) -> Self {
+        self.hedge_multiplier = multiplier.max(0.0);
+        self.hedge_min_ms = min_ms.max(0.0);
+        self
+    }
+
+    /// Install (or clear) the hedge admission gate. Under a cross-query
+    /// scheduler the engine wires this to the global call-slot pool's
+    /// non-blocking acquire, so hedges only ever use spare slot capacity.
+    pub fn set_hedge_permit_gate(&self, gate: Option<HedgePermitGate>) {
+        *self.hedge_gate.lock() = gate;
+    }
+
     /// Number of backends in the pool.
     pub fn len(&self) -> usize {
         self.slots.len()
@@ -455,15 +589,36 @@ impl BackendPool {
     pub fn stats(&self) -> Vec<BackendStats> {
         self.slots
             .iter()
-            .map(|slot| BackendStats {
-                id: slot.backend.id().to_string(),
-                calls: slot.counters.calls.load(Ordering::Relaxed),
-                errors: slot.counters.errors.load(Ordering::Relaxed),
-                retries: slot.counters.retries.load(Ordering::Relaxed),
-                latency_ms: slot.counters.latency_us.load(Ordering::Relaxed) as f64 / 1000.0,
-                in_flight: slot.counters.in_flight.load(Ordering::Relaxed),
-                short_circuits: slot.counters.short_circuits.load(Ordering::Relaxed),
-                breaker_open: slot.breaker.open_until_ms.load(Ordering::Relaxed) != 0,
+            .map(|slot| {
+                let counters = &slot.shared.counters;
+                BackendStats {
+                    id: slot.backend.id().to_string(),
+                    calls: counters.calls.load(Ordering::Relaxed),
+                    errors: counters.errors.load(Ordering::Relaxed),
+                    retries: counters.retries.load(Ordering::Relaxed),
+                    latency_ms: counters.latency_us.load(Ordering::Relaxed) as f64 / 1000.0,
+                    in_flight: counters.in_flight.load(Ordering::Relaxed),
+                    short_circuits: counters.short_circuits.load(Ordering::Relaxed),
+                    breaker_open: slot.shared.breaker.open_until_ms.load(Ordering::Relaxed) != 0,
+                    hedges: counters.hedges.load(Ordering::Relaxed),
+                    hedges_won: counters.hedges_won.load(Ordering::Relaxed),
+                }
+            })
+            .collect()
+    }
+
+    /// The measured latency EWMA per backend (registration order), `None`
+    /// before a backend's first successful request. Kept out of
+    /// [`BackendStats`] because it is wall-clock-measured and would break
+    /// trace-reproducibility comparisons of deterministic counter snapshots.
+    pub fn latency_ewma_ms(&self) -> Vec<(String, Option<f64>)> {
+        self.slots
+            .iter()
+            .map(|slot| {
+                (
+                    slot.backend.id().to_string(),
+                    slot.shared.counters.ewma.get(),
+                )
             })
             .collect()
     }
@@ -484,7 +639,23 @@ impl BackendPool {
             }
             RoutingPolicy::LeastInFlight => {
                 order.sort_by_key(|&i| {
-                    (self.slots[i].counters.in_flight.load(Ordering::Relaxed), i)
+                    (
+                        self.slots[i]
+                            .shared
+                            .counters
+                            .in_flight
+                            .load(Ordering::Relaxed),
+                        i,
+                    )
+                });
+            }
+            RoutingPolicy::LatencyAware => {
+                // Lowest measured EWMA first; backends without a sample sort
+                // ahead of everything (0.0 < any clamped sample) so a cold
+                // pool explores each member once before settling.
+                order.sort_by(|&a, &b| {
+                    let ewma = |i: usize| self.slots[i].shared.counters.ewma.get().unwrap_or(0.0);
+                    ewma(a).total_cmp(&ewma(b)).then(a.cmp(&b))
                 });
             }
             RoutingPolicy::CostAware => {
@@ -507,20 +678,40 @@ impl BackendPool {
         order
     }
 
-    /// Route one request: walk the candidate list with bounded per-backend
-    /// retry and exponential backoff, skipping backends whose circuit
-    /// breaker is open. Physical attempts are recorded in the per-backend
-    /// counters; the caller sees exactly one logical completion (or the last
-    /// error once every candidate is exhausted).
+    /// Route one request. With hedging enabled and a viable hedge plan, the
+    /// request goes through hedged dispatch; otherwise it takes the plain
+    /// candidate walk with bounded retry, backoff and breaker skips. Either
+    /// way the caller sees exactly one logical completion (or the last error
+    /// once every candidate is exhausted).
     fn route(&self, request: &CompletionRequest) -> Result<CompletionResponse> {
+        let order = self.candidate_order(request);
+        if self.hedge_multiplier > 0.0 {
+            if let Some(plan) = self.hedge_plan(&order) {
+                return self.route_hedged(request, &order, plan);
+            }
+        }
+        self.route_walk(request, &order)
+    }
+
+    /// The plain candidate walk: bounded per-backend retry with exponential
+    /// backoff, skipping backends whose circuit breaker is open. Physical
+    /// attempts are recorded in the per-backend counters.
+    fn route_walk(
+        &self,
+        request: &CompletionRequest,
+        order: &[usize],
+    ) -> Result<CompletionResponse> {
         let mut last_err = None;
         let mut short_circuited = 0usize;
-        for idx in self.candidate_order(request) {
+        for &idx in order {
             let slot = &self.slots[idx];
             let probe = if self.breaker_threshold > 0 {
-                match slot.breaker.admission(self.now_ms()) {
+                match slot.shared.breaker.admission(self.now_ms()) {
                     Admission::Skip => {
-                        slot.counters.short_circuits.fetch_add(1, Ordering::Relaxed);
+                        slot.shared
+                            .counters
+                            .short_circuits
+                            .fetch_add(1, Ordering::Relaxed);
                         short_circuited += 1;
                         continue;
                     }
@@ -533,53 +724,19 @@ impl BackendPool {
             // A half-open probe is a single attempt: burning the retry budget
             // on a backend still suspected down defeats the breaker.
             let max_attempt = if probe { 0 } else { self.retries };
-            for attempt in 0..=max_attempt {
-                if attempt > 0 {
-                    slot.counters.retries.fetch_add(1, Ordering::Relaxed);
-                    let backoff = (self.backoff_base_ms * (1u64 << (attempt - 1).min(20)) as f64)
-                        .min(BACKOFF_CAP_MS);
-                    if backoff > 0.0 {
-                        std::thread::sleep(std::time::Duration::from_secs_f64(backoff / 1000.0));
-                    }
-                }
-                slot.counters.calls.fetch_add(1, Ordering::Relaxed);
-                slot.counters.in_flight.fetch_add(1, Ordering::Relaxed);
-                let mut probe_guard = ProbeAbortGuard {
-                    breaker: &slot.breaker,
-                    armed: probe,
-                };
-                let outcome = slot.backend.complete(request, attempt);
-                // Normal return: on_success/on_error below own the flag.
-                probe_guard.armed = false;
-                drop(probe_guard);
-                slot.counters.in_flight.fetch_sub(1, Ordering::Relaxed);
-                match outcome {
-                    Ok(response) => {
-                        slot.counters
-                            .latency_us
-                            .fetch_add((response.latency_ms * 1000.0) as u64, Ordering::Relaxed);
-                        if self.breaker_threshold > 0 {
-                            slot.breaker.on_success();
-                        }
-                        return Ok(response);
-                    }
-                    Err(e) => {
-                        slot.counters.errors.fetch_add(1, Ordering::Relaxed);
-                        last_err = Some(e);
-                        if self.breaker_threshold > 0
-                            && slot.breaker.on_error(
-                                self.now_ms(),
-                                self.breaker_threshold,
-                                self.breaker_cooldown_ms,
-                                probe,
-                            )
-                        {
-                            // Breaker just opened: remaining retries on this
-                            // backend are doomed attempts — fail over now.
-                            break;
-                        }
-                    }
-                }
+            match run_attempts(
+                slot.backend.as_ref(),
+                &slot.shared,
+                request,
+                max_attempt,
+                self.backoff_base_ms,
+                probe,
+                self.breaker_threshold,
+                self.breaker_cooldown_ms,
+                self.epoch,
+            ) {
+                Ok(response) => return Ok(response),
+                Err(e) => last_err = Some(e),
             }
         }
         Err(last_err.unwrap_or_else(|| {
@@ -592,6 +749,278 @@ impl BackendPool {
             }
         }))
     }
+
+    /// Decide whether this request can be hedged, and how (see the module
+    /// docs for the conditions). `None` falls back to the plain walk.
+    fn hedge_plan(&self, order: &[usize]) -> Option<HedgePlan> {
+        if self.slots.len() < 2 {
+            return None;
+        }
+        let breaker_closed = |i: usize| {
+            self.breaker_threshold == 0
+                || self.slots[i]
+                    .shared
+                    .breaker
+                    .open_until_ms
+                    .load(Ordering::Acquire)
+                    == 0
+        };
+        let primary = *order.first()?;
+        // A primary whose breaker is open or probing has its own recovery
+        // protocol; don't entangle it with hedging.
+        if !breaker_closed(primary) {
+            return None;
+        }
+        // "Late" is defined against the fastest healthy backend's EWMA; with
+        // no samples anywhere there is nothing to compare against.
+        let floor_ms = order
+            .iter()
+            .filter(|&&i| breaker_closed(i))
+            .filter_map(|&i| self.slots[i].shared.counters.ewma.get())
+            .fold(f64::INFINITY, f64::min);
+        if !floor_ms.is_finite() {
+            return None;
+        }
+        // Hedge target: the fastest-known healthy sibling; a sample-less
+        // sibling is acceptable only when no sampled one exists.
+        let hedge = order
+            .iter()
+            .copied()
+            .filter(|&i| i != primary && breaker_closed(i))
+            .min_by(|&a, &b| {
+                let key = |i: usize| {
+                    self.slots[i]
+                        .shared
+                        .counters
+                        .ewma
+                        .get()
+                        .unwrap_or(f64::INFINITY)
+                };
+                key(a).total_cmp(&key(b)).then(a.cmp(&b))
+            })?;
+        let threshold_ms = (self.hedge_multiplier * floor_ms).max(self.hedge_min_ms);
+        // Spawn-free fast path: a primary whose own EWMA predicts an
+        // on-time finish skips hedged dispatch entirely, so the common case
+        // pays no worker-thread spawn or request clone. The trade-off: a
+        // one-off stall on a usually-fast backend is not hedged (the
+        // timer-armed hedge that needs no up-front spawn is a ROADMAP
+        // follow-up). An unsampled primary is exactly the exploration case
+        // and keeps the hedge protection.
+        if self.slots[primary]
+            .shared
+            .counters
+            .ewma
+            .get()
+            .is_some_and(|expected_ms| expected_ms <= threshold_ms)
+        {
+            return None;
+        }
+        Some(HedgePlan {
+            primary,
+            hedge,
+            threshold_ms,
+        })
+    }
+
+    /// Hedged dispatch: run the primary on a worker thread; once it is late
+    /// per the plan, issue one hedge to a different backend (if the gate
+    /// grants capacity) and take the first success. The loser is abandoned —
+    /// its thread finishes into a closed channel. Failures still fail over
+    /// across the remaining candidates like the plain walk.
+    fn route_hedged(
+        &self,
+        request: &CompletionRequest,
+        order: &[usize],
+        plan: HedgePlan,
+    ) -> Result<CompletionResponse> {
+        let (tx, rx) = mpsc::channel::<(bool, Result<CompletionResponse>)>();
+        let spawn_worker =
+            |idx: usize, is_hedge: bool, permit: Option<Box<dyn std::any::Any + Send>>| {
+                let backend = Arc::clone(&self.slots[idx].backend);
+                let shared = Arc::clone(&self.slots[idx].shared);
+                let request = request.clone();
+                let retries = self.retries;
+                let backoff_base_ms = self.backoff_base_ms;
+                let breaker_threshold = self.breaker_threshold;
+                let breaker_cooldown_ms = self.breaker_cooldown_ms;
+                let epoch = self.epoch;
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    // Exactly one send per worker, even if the backend panics:
+                    // the receiver counts outstanding workers and must never
+                    // block on a message that will not come.
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        run_attempts(
+                            backend.as_ref(),
+                            &shared,
+                            &request,
+                            retries,
+                            backoff_base_ms,
+                            false,
+                            breaker_threshold,
+                            breaker_cooldown_ms,
+                            epoch,
+                        )
+                    }))
+                    .unwrap_or_else(|_| {
+                        Err(Error::llm(format!(
+                            "backend '{}' panicked while serving a hedged request",
+                            backend.id()
+                        )))
+                    });
+                    drop(permit); // hedge slot held for the whole flight
+                    let _ = tx.send((is_hedge, result)); // receiver may be gone (abandoned)
+                });
+            };
+
+        spawn_worker(plan.primary, false, None);
+        let mut outstanding = 1usize;
+        let mut hedged = false;
+        let mut last_err = None;
+
+        match rx.recv_timeout(Duration::from_secs_f64(plan.threshold_ms / 1000.0)) {
+            Ok((_, Ok(response))) => return Ok(response),
+            Ok((_, Err(e))) => {
+                // Primary exhausted its retries before going late: plain
+                // failover across the remaining candidates.
+                outstanding = 0;
+                last_err = Some(e);
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                // The primary is late. Fire the hedge if capacity is spare.
+                if let Some(permit) = self.hedge_permit() {
+                    self.slots[plan.hedge]
+                        .shared
+                        .counters
+                        .hedges
+                        .fetch_add(1, Ordering::Relaxed);
+                    spawn_worker(plan.hedge, true, Some(permit));
+                    outstanding = 2;
+                    hedged = true;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                // Unreachable (workers always send), kept defensive.
+                outstanding = 0;
+                last_err = Some(Error::llm("hedged dispatch worker vanished"));
+            }
+        }
+
+        for _ in 0..outstanding {
+            match rx.recv() {
+                Ok((is_hedge, Ok(response))) => {
+                    if is_hedge {
+                        self.slots[plan.hedge]
+                            .shared
+                            .counters
+                            .hedges_won
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Ok(response);
+                }
+                Ok((_, Err(e))) => last_err = Some(e),
+                Err(_) => {
+                    last_err = Some(Error::llm("hedged dispatch worker vanished"));
+                    break;
+                }
+            }
+        }
+
+        // Primary (and hedge, if any) failed: fail over across the rest.
+        let rest: Vec<usize> = order
+            .iter()
+            .copied()
+            .filter(|&i| i != plan.primary && !(hedged && i == plan.hedge))
+            .collect();
+        if rest.is_empty() {
+            return Err(last_err.unwrap_or_else(|| Error::llm("backend pool has no backends")));
+        }
+        self.route_walk(request, &rest)
+    }
+
+    /// Consult the hedge admission gate; `Some` carries the permit the hedge
+    /// worker holds while in flight (a no-op token when no gate is wired).
+    fn hedge_permit(&self) -> Option<Box<dyn std::any::Any + Send>> {
+        let gate = self.hedge_gate.lock().clone();
+        match gate {
+            None => Some(Box::new(())),
+            Some(gate) => gate(),
+        }
+    }
+}
+
+/// One candidate's bounded-retry attempt loop, shared by the plain candidate
+/// walk and hedge worker threads: up to `1 + max_attempt` attempts with
+/// exponential backoff, updating the slot's counters, its latency EWMA (on
+/// success, with *measured* wall time), and its breaker state. Returns the
+/// first success or the last error.
+#[allow(clippy::too_many_arguments)]
+fn run_attempts(
+    backend: &dyn Backend,
+    shared: &SlotShared,
+    request: &CompletionRequest,
+    max_attempt: usize,
+    backoff_base_ms: f64,
+    probe: bool,
+    breaker_threshold: u64,
+    breaker_cooldown_ms: f64,
+    epoch: Instant,
+) -> Result<CompletionResponse> {
+    let mut last_err = None;
+    for attempt in 0..=max_attempt {
+        if attempt > 0 {
+            shared.counters.retries.fetch_add(1, Ordering::Relaxed);
+            let backoff =
+                (backoff_base_ms * (1u64 << (attempt - 1).min(20)) as f64).min(BACKOFF_CAP_MS);
+            if backoff > 0.0 {
+                std::thread::sleep(std::time::Duration::from_secs_f64(backoff / 1000.0));
+            }
+        }
+        shared.counters.calls.fetch_add(1, Ordering::Relaxed);
+        shared.counters.in_flight.fetch_add(1, Ordering::Relaxed);
+        let in_flight_guard = InFlightDecrement(&shared.counters.in_flight);
+        let mut probe_guard = ProbeAbortGuard {
+            breaker: &shared.breaker,
+            armed: probe,
+        };
+        let started = Instant::now();
+        let outcome = backend.complete(request, attempt);
+        let elapsed_ms = started.elapsed().as_secs_f64() * 1000.0;
+        // Normal return: on_success/on_error below own the flag.
+        probe_guard.armed = false;
+        drop(probe_guard);
+        drop(in_flight_guard);
+        match outcome {
+            Ok(response) => {
+                shared
+                    .counters
+                    .latency_us
+                    .fetch_add(round_latency_us(response.latency_ms), Ordering::Relaxed);
+                shared.counters.ewma.observe(elapsed_ms);
+                if breaker_threshold > 0 {
+                    shared.breaker.on_success();
+                }
+                return Ok(response);
+            }
+            Err(e) => {
+                shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                last_err = Some(e);
+                if breaker_threshold > 0
+                    && shared.breaker.on_error(
+                        epoch.elapsed().as_millis() as u64,
+                        breaker_threshold,
+                        breaker_cooldown_ms,
+                        probe,
+                    )
+                {
+                    // Breaker just opened: remaining retries on this backend
+                    // are doomed attempts — fail over now.
+                    break;
+                }
+            }
+        }
+    }
+    Err(last_err.expect("at least one attempt ran"))
 }
 
 impl LanguageModel for BackendPool {
@@ -1110,6 +1539,207 @@ mod tests {
             "unexpected error: {err}"
         );
         assert_eq!(pool.stats()[0].calls, 1, "fail-fast must cost no attempts");
+    }
+
+    #[test]
+    fn latency_accounting_rounds_and_matches_reported_sums() {
+        // Regression: `(latency_ms * 1000.0) as u64` truncated sub-µs
+        // remainders, so a model reporting 0.6µs per call accumulated zero.
+        // Rounding keeps the error within 0.5µs per call.
+        struct TinyLatencyModel;
+        impl LanguageModel for TinyLatencyModel {
+            fn name(&self) -> String {
+                "tiny".into()
+            }
+            fn complete(&self, request: &CompletionRequest) -> Result<CompletionResponse> {
+                Ok(CompletionResponse {
+                    text: format!("r:{}", request.prompt),
+                    prompt_tokens: 1,
+                    completion_tokens: 1,
+                    latency_ms: 0.0006, // 0.6µs
+                    cost_usd: 0.0,
+                })
+            }
+        }
+        let backend: Arc<dyn Backend> =
+            Arc::new(DirectBackend::new("tiny", Arc::new(TinyLatencyModel)));
+        let pool = BackendPool::new(vec![backend], RoutingPolicy::RoundRobin).unwrap();
+        const CALLS: usize = 1000;
+        let mut reported_sum = 0.0;
+        for i in 0..CALLS {
+            let resp = pool
+                .complete(&CompletionRequest::new(format!("p{i}")))
+                .unwrap();
+            reported_sum += resp.latency_ms;
+        }
+        let accounted = pool.stats()[0].latency_ms;
+        let tolerance_ms = CALLS as f64 * 0.0005; // 0.5µs per call
+        assert!(
+            (accounted - reported_sum).abs() <= tolerance_ms,
+            "accounted {accounted}ms vs reported {reported_sum}ms drifts more than \
+             0.5µs/call (truncation regression)"
+        );
+    }
+
+    #[test]
+    fn nan_and_negative_latencies_clamp_to_zero() {
+        // A buggy/simulated endpoint reporting NaN or negative latency must
+        // not poison (or wrap) the accumulator.
+        struct NastyLatencyModel {
+            latencies: Mutex<Vec<f64>>,
+        }
+        impl LanguageModel for NastyLatencyModel {
+            fn name(&self) -> String {
+                "nasty".into()
+            }
+            fn complete(&self, request: &CompletionRequest) -> Result<CompletionResponse> {
+                let latency_ms = self.latencies.lock().pop().unwrap_or(0.0);
+                Ok(CompletionResponse {
+                    text: format!("r:{}", request.prompt),
+                    prompt_tokens: 1,
+                    completion_tokens: 1,
+                    latency_ms,
+                    cost_usd: 0.0,
+                })
+            }
+        }
+        let backend: Arc<dyn Backend> = Arc::new(DirectBackend::new(
+            "nasty",
+            Arc::new(NastyLatencyModel {
+                latencies: Mutex::new(vec![2.5, -5.0, f64::NAN]),
+            }),
+        ));
+        let pool = BackendPool::new(vec![backend], RoutingPolicy::RoundRobin).unwrap();
+        for i in 0..3 {
+            pool.complete(&CompletionRequest::new(format!("p{i}")))
+                .unwrap();
+        }
+        // NaN and -5.0 contribute nothing; only the 2.5ms call counts.
+        assert!((pool.stats()[0].latency_ms - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_aware_explores_cold_members_then_prefers_the_fastest() {
+        let (_, pool) = pool_over(
+            &[
+                spec("slow").with_latency_ms(15.0),
+                spec("fast").with_latency_ms(1.0),
+            ],
+            RoutingPolicy::LatencyAware,
+        );
+        // Cold pool: sample-less backends sort first, so the first two
+        // requests explore both members.
+        pool.complete(&CompletionRequest::new("a")).unwrap();
+        pool.complete(&CompletionRequest::new("b")).unwrap();
+        let warmup: Vec<u64> = pool.stats().iter().map(|s| s.calls).collect();
+        assert_eq!(warmup, vec![1, 1], "cold pool must explore every member");
+        // Steady state: everything routes to the measured-fastest backend.
+        for i in 0..5 {
+            pool.complete(&CompletionRequest::new(format!("p{i}")))
+                .unwrap();
+        }
+        let stats = pool.stats();
+        assert_eq!(
+            stats[0].calls, 1,
+            "slow backend should see no steady-state traffic: {stats:?}"
+        );
+        assert_eq!(stats[1].calls, 6);
+        let ewma = pool.latency_ewma_ms();
+        let (slow_ewma, fast_ewma) = (ewma[0].1.unwrap(), ewma[1].1.unwrap());
+        assert!(
+            slow_ewma > fast_ewma,
+            "EWMA ordering inverted: slow={slow_ewma}ms fast={fast_ewma}ms"
+        );
+    }
+
+    #[test]
+    fn hedge_fires_on_a_late_primary_and_the_fast_sibling_wins() {
+        let (_, pool) = pool_over(
+            &[
+                spec("slow").with_latency_ms(40.0),
+                spec("fast").with_latency_ms(1.0),
+            ],
+            RoutingPolicy::RoundRobin,
+        );
+        let pool = pool.with_hedging(3.0, 1.0);
+        // Warm-up: round robin alternates, giving both backends an EWMA
+        // sample. No hedge can fire before any sample exists (lateness is
+        // undefined), so these take the plain walk.
+        pool.complete(&CompletionRequest::new("w0")).unwrap(); // -> slow
+        pool.complete(&CompletionRequest::new("w1")).unwrap(); // -> fast
+        assert_eq!(pool.stats().iter().map(|s| s.hedges).sum::<u64>(), 0);
+        // This request starts on the slow backend, goes late at ~3× the
+        // fast EWMA, and is hedged to the fast sibling — which wins by a
+        // wide margin. The completion text is identical either way
+        // (fingerprint equality), so rows can never change.
+        let resp = pool.complete(&CompletionRequest::new("p")).unwrap();
+        assert_eq!(resp.text, "m:p");
+        let stats = pool.stats();
+        let fast = stats.iter().find(|s| s.id == "fast").unwrap();
+        assert!(fast.hedges >= 1, "no hedge issued: {stats:?}");
+        assert!(fast.hedges_won >= 1, "hedge should have won: {stats:?}");
+    }
+
+    #[test]
+    fn hedge_gate_veto_and_permit_semantics() {
+        use std::sync::atomic::AtomicUsize;
+        let (_, pool) = pool_over(
+            &[
+                spec("slow").with_latency_ms(30.0),
+                spec("fast").with_latency_ms(1.0),
+            ],
+            RoutingPolicy::RoundRobin,
+        );
+        let pool = pool.with_hedging(3.0, 1.0);
+        pool.complete(&CompletionRequest::new("w0")).unwrap();
+        pool.complete(&CompletionRequest::new("w1")).unwrap();
+
+        // A vetoing gate: the late primary is simply waited out; no hedge.
+        pool.set_hedge_permit_gate(Some(Arc::new(|| None)));
+        let resp = pool.complete(&CompletionRequest::new("vetoed")).unwrap();
+        assert_eq!(resp.text, "m:vetoed");
+        assert_eq!(
+            pool.stats().iter().map(|s| s.hedges).sum::<u64>(),
+            0,
+            "gate veto must suppress the hedge"
+        );
+
+        // Round-robin parity: this filler lands on the fast backend (no
+        // hedge), so the next request starts on the slow one again.
+        pool.complete(&CompletionRequest::new("filler")).unwrap();
+
+        // A granting gate is consulted exactly once per hedge, and its
+        // permit is returned (held by the hedge worker while in flight).
+        let grants = Arc::new(AtomicUsize::new(0));
+        let gate_grants = Arc::clone(&grants);
+        pool.set_hedge_permit_gate(Some(Arc::new(move || {
+            gate_grants.fetch_add(1, Ordering::SeqCst);
+            Some(Box::new(()) as Box<dyn std::any::Any + Send>)
+        })));
+        pool.complete(&CompletionRequest::new("hedged")).unwrap();
+        assert_eq!(grants.load(Ordering::SeqCst), 1);
+        assert_eq!(pool.stats().iter().map(|s| s.hedges).sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn hedged_dispatch_still_fails_over_on_errors() {
+        // Primary errors fast (before the hedge threshold): the request
+        // fails over across the remaining candidates like the plain walk.
+        let (_, pool) = pool_over(
+            &[spec("down").failing(), spec("up").with_latency_ms(1.0)],
+            RoutingPolicy::CostAware, // static order: down first
+        );
+        let pool = pool.with_hedging(3.0, 50.0);
+        // Warm the healthy backend so hedge planning has a sample (the
+        // first request fails over to it via the plain-walk fallback).
+        let resp = pool.complete(&CompletionRequest::new("warm")).unwrap();
+        assert_eq!(resp.text, "m:warm");
+        // Now hedged dispatch is viable; the primary still errors
+        // immediately and failover must still reach the healthy sibling.
+        let resp = pool.complete(&CompletionRequest::new("x")).unwrap();
+        assert_eq!(resp.text, "m:x");
+        let down = &pool.stats()[0];
+        assert!(down.errors > 0);
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod prompt;
 pub mod sim;
 pub mod tokenizer;
 
-pub use backend::{Backend, BackendPool, BackendStats, DirectBackend, RemoteLlm};
+pub use backend::{Backend, BackendPool, BackendStats, DirectBackend, HedgePermitGate, RemoteLlm};
 pub use cache::PromptCache;
 pub use cost::UsageStats;
 pub use knowledge::{KbTable, KnowledgeBase};

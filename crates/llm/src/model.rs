@@ -206,6 +206,12 @@ impl LlmClient {
         self.pool.as_ref().map(|p| p.stats())
     }
 
+    /// The wrapped [`BackendPool`], when this client routes through one
+    /// (hedge-gate wiring and EWMA inspection go through this handle).
+    pub fn pool(&self) -> Option<&Arc<BackendPool>> {
+        self.pool.as_ref()
+    }
+
     /// The wrapped model's observed cardinality of `table`, if it reports
     /// one (see [`LanguageModel::relation_cardinality`]).
     pub fn relation_cardinality(&self, table: &str) -> Option<u64> {

@@ -9,7 +9,7 @@ use std::time::Instant;
 
 use llmsql_core::Engine;
 use llmsql_exec::CallSlots;
-use llmsql_types::{Error, Priority, Result, SchedConfig, SchedPolicy, TenantId};
+use llmsql_types::{AtomicEwmaMs, Error, Priority, Result, SchedConfig, SchedPolicy, TenantId};
 
 use crate::ticket::{QueryOutcome, QueryTicket, TicketState};
 
@@ -21,6 +21,9 @@ struct Job {
     /// Admission ordinal: the FIFO key, and the tiebreaker everywhere else.
     seq: u64,
     submitted: Instant,
+    /// Per-query deadline in milliseconds from submission, when one was
+    /// given ([`QueryScheduler::submit_with_deadline`]).
+    deadline_ms: Option<f64>,
     ticket: Arc<TicketState>,
 }
 
@@ -49,6 +52,15 @@ struct SchedCore {
     rejected: AtomicU64,
     completed: AtomicU64,
     finish_seq: AtomicU64,
+    /// Submissions rejected at admission because the projected queue wait
+    /// alone already exceeded their deadline.
+    deadline_rejected: AtomicU64,
+    /// Admitted queries cancelled unexecuted because their deadline passed
+    /// while they queued.
+    deadline_expired: AtomicU64,
+    /// EWMA of completed-query run time, milliseconds. Drives the
+    /// projected-queue-wait estimate at admission.
+    run_ewma: AtomicEwmaMs,
 }
 
 /// Aggregate scheduler statistics (see [`QueryScheduler::stats`]).
@@ -73,6 +85,13 @@ pub struct SchedStats {
     /// [`SchedPolicy::WeightedFair`] with sustained backlog these converge
     /// to the configured weight ratios.
     pub tenant_calls: BTreeMap<TenantId, u64>,
+    /// Submissions rejected at admission because the projected queue wait
+    /// alone already exceeded their deadline (also counted in `rejected`).
+    pub deadline_rejected: u64,
+    /// Admitted queries cancelled unexecuted because their deadline passed
+    /// while they queued (also counted in `completed` — their tickets
+    /// resolve with [`llmsql_types::ErrorKind::DeadlineExceeded`]).
+    pub deadline_expired: u64,
 }
 
 /// The cross-query scheduler. See the crate docs for the model.
@@ -113,6 +132,9 @@ impl QueryScheduler {
             rejected: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             finish_seq: AtomicU64::new(0),
+            deadline_rejected: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
+            run_ewma: AtomicEwmaMs::new(),
         });
         let workers = (0..worker_count)
             .map(|i| {
@@ -136,8 +158,51 @@ impl QueryScheduler {
         priority: Priority,
         sql: impl Into<String>,
     ) -> Result<QueryTicket> {
-        let tenant = tenant.into();
-        let sql = sql.into();
+        self.submit_inner(tenant.into(), priority, sql.into(), None)
+    }
+
+    /// [`QueryScheduler::submit`] with a per-query deadline in milliseconds,
+    /// counted from submission. Deadline-aware behaviour, in order:
+    ///
+    /// 1. **Queue-aware admission.** When the projected queue wait alone
+    ///    (policy-aware jobs-ahead count over worker count, times the EWMA
+    ///    of completed-query run time) already exceeds the deadline, the
+    ///    submission is rejected immediately with
+    ///    [`llmsql_types::ErrorKind::DeadlineExceeded`] — queueing it would
+    ///    only waste queue space on a doomed query. The estimate is
+    ///    optimistic under every policy (under `Priority` only
+    ///    higher-or-equal-priority jobs count as ahead; under
+    ///    `WeightedFair` no projection is made), so a feasible query is
+    ///    never falsely rejected.
+    /// 2. **Queue cancellation.** An admitted query whose deadline passes
+    ///    while it queues is cancelled when a worker picks it, never
+    ///    executed; its ticket resolves with `DeadlineExceeded`.
+    /// 3. **Runtime enforcement.** A query that starts in time runs with its
+    ///    *remaining* budget: scans check the deadline between dispatch
+    ///    waves and fail with `DeadlineExceeded` carrying partial accounting
+    ///    (elapsed, calls issued).
+    pub fn submit_with_deadline(
+        &self,
+        tenant: impl Into<TenantId>,
+        priority: Priority,
+        sql: impl Into<String>,
+        deadline_ms: f64,
+    ) -> Result<QueryTicket> {
+        if !deadline_ms.is_finite() || deadline_ms <= 0.0 {
+            return Err(Error::config(
+                "deadline_ms must be finite and greater than zero",
+            ));
+        }
+        self.submit_inner(tenant.into(), priority, sql.into(), Some(deadline_ms))
+    }
+
+    fn submit_inner(
+        &self,
+        tenant: TenantId,
+        priority: Priority,
+        sql: String,
+        deadline_ms: Option<f64>,
+    ) -> Result<QueryTicket> {
         let mut state = self.lock_state();
         if state.shutdown {
             return Err(Error::scheduler("scheduler is shutting down"));
@@ -149,6 +214,40 @@ impl QueryScheduler {
                 state.jobs.len(),
                 self.core.config.max_queue_depth
             )));
+        }
+        // Queue-aware admission: reject a deadline-carrying query whose
+        // projected queue wait alone already dooms it. The estimate must be
+        // optimistic under every policy — a query it rules out must truly
+        // have no chance — so "jobs ahead" is policy-aware: everything
+        // queued under FIFO, only higher-or-equal-priority jobs under
+        // Priority (a later high-priority submit overtakes the backlog),
+        // and nothing under WeightedFair (deficit order can serve an
+        // underserved tenant immediately regardless of position; pick-time
+        // cancellation still protects those queries).
+        if let Some(deadline) = deadline_ms {
+            if let Some(run_ewma_ms) = self.core.run_ewma.get() {
+                let jobs_ahead = match self.core.config.policy {
+                    SchedPolicy::Fifo => state.jobs.len(),
+                    SchedPolicy::Priority => state
+                        .jobs
+                        .iter()
+                        .filter(|job| job.priority >= priority)
+                        .count(),
+                    SchedPolicy::WeightedFair => 0,
+                };
+                let projected_wait_ms =
+                    run_ewma_ms * (jobs_ahead as f64 / self.core.config.workers as f64);
+                if projected_wait_ms > deadline {
+                    self.core.rejected.fetch_add(1, Ordering::Relaxed);
+                    self.core.deadline_rejected.fetch_add(1, Ordering::Relaxed);
+                    return Err(Error::deadline_exceeded(format!(
+                        "rejected at admission: projected queue wait {projected_wait_ms:.1}ms \
+                         ({jobs_ahead} job(s) ahead over {} workers at ~{run_ewma_ms:.1}ms per \
+                         query) exceeds the {deadline:.0}ms deadline (0 LLM calls issued)",
+                        self.core.config.workers
+                    )));
+                }
+            }
         }
         let tenant_queued = state.queued_per_tenant.entry(tenant.clone()).or_insert(0);
         if *tenant_queued >= self.core.config.tenant_queue_cap {
@@ -168,6 +267,7 @@ impl QueryScheduler {
             priority,
             seq,
             submitted: Instant::now(),
+            deadline_ms,
             ticket: Arc::clone(&ticket_state),
         });
         drop(state);
@@ -207,6 +307,8 @@ impl QueryScheduler {
             peak_slots_in_use: self.core.slots.peak_in_use(),
             total_slot_wait_ms: self.core.slots.total_wait_ms(),
             tenant_calls: state.charges.clone(),
+            deadline_rejected: self.core.deadline_rejected.load(Ordering::Relaxed),
+            deadline_expired: self.core.deadline_expired.load(Ordering::Relaxed),
         }
     }
 
@@ -304,14 +406,38 @@ fn worker_loop(core: &SchedCore) {
 
 fn run_job(core: &SchedCore, job: Job) {
     let queue_ms = job.submitted.elapsed().as_secs_f64() * 1000.0;
+    // Queue cancellation: a query whose deadline passed while it queued is
+    // never executed — its ticket resolves with the structured error and the
+    // queue-time accounting it did accumulate.
+    let expired = job
+        .deadline_ms
+        .is_some_and(|deadline_ms| queue_ms >= deadline_ms);
+    if expired {
+        core.deadline_expired.fetch_add(1, Ordering::Relaxed);
+    }
     let run_start = Instant::now();
-    // A panicking query must not take its worker thread (and every later
-    // queued query's ticket) down with it.
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        core.engine.execute(&job.sql)
-    }))
-    .unwrap_or_else(|_| Err(Error::execution("query execution panicked")));
+    let result = if expired {
+        let deadline_ms = job.deadline_ms.expect("expired implies a deadline");
+        Err(Error::deadline_exceeded(format!(
+            "cancelled unexecuted: queued {queue_ms:.1}ms past its {deadline_ms:.0}ms deadline \
+             (0 LLM calls issued)"
+        )))
+    } else {
+        // A panicking query must not take its worker thread (and every later
+        // queued query's ticket) down with it.
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match job.deadline_ms {
+            // The query gets only its remaining budget after queueing.
+            Some(deadline_ms) => core
+                .engine
+                .execute_with_deadline(&job.sql, deadline_ms - queue_ms),
+            None => core.engine.execute(&job.sql),
+        }))
+        .unwrap_or_else(|_| Err(Error::execution("query execution panicked")))
+    };
     let run_ms = run_start.elapsed().as_secs_f64() * 1000.0;
+    if !expired {
+        core.run_ewma.observe(run_ms);
+    }
 
     let (llm_calls, slot_wait_ms) = match &result {
         Ok(r) => (r.metrics.llm_calls(), r.metrics.slot_wait_ms),
@@ -364,6 +490,12 @@ mod tests {
     /// An LLM-only engine over a small virtual relation, cache off so every
     /// query pays a stable, identical number of logical calls.
     fn llm_engine(parallelism: usize) -> Engine {
+        llm_engine_with_latency(parallelism, 0.0)
+    }
+
+    /// [`llm_engine`] with a simulated per-call latency, for tests that need
+    /// queries to take measurable wall time.
+    fn llm_engine_with_latency(parallelism: usize, latency_ms: f64) -> Engine {
         let schema = Schema::virtual_table(
             "countries",
             vec![
@@ -392,7 +524,13 @@ mod tests {
             .with_parallelism(parallelism);
         config.enable_prompt_cache = false;
         let mut engine = Engine::with_catalog(catalog, config);
-        engine.attach_simulator(kb.into_shared()).unwrap();
+        if latency_ms > 0.0 {
+            let sim = llmsql_llm::SimLlm::new(kb.into_shared(), LlmFidelity::perfect(), 11)
+                .with_simulated_latency_ms(latency_ms);
+            engine.attach_model(std::sync::Arc::new(sim)).unwrap();
+        } else {
+            engine.attach_simulator(kb.into_shared()).unwrap();
+        }
         engine
     }
 
@@ -569,6 +707,180 @@ mod tests {
         // Every query issued the same logical call count (uniform cost).
         let calls: std::collections::BTreeSet<u64> = outcomes.iter().map(|o| o.llm_calls).collect();
         assert_eq!(calls.len(), 1, "expected uniform cost, got {calls:?}");
+    }
+
+    #[test]
+    fn unknown_tenants_under_weighted_fair_schedule_cleanly() {
+        // Regression: the weight-normalized deficit divides by
+        // `config.weight_of(tenant)`; tenants absent from the weight map
+        // (falling back to the default weight) must produce finite deficits
+        // and sane ordering, not inf/NaN that silently breaks the policy.
+        let sched = QueryScheduler::new(
+            store_engine(),
+            SchedConfig::default()
+                .with_workers(1)
+                .with_policy(SchedPolicy::WeightedFair)
+                .with_tenant_weight("known", 3)
+                .paused(),
+        )
+        .unwrap();
+        let sql = "SELECT COUNT(*) FROM nums";
+        let mut tickets = Vec::new();
+        for _ in 0..4 {
+            tickets.push(sched.submit("known", Priority::NORMAL, sql).unwrap());
+            tickets.push(sched.submit("stranger", Priority::NORMAL, sql).unwrap());
+            tickets.push(sched.submit("drifter", Priority::NORMAL, sql).unwrap());
+        }
+        sched.resume();
+        let outcomes: Vec<QueryOutcome> = tickets.into_iter().map(QueryTicket::wait).collect();
+        assert!(outcomes.iter().all(|o| o.result.is_ok()));
+        let stats = sched.stats();
+        assert_eq!(stats.completed, 12);
+        // Every tenant — mapped or not — was served and charged.
+        assert_eq!(stats.tenant_calls.len(), 3);
+        assert!(stats.tenant_calls.values().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn expired_deadline_cancels_queued_query_without_executing() {
+        // A query whose deadline passes while it queues must resolve with
+        // DeadlineExceeded and never run.
+        let sched = QueryScheduler::new(
+            llm_engine(1),
+            SchedConfig::default().with_workers(1).paused(),
+        )
+        .unwrap();
+        let doomed = sched
+            .submit_with_deadline("t", Priority::NORMAL, "SELECT name FROM countries", 15.0)
+            .unwrap();
+        let unhurried = sched
+            .submit("t", Priority::NORMAL, "SELECT name FROM countries")
+            .unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        sched.resume();
+        let outcome = doomed.wait();
+        let err = outcome.result.unwrap_err();
+        assert_eq!(err.kind, ErrorKind::DeadlineExceeded);
+        assert!(err.message.contains("0 LLM calls issued"), "{err}");
+        assert_eq!(outcome.llm_calls, 0, "cancelled query must not execute");
+        // The deadline-free companion is unaffected.
+        assert!(unhurried.wait().result.is_ok());
+        let stats = sched.stats();
+        assert_eq!(stats.deadline_expired, 1);
+        assert_eq!(stats.deadline_rejected, 0);
+        assert_eq!(stats.completed, 2);
+    }
+
+    #[test]
+    fn queue_aware_admission_rejects_hopeless_deadlines() {
+        // ~10ms per call, 3 calls per query: each query runs ~30ms.
+        let sched = QueryScheduler::new(
+            llm_engine_with_latency(1, 10.0),
+            SchedConfig::default().with_workers(1),
+        )
+        .unwrap();
+        let sql = "SELECT name FROM countries";
+        // Warm the run-time EWMA (no projection is possible without it).
+        sched
+            .submit("t", Priority::NORMAL, sql)
+            .unwrap()
+            .wait()
+            .result
+            .unwrap();
+        // Build a backlog, then submit with a deadline far below the
+        // projected queue wait: rejected at admission, never queued.
+        let backlog: Vec<QueryTicket> = (0..5)
+            .map(|_| sched.submit("t", Priority::NORMAL, sql).unwrap())
+            .collect();
+        let err = sched
+            .submit_with_deadline("t", Priority::NORMAL, sql, 1.0)
+            .unwrap_err();
+        assert_eq!(err.kind, ErrorKind::DeadlineExceeded);
+        assert!(err.message.contains("projected queue wait"), "{err}");
+        let stats = sched.stats();
+        assert_eq!(stats.deadline_rejected, 1);
+        assert_eq!(stats.rejected, 1);
+        for t in backlog {
+            assert!(t.wait().result.is_ok());
+        }
+        // Invalid deadlines are config errors, not silent admits.
+        assert!(sched
+            .submit_with_deadline("t", Priority::NORMAL, sql, 0.0)
+            .is_err());
+        assert!(sched
+            .submit_with_deadline("t", Priority::NORMAL, sql, f64::NAN)
+            .is_err());
+    }
+
+    #[test]
+    fn priority_aware_projection_admits_urgent_deadlines() {
+        // Regression: the queue-wait projection must not count lower-priority
+        // backlog as "ahead" of a high-priority submission — under
+        // SchedPolicy::Priority the urgent query overtakes the flood, so a
+        // FIFO-position estimate would falsely reject a feasible query.
+        let sched = QueryScheduler::new(
+            llm_engine_with_latency(1, 10.0),
+            SchedConfig::default()
+                .with_workers(1)
+                .with_policy(SchedPolicy::Priority),
+        )
+        .unwrap();
+        let sql = "SELECT name FROM countries";
+        // Warm the run-time EWMA (~30ms per query: 3 calls at ~10ms).
+        sched
+            .submit("t", Priority::NORMAL, sql)
+            .unwrap()
+            .wait()
+            .result
+            .unwrap();
+        // A low-priority flood deep enough that the FIFO projection (~8 ×
+        // 30ms = 240ms) would reject a 150ms deadline...
+        let flood: Vec<QueryTicket> = (0..8)
+            .map(|_| sched.submit("bulk", Priority::LOW, sql).unwrap())
+            .collect();
+        // ...but the urgent query has zero higher-or-equal-priority jobs
+        // ahead: admitted, runs next, and finishes well inside its deadline.
+        let urgent = sched
+            .submit_with_deadline("vip", Priority::HIGH, sql, 150.0)
+            .unwrap();
+        let outcome = urgent.wait();
+        assert!(
+            outcome.result.is_ok(),
+            "urgent query should beat the flood: {:?}",
+            outcome.result.err()
+        );
+        for t in flood {
+            t.wait();
+        }
+        assert_eq!(sched.stats().deadline_rejected, 0);
+    }
+
+    #[test]
+    fn generous_deadlines_change_nothing() {
+        // A deadline that is not hit must leave rows and logical call
+        // counts byte-identical to a deadline-free run.
+        let sql = "SELECT name, population FROM countries";
+        let baseline = {
+            let sched =
+                QueryScheduler::new(llm_engine(4), SchedConfig::default().with_workers(1)).unwrap();
+            let outcome = sched.submit("t", Priority::NORMAL, sql).unwrap().wait();
+            let result = outcome.result.unwrap();
+            (result.rows().to_vec(), result.metrics.llm_calls())
+        };
+        let sched =
+            QueryScheduler::new(llm_engine(4), SchedConfig::default().with_workers(1)).unwrap();
+        let outcome = sched
+            .submit_with_deadline("t", Priority::NORMAL, sql, 60_000.0)
+            .unwrap()
+            .wait();
+        let result = outcome.result.unwrap();
+        assert_eq!(result.rows(), &baseline.0[..], "deadline changed rows");
+        assert_eq!(
+            result.metrics.llm_calls(),
+            baseline.1,
+            "deadline changed the logical call count"
+        );
+        assert_eq!(sched.stats().deadline_expired, 0);
     }
 
     #[test]

@@ -128,15 +128,24 @@ pub enum RoutingPolicy {
     /// round robin's cursor advances in request-arrival order, which thread
     /// interleaving scrambles; a prompt hash does not.
     PromptHash,
+    /// Prefer the backend with the lowest exponentially-weighted moving
+    /// average of *measured* request latency (ties broken by registration
+    /// order). Backends without a sample yet sort first, so a cold pool
+    /// explores every member once before settling on the fastest. The EWMA
+    /// also drives hedged requests when hedging is enabled. Note the EWMA
+    /// only updates on success — pair this policy with the circuit breaker
+    /// to keep hard-down (sample-less) backends out of rotation.
+    LatencyAware,
 }
 
 impl RoutingPolicy {
     /// All policies, for sweeps.
-    pub const ALL: [RoutingPolicy; 4] = [
+    pub const ALL: [RoutingPolicy; 5] = [
         RoutingPolicy::RoundRobin,
         RoutingPolicy::LeastInFlight,
         RoutingPolicy::CostAware,
         RoutingPolicy::PromptHash,
+        RoutingPolicy::LatencyAware,
     ];
 
     /// Short label used in reports.
@@ -146,6 +155,7 @@ impl RoutingPolicy {
             RoutingPolicy::LeastInFlight => "least-in-flight",
             RoutingPolicy::CostAware => "cost-aware",
             RoutingPolicy::PromptHash => "prompt-hash",
+            RoutingPolicy::LatencyAware => "latency-aware",
         }
     }
 
@@ -156,6 +166,7 @@ impl RoutingPolicy {
             "least-in-flight" | "least-loaded" | "lif" => Ok(RoutingPolicy::LeastInFlight),
             "cost-aware" | "cheapest" | "cost" => Ok(RoutingPolicy::CostAware),
             "prompt-hash" | "prompthash" | "hash" => Ok(RoutingPolicy::PromptHash),
+            "latency-aware" | "latency" | "ewma" => Ok(RoutingPolicy::LatencyAware),
             other => Err(Error::config(format!("unknown routing policy '{other}'"))),
         }
     }
@@ -439,6 +450,23 @@ pub struct EngineConfig {
     /// Circuit breaker: how long an opened backend stays out of rotation
     /// before one half-open probe request is allowed through, milliseconds.
     pub breaker_cooldown_ms: f64,
+    /// Hedged requests: once a dispatched request has been in flight longer
+    /// than `hedge_multiplier` times the pool's lowest per-backend latency
+    /// EWMA (but at least [`EngineConfig::hedge_min_ms`]), one duplicate of
+    /// it is issued to a different healthy backend and the first success
+    /// wins. `0.0` (the default) disables hedging; values >= 1.0 set the
+    /// lateness threshold as a multiple of the expected latency (2.0 ~ "tail
+    /// beyond twice the typical request"). Requires a multi-backend pool.
+    pub hedge_multiplier: f64,
+    /// Hedged requests: floor on the lateness threshold, milliseconds, so a
+    /// near-zero EWMA cannot make every request look late.
+    pub hedge_min_ms: f64,
+    /// Per-query wall-clock deadline, milliseconds. Scans check it between
+    /// dispatch waves and fail the query with
+    /// [`crate::ErrorKind::DeadlineExceeded`] (carrying elapsed time and
+    /// calls issued so far) once it passes. `None` (the default) means no
+    /// deadline.
+    pub deadline_ms: Option<f64>,
     /// Whether the prompt cache is enabled.
     pub enable_prompt_cache: bool,
     /// Whether optimizer rules run (turned off by the ablation experiment).
@@ -467,6 +495,9 @@ impl Default for EngineConfig {
             backend_backoff_ms: 1.0,
             breaker_threshold: 0,
             breaker_cooldown_ms: 250.0,
+            hedge_multiplier: 0.0,
+            hedge_min_ms: 1.0,
+            deadline_ms: None,
             enable_prompt_cache: true,
             enable_optimizer: true,
             enable_predicate_pushdown: true,
@@ -527,6 +558,21 @@ impl EngineConfig {
         self.breaker_cooldown_ms = cooldown_ms;
         self
     }
+    /// Builder-style: enable hedged requests — duplicate a request to a
+    /// second backend once it has been in flight longer than `multiplier`
+    /// times the pool's lowest latency EWMA (floored at `min_ms`), taking
+    /// the first success (see [`EngineConfig::hedge_multiplier`]).
+    pub fn with_hedging(mut self, multiplier: f64, min_ms: f64) -> Self {
+        self.hedge_multiplier = multiplier;
+        self.hedge_min_ms = min_ms;
+        self
+    }
+    /// Builder-style: set the per-query wall-clock deadline in milliseconds
+    /// (see [`EngineConfig::deadline_ms`]).
+    pub fn with_deadline_ms(mut self, deadline_ms: f64) -> Self {
+        self.deadline_ms = Some(deadline_ms);
+        self
+    }
 
     /// Validate the configuration.
     pub fn validate(&self) -> Result<()> {
@@ -550,6 +596,25 @@ impl EngineConfig {
             return Err(Error::config(
                 "breaker_cooldown_ms must be finite and non-negative",
             ));
+        }
+        if self.hedge_multiplier != 0.0
+            && (!self.hedge_multiplier.is_finite() || self.hedge_multiplier < 1.0)
+        {
+            return Err(Error::config(
+                "hedge_multiplier must be 0 (disabled) or a finite value >= 1",
+            ));
+        }
+        if !self.hedge_min_ms.is_finite() || self.hedge_min_ms < 0.0 {
+            return Err(Error::config(
+                "hedge_min_ms must be finite and non-negative",
+            ));
+        }
+        if let Some(deadline_ms) = self.deadline_ms {
+            if !deadline_ms.is_finite() || deadline_ms <= 0.0 {
+                return Err(Error::config(
+                    "deadline_ms must be finite and greater than zero",
+                ));
+            }
         }
         if self.batch_size == 0 {
             return Err(Error::config("batch_size must be at least 1"));
@@ -735,6 +800,45 @@ mod tests {
             ..EngineConfig::default()
         };
         assert!(bad_backoff.validate().is_err());
+    }
+
+    #[test]
+    fn hedging_and_deadline_config() {
+        // Both off by default: PR 2/3 deployments keep their exact behaviour.
+        let default = EngineConfig::default();
+        assert_eq!(default.hedge_multiplier, 0.0);
+        assert_eq!(default.deadline_ms, None);
+
+        let cfg = EngineConfig::default()
+            .with_hedging(2.0, 5.0)
+            .with_deadline_ms(1500.0);
+        assert_eq!(cfg.hedge_multiplier, 2.0);
+        assert_eq!(cfg.hedge_min_ms, 5.0);
+        assert_eq!(cfg.deadline_ms, Some(1500.0));
+        cfg.validate().unwrap();
+
+        // A sub-1 multiplier would hedge requests that are *faster* than
+        // expected; reject it.
+        assert!(EngineConfig::default()
+            .with_hedging(0.5, 1.0)
+            .validate()
+            .is_err());
+        assert!(EngineConfig::default()
+            .with_hedging(f64::NAN, 1.0)
+            .validate()
+            .is_err());
+        assert!(EngineConfig::default()
+            .with_hedging(2.0, -1.0)
+            .validate()
+            .is_err());
+        assert!(EngineConfig::default()
+            .with_deadline_ms(0.0)
+            .validate()
+            .is_err());
+        assert!(EngineConfig::default()
+            .with_deadline_ms(f64::INFINITY)
+            .validate()
+            .is_err());
     }
 
     #[test]

@@ -30,6 +30,10 @@ pub enum ErrorKind {
     Config,
     /// Cross-query scheduler errors (admission rejections, shutdown races).
     Scheduler,
+    /// A query exceeded (or could not possibly meet) its deadline. The
+    /// message carries the partial accounting at the moment of failure:
+    /// elapsed time and LLM calls already issued.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for ErrorKind {
@@ -46,6 +50,7 @@ impl fmt::Display for ErrorKind {
             ErrorKind::Unsupported => "unsupported",
             ErrorKind::Config => "configuration error",
             ErrorKind::Scheduler => "scheduler error",
+            ErrorKind::DeadlineExceeded => "deadline exceeded",
         };
         write!(f, "{s}")
     }
@@ -123,6 +128,11 @@ impl Error {
     pub fn scheduler(message: impl Into<String>) -> Self {
         Error::new(ErrorKind::Scheduler, message)
     }
+    /// Deadline-exceeded constructor. Callers are expected to fold the
+    /// partial accounting (elapsed ms, LLM calls issued) into the message.
+    pub fn deadline_exceeded(message: impl Into<String>) -> Self {
+        Error::new(ErrorKind::DeadlineExceeded, message)
+    }
 }
 
 impl fmt::Display for Error {
@@ -154,6 +164,13 @@ mod tests {
         assert_eq!(Error::unsupported("x").kind, ErrorKind::Unsupported);
         assert_eq!(Error::config("x").kind, ErrorKind::Config);
         assert_eq!(Error::scheduler("x").kind, ErrorKind::Scheduler);
+        assert_eq!(
+            Error::deadline_exceeded("x").kind,
+            ErrorKind::DeadlineExceeded
+        );
+        assert!(Error::deadline_exceeded("late")
+            .to_string()
+            .contains("deadline exceeded"));
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! A lock-free exponentially-weighted moving average cell, shared by the
+//! latency estimators across crates (per-backend request latency in
+//! `llmsql-llm`, per-query run time in `llmsql-sched`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// EWMA of a millisecond quantity, stored as the bit pattern of an `f64` in
+/// an `AtomicU64`. The bits of `0.0` (which is `0u64`) are the "no sample
+/// yet" sentinel; samples are clamped away from it, so an observed average
+/// can never be confused with an empty cell.
+#[derive(Default)]
+pub struct AtomicEwmaMs {
+    bits: AtomicU64,
+}
+
+/// Smoothing factor: each new sample moves the average a quarter of the
+/// way, so a handful of observations adapt the estimate while one outlier
+/// cannot whipsaw it.
+const ALPHA: f64 = 0.25;
+
+impl AtomicEwmaMs {
+    /// An empty cell (no samples).
+    pub const fn new() -> Self {
+        AtomicEwmaMs {
+            bits: AtomicU64::new(0),
+        }
+    }
+
+    /// Fold one sample into the average (lock-free CAS loop). The first
+    /// sample becomes the average; negative/zero samples are clamped to a
+    /// tiny positive value to stay clear of the no-sample sentinel.
+    pub fn observe(&self, sample_ms: f64) {
+        let sample = sample_ms.max(1e-4);
+        let mut current = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = if current == 0 {
+                sample
+            } else {
+                let old = f64::from_bits(current);
+                old + ALPHA * (sample - old)
+            };
+            match self.bits.compare_exchange_weak(
+                current,
+                next.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// The current average in milliseconds, `None` before any sample.
+    pub fn get(&self) -> Option<f64> {
+        match self.bits.load(Ordering::Relaxed) {
+            0 => None,
+            bits => Some(f64::from_bits(bits)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_then_first_sample_then_smoothing() {
+        let ewma = AtomicEwmaMs::new();
+        assert_eq!(ewma.get(), None);
+        ewma.observe(10.0);
+        assert_eq!(ewma.get(), Some(10.0));
+        ewma.observe(20.0);
+        // 10 + 0.25 * (20 - 10) = 12.5
+        assert!((ewma.get().unwrap() - 12.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_and_negative_samples_never_reset_to_empty() {
+        let ewma = AtomicEwmaMs::new();
+        ewma.observe(0.0);
+        assert!(ewma.get().is_some(), "clamped sample must register");
+        ewma.observe(-5.0);
+        assert!(ewma.get().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn concurrent_observers_lose_no_updates() {
+        let ewma = AtomicEwmaMs::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let ewma = &ewma;
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        ewma.observe(5.0);
+                    }
+                });
+            }
+        });
+        // Every sample equals 5.0, so the average converges there exactly.
+        assert!((ewma.get().unwrap() - 5.0).abs() < 1e-9);
+    }
+}

@@ -11,6 +11,7 @@
 
 pub mod config;
 pub mod error;
+pub mod ewma;
 pub mod row;
 pub mod sched;
 pub mod schema;
@@ -21,6 +22,7 @@ pub use config::{
     RoutingPolicy,
 };
 pub use error::{Error, ErrorKind, Result};
+pub use ewma::AtomicEwmaMs;
 pub use row::{Batch, Row};
 pub use sched::{Priority, SchedConfig, SchedPolicy, TenantId};
 pub use schema::{Column, ColumnRef, DataType, Field, RelSchema, Schema};

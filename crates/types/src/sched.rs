@@ -175,12 +175,17 @@ impl SchedConfig {
         self
     }
 
-    /// The fair-share weight of a tenant.
+    /// The fair-share weight of a tenant. Never returns zero, even for a
+    /// configuration built by struct literal that skipped
+    /// [`SchedConfig::validate`]: a zero weight would turn the scheduler's
+    /// weight-normalized deficits into `inf`/`NaN` and silently break
+    /// ordering, so the accessor clamps defensively.
     pub fn weight_of(&self, tenant: &str) -> u32 {
         self.tenant_weights
             .get(tenant)
             .copied()
             .unwrap_or(self.default_weight)
+            .max(1)
     }
 
     /// Validate the configuration.
@@ -276,5 +281,20 @@ mod tests {
             ..SchedConfig::default()
         };
         assert!(zero_default.validate().is_err());
+    }
+
+    #[test]
+    fn weight_of_never_returns_zero() {
+        // Validation rejects zero weights, but a struct-literal config can
+        // skip validation; the accessor must still never hand the scheduler
+        // a divide-by-zero.
+        let cfg = SchedConfig {
+            default_weight: 0,
+            ..SchedConfig::default()
+        };
+        assert_eq!(cfg.weight_of("anyone"), 1);
+        let mut cfg = SchedConfig::default();
+        cfg.tenant_weights.insert("broken".to_string(), 0);
+        assert_eq!(cfg.weight_of("broken"), 1);
     }
 }

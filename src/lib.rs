@@ -15,6 +15,6 @@ pub use llmsql_workload as workload;
 pub use llmsql_core::Engine;
 pub use llmsql_sched::{QueryOutcome, QueryScheduler, QueryTicket, SchedStats};
 pub use llmsql_types::{
-    EngineConfig, ExecutionMode, LlmFidelity, Priority, PromptStrategy, Result, SchedConfig,
-    SchedPolicy,
+    EngineConfig, ErrorKind, ExecutionMode, LlmFidelity, Priority, PromptStrategy, Result,
+    RoutingPolicy, SchedConfig, SchedPolicy,
 };

@@ -3,7 +3,7 @@
 //! or the number of logical LLM calls it issues — at any parallelism, under
 //! every routing policy, even with a backend hard down.
 
-use llmsql_bench::{multi_backend_engine, parallel_scan_engine};
+use llmsql_bench::{multi_backend_engine, parallel_scan_engine, slow_outlier_engine};
 use llmsql_types::RoutingPolicy;
 
 const SCAN_SQL: &str = "SELECT name, population FROM countries";
@@ -124,6 +124,74 @@ fn healthy_pool_spreads_load_and_budget_counts_logical_calls() {
         m.backend_calls
     );
     assert_eq!(m.backend_errors.values().sum::<u64>(), 0);
+}
+
+/// The tail-latency acceptance scenario: 3 backends where one has 10× the
+/// latency of its siblings, a 100-row scan at parallelism 4 under
+/// `RoutingPolicy::LatencyAware` with hedging. Rows and logical call counts
+/// must be byte-identical to the sequential single-backend baseline, with
+/// hedges actually fired and won (the exploratory requests that discover the
+/// outlier's latency are rescued by their hedges instead of eating the full
+/// 10× round trip).
+#[test]
+fn hedging_with_a_slow_outlier_keeps_results_and_wins_hedges() {
+    let baseline = parallel_scan_engine(100, 1, 0.0).execute(SCAN_SQL).unwrap();
+    assert_eq!(baseline.row_count(), 100);
+
+    let hedged = slow_outlier_engine(100, 4, RoutingPolicy::LatencyAware, true)
+        .execute(SCAN_SQL)
+        .unwrap();
+    assert_eq!(
+        baseline.rows(),
+        hedged.rows(),
+        "hedging changed the rows a scan returns"
+    );
+    assert_eq!(
+        baseline.usage.calls, hedged.usage.calls,
+        "hedges must not consume the logical call budget"
+    );
+    assert_eq!(baseline.metrics.llm_calls(), hedged.metrics.llm_calls());
+    assert!(
+        hedged.metrics.hedges_won > 0,
+        "the slow outlier should have lost at least one hedge race: {:?}",
+        hedged.metrics
+    );
+    assert!(hedged.metrics.hedges_issued >= hedged.metrics.hedges_won);
+
+    // The same deployment without hedging: identical rows, zero hedges.
+    let unhedged = slow_outlier_engine(100, 4, RoutingPolicy::LatencyAware, false)
+        .execute(SCAN_SQL)
+        .unwrap();
+    assert_eq!(baseline.rows(), unhedged.rows());
+    assert_eq!(unhedged.metrics.hedges_issued, 0);
+    assert_eq!(unhedged.metrics.hedges_won, 0);
+}
+
+/// Latency-aware routing sends steady-state traffic to the fast members: the
+/// slow outlier serves at most the cold-start exploration (bounded by one
+/// dispatch wave, since in-flight requests have no sample yet), not a third
+/// of the scan as round robin would give it. 300 rows = 30 pages, so
+/// exploration (≤ 4 calls) is a small fraction of the whole scan.
+#[test]
+fn latency_aware_routing_starves_the_slow_outlier() {
+    let result = slow_outlier_engine(300, 4, RoutingPolicy::LatencyAware, false)
+        .execute(SCAN_SQL)
+        .unwrap();
+    let m = &result.metrics;
+    let slow_share = m.backend_calls["edge-slow"] as f64 / m.llm_calls() as f64;
+    assert!(
+        slow_share < 0.2,
+        "latency-aware routing kept feeding the slow outlier: {:?}",
+        m.backend_calls
+    );
+    let round_robin = slow_outlier_engine(300, 4, RoutingPolicy::RoundRobin, false)
+        .execute(SCAN_SQL)
+        .unwrap();
+    assert_eq!(result.rows(), round_robin.rows());
+    assert!(
+        round_robin.metrics.backend_calls["edge-slow"] > m.backend_calls["edge-slow"],
+        "round robin should hit the outlier more than latency-aware routing"
+    );
 }
 
 /// Cost-aware routing avoids the premium-priced backend entirely while the

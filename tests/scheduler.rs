@@ -5,16 +5,18 @@
 //! circuit breaker bounds wasted attempts by its threshold, not by query
 //! count.
 
-use llmsql_bench::{parallel_scan_engine, parallel_world};
+use llmsql_bench::{parallel_scan_engine, parallel_world, slow_outlier_engine};
 use llmsql_core::Engine;
 use llmsql_sched::{QueryOutcome, QueryScheduler, QueryTicket};
 use llmsql_types::{
-    EngineConfig, ExecutionMode, Priority, PromptStrategy, RoutingPolicy, SchedConfig, Value,
+    EngineConfig, ErrorKind, ExecutionMode, Priority, PromptStrategy, RoutingPolicy, SchedConfig,
+    Value,
 };
 use llmsql_workload::mixed_backend_config;
 
 const ROWS: usize = 60;
 const SLOTS: usize = 3;
+const SCAN_SQL: &str = "SELECT name, population FROM countries";
 
 /// 16 distinct queries spread over 3 tenants.
 fn workload() -> Vec<(String, String)> {
@@ -245,6 +247,108 @@ fn weighted_fair_share_tracks_weights_end_to_end() {
     assert!(outcomes
         .iter()
         .all(|o| o.result.as_ref().unwrap().row_count() == 30));
+}
+
+/// The deadline acceptance scenario: a query whose deadline is shorter than
+/// its queue wait resolves with `ErrorKind::DeadlineExceeded` and is never
+/// executed, while deadline-free companions are untouched; and a deadline
+/// that is not hit changes nothing about a query's rows or call counts.
+#[test]
+fn deadline_shorter_than_queue_wait_is_cancelled_never_executed() {
+    let sched = QueryScheduler::new(
+        parallel_scan_engine(ROWS, 4, 1.0),
+        SchedConfig::default().with_workers(1).paused(),
+    )
+    .unwrap();
+    let doomed = sched
+        .submit_with_deadline("t", Priority::NORMAL, SCAN_SQL, 10.0)
+        .unwrap();
+    let companion = sched.submit("t", Priority::NORMAL, SCAN_SQL).unwrap();
+    // Let the deadline lapse while both queries queue behind the pause.
+    std::thread::sleep(std::time::Duration::from_millis(25));
+    sched.resume();
+
+    let outcome = doomed.wait();
+    let err = outcome.result.unwrap_err();
+    assert_eq!(err.kind, ErrorKind::DeadlineExceeded);
+    assert!(err.message.contains("0 LLM calls issued"), "{err}");
+    assert_eq!(outcome.llm_calls, 0, "a cancelled query must never execute");
+
+    let companion_outcome = companion.wait();
+    let companion_result = companion_outcome.result.unwrap();
+    assert_eq!(companion_result.row_count(), ROWS);
+
+    // A generous deadline is transparent: identical rows and call counts.
+    let relaxed = sched
+        .submit_with_deadline("t", Priority::NORMAL, SCAN_SQL, 60_000.0)
+        .unwrap()
+        .wait();
+    let relaxed_result = relaxed.result.unwrap();
+    assert_eq!(relaxed_result.rows(), companion_result.rows());
+    assert_eq!(
+        relaxed_result.metrics.llm_calls(),
+        companion_result.metrics.llm_calls()
+    );
+
+    let stats = sched.stats();
+    assert_eq!(stats.deadline_expired, 1);
+    assert_eq!(stats.completed, 3);
+}
+
+/// Scheduled queries against the slow-outlier deployment with hedging: the
+/// scheduler's slot pool gates hedges (each hedge holds a slot, so the
+/// global in-flight cap still holds) and every query's rows and logical
+/// call counts stay byte-identical to the sequential baseline.
+#[test]
+fn scheduled_hedging_respects_slots_and_keeps_results() {
+    let queries = workload();
+    let baseline_engine = parallel_scan_engine(ROWS, 4, 0.0);
+    let baseline: Vec<(Vec<llmsql_types::Row>, u64)> = queries
+        .iter()
+        .map(|(_, sql)| {
+            let r = baseline_engine.execute(sql).unwrap();
+            (r.rows().to_vec(), r.metrics.llm_calls())
+        })
+        .collect();
+
+    const HEDGE_SLOTS: usize = 8;
+    let sched = QueryScheduler::new(
+        slow_outlier_engine(ROWS, 4, RoutingPolicy::LatencyAware, true),
+        SchedConfig::default()
+            .with_workers(4)
+            .with_llm_slots(HEDGE_SLOTS),
+    )
+    .unwrap();
+    let tickets: Vec<QueryTicket> = queries
+        .iter()
+        .map(|(tenant, sql)| {
+            sched
+                .submit(tenant.clone(), Priority::NORMAL, sql.clone())
+                .unwrap()
+        })
+        .collect();
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        let outcome = ticket.wait();
+        let result = outcome.result.unwrap();
+        assert_eq!(
+            result.rows(),
+            &baseline[i].0[..],
+            "query {i} rows diverged under scheduled hedging"
+        );
+        assert_eq!(
+            result.metrics.llm_calls(),
+            baseline[i].1,
+            "query {i} logical call count diverged (hedges must be budget-free)"
+        );
+    }
+    let stats = sched.stats();
+    assert_eq!(stats.completed, 16);
+    // Hedge permits come from the same slot pool, so the accounted global
+    // in-flight cap holds even with hedges firing.
+    assert!(
+        stats.peak_slots_in_use <= HEDGE_SLOTS as u64,
+        "hedges overflowed the slot pool: {stats:?}"
+    );
 }
 
 /// The scheduler works for traditional (no-model) engines too — queue-time
