@@ -1,0 +1,194 @@
+//! CI perf gate: a coarse (<60s) smoke benchmark of the three throughput
+//! surfaces the async dispatch core owns — scan throughput, scheduler
+//! queries/sec and hedged tail latency — written as `BENCH_<N>.json` at the
+//! repo root and compared against the latest committed `BENCH_*.json`.
+//!
+//! The gate fails (exit 1) when either throughput metric regresses more
+//! than [`REGRESSION_TOLERANCE`] against the most recent committed
+//! baseline; with no prior baseline it just emits one. Latency metrics are
+//! recorded for trend visibility but not gated (CI runner jitter makes
+//! absolute-latency gates flappy; throughput over simulated latency is
+//! stable because the work is timer-bound, not CPU-bound).
+//!
+//! Run with: `cargo run --release --bin perf_smoke`
+
+use std::time::Instant;
+
+use llmsql_bench::{parallel_scan_engine, slow_outlier_engine};
+use llmsql_sched::{QueryScheduler, QueryTicket};
+use llmsql_types::{Priority, RoutingPolicy, SchedConfig};
+
+/// The index this run writes: `BENCH_5.json` (PR 5 introduced the gate).
+const BENCH_INDEX: u32 = 5;
+
+/// Fail CI when a throughput metric drops below this fraction of the
+/// baseline (>25% regression).
+const REGRESSION_TOLERANCE: f64 = 0.75;
+
+/// Scan throughput: a 200-row batched scan (20 pages of 10) over a 5ms
+/// simulated round trip at parallelism 16 — reactor-dispatched waves.
+/// Returns rows/sec.
+fn scan_throughput() -> f64 {
+    // Warm once (build plan caches, fault in the world).
+    parallel_scan_engine(200, 16, 5.0)
+        .execute("SELECT name, population FROM countries")
+        .expect("warmup scan");
+    let engine = parallel_scan_engine(200, 16, 5.0);
+    let started = Instant::now();
+    const RUNS: usize = 5;
+    let mut rows = 0usize;
+    for _ in 0..RUNS {
+        engine.client().expect("model attached").clear_cache();
+        let result = engine
+            .execute("SELECT name, population FROM countries")
+            .expect("smoke scan");
+        rows += result.row_count();
+    }
+    rows as f64 / started.elapsed().as_secs_f64()
+}
+
+/// Scheduler throughput: 40 queries over 3 tenants through 4 workers and 32
+/// global slots, 2ms simulated round trips. Returns queries/sec.
+fn scheduler_throughput() -> f64 {
+    let sched = QueryScheduler::new(
+        parallel_scan_engine(60, 8, 2.0),
+        SchedConfig::default()
+            .with_workers(4)
+            .with_llm_slots(32)
+            .paused(),
+    )
+    .expect("valid scheduler config");
+    const QUERIES: usize = 40;
+    let tickets: Vec<QueryTicket> = (0..QUERIES)
+        .map(|i| {
+            sched
+                .submit(
+                    format!("tenant-{}", i % 3),
+                    Priority::NORMAL,
+                    format!(
+                        "SELECT name FROM countries WHERE population > {}",
+                        100_000 + 37 * i
+                    ),
+                )
+                .expect("within admission caps")
+        })
+        .collect();
+    let started = Instant::now();
+    sched.resume();
+    for ticket in tickets {
+        ticket.wait().result.expect("scheduled query succeeded");
+    }
+    QUERIES as f64 / started.elapsed().as_secs_f64()
+}
+
+/// Hedged tail latency: per-query wall times against the slow-outlier pool
+/// (two fast backends, one 10×) with hedging on. Returns (p50_ms, p99_ms).
+fn hedged_tail_latency() -> (f64, f64) {
+    let engine = slow_outlier_engine(30, 4, RoutingPolicy::LatencyAware, true);
+    let mut samples_ms: Vec<f64> = Vec::new();
+    for i in 0..40 {
+        engine.client().expect("model attached").clear_cache();
+        let started = Instant::now();
+        engine
+            .execute(&format!(
+                "SELECT name FROM countries WHERE population > {}",
+                100_000 + 37 * i
+            ))
+            .expect("hedged query");
+        samples_ms.push(started.elapsed().as_secs_f64() * 1000.0);
+    }
+    samples_ms.sort_by(f64::total_cmp);
+    let pick = |q: f64| samples_ms[((samples_ms.len() - 1) as f64 * q) as usize];
+    (pick(0.5), pick(0.99))
+}
+
+/// Extract `"key": <number>` from a flat JSON document (the files are our
+/// own, written below — no nested objects, no string values with colons).
+fn json_number(doc: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = doc.find(&needle)? + needle.len();
+    let rest = doc[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// The committed baseline: the highest-indexed `BENCH_<k>.json` at the repo
+/// root with `k < BENCH_INDEX`.
+fn previous_baseline(root: &std::path::Path) -> Option<(u32, String)> {
+    let mut best: Option<(u32, String)> = None;
+    for entry in std::fs::read_dir(root).ok()? {
+        let entry = entry.ok()?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let Some(index) = name
+            .strip_prefix("BENCH_")
+            .and_then(|rest| rest.strip_suffix(".json"))
+            .and_then(|n| n.parse::<u32>().ok())
+        else {
+            continue;
+        };
+        if index >= BENCH_INDEX {
+            continue;
+        }
+        if best.as_ref().is_none_or(|(b, _)| index > *b) {
+            let doc = std::fs::read_to_string(entry.path()).ok()?;
+            best = Some((index, doc));
+        }
+    }
+    best
+}
+
+fn main() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench sits two levels under the repo root")
+        .to_path_buf();
+
+    eprintln!("perf_smoke: scan throughput ...");
+    let scan_rows_per_sec = scan_throughput();
+    eprintln!("perf_smoke: scheduler throughput ...");
+    let sched_queries_per_sec = scheduler_throughput();
+    eprintln!("perf_smoke: hedged tail latency ...");
+    let (hedged_p50_ms, hedged_p99_ms) = hedged_tail_latency();
+
+    let doc = format!(
+        "{{\n  \"bench\": {BENCH_INDEX},\n  \"scan_rows_per_sec\": {scan_rows_per_sec:.1},\n  \
+         \"sched_queries_per_sec\": {sched_queries_per_sec:.2},\n  \
+         \"hedged_p50_ms\": {hedged_p50_ms:.2},\n  \"hedged_p99_ms\": {hedged_p99_ms:.2}\n}}\n"
+    );
+    let out = root.join(format!("BENCH_{BENCH_INDEX}.json"));
+    std::fs::write(&out, &doc).expect("write bench report");
+    println!("wrote {}:\n{doc}", out.display());
+
+    let Some((prev_index, prev)) = previous_baseline(&root) else {
+        println!("no previous BENCH_*.json baseline; emitted the first one");
+        return;
+    };
+    let mut failed = false;
+    for key in ["scan_rows_per_sec", "sched_queries_per_sec"] {
+        let Some(baseline) = json_number(&prev, key) else {
+            println!("baseline BENCH_{prev_index}.json lacks {key}; skipping gate");
+            continue;
+        };
+        let current = json_number(&doc, key).expect("just wrote it");
+        let ratio = current / baseline;
+        println!(
+            "{key}: {current:.1} vs baseline {baseline:.1} (BENCH_{prev_index}) → {:.0}%",
+            ratio * 100.0
+        );
+        if ratio < REGRESSION_TOLERANCE {
+            eprintln!(
+                "PERF GATE FAILED: {key} regressed {:.0}% (> {:.0}% allowed)",
+                (1.0 - ratio) * 100.0,
+                (1.0 - REGRESSION_TOLERANCE) * 100.0
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("perf gate passed");
+}

@@ -9,7 +9,7 @@
 //!   the baseline and the ground-truth oracle.
 //! * **LlmOnly** — every base relation is virtual and materialized by
 //!   prompting the language model (`llmsql-llm`), using a configurable
-//!   [`PromptStrategy`](llmsql_types::PromptStrategy).
+//!   [`PromptStrategy`].
 //! * **Hybrid** — stored tables with gaps are completed from the model at
 //!   query time.
 //!

@@ -62,13 +62,32 @@ impl ExecContext {
         };
         let elapsed_ms = self.started.elapsed().as_secs_f64() * 1000.0;
         if elapsed_ms > deadline_ms {
-            let calls = self.metrics.llm_call_count();
-            return Err(Error::deadline_exceeded(format!(
-                "query exceeded its {deadline_ms:.0}ms deadline after {elapsed_ms:.1}ms \
-                 with {calls} LLM call(s) issued"
-            )));
+            return Err(self.deadline_error());
         }
         Ok(())
+    }
+
+    /// The structured `DeadlineExceeded` error with this query's partial
+    /// accounting (elapsed wall time, logical calls issued so far). Used by
+    /// [`ExecContext::check_deadline`] between waves and by the reactor path
+    /// when the deadline fires while calls are parked mid-wave.
+    pub fn deadline_error(&self) -> Error {
+        let deadline_ms = self.config.deadline_ms.unwrap_or(0.0);
+        let elapsed_ms = self.started.elapsed().as_secs_f64() * 1000.0;
+        let calls = self.metrics.llm_call_count();
+        Error::deadline_exceeded(format!(
+            "query exceeded its {deadline_ms:.0}ms deadline after {elapsed_ms:.1}ms \
+             with {calls} LLM call(s) issued"
+        ))
+    }
+
+    /// The wall-clock instant at which this query's deadline fires, if one
+    /// is configured — the abort signal handed to the dispatch reactor so a
+    /// worker parked on in-flight calls still honours the deadline mid-wave.
+    pub fn deadline_instant(&self) -> Option<std::time::Instant> {
+        self.config
+            .deadline_ms
+            .map(|ms| self.started + std::time::Duration::from_secs_f64(ms.max(0.0) / 1000.0))
     }
 
     /// Builder-style: throttle this query's LLM dispatch through a shared
@@ -77,6 +96,12 @@ impl ExecContext {
     pub fn with_slots(mut self, slots: Arc<CallSlots>) -> Self {
         self.slots = Some(slots);
         self
+    }
+
+    /// The attached global slot pool, if any (the reactor path acquires
+    /// non-blockingly through it instead of via [`ExecContext::acquire_slot`]).
+    pub(crate) fn slots(&self) -> Option<&Arc<CallSlots>> {
+        self.slots.as_ref()
     }
 
     /// Acquire a global call slot before dispatching one model request,

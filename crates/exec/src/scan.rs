@@ -47,10 +47,12 @@
 //! prompts — a retried or failed-over prompt consumes exactly one unit of
 //! budget no matter how many physical attempts it took.
 
+use std::time::Instant;
+
 use llmsql_llm::prompt::TaskSpec;
 use llmsql_llm::{
-    parse_pipe_rows, parse_value_lines, parse_yes_no, CompletionRequest, CompletionResponse,
-    LlmClient, YesNoAnswer,
+    parse_pipe_rows, parse_value_lines, parse_yes_no, ClientCall, CompletionRequest,
+    CompletionResponse, LlmClient, YesNoAnswer,
 };
 use llmsql_plan::BoundExpr;
 use llmsql_store::Table;
@@ -58,7 +60,9 @@ use llmsql_types::{DataType, PromptStrategy, Result, Row, Schema, Value};
 
 use crate::context::ExecContext;
 use crate::eval::eval_predicate;
+use crate::metrics::InFlightGuard;
 use crate::parallel::par_map;
+use crate::reactor::{self, Completion, DriveOutcome};
 
 /// Parameters of a scan, extracted from the logical plan node. Borrows the
 /// plan's data — constructing a spec allocates nothing.
@@ -138,12 +142,25 @@ impl ScanSpec<'_> {
 /// returning responses in prompt order. Every prompt is recorded as one LLM
 /// call of `kind` and tracked in the in-flight gauge while outstanding.
 ///
+/// Two dispatch engines implement the same semantics:
+///
+/// * **Event-driven** (the default whenever the model supports non-blocking
+///   submission, [`LlmClient::supports_async`]): the whole wave is submitted
+///   through poll-based [`ClientCall`]s and the calling thread parks on the
+///   [`crate::reactor`] — one OS thread holds every in-flight request of the
+///   wave, so deployment concurrency is bounded by slot capacity, not
+///   thread count.
+/// * **Thread-pool** ([`par_map`], the fallback for blocking models): one
+///   scoped worker thread per concurrent request.
+///
 /// Under a cross-query scheduler each request additionally holds a global
-/// call slot while in flight ([`ExecContext::acquire_slot`], injected via
-/// [`LlmClient::complete_gated`] so prompt-cache hits and single-flight
-/// followers bypass the slot pool entirely): the wave is fully planned
-/// before any slot is taken, so throttling delays dispatch but never
-/// changes the prompt set, the rows, or the logical call count.
+/// call slot while in flight (blocking path: [`ExecContext::acquire_slot`]
+/// via [`LlmClient::complete_gated`]; reactor path: a non-blocking
+/// `try_acquire` gate with the wait spent parked, not blocked). Prompt-cache
+/// hits and single-flight followers bypass the slot pool in both. The wave
+/// is fully planned before any slot is taken, so throttling delays dispatch
+/// but never changes the prompt set, the rows, or the logical call count —
+/// and both engines return byte-identical responses in prompt order.
 fn dispatch_wave(
     ctx: &ExecContext,
     client: &LlmClient,
@@ -155,12 +172,104 @@ fn dispatch_wave(
             m.record_llm_call(kind);
         }
     });
+    // A single-prompt wave gains nothing from parking on the reactor; the
+    // inline blocking call doubles as the compat path for blocking models.
+    if prompts.len() > 1 && client.supports_async() {
+        return dispatch_wave_reactor(ctx, client, prompts);
+    }
     par_map(ctx.scan_fanout(), prompts, |_, prompt| {
         let _in_flight = ctx.metrics.track_in_flight();
         client.complete_gated(&CompletionRequest::new(prompt.as_str()), || {
             ctx.acquire_slot()
         })
     })
+}
+
+/// One wave entry on the reactor: a [`ClientCall`] plus this query's
+/// accounting — the in-flight gauge held for the whole flight, and the
+/// non-blocking slot gate with its wait measurement.
+struct WaveOp<'a> {
+    ctx: &'a ExecContext,
+    call: ClientCall,
+    _in_flight: InFlightGuard,
+    /// When this op first found the slot pool saturated (the wait being
+    /// accumulated toward `slot_wait_ms`).
+    slot_wait_started: Option<Instant>,
+    result: Option<Result<CompletionResponse>>,
+}
+
+impl Completion for WaveOp<'_> {
+    fn poll(&mut self, now: Instant) -> bool {
+        if self.result.is_some() {
+            return true;
+        }
+        let ctx = self.ctx;
+        let slot_wait_started = &mut self.slot_wait_started;
+        // The admission gate, non-blocking edition: grant immediately without
+        // a pool; otherwise try_acquire and account the parked wait on grant
+        // exactly like the blocking path accounts its blocked wait.
+        let mut gate = || -> Option<Box<dyn std::any::Any + Send>> {
+            let Some(slots) = ctx.slots() else {
+                return Some(Box::new(()));
+            };
+            match slots.try_acquire_owned() {
+                Some(guard) => {
+                    let waited_us = slot_wait_started
+                        .take()
+                        .map(|since| since.elapsed().as_micros() as u64)
+                        .unwrap_or(0);
+                    ctx.metrics.update(|m| {
+                        m.slot_waits += 1;
+                        m.slot_wait_ms += waited_us as f64 / 1000.0;
+                    });
+                    slots.record_blocked_wait(waited_us);
+                    Some(Box::new(guard))
+                }
+                None => {
+                    slot_wait_started.get_or_insert(now);
+                    None
+                }
+            }
+        };
+        if let Some(result) = self.call.poll(now, &mut gate) {
+            self.result = Some(result);
+            return true;
+        }
+        false
+    }
+
+    fn next_wakeup(&self, now: Instant) -> Option<Instant> {
+        self.call.next_wakeup(now)
+    }
+}
+
+/// The event-driven wave engine: submit every prompt as a poll-based call,
+/// park this thread on the reactor until the wave drains (or the query
+/// deadline fires mid-wave, in which case unfinished calls are cancelled by
+/// drop and reported as `DeadlineExceeded` with partial accounting).
+fn dispatch_wave_reactor(
+    ctx: &ExecContext,
+    client: &LlmClient,
+    prompts: &[String],
+) -> Vec<Result<CompletionResponse>> {
+    let mut ops: Vec<WaveOp<'_>> = prompts
+        .iter()
+        .map(|prompt| WaveOp {
+            ctx,
+            call: client.start_call(CompletionRequest::new(prompt.as_str())),
+            _in_flight: ctx.metrics.track_in_flight(),
+            slot_wait_started: None,
+            result: None,
+        })
+        .collect();
+    let outcome = reactor::drive(&mut ops, ctx.deadline_instant());
+    debug_assert!(
+        outcome == DriveOutcome::Completed || ctx.config.deadline_ms.is_some(),
+        "reactor aborted without a deadline"
+    );
+    ops.into_iter()
+        .map(|op| op.result.unwrap_or_else(|| Err(ctx.deadline_error())))
+        .collect()
 }
 
 /// LLM calls already issued for this query.

@@ -125,6 +125,21 @@ impl CallSlots {
         self.contended.load(Ordering::Relaxed)
     }
 
+    /// Fold an externally measured blocked wait into the contention counters.
+    /// The event-driven dispatch path waits for capacity by re-polling
+    /// [`CallSlots::try_acquire_owned`] from its reactor instead of blocking
+    /// in [`CallSlots::acquire`]; the time it spent parked must still show up
+    /// in `contended_acquisitions` / `total_wait_ms`, or over-subscription
+    /// would become invisible exactly when the async core is in use. Zero
+    /// waits are ignored, keeping the "only real waits are charged"
+    /// invariant.
+    pub fn record_blocked_wait(&self, waited_us: u64) {
+        if waited_us > 0 {
+            self.contended.fetch_add(1, Ordering::Relaxed);
+            self.wait_us.fetch_add(waited_us, Ordering::Relaxed);
+        }
+    }
+
     /// Total time spent blocked waiting for slots, milliseconds.
     pub fn total_wait_ms(&self) -> f64 {
         self.wait_us.load(Ordering::Relaxed) as f64 / 1000.0

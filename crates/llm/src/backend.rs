@@ -105,6 +105,40 @@
 //! * Hedging, like the breaker, trades physical-trace reproducibility for
 //!   latency: whether a hedge fires depends on wall-clock timing. Completion
 //!   text, rows, and logical call counts are unaffected.
+//!
+//! # Non-blocking dispatch (`submit` / [`CallHandle`])
+//!
+//! [`Backend::complete`] blocks its calling thread for the whole round trip,
+//! which pins one OS thread per in-flight request. [`Backend::submit`] is the
+//! completion-based alternative: it returns a [`CallHandle`] immediately, and
+//! the caller polls the handle (typically from an event loop such as
+//! `llmsql_exec::reactor`) until the result is ready. The contract:
+//!
+//! * `submit` must not block on the simulated/remote round trip. The default
+//!   implementation is a **blocking adapter** — it runs `complete` inline and
+//!   returns an already-resolved handle — so every existing backend keeps
+//!   working unchanged; backends that can separate *computing* a response
+//!   from *waiting out* its latency (like [`RemoteLlm`]) override it and
+//!   return a timer-backed handle. [`Backend::supports_async`] advertises
+//!   which case a backend is.
+//! * [`CallHandle::poll`] is non-blocking and returns the result exactly once
+//!   (`None` while pending, and again after the result was taken);
+//!   [`CallHandle::next_wakeup`] tells the event loop when polling can next
+//!   make progress, so a parked worker never spins.
+//! * **Cancellation is dropping the handle.** A dropped in-flight handle
+//!   releases its per-backend `in_flight` gauge and (for a half-open probe)
+//!   the breaker's probe flag; nothing keeps running on another thread. This
+//!   is what makes hedge-loser abandonment free in the async path.
+//!
+//! [`BackendPool`] exposes the same shape one level up:
+//! [`BackendPool::submit_call`] returns a [`PoolCall`] — a poll-driven state
+//! machine that performs the *entire* routing protocol (candidate walk,
+//! bounded retry with backoff timers, breaker skips and probes, and
+//! **timer-armed hedging**) without blocking or spawning. Timer-armed hedging
+//! closes a gap in the blocking path: because arming a timer costs nothing,
+//! *every* hedgeable request gets one, so a one-off stall on a usually-fast
+//! backend is hedged too — not just requests whose backend was already
+//! expected to be late.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
@@ -115,6 +149,90 @@ use llmsql_types::{AtomicEwmaMs, BackendSpec, Error, LlmCostModel, Result, Routi
 use crate::model::{CompletionRequest, CompletionResponse, LanguageModel};
 use crate::noise::hash01;
 
+/// A poll-driven completion state machine: anything that makes progress when
+/// polled and can tell an event loop when to poll it next. [`PoolCall`] is
+/// the main implementation; [`CallHandle::machine`] wraps one as a handle.
+pub trait CallMachine: Send {
+    /// Attempt to make progress. Returns the final result exactly once;
+    /// `None` while pending (and again after the result was taken).
+    fn poll(&mut self, now: Instant) -> Option<Result<CompletionResponse>>;
+
+    /// The earliest instant at which [`CallMachine::poll`] can make further
+    /// progress, or `None` when it should be polled immediately.
+    fn next_wakeup(&self, now: Instant) -> Option<Instant>;
+}
+
+/// The completion handle returned by [`Backend::submit`] /
+/// `LanguageModel::submit`: a one-shot, poll-based future for a single
+/// logical completion. See the module docs ("Non-blocking dispatch") for the
+/// poll/cancel contract.
+pub struct CallHandle {
+    inner: HandleInner,
+}
+
+enum HandleInner {
+    /// Already resolved (the blocking-adapter case).
+    Ready(Option<Result<CompletionResponse>>),
+    /// Resolved, but not observable before `ready_at` (a simulated round
+    /// trip represented as a timer instead of a sleeping thread).
+    Timed {
+        ready_at: Instant,
+        result: Option<Result<CompletionResponse>>,
+    },
+    /// Driven by a nested state machine (e.g. a [`PoolCall`]).
+    Machine(Box<dyn CallMachine>),
+}
+
+impl CallHandle {
+    /// An already-resolved handle (the blocking adapter).
+    pub fn ready(result: Result<CompletionResponse>) -> CallHandle {
+        CallHandle {
+            inner: HandleInner::Ready(Some(result)),
+        }
+    }
+
+    /// A handle whose (precomputed) result becomes observable at `ready_at`.
+    pub fn timed(result: Result<CompletionResponse>, ready_at: Instant) -> CallHandle {
+        CallHandle {
+            inner: HandleInner::Timed {
+                ready_at,
+                result: Some(result),
+            },
+        }
+    }
+
+    /// A handle driven by a nested [`CallMachine`].
+    pub fn machine(machine: Box<dyn CallMachine>) -> CallHandle {
+        CallHandle {
+            inner: HandleInner::Machine(machine),
+        }
+    }
+
+    /// Non-blocking progress check; returns the result exactly once.
+    pub fn poll(&mut self, now: Instant) -> Option<Result<CompletionResponse>> {
+        match &mut self.inner {
+            HandleInner::Ready(result) => result.take(),
+            HandleInner::Timed { ready_at, result } => {
+                if now >= *ready_at {
+                    result.take()
+                } else {
+                    None
+                }
+            }
+            HandleInner::Machine(machine) => machine.poll(now),
+        }
+    }
+
+    /// When the next [`CallHandle::poll`] can make progress (`None` = now).
+    pub fn next_wakeup(&self, now: Instant) -> Option<Instant> {
+        match &self.inner {
+            HandleInner::Ready(_) => None,
+            HandleInner::Timed { ready_at, .. } => Some(*ready_at),
+            HandleInner::Machine(machine) => machine.next_wakeup(now),
+        }
+    }
+}
+
 /// One completion endpoint. See the module docs for the full contract.
 pub trait Backend: Send + Sync {
     /// Unique endpoint name within a pool (shows up in per-backend metrics).
@@ -124,6 +242,19 @@ pub trait Backend: Send + Sync {
     /// this attempt *on this backend* for this request; deterministic
     /// backends derive transient-failure decisions from it (contract rule 2).
     fn complete(&self, request: &CompletionRequest, attempt: usize) -> Result<CompletionResponse>;
+
+    /// Non-blocking submission of one attempt (see the module docs). The
+    /// default is the blocking adapter: `complete` runs inline and the handle
+    /// comes back already resolved, so existing backends work unchanged.
+    fn submit(&self, request: &CompletionRequest, attempt: usize) -> CallHandle {
+        CallHandle::ready(self.complete(request, attempt))
+    }
+
+    /// True when [`Backend::submit`] returns without blocking on the round
+    /// trip (i.e. the backend overrides the default blocking adapter).
+    fn supports_async(&self) -> bool {
+        false
+    }
 
     /// Semantic fingerprint of the model this endpoint serves (contract
     /// rule 1). Pools require all members to agree.
@@ -182,6 +313,85 @@ impl RemoteLlm {
             self.seed,
         ) < self.error_rate
     }
+
+    /// The deterministic outcome of one attempt — the failure decision plus,
+    /// on success, the inner model's completion re-priced with this
+    /// endpoint's own cost model; the text is the inner model's verbatim
+    /// (contract rule 1). Reported latency covers this endpoint's network
+    /// round trip too, so a slow backend is distinguishable from a fast one
+    /// in per-backend metrics. Shared by the blocking and async paths, so
+    /// both produce byte-identical responses and failure traces.
+    fn attempt_outcome(
+        &self,
+        request: &CompletionRequest,
+        attempt: usize,
+    ) -> Result<CompletionResponse> {
+        if self.attempt_fails(&request.prompt, attempt) {
+            return Err(Error::llm(format!(
+                "backend '{}' failed attempt {attempt} (simulated endpoint error)",
+                self.id
+            )));
+        }
+        let response = self.inner.complete(request)?;
+        Ok(reprice_response(self.cost_model, self.latency_ms, response))
+    }
+}
+
+/// Re-price an inner model's completion as served by one endpoint: the
+/// endpoint's own cost model, with the endpoint's network round trip folded
+/// into the reported latency. The text stays the inner model's verbatim
+/// (contract rule 1).
+fn reprice_response(
+    cost_model: LlmCostModel,
+    endpoint_latency_ms: f64,
+    response: CompletionResponse,
+) -> CompletionResponse {
+    let cost_usd = cost_model.request_cost_usd(response.prompt_tokens, response.completion_tokens);
+    let latency_ms =
+        endpoint_latency_ms + cost_model.request_latency_ms(response.completion_tokens);
+    CompletionResponse {
+        cost_usd,
+        latency_ms,
+        ..response
+    }
+}
+
+/// The async flight of one [`RemoteLlm`] attempt: first the inner model's
+/// (possibly timer-backed) completion, then this endpoint's own simulated
+/// round trip as a second timer — so a latency-bearing inner model never
+/// blocks the reactor thread, and the serial wall time matches the blocking
+/// path (inner time + endpoint latency).
+struct RemoteCall {
+    inner: CallHandle,
+    endpoint_latency: Duration,
+    cost_model: LlmCostModel,
+    endpoint_latency_ms: f64,
+    /// The repriced result, held until the endpoint round-trip timer fires.
+    staged: Option<(Result<CompletionResponse>, Instant)>,
+}
+
+impl CallMachine for RemoteCall {
+    fn poll(&mut self, now: Instant) -> Option<Result<CompletionResponse>> {
+        if self.staged.is_none() {
+            let outcome = self.inner.poll(now)?;
+            let repriced = outcome
+                .map(|resp| reprice_response(self.cost_model, self.endpoint_latency_ms, resp));
+            self.staged = Some((repriced, now + self.endpoint_latency));
+        }
+        let (_, ready_at) = self.staged.as_ref().expect("just staged");
+        if now >= *ready_at {
+            Some(self.staged.take().expect("just checked").0)
+        } else {
+            None
+        }
+    }
+
+    fn next_wakeup(&self, now: Instant) -> Option<Instant> {
+        match &self.staged {
+            Some((_, ready_at)) => Some(*ready_at),
+            None => self.inner.next_wakeup(now),
+        }
+    }
 }
 
 impl Backend for RemoteLlm {
@@ -193,29 +403,41 @@ impl Backend for RemoteLlm {
         if self.latency_ms > 0.0 {
             std::thread::sleep(std::time::Duration::from_secs_f64(self.latency_ms / 1000.0));
         }
+        self.attempt_outcome(request, attempt)
+    }
+
+    /// Native non-blocking submission: the failure decision is made now, the
+    /// inner model is submitted through *its* non-blocking API (so an inner
+    /// model with its own simulated latency contributes a timer, not a
+    /// sleep), and this endpoint's round trip becomes a second timer on the
+    /// returned handle. This is the backend that lets one OS thread hold
+    /// arbitrarily many in-flight simulated requests.
+    fn submit(&self, request: &CompletionRequest, attempt: usize) -> CallHandle {
         if self.attempt_fails(&request.prompt, attempt) {
-            return Err(Error::llm(format!(
+            let err = Err(Error::llm(format!(
                 "backend '{}' failed attempt {attempt} (simulated endpoint error)",
                 self.id
             )));
+            return if self.latency_ms > 0.0 {
+                CallHandle::timed(
+                    err,
+                    Instant::now() + Duration::from_secs_f64(self.latency_ms / 1000.0),
+                )
+            } else {
+                CallHandle::ready(err)
+            };
         }
-        let response = self.inner.complete(request)?;
-        // Re-price with this endpoint's own cost model; the text is the
-        // inner model's verbatim (contract rule 1). Reported latency covers
-        // this endpoint's network round trip too, so a slow backend is
-        // distinguishable from a fast one in per-backend metrics.
-        let cost_usd = self
-            .cost_model
-            .request_cost_usd(response.prompt_tokens, response.completion_tokens);
-        let latency_ms = self.latency_ms
-            + self
-                .cost_model
-                .request_latency_ms(response.completion_tokens);
-        Ok(CompletionResponse {
-            cost_usd,
-            latency_ms,
-            ..response
-        })
+        CallHandle::machine(Box::new(RemoteCall {
+            inner: self.inner.submit(request),
+            endpoint_latency: Duration::from_secs_f64(self.latency_ms.max(0.0) / 1000.0),
+            cost_model: self.cost_model,
+            endpoint_latency_ms: self.latency_ms,
+            staged: None,
+        }))
+    }
+
+    fn supports_async(&self) -> bool {
+        true
     }
 
     fn fingerprint(&self) -> String {
@@ -275,6 +497,9 @@ struct SlotCounters {
     hedges_won: AtomicU64,
     /// EWMA of *measured* successful-request latency, milliseconds.
     ewma: AtomicEwmaMs,
+    /// Pool-epoch time (ms, saturated to ≥ 1 so 0 keeps meaning "never") of
+    /// the latest EWMA sample — the staleness clock for read-side decay.
+    last_sample_ms: AtomicU64,
 }
 
 /// Reported completion latency → accumulated microseconds. Rounds to the
@@ -404,6 +629,64 @@ struct SlotShared {
     breaker: BreakerState,
 }
 
+impl SlotShared {
+    /// Record one successful attempt: reported-latency accumulator, the
+    /// measured-latency EWMA (plus its staleness clock for decayed reads),
+    /// and the breaker reset. Shared by the blocking walk, the hedge worker
+    /// threads and the async [`PoolCall`] machine so all three account
+    /// identically.
+    ///
+    /// A sample landing after the estimate went stale (idle ≥ 2 decay
+    /// half-lives) *replaces* the average instead of merging into it: the
+    /// decayed read already declared the old value untrustworthy, so letting
+    /// it drag the fresh observation would keep a recovered backend pinned
+    /// to its obsolete history for many more samples.
+    fn record_success(
+        &self,
+        reported_latency_ms: f64,
+        measured_ms: f64,
+        now_ms: u64,
+        decay_half_life_ms: f64,
+    ) {
+        self.counters
+            .latency_us
+            .fetch_add(round_latency_us(reported_latency_ms), Ordering::Relaxed);
+        let last = self.counters.last_sample_ms.load(Ordering::Relaxed);
+        let stale = decay_half_life_ms > 0.0
+            && last != 0
+            && now_ms.saturating_sub(last) as f64 >= 2.0 * decay_half_life_ms;
+        if stale {
+            self.counters.ewma.set(measured_ms);
+        } else {
+            self.counters.ewma.observe(measured_ms);
+        }
+        self.counters
+            .last_sample_ms
+            .store(now_ms.max(1), Ordering::Relaxed);
+    }
+
+    /// Record one failed attempt; returns true when the breaker just opened
+    /// (so the caller fails over instead of burning retries).
+    fn record_error(&self, now_ms: u64, threshold: u64, cooldown_ms: f64, probe: bool) -> bool {
+        self.counters.errors.fetch_add(1, Ordering::Relaxed);
+        threshold > 0 && self.breaker.on_error(now_ms, threshold, cooldown_ms, probe)
+    }
+
+    /// The latency EWMA discounted for staleness (see
+    /// [`AtomicEwmaMs::decayed`]): `half_life_ms` of idle time halves the
+    /// estimate, so a backend whose scary average chased routing away decays
+    /// back into contention and gets re-probed.
+    fn decayed_ewma(&self, now_ms: u64, half_life_ms: f64) -> Option<f64> {
+        let last = self.counters.last_sample_ms.load(Ordering::Relaxed);
+        let idle_ms = if last == 0 {
+            0.0
+        } else {
+            now_ms.saturating_sub(last) as f64
+        };
+        self.counters.ewma.decayed(idle_ms, half_life_ms)
+    }
+}
+
 struct PoolSlot {
     backend: Arc<dyn Backend>,
     shared: Arc<SlotShared>,
@@ -443,6 +726,9 @@ pub struct BackendPool {
     hedge_min_ms: f64,
     /// Hedge admission gate (see [`HedgePermitGate`]); `None` = always admit.
     hedge_gate: parking_lot::Mutex<Option<HedgePermitGate>>,
+    /// Half-life for read-side decay of the latency EWMAs, milliseconds
+    /// (0 disables decay). See [`BackendPool::with_latency_decay`].
+    decay_half_life_ms: f64,
     /// Monotonic base for the breakers' cooldown clocks.
     epoch: Instant,
 }
@@ -460,6 +746,12 @@ struct HedgePlan {
 /// Hard cap on a single backoff sleep so a misconfigured base cannot stall
 /// a scan worker for seconds.
 const BACKOFF_CAP_MS: f64 = 100.0;
+
+/// Default half-life for read-side decay of the latency EWMAs. Long enough
+/// that decay is invisible within one query (sub-second), short enough that
+/// a backend sidelined by a stale scary average re-enters contention within
+/// a few seconds of idling.
+const DEFAULT_DECAY_HALF_LIFE_MS: f64 = 2_000.0;
 
 impl BackendPool {
     /// Build a pool. Fails on an empty backend list, duplicate ids, or
@@ -504,6 +796,7 @@ impl BackendPool {
             hedge_multiplier: 0.0,
             hedge_min_ms: 1.0,
             hedge_gate: parking_lot::Mutex::new(None),
+            decay_half_life_ms: DEFAULT_DECAY_HALF_LIFE_MS,
             epoch: Instant::now(),
         })
     }
@@ -563,6 +856,20 @@ impl BackendPool {
         self
     }
 
+    /// Builder-style: half-life (ms) for read-side decay of the latency
+    /// EWMAs. Every read that drives a decision —
+    /// [`llmsql_types::RoutingPolicy::LatencyAware`] ordering, hedge
+    /// thresholds, [`BackendPool::latency_ewma_ms`] — discounts a backend's
+    /// average by half per `half_life_ms` since its last sample. This fixes
+    /// the latency-aware cold-trap: a backend that was slow (or tripped its
+    /// breaker) once would otherwise keep its scary average forever, never
+    /// receive traffic, and so never get the fresh sample proving it
+    /// recovered. Decay is on by default (2s half-life); 0 disables it.
+    pub fn with_latency_decay(mut self, half_life_ms: f64) -> Self {
+        self.decay_half_life_ms = half_life_ms.max(0.0);
+        self
+    }
+
     /// Install (or clear) the hedge admission gate. Under a cross-query
     /// scheduler the engine wires this to the global call-slot pool's
     /// non-blocking acquire, so hedges only ever use spare slot capacity.
@@ -611,13 +918,18 @@ impl BackendPool {
     /// before a backend's first successful request. Kept out of
     /// [`BackendStats`] because it is wall-clock-measured and would break
     /// trace-reproducibility comparisons of deterministic counter snapshots.
+    ///
+    /// Reads are staleness-decayed ([`BackendPool::with_latency_decay`]):
+    /// what this returns is exactly the estimate routing and hedging act on,
+    /// so an idle backend's entry visibly drifts back toward zero.
     pub fn latency_ewma_ms(&self) -> Vec<(String, Option<f64>)> {
+        let now_ms = self.now_ms();
         self.slots
             .iter()
             .map(|slot| {
                 (
                     slot.backend.id().to_string(),
-                    slot.shared.counters.ewma.get(),
+                    slot.shared.decayed_ewma(now_ms, self.decay_half_life_ms),
                 )
             })
             .collect()
@@ -652,9 +964,17 @@ impl BackendPool {
             RoutingPolicy::LatencyAware => {
                 // Lowest measured EWMA first; backends without a sample sort
                 // ahead of everything (0.0 < any clamped sample) so a cold
-                // pool explores each member once before settling.
+                // pool explores each member once before settling. Reads are
+                // staleness-decayed, so a sidelined backend's average drifts
+                // down until it wins a probe request and refreshes itself.
+                let now_ms = self.now_ms();
                 order.sort_by(|&a, &b| {
-                    let ewma = |i: usize| self.slots[i].shared.counters.ewma.get().unwrap_or(0.0);
+                    let ewma = |i: usize| {
+                        self.slots[i]
+                            .shared
+                            .decayed_ewma(now_ms, self.decay_half_life_ms)
+                            .unwrap_or(0.0)
+                    };
                     ewma(a).total_cmp(&ewma(b)).then(a.cmp(&b))
                 });
             }
@@ -733,6 +1053,7 @@ impl BackendPool {
                 probe,
                 self.breaker_threshold,
                 self.breaker_cooldown_ms,
+                self.decay_half_life_ms,
                 self.epoch,
             ) {
                 Ok(response) => return Ok(response),
@@ -752,74 +1073,25 @@ impl BackendPool {
 
     /// Decide whether this request can be hedged, and how (see the module
     /// docs for the conditions). `None` falls back to the plain walk.
+    ///
+    /// On top of the shared candidate selection ([`Self::hedge_candidates`])
+    /// the *blocking* path applies a spawn-free fast-path veto: a primary
+    /// whose own (decayed) EWMA predicts an on-time finish skips hedged
+    /// dispatch entirely, so the common case pays no worker-thread spawn or
+    /// request clone. The async path needs no such veto — arming a timer is
+    /// free — which is exactly what makes it catch one-off stalls the
+    /// blocking path cannot (timer-armed hedging).
     fn hedge_plan(&self, order: &[usize]) -> Option<HedgePlan> {
-        if self.slots.len() < 2 {
-            return None;
-        }
-        let breaker_closed = |i: usize| {
-            self.breaker_threshold == 0
-                || self.slots[i]
-                    .shared
-                    .breaker
-                    .open_until_ms
-                    .load(Ordering::Acquire)
-                    == 0
-        };
-        let primary = *order.first()?;
-        // A primary whose breaker is open or probing has its own recovery
-        // protocol; don't entangle it with hedging.
-        if !breaker_closed(primary) {
-            return None;
-        }
-        // "Late" is defined against the fastest healthy backend's EWMA; with
-        // no samples anywhere there is nothing to compare against.
-        let floor_ms = order
-            .iter()
-            .filter(|&&i| breaker_closed(i))
-            .filter_map(|&i| self.slots[i].shared.counters.ewma.get())
-            .fold(f64::INFINITY, f64::min);
-        if !floor_ms.is_finite() {
-            return None;
-        }
-        // Hedge target: the fastest-known healthy sibling; a sample-less
-        // sibling is acceptable only when no sampled one exists.
-        let hedge = order
-            .iter()
-            .copied()
-            .filter(|&i| i != primary && breaker_closed(i))
-            .min_by(|&a, &b| {
-                let key = |i: usize| {
-                    self.slots[i]
-                        .shared
-                        .counters
-                        .ewma
-                        .get()
-                        .unwrap_or(f64::INFINITY)
-                };
-                key(a).total_cmp(&key(b)).then(a.cmp(&b))
-            })?;
-        let threshold_ms = (self.hedge_multiplier * floor_ms).max(self.hedge_min_ms);
-        // Spawn-free fast path: a primary whose own EWMA predicts an
-        // on-time finish skips hedged dispatch entirely, so the common case
-        // pays no worker-thread spawn or request clone. The trade-off: a
-        // one-off stall on a usually-fast backend is not hedged (the
-        // timer-armed hedge that needs no up-front spawn is a ROADMAP
-        // follow-up). An unsampled primary is exactly the exploration case
-        // and keeps the hedge protection.
-        if self.slots[primary]
+        let plan = self.hedge_candidates(order)?;
+        let now_ms = self.now_ms();
+        if self.slots[plan.primary]
             .shared
-            .counters
-            .ewma
-            .get()
-            .is_some_and(|expected_ms| expected_ms <= threshold_ms)
+            .decayed_ewma(now_ms, self.decay_half_life_ms)
+            .is_some_and(|expected_ms| expected_ms <= plan.threshold_ms)
         {
             return None;
         }
-        Some(HedgePlan {
-            primary,
-            hedge,
-            threshold_ms,
-        })
+        Some(plan)
     }
 
     /// Hedged dispatch: run the primary on a worker thread; once it is late
@@ -843,6 +1115,7 @@ impl BackendPool {
                 let backoff_base_ms = self.backoff_base_ms;
                 let breaker_threshold = self.breaker_threshold;
                 let breaker_cooldown_ms = self.breaker_cooldown_ms;
+                let decay_half_life_ms = self.decay_half_life_ms;
                 let epoch = self.epoch;
                 let tx = tx.clone();
                 std::thread::spawn(move || {
@@ -859,6 +1132,7 @@ impl BackendPool {
                             false,
                             breaker_threshold,
                             breaker_cooldown_ms,
+                            decay_half_life_ms,
                             epoch,
                         )
                     }))
@@ -947,6 +1221,512 @@ impl BackendPool {
             Some(gate) => gate(),
         }
     }
+
+    /// Non-blocking submission: the whole routing protocol — candidate walk,
+    /// bounded retry with backoff timers, breaker skips/probes, timer-armed
+    /// hedging — as a poll-driven [`PoolCall`] machine. The caller (usually
+    /// an event loop holding many of these) polls it to completion; dropping
+    /// it mid-flight cancels cleanly. Semantically identical to
+    /// [`BackendPool::complete`]: same candidate order, same deterministic
+    /// attempt trace, same response text.
+    pub fn submit_call(&self, request: &CompletionRequest) -> PoolCall {
+        let order = self.candidate_order(request);
+        let cands: Vec<PoolCandidate> = order
+            .iter()
+            .map(|&i| PoolCandidate {
+                backend: Arc::clone(&self.slots[i].backend),
+                shared: Arc::clone(&self.slots[i].shared),
+            })
+            .collect();
+        // Timer-armed hedge plan: like `hedge_plan`, minus the
+        // expected-on-time veto — arming a timer costs nothing here, so even
+        // a usually-fast primary is protected against a one-off stall.
+        let hedge_plan = if self.hedge_multiplier > 0.0 {
+            self.hedge_candidates(&order)
+        } else {
+            None
+        };
+        PoolCall {
+            request: request.clone(),
+            cands,
+            retries: self.retries,
+            backoff_base_ms: self.backoff_base_ms,
+            breaker_threshold: self.breaker_threshold,
+            breaker_cooldown_ms: self.breaker_cooldown_ms,
+            decay_half_life_ms: self.decay_half_life_ms,
+            epoch: self.epoch,
+            walk: WalkState::Next,
+            pos: 0,
+            attempt: 0,
+            flight: None,
+            hedge_threshold_ms: hedge_plan.as_ref().map(|p| p.threshold_ms),
+            hedge_target: hedge_plan.map(|p| {
+                order
+                    .iter()
+                    .position(|&i| i == p.hedge)
+                    .expect("hedge target is a member of the candidate order")
+            }),
+            hedge_fire_at: None,
+            hedge_flight: None,
+            hedge_used: None,
+            hedge_gate: self.hedge_gate.lock().clone(),
+            hedge_permit: None,
+            last_err: None,
+            short_circuited: 0,
+        }
+    }
+
+    /// The hedge-candidate selection shared by both dispatch paths: a
+    /// request is hedgeable when its primary's breaker is closed and a
+    /// sampled healthy sibling defines the (decayed-EWMA) lateness floor;
+    /// the hedge target is the fastest-known healthy sibling. The blocking
+    /// path layers an expected-on-time veto on top ([`Self::hedge_plan`]);
+    /// the async path arms a timer for every plan and decides at expiry,
+    /// against the primary's *actual* progress.
+    fn hedge_candidates(&self, order: &[usize]) -> Option<HedgePlan> {
+        if self.slots.len() < 2 {
+            return None;
+        }
+        let breaker_closed = |i: usize| {
+            self.breaker_threshold == 0
+                || self.slots[i]
+                    .shared
+                    .breaker
+                    .open_until_ms
+                    .load(Ordering::Acquire)
+                    == 0
+        };
+        let primary = *order.first()?;
+        if !breaker_closed(primary) {
+            return None;
+        }
+        let now_ms = self.now_ms();
+        let decayed = |i: usize| {
+            self.slots[i]
+                .shared
+                .decayed_ewma(now_ms, self.decay_half_life_ms)
+        };
+        let floor_ms = order
+            .iter()
+            .filter(|&&i| breaker_closed(i))
+            .filter_map(|&i| decayed(i))
+            .fold(f64::INFINITY, f64::min);
+        if !floor_ms.is_finite() {
+            return None;
+        }
+        let hedge = order
+            .iter()
+            .copied()
+            .filter(|&i| i != primary && breaker_closed(i))
+            .min_by(|&a, &b| {
+                let key = |i: usize| decayed(i).unwrap_or(f64::INFINITY);
+                key(a).total_cmp(&key(b)).then(a.cmp(&b))
+            })?;
+        Some(HedgePlan {
+            primary,
+            hedge,
+            threshold_ms: (self.hedge_multiplier * floor_ms).max(self.hedge_min_ms),
+        })
+    }
+}
+
+/// One candidate of a [`PoolCall`], in routing order.
+struct PoolCandidate {
+    backend: Arc<dyn Backend>,
+    shared: Arc<SlotShared>,
+}
+
+/// One in-flight attempt inside a [`PoolCall`]: owns the per-backend
+/// `in_flight` increment (and, for a half-open probe, the probe flag) so that
+/// dropping the flight — cancellation by abandonment — always restores the
+/// backend's gauges.
+struct Flight {
+    handle: CallHandle,
+    started: Instant,
+    probe: bool,
+    shared: Arc<SlotShared>,
+    /// True while the in-flight increment is still owed back.
+    open: bool,
+}
+
+impl Flight {
+    fn launch(
+        cand: &PoolCandidate,
+        request: &CompletionRequest,
+        attempt: usize,
+        probe: bool,
+    ) -> Flight {
+        cand.shared.counters.calls.fetch_add(1, Ordering::Relaxed);
+        cand.shared
+            .counters
+            .in_flight
+            .fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        Flight {
+            handle: cand.backend.submit(request, attempt),
+            started,
+            probe,
+            shared: Arc::clone(&cand.shared),
+            open: true,
+        }
+    }
+
+    /// Normal resolution: release the in-flight increment; breaker state is
+    /// the caller's job (`on_success`/`on_error` own the probe flag there).
+    fn close(&mut self) {
+        if self.open {
+            self.open = false;
+            self.shared
+                .counters
+                .in_flight
+                .fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Drop for Flight {
+    fn drop(&mut self) {
+        if self.open {
+            self.shared
+                .counters
+                .in_flight
+                .fetch_sub(1, Ordering::Relaxed);
+            if self.probe {
+                // An abandoned half-open probe must not wedge the breaker.
+                self.shared.breaker.probing.store(false, Ordering::Release);
+            }
+            self.open = false;
+        }
+    }
+}
+
+/// Where a [`PoolCall`]'s candidate walk currently is.
+enum WalkState {
+    /// Advance to the next admissible candidate and launch attempt 0.
+    Next,
+    /// The current candidate has an attempt in flight.
+    InFlight,
+    /// The current candidate failed a retryable attempt; the next attempt
+    /// launches once the backoff timer expires.
+    Backoff { until: Instant },
+    /// Every candidate is exhausted but a hedge is still in flight — its
+    /// outcome decides the call.
+    AwaitHedge,
+    /// Resolved (result already handed out).
+    Done,
+}
+
+/// A poll-driven [`BackendPool`] request: the full routing/retry/hedging
+/// protocol as a [`CallMachine`], created by [`BackendPool::submit_call`].
+///
+/// Ownership rules (the completion contract, relied on by
+/// `llmsql_exec::reactor`):
+///
+/// * [`CallMachine::poll`] returns the result exactly once; after that the
+///   machine is inert.
+/// * Backoff and hedge delays are timers surfaced through
+///   [`CallMachine::next_wakeup`], never sleeps — polling is always
+///   non-blocking (up to a member backend's own `submit`, which for async
+///   backends is compute only).
+/// * Dropping the machine mid-flight abandons primary and hedge alike:
+///   per-backend `in_flight` gauges, probe flags and the hedge's slot permit
+///   are all released by `Drop`.
+/// * A fired hedge holds its admission-gate permit for its whole flight and
+///   releases it on resolution or abandonment; the loser of the
+///   primary/hedge race is dropped, not waited for.
+pub struct PoolCall {
+    request: CompletionRequest,
+    /// Candidates in routing order (index 0 = primary).
+    cands: Vec<PoolCandidate>,
+    retries: usize,
+    backoff_base_ms: f64,
+    breaker_threshold: u64,
+    breaker_cooldown_ms: f64,
+    decay_half_life_ms: f64,
+    epoch: Instant,
+    walk: WalkState,
+    /// Index (into `cands`) of the candidate the walk is currently on.
+    pos: usize,
+    /// Attempt ordinal on the current candidate.
+    attempt: usize,
+    flight: Option<Flight>,
+    /// Lateness threshold for the armed hedge, ms (`None` = not hedgeable).
+    hedge_threshold_ms: Option<f64>,
+    /// Candidate index (into `cands`) the hedge would go to.
+    hedge_target: Option<usize>,
+    /// When the armed hedge timer expires (set when the primary launches).
+    hedge_fire_at: Option<Instant>,
+    hedge_flight: Option<Flight>,
+    /// Candidate index consumed by a fired hedge (excluded from failover).
+    hedge_used: Option<usize>,
+    hedge_gate: Option<HedgePermitGate>,
+    /// The admission permit a fired hedge holds while in flight.
+    hedge_permit: Option<Box<dyn std::any::Any + Send>>,
+    last_err: Option<Error>,
+    short_circuited: usize,
+}
+
+impl PoolCall {
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    /// Resolve the whole call: abandon whatever is still in flight.
+    fn finish(&mut self) {
+        self.walk = WalkState::Done;
+        self.flight = None; // Drop releases gauges
+        self.hedge_flight = None;
+        self.hedge_permit = None;
+        self.hedge_fire_at = None;
+    }
+
+    /// Launch the next attempt on the current candidate (attempt > 0 is a
+    /// retry) and arm the hedge timer when this is the primary's first shot.
+    fn launch_attempt(&mut self, probe: bool) {
+        if self.attempt > 0 {
+            self.cands[self.pos]
+                .shared
+                .counters
+                .retries
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        let flight = Flight::launch(&self.cands[self.pos], &self.request, self.attempt, probe);
+        if self.pos == 0 && self.attempt == 0 {
+            if let (Some(threshold_ms), Some(_)) = (self.hedge_threshold_ms, self.hedge_target) {
+                self.hedge_fire_at =
+                    Some(flight.started + Duration::from_secs_f64(threshold_ms / 1000.0));
+            }
+        }
+        self.flight = Some(flight);
+        self.walk = WalkState::InFlight;
+    }
+
+    /// Drive the hedge side: harvest a finished hedge (a win resolves the
+    /// call) and fire the armed timer when it expires while the primary is
+    /// still working. Returns the final result when the hedge won.
+    fn poll_hedge(&mut self, now: Instant) -> Option<Result<CompletionResponse>> {
+        if let Some(flight) = &mut self.hedge_flight {
+            if let Some(outcome) = flight.handle.poll(now) {
+                let measured_ms =
+                    now.saturating_duration_since(flight.started).as_secs_f64() * 1000.0;
+                flight.close();
+                let shared = Arc::clone(&flight.shared);
+                self.hedge_flight = None;
+                self.hedge_permit = None; // slot released with the flight
+                match outcome {
+                    Ok(response) => {
+                        shared.record_success(
+                            response.latency_ms,
+                            measured_ms,
+                            self.now_ms(),
+                            self.decay_half_life_ms,
+                        );
+                        if self.breaker_threshold > 0 {
+                            shared.breaker.on_success();
+                        }
+                        shared.counters.hedges_won.fetch_add(1, Ordering::Relaxed);
+                        self.finish();
+                        return Some(Ok(response));
+                    }
+                    Err(e) => {
+                        shared.record_error(
+                            self.now_ms(),
+                            self.breaker_threshold,
+                            self.breaker_cooldown_ms,
+                            false,
+                        );
+                        self.last_err = Some(e);
+                    }
+                }
+            }
+            return None;
+        }
+        // Timer-armed firing: one shot, only while the original primary is
+        // still the active candidate (failover has its own protocol), and
+        // only with the admission gate's blessing — a veto disarms for good,
+        // like the blocking path's single gate consultation.
+        if let (Some(fire_at), Some(target)) = (self.hedge_fire_at, self.hedge_target) {
+            if now >= fire_at {
+                self.hedge_fire_at = None;
+                let primary_active = self.pos == 0
+                    && matches!(self.walk, WalkState::InFlight | WalkState::Backoff { .. });
+                if primary_active && self.hedge_used.is_none() {
+                    let permit = match &self.hedge_gate {
+                        None => Some(Box::new(()) as Box<dyn std::any::Any + Send>),
+                        Some(gate) => gate(),
+                    };
+                    if let Some(permit) = permit {
+                        let cand = &self.cands[target];
+                        cand.shared.counters.hedges.fetch_add(1, Ordering::Relaxed);
+                        self.hedge_permit = Some(permit);
+                        self.hedge_flight = Some(Flight::launch(cand, &self.request, 0, false));
+                        self.hedge_used = Some(target);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// The terminal error once every candidate (and any hedge) is spent.
+    fn exhausted_error(&mut self) -> Error {
+        self.last_err.take().unwrap_or_else(|| {
+            if self.short_circuited > 0 {
+                Error::llm(format!(
+                    "all {} backend(s) are circuit-broken; retry after the cooldown",
+                    self.short_circuited
+                ))
+            } else {
+                Error::llm("backend pool has no backends")
+            }
+        })
+    }
+}
+
+impl CallMachine for PoolCall {
+    fn poll(&mut self, now: Instant) -> Option<Result<CompletionResponse>> {
+        if matches!(self.walk, WalkState::Done) {
+            return None;
+        }
+        if let Some(win) = self.poll_hedge(now) {
+            return Some(win);
+        }
+        loop {
+            match self.walk {
+                WalkState::Next => {
+                    if self.pos >= self.cands.len() {
+                        if self.hedge_flight.is_some() {
+                            // Every candidate failed but the hedge is still
+                            // racing; its outcome decides the call.
+                            self.walk = WalkState::AwaitHedge;
+                            return None;
+                        }
+                        let err = self.exhausted_error();
+                        self.finish();
+                        return Some(Err(err));
+                    }
+                    if Some(self.pos) == self.hedge_used {
+                        // The fired hedge already consumed this candidate.
+                        self.pos += 1;
+                        continue;
+                    }
+                    let probe = if self.breaker_threshold > 0 {
+                        match self.cands[self.pos].shared.breaker.admission(self.now_ms()) {
+                            Admission::Skip => {
+                                self.cands[self.pos]
+                                    .shared
+                                    .counters
+                                    .short_circuits
+                                    .fetch_add(1, Ordering::Relaxed);
+                                self.short_circuited += 1;
+                                self.pos += 1;
+                                continue;
+                            }
+                            Admission::Probe => true,
+                            Admission::Normal => false,
+                        }
+                    } else {
+                        false
+                    };
+                    self.attempt = 0;
+                    self.launch_attempt(probe);
+                }
+                WalkState::InFlight => {
+                    let flight = self.flight.as_mut().expect("in-flight walk has a flight");
+                    let outcome = flight.handle.poll(now)?;
+                    let measured_ms =
+                        now.saturating_duration_since(flight.started).as_secs_f64() * 1000.0;
+                    let probe = flight.probe;
+                    flight.close();
+                    let shared = Arc::clone(&flight.shared);
+                    self.flight = None;
+                    match outcome {
+                        Ok(response) => {
+                            shared.record_success(
+                                response.latency_ms,
+                                measured_ms,
+                                self.now_ms(),
+                                self.decay_half_life_ms,
+                            );
+                            if self.breaker_threshold > 0 {
+                                shared.breaker.on_success();
+                            }
+                            self.finish();
+                            return Some(Ok(response));
+                        }
+                        Err(e) => {
+                            let opened = shared.record_error(
+                                self.now_ms(),
+                                self.breaker_threshold,
+                                self.breaker_cooldown_ms,
+                                probe,
+                            );
+                            self.last_err = Some(e);
+                            // A probe gets a single attempt; an open breaker
+                            // makes remaining retries doomed — fail over.
+                            if probe || opened || self.attempt >= self.retries {
+                                self.pos += 1;
+                                self.walk = WalkState::Next;
+                            } else {
+                                self.attempt += 1;
+                                let backoff_ms = (self.backoff_base_ms
+                                    * (1u64 << (self.attempt - 1).min(20)) as f64)
+                                    .min(BACKOFF_CAP_MS);
+                                self.walk = WalkState::Backoff {
+                                    until: now + Duration::from_secs_f64(backoff_ms / 1000.0),
+                                };
+                            }
+                        }
+                    }
+                }
+                WalkState::Backoff { until } => {
+                    if now < until {
+                        return None;
+                    }
+                    self.launch_attempt(false);
+                }
+                WalkState::AwaitHedge => {
+                    if self.hedge_flight.is_some() {
+                        return None;
+                    }
+                    // poll_hedge drained the hedge with an error.
+                    let err = self.exhausted_error();
+                    self.finish();
+                    return Some(Err(err));
+                }
+                WalkState::Done => return None,
+            }
+        }
+    }
+
+    fn next_wakeup(&self, now: Instant) -> Option<Instant> {
+        let mut earliest: Option<Instant> = None;
+        let mut fold = |candidate: Option<Instant>| match candidate {
+            None => {}
+            Some(t) => earliest = Some(earliest.map_or(t, |e| e.min(t))),
+        };
+        match &self.walk {
+            WalkState::Next | WalkState::Done => return None,
+            WalkState::InFlight => match self.flight.as_ref() {
+                Some(flight) => match flight.handle.next_wakeup(now) {
+                    None => return None,
+                    wake => fold(wake),
+                },
+                None => return None,
+            },
+            WalkState::Backoff { until } => fold(Some(*until)),
+            WalkState::AwaitHedge => {}
+        }
+        if let Some(flight) = &self.hedge_flight {
+            match flight.handle.next_wakeup(now) {
+                None => return None,
+                wake => fold(wake),
+            }
+        } else if let Some(fire_at) = self.hedge_fire_at {
+            fold(Some(fire_at));
+        }
+        earliest
+    }
 }
 
 /// One candidate's bounded-retry attempt loop, shared by the plain candidate
@@ -964,6 +1744,7 @@ fn run_attempts(
     probe: bool,
     breaker_threshold: u64,
     breaker_cooldown_ms: f64,
+    decay_half_life_ms: f64,
     epoch: Instant,
 ) -> Result<CompletionResponse> {
     let mut last_err = None;
@@ -992,27 +1773,25 @@ fn run_attempts(
         drop(in_flight_guard);
         match outcome {
             Ok(response) => {
-                shared
-                    .counters
-                    .latency_us
-                    .fetch_add(round_latency_us(response.latency_ms), Ordering::Relaxed);
-                shared.counters.ewma.observe(elapsed_ms);
+                shared.record_success(
+                    response.latency_ms,
+                    elapsed_ms,
+                    epoch.elapsed().as_millis() as u64,
+                    decay_half_life_ms,
+                );
                 if breaker_threshold > 0 {
                     shared.breaker.on_success();
                 }
                 return Ok(response);
             }
             Err(e) => {
-                shared.counters.errors.fetch_add(1, Ordering::Relaxed);
                 last_err = Some(e);
-                if breaker_threshold > 0
-                    && shared.breaker.on_error(
-                        epoch.elapsed().as_millis() as u64,
-                        breaker_threshold,
-                        breaker_cooldown_ms,
-                        probe,
-                    )
-                {
+                if shared.record_error(
+                    epoch.elapsed().as_millis() as u64,
+                    breaker_threshold,
+                    breaker_cooldown_ms,
+                    probe,
+                ) {
                     // Breaker just opened: remaining retries on this backend
                     // are doomed attempts — fail over now.
                     break;
@@ -1031,6 +1810,16 @@ impl LanguageModel for BackendPool {
 
     fn complete(&self, request: &CompletionRequest) -> Result<CompletionResponse> {
         self.route(request)
+    }
+
+    fn submit(&self, request: &CompletionRequest) -> CallHandle {
+        CallHandle::machine(Box::new(self.submit_call(request)))
+    }
+
+    fn supports_async_submit(&self) -> bool {
+        // One blocking member would stall the event loop at submit time;
+        // advertise async dispatch only when the whole pool is async.
+        self.slots.iter().all(|slot| slot.backend.supports_async())
     }
 
     fn fingerprint(&self) -> String {
@@ -1075,6 +1864,14 @@ impl Backend for DirectBackend {
 
     fn complete(&self, request: &CompletionRequest, _attempt: usize) -> Result<CompletionResponse> {
         self.inner.complete(request)
+    }
+
+    fn submit(&self, request: &CompletionRequest, _attempt: usize) -> CallHandle {
+        self.inner.submit(request)
+    }
+
+    fn supports_async(&self) -> bool {
+        self.inner.supports_async_submit()
     }
 
     fn fingerprint(&self) -> String {
@@ -1740,6 +2537,314 @@ mod tests {
         assert_eq!(resp.text, "m:x");
         let down = &pool.stats()[0];
         assert!(down.errors > 0);
+    }
+
+    /// A backend whose round trip is adjustable at runtime and which serves
+    /// the async submit path natively (the stall is a timer, not a sleep).
+    struct AdjustableBackend {
+        id: String,
+        inner: Arc<dyn LanguageModel>,
+        delay_ms: AtomicU64,
+    }
+
+    impl AdjustableBackend {
+        fn new(id: &str, inner: Arc<dyn LanguageModel>, delay_ms: u64) -> Arc<Self> {
+            Arc::new(AdjustableBackend {
+                id: id.to_string(),
+                inner,
+                delay_ms: AtomicU64::new(delay_ms),
+            })
+        }
+    }
+
+    impl Backend for AdjustableBackend {
+        fn id(&self) -> &str {
+            &self.id
+        }
+        fn complete(
+            &self,
+            request: &CompletionRequest,
+            _attempt: usize,
+        ) -> Result<CompletionResponse> {
+            let delay = self.delay_ms.load(Ordering::Relaxed);
+            if delay > 0 {
+                std::thread::sleep(Duration::from_millis(delay));
+            }
+            self.inner.complete(request)
+        }
+        fn submit(&self, request: &CompletionRequest, _attempt: usize) -> CallHandle {
+            let delay = self.delay_ms.load(Ordering::Relaxed);
+            let result = self.inner.complete(request);
+            if delay > 0 {
+                CallHandle::timed(result, Instant::now() + Duration::from_millis(delay))
+            } else {
+                CallHandle::ready(result)
+            }
+        }
+        fn supports_async(&self) -> bool {
+            true
+        }
+        fn fingerprint(&self) -> String {
+            self.inner.fingerprint()
+        }
+    }
+
+    /// Drive a [`PoolCall`] to completion on the calling thread — a minimal
+    /// stand-in for the exec reactor, for in-crate tests.
+    fn drive_call(mut call: PoolCall) -> Result<CompletionResponse> {
+        loop {
+            let now = Instant::now();
+            if let Some(result) = call.poll(now) {
+                return result;
+            }
+            match call.next_wakeup(now) {
+                Some(at) => {
+                    let nap = at
+                        .saturating_duration_since(now)
+                        .clamp(Duration::from_micros(50), Duration::from_millis(5));
+                    std::thread::sleep(nap);
+                }
+                None => std::thread::yield_now(),
+            }
+        }
+    }
+
+    #[test]
+    fn async_pool_call_matches_the_blocking_failover_trace() {
+        // The same prompts through `complete` and through `submit_call`
+        // produce identical responses AND identical per-backend physical
+        // counters — the async machine is the blocking walk, re-shaped.
+        let prompts: Vec<String> = (0..8).map(|i| format!("p{i}")).collect();
+        let specs = [
+            spec("down").failing(),
+            spec("flaky").with_error_rate(0.5),
+            spec("up"),
+        ];
+        let (_, blocking) = pool_over(&specs, RoutingPolicy::CostAware);
+        for p in &prompts {
+            blocking
+                .complete(&CompletionRequest::new(p.clone()))
+                .unwrap();
+        }
+        let (_, pool) = pool_over(&specs, RoutingPolicy::CostAware);
+        for p in &prompts {
+            let resp = drive_call(pool.submit_call(&CompletionRequest::new(p.clone()))).unwrap();
+            assert_eq!(resp.text, format!("m:{p}"));
+        }
+        assert_eq!(
+            blocking.stats(),
+            pool.stats(),
+            "async dispatch diverged from the blocking trace"
+        );
+    }
+
+    #[test]
+    fn async_pool_call_returns_the_last_error_when_all_backends_are_down() {
+        let (model, pool) = pool_over(
+            &[spec("d1").failing(), spec("d2").failing()],
+            RoutingPolicy::RoundRobin,
+        );
+        let err = drive_call(pool.submit_call(&CompletionRequest::new("x"))).unwrap_err();
+        assert!(err.to_string().contains("simulated endpoint error"));
+        assert_eq!(*model.calls.lock(), 0);
+        assert!(pool.stats().iter().all(|s| s.in_flight == 0));
+    }
+
+    #[test]
+    fn timer_armed_hedge_rescues_a_one_off_stall() {
+        // The gap the blocking path leaves open: a usually-fast primary
+        // (EWMA well under the hedge threshold) stalls once. The blocking
+        // path skips hedging ("expected on time"); the timer-armed async
+        // path arms a timer for every hedgeable request, so the stall is
+        // rescued by the sibling.
+        let model = Arc::new(EchoModel::new("m"));
+        let a = AdjustableBackend::new("a", Arc::clone(&model) as Arc<dyn LanguageModel>, 2);
+        let b = AdjustableBackend::new("b", Arc::clone(&model) as Arc<dyn LanguageModel>, 2);
+        let pool = BackendPool::new(
+            vec![
+                Arc::clone(&a) as Arc<dyn Backend>,
+                Arc::clone(&b) as Arc<dyn Backend>,
+            ],
+            RoutingPolicy::CostAware, // static order: a is always primary
+        )
+        .unwrap()
+        .with_backoff_base_ms(0.0)
+        .with_hedging(4.0, 1.0);
+        // Warm both members (~2ms EWMAs; hedge threshold ≈ 8ms).
+        drive_call(pool.submit_call(&CompletionRequest::new("w0"))).unwrap();
+        drive_call(pool.submit_call(&CompletionRequest::new("w1"))).unwrap();
+        // A fast primary that stays fast is never hedged: the armed timer is
+        // cancelled by the primary's completion.
+        drive_call(pool.submit_call(&CompletionRequest::new("fastpath"))).unwrap();
+        assert_eq!(pool.stats().iter().map(|s| s.hedges).sum::<u64>(), 0);
+
+        // One-off stall: 60ms on a backend whose EWMA says ~2ms.
+        a.delay_ms.store(60, Ordering::Relaxed);
+        let started = Instant::now();
+        let resp = drive_call(pool.submit_call(&CompletionRequest::new("stall"))).unwrap();
+        a.delay_ms.store(2, Ordering::Relaxed);
+        assert_eq!(resp.text, "m:stall");
+        let elapsed = started.elapsed();
+        assert!(
+            elapsed < Duration::from_millis(45),
+            "stall was not hedged away: took {elapsed:?}"
+        );
+        let stats = pool.stats();
+        let b_stats = stats.iter().find(|s| s.id == "b").unwrap();
+        assert_eq!(b_stats.hedges, 1, "{stats:?}");
+        assert_eq!(b_stats.hedges_won, 1, "{stats:?}");
+        assert!(
+            stats.iter().all(|s| s.in_flight == 0),
+            "gauge leak: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn hedge_timer_vs_primary_completion_races_stay_consistent() {
+        // Stress the race window: primary latency straddles the hedge
+        // threshold, so across many calls some are won by the primary, some
+        // by the hedge, and some timers are cancelled mid-flight. Whatever
+        // interleaving happens: the response text is always correct, permits
+        // never leak, counters stay consistent, gauges drain to zero.
+        use std::sync::atomic::AtomicI64;
+        let model = Arc::new(EchoModel::new("m"));
+        let primary = AdjustableBackend::new("p", Arc::clone(&model) as Arc<dyn LanguageModel>, 2);
+        let sibling = AdjustableBackend::new("s", Arc::clone(&model) as Arc<dyn LanguageModel>, 2);
+        let pool = BackendPool::new(
+            vec![
+                Arc::clone(&primary) as Arc<dyn Backend>,
+                Arc::clone(&sibling) as Arc<dyn Backend>,
+            ],
+            RoutingPolicy::CostAware,
+        )
+        .unwrap()
+        .with_backoff_base_ms(0.0)
+        // Threshold ≈ 1× the pool's floor EWMA: the cycling primary delay
+        // genuinely straddles it, so both race outcomes occur.
+        .with_hedging(1.0, 1.0);
+        let outstanding_permits = Arc::new(AtomicI64::new(0));
+        struct PermitToken(Arc<AtomicI64>);
+        impl Drop for PermitToken {
+            fn drop(&mut self) {
+                self.0.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        let gate_permits = Arc::clone(&outstanding_permits);
+        pool.set_hedge_permit_gate(Some(Arc::new(move || {
+            gate_permits.fetch_add(1, Ordering::SeqCst);
+            Some(Box::new(PermitToken(Arc::clone(&gate_permits))) as Box<dyn std::any::Any + Send>)
+        })));
+        drive_call(pool.submit_call(&CompletionRequest::new("warm-p"))).unwrap();
+        drive_call(pool.submit_call(&CompletionRequest::new("warm-s"))).unwrap();
+
+        // Deterministic schedule: the primary delay cycles 2..6ms around the
+        // moving ~EWMA threshold.
+        for i in 0..60u64 {
+            primary.delay_ms.store(2 + (i % 5), Ordering::Relaxed);
+            let prompt = format!("race-{i}");
+            let resp =
+                drive_call(pool.submit_call(&CompletionRequest::new(prompt.clone()))).unwrap();
+            assert_eq!(resp.text, format!("m:{prompt}"));
+        }
+        let stats = pool.stats();
+        let hedges: u64 = stats.iter().map(|s| s.hedges).sum();
+        let hedges_won: u64 = stats.iter().map(|s| s.hedges_won).sum();
+        assert!(hedges_won <= hedges, "{stats:?}");
+        assert!(
+            hedges >= 1,
+            "a delay schedule straddling the threshold should hedge at least once: {stats:?}"
+        );
+        assert!(
+            stats.iter().all(|s| s.in_flight == 0),
+            "gauge leak: {stats:?}"
+        );
+        assert_eq!(
+            outstanding_permits.load(Ordering::SeqCst),
+            0,
+            "hedge permits leaked"
+        );
+        assert!(stats.iter().all(|s| s.errors == 0));
+    }
+
+    #[test]
+    fn dropping_a_pool_call_mid_flight_releases_gauges_and_probe_flags() {
+        // Cancellation-by-drop: abandon calls at various stages and verify
+        // nothing sticks — in-flight gauges, hedge permits, probe flags.
+        let model = Arc::new(EchoModel::new("m"));
+        let slow = AdjustableBackend::new("slow", Arc::clone(&model) as Arc<dyn LanguageModel>, 50);
+        let fast = AdjustableBackend::new("fast", Arc::clone(&model) as Arc<dyn LanguageModel>, 50);
+        let pool = BackendPool::new(
+            vec![
+                Arc::clone(&slow) as Arc<dyn Backend>,
+                Arc::clone(&fast) as Arc<dyn Backend>,
+            ],
+            RoutingPolicy::CostAware,
+        )
+        .unwrap()
+        .with_hedging(1.0, 1.0);
+        // In flight, never polled to completion — then dropped.
+        let mut call = pool.submit_call(&CompletionRequest::new("abandoned"));
+        assert!(call.poll(Instant::now()).is_none());
+        assert_eq!(pool.stats()[0].in_flight, 1);
+        drop(call);
+        let stats = pool.stats();
+        assert!(
+            stats.iter().all(|s| s.in_flight == 0),
+            "abandoned call leaked its in-flight gauge: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn latency_decay_lets_a_recovered_backend_reattract_traffic() {
+        // The LatencyAware cold-trap regression: a backend that *was* slow
+        // keeps a scary EWMA forever, never receives traffic, and so can
+        // never prove it recovered. With read-side decay its estimate drifts
+        // down while it idles, routing re-probes it, and the fresh sample
+        // restores its fair share.
+        let run = |decay_half_life_ms: f64| -> u64 {
+            let model = Arc::new(EchoModel::new("m"));
+            let was_slow = AdjustableBackend::new(
+                "was-slow",
+                Arc::clone(&model) as Arc<dyn LanguageModel>,
+                30,
+            );
+            let steady =
+                AdjustableBackend::new("steady", Arc::clone(&model) as Arc<dyn LanguageModel>, 2);
+            let pool = BackendPool::new(
+                vec![
+                    Arc::clone(&was_slow) as Arc<dyn Backend>,
+                    Arc::clone(&steady) as Arc<dyn Backend>,
+                ],
+                RoutingPolicy::LatencyAware,
+            )
+            .unwrap()
+            .with_latency_decay(decay_half_life_ms);
+            // Cold exploration samples both: was-slow ~30ms, steady ~2ms.
+            pool.complete(&CompletionRequest::new("w0")).unwrap();
+            pool.complete(&CompletionRequest::new("w1")).unwrap();
+            let calls_after_warmup = pool.stats()[0].calls;
+            assert_eq!(calls_after_warmup, 1);
+            // The slow backend recovers, then the pool idles a few
+            // half-lives (stale estimates decay; nothing refreshes them).
+            was_slow.delay_ms.store(2, Ordering::Relaxed);
+            std::thread::sleep(Duration::from_millis(200));
+            for i in 0..10 {
+                pool.complete(&CompletionRequest::new(format!("p{i}")))
+                    .unwrap();
+            }
+            pool.stats()[0].calls - calls_after_warmup
+        };
+        let without_decay = run(0.0);
+        assert_eq!(
+            without_decay, 0,
+            "without decay the recovered backend must stay starved (the bug)"
+        );
+        let with_decay = run(40.0);
+        assert!(
+            with_decay >= 4,
+            "recovered backend regained only {with_decay}/10 calls; \
+             decay should restore ≥ its fair share"
+        );
     }
 
     #[test]

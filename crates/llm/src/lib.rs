@@ -36,11 +36,14 @@ pub mod prompt;
 pub mod sim;
 pub mod tokenizer;
 
-pub use backend::{Backend, BackendPool, BackendStats, DirectBackend, HedgePermitGate, RemoteLlm};
+pub use backend::{
+    Backend, BackendPool, BackendStats, CallHandle, CallMachine, DirectBackend, HedgePermitGate,
+    PoolCall, RemoteLlm,
+};
 pub use cache::PromptCache;
 pub use cost::UsageStats;
 pub use knowledge::{KbTable, KnowledgeBase};
-pub use model::{CompletionRequest, CompletionResponse, LanguageModel, LlmClient};
+pub use model::{ClientCall, CompletionRequest, CompletionResponse, LanguageModel, LlmClient};
 pub use noise::NoiseModel;
 pub use parse::{parse_pipe_rows, parse_value_lines, parse_yes_no, ParsedRows, YesNoAnswer};
 pub use prompt::{describe_schema, parse_task, TaskSpec};

@@ -9,12 +9,13 @@
 //! without touching the engine.
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
 use llmsql_types::{LlmCostModel, Result};
 
-use crate::backend::{BackendPool, BackendStats};
+use crate::backend::{BackendPool, BackendStats, CallHandle};
 use crate::cache::PromptCache;
 use crate::cost::UsageStats;
 
@@ -69,6 +70,23 @@ pub trait LanguageModel: Send + Sync {
     /// Produce a completion for the request.
     fn complete(&self, request: &CompletionRequest) -> Result<CompletionResponse>;
 
+    /// Non-blocking submission: return a poll-based [`CallHandle`] instead of
+    /// blocking for the round trip. The default is a blocking adapter
+    /// (`complete` runs inline, the handle comes back resolved) so every
+    /// existing model works unchanged; models that can represent their
+    /// latency as a timer ([`crate::SimLlm`] with simulated latency,
+    /// [`crate::BackendPool`] over async backends) override it — that is
+    /// what lets one OS thread hold many in-flight requests.
+    fn submit(&self, request: &CompletionRequest) -> CallHandle {
+        CallHandle::ready(self.complete(request))
+    }
+
+    /// True when [`LanguageModel::submit`] returns without blocking on the
+    /// round trip; event-driven dispatch engages only then.
+    fn supports_async_submit(&self) -> bool {
+        false
+    }
+
     /// Semantic identity of this model: two models with equal fingerprints
     /// must produce byte-identical completion text for every prompt. Folded
     /// into prompt-cache and single-flight keys so clients over different
@@ -120,6 +138,16 @@ impl InFlightPrompts {
             .wait_while(leaders, |l| l.contains(prompt))
             .unwrap_or_else(|e| e.into_inner());
         false
+    }
+
+    /// Non-blocking leadership claim for the poll-driven path: `true` makes
+    /// the caller the leader; `false` means another leader is in flight and
+    /// the caller should re-check the cache later (no wait).
+    fn try_claim(&self, prompt: &str) -> bool {
+        self.leaders
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(prompt.to_string())
     }
 
     /// Leader is done (successfully or not): wake followers.
@@ -299,6 +327,30 @@ impl LlmClient {
         Ok(response)
     }
 
+    /// True when the wrapped model supports non-blocking submission
+    /// ([`LanguageModel::supports_async_submit`]); callers use this to pick
+    /// event-driven dispatch over thread-per-request dispatch.
+    pub fn supports_async(&self) -> bool {
+        self.model.supports_async_submit()
+    }
+
+    /// Begin one completion as a poll-driven [`ClientCall`] — the
+    /// non-blocking counterpart of [`LlmClient::complete_gated`], with the
+    /// same cache, single-flight and admission-gate semantics. Poll it from
+    /// an event loop (`llmsql_exec::reactor`); dropping it mid-flight
+    /// releases single-flight leadership and any held permit.
+    pub fn start_call(&self, request: CompletionRequest) -> ClientCall {
+        let key = self.cache.as_ref().map(|_| self.request_key(&request));
+        ClientCall {
+            client: self.clone(),
+            request,
+            key,
+            holds_leadership: false,
+            permit: None,
+            state: CcState::Start,
+        }
+    }
+
     /// A snapshot of accumulated usage.
     pub fn usage(&self) -> UsageStats {
         self.usage.lock().clone()
@@ -319,6 +371,160 @@ impl LlmClient {
     /// Number of cached prompts.
     pub fn cache_len(&self) -> usize {
         self.cache.as_ref().map(|c| c.len()).unwrap_or(0)
+    }
+}
+
+/// How soon a single-flight follower re-checks the cache for its leader's
+/// result, and how soon a slot-starved call re-consults the admission gate.
+/// Event loops also re-poll eagerly after any completion in the same loop
+/// (a completion is what frees a slot), so this is a cross-thread fallback,
+/// not the primary wake mechanism.
+const CLIENT_CALL_RETRY: Duration = Duration::from_micros(500);
+
+/// Which phase of its life a [`ClientCall`] is in.
+enum CcState {
+    /// Not yet dispatched: check the cache, claim single-flight leadership.
+    Start,
+    /// Another leader is computing this prompt; re-check at `retry_at`.
+    Follower { retry_at: Instant },
+    /// Leader without a permit: the admission gate said "no capacity";
+    /// re-consult it at `retry_at` (absolute, so the event loop's due-check
+    /// actually comes due — a completion elsewhere may re-poll sooner).
+    AwaitingSlot { retry_at: Instant },
+    /// Dispatched to the model.
+    InFlight { handle: CallHandle },
+    /// Resolved (result already handed out).
+    Done,
+}
+
+/// A poll-driven [`LlmClient`] completion: the non-blocking counterpart of
+/// [`LlmClient::complete_gated`], created by [`LlmClient::start_call`].
+///
+/// The completion contract:
+///
+/// * `poll` never blocks (up to the model's `submit`, which for async models
+///   is compute only) and returns the result exactly once.
+/// * Cache hits and single-flight followers resolve without ever consulting
+///   the admission gate — identical to the blocking path, so under a
+///   cross-query scheduler they neither consume nor wait for slot capacity.
+/// * The gate is consulted only when this call is the single-flight leader
+///   and a real dispatch is imminent; a `None` verdict parks the call (the
+///   gate is re-consulted on later polls), a permit is held until the model
+///   resolves and released with the call — the call owns the slot guard for
+///   exactly the dispatch it gates.
+/// * Dropping the call mid-flight releases single-flight leadership (so
+///   followers elect a new leader instead of waiting forever) and the
+///   permit; the model-side flight is abandoned.
+pub struct ClientCall {
+    client: LlmClient,
+    request: CompletionRequest,
+    /// Cache / single-flight key; `None` when the client has no cache (then
+    /// neither caching nor single-flight applies, as in the blocking path).
+    key: Option<String>,
+    holds_leadership: bool,
+    /// The admission permit held from dispatch to resolution.
+    permit: Option<Box<dyn std::any::Any + Send>>,
+    state: CcState,
+}
+
+impl ClientCall {
+    /// Attempt progress. `gate` is the admission gate: called right before a
+    /// real dispatch; `Some(permit)` admits (the permit is held for the
+    /// flight), `None` parks the call until a later poll. Returns the final
+    /// result exactly once; `None` while pending.
+    pub fn poll(
+        &mut self,
+        now: Instant,
+        gate: &mut dyn FnMut() -> Option<Box<dyn std::any::Any + Send>>,
+    ) -> Option<Result<CompletionResponse>> {
+        loop {
+            match &mut self.state {
+                CcState::Start | CcState::Follower { .. } => {
+                    if let Some(key) = &self.key {
+                        let cache = self.client.cache.as_ref().expect("key implies cache");
+                        if let Some(hit) = cache.get(key) {
+                            self.release_leadership();
+                            self.client.usage.lock().cache_hits += 1;
+                            self.state = CcState::Done;
+                            return Some(Ok(hit));
+                        }
+                        if !self.holds_leadership {
+                            if self.client.in_flight.try_claim(key) {
+                                self.holds_leadership = true;
+                                // Double-check: a previous leader may have
+                                // populated the cache between miss and claim.
+                                if let Some(hit) = cache.get(key) {
+                                    self.release_leadership();
+                                    self.client.usage.lock().cache_hits += 1;
+                                    self.state = CcState::Done;
+                                    return Some(Ok(hit));
+                                }
+                            } else {
+                                self.state = CcState::Follower {
+                                    retry_at: now + CLIENT_CALL_RETRY,
+                                };
+                                return None;
+                            }
+                        }
+                    }
+                    self.state = CcState::AwaitingSlot { retry_at: now };
+                }
+                CcState::AwaitingSlot { .. } => match gate() {
+                    Some(permit) => {
+                        self.permit = Some(permit);
+                        let handle = self.client.model.submit(&self.request);
+                        self.state = CcState::InFlight { handle };
+                    }
+                    None => {
+                        self.state = CcState::AwaitingSlot {
+                            retry_at: now + CLIENT_CALL_RETRY,
+                        };
+                        return None;
+                    }
+                },
+                CcState::InFlight { handle } => {
+                    let outcome = handle.poll(now)?;
+                    self.permit = None;
+                    if let Ok(response) = &outcome {
+                        self.client.usage.lock().record(response);
+                        if let (Some(key), Some(cache)) = (&self.key, &self.client.cache) {
+                            cache.put(key.clone(), response.clone());
+                        }
+                    }
+                    // Either way the leadership ends here: followers pick the
+                    // cached result up, or elect a new leader on failure.
+                    self.release_leadership();
+                    self.state = CcState::Done;
+                    return Some(outcome);
+                }
+                CcState::Done => return None,
+            }
+        }
+    }
+
+    /// When the next [`ClientCall::poll`] can make progress (`None` = now).
+    pub fn next_wakeup(&self, now: Instant) -> Option<Instant> {
+        match &self.state {
+            CcState::Start | CcState::Done => None,
+            CcState::Follower { retry_at } | CcState::AwaitingSlot { retry_at } => Some(*retry_at),
+            CcState::InFlight { handle } => handle.next_wakeup(now),
+        }
+    }
+
+    fn release_leadership(&mut self) {
+        if self.holds_leadership {
+            self.holds_leadership = false;
+            if let Some(key) = &self.key {
+                self.client.in_flight.release(key);
+            }
+        }
+    }
+}
+
+impl Drop for ClientCall {
+    fn drop(&mut self) {
+        // Cancellation safety: an abandoned leader must not strand followers.
+        self.release_leadership();
     }
 }
 
@@ -558,6 +764,97 @@ mod tests {
             1,
             "single-flight followers must bypass the gate"
         );
+    }
+
+    /// Drive a [`ClientCall`] with an always-granting gate until it resolves.
+    fn drive_client_call(mut call: ClientCall) -> Result<CompletionResponse> {
+        let mut grant = || Some(Box::new(()) as Box<dyn std::any::Any + Send>);
+        loop {
+            let now = Instant::now();
+            if let Some(result) = call.poll(now, &mut grant) {
+                return result;
+            }
+            if let Some(at) = call.next_wakeup(now) {
+                std::thread::sleep(
+                    at.saturating_duration_since(now)
+                        .clamp(Duration::from_micros(50), Duration::from_millis(2)),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn client_call_cache_hits_and_followers_bypass_the_gate() {
+        // The async analogue of `gate_is_only_invoked_on_real_dispatch`: the
+        // admission gate fires exactly once per real model dispatch; cache
+        // hits resolve without consulting it.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let model = Arc::new(CannedModel::new("x"));
+        let client = LlmClient::new(model.clone());
+        let gates = AtomicUsize::new(0);
+        for _ in 0..3 {
+            let mut call = client.start_call(CompletionRequest::new("p"));
+            let mut gate = || {
+                gates.fetch_add(1, Ordering::Relaxed);
+                Some(Box::new(()) as Box<dyn std::any::Any + Send>)
+            };
+            let resp = loop {
+                if let Some(result) = call.poll(Instant::now(), &mut gate) {
+                    break result.unwrap();
+                }
+            };
+            assert_eq!(resp.text, "x");
+        }
+        assert_eq!(*model.calls.lock(), 1);
+        assert_eq!(
+            gates.load(Ordering::Relaxed),
+            1,
+            "cache hits must bypass the gate"
+        );
+        assert_eq!(client.usage().cache_hits, 2);
+    }
+
+    #[test]
+    fn client_call_single_flight_followers_park_and_take_the_leaders_result() {
+        let model = Arc::new(CannedModel::new("x"));
+        let client = LlmClient::new(model.clone());
+        let mut deny = || None;
+        let mut grant = || Some(Box::new(()) as Box<dyn std::any::Any + Send>);
+
+        // Leader claims but is parked by a denying gate.
+        let mut leader = client.start_call(CompletionRequest::new("same"));
+        assert!(leader.poll(Instant::now(), &mut deny).is_none());
+        // A second call for the same prompt becomes a follower: polling it
+        // (even with a granting gate) must NOT dispatch a duplicate.
+        let mut follower = client.start_call(CompletionRequest::new("same"));
+        assert!(follower.poll(Instant::now(), &mut grant).is_none());
+        assert_eq!(*model.calls.lock(), 0);
+        // Leader gets capacity and resolves; the follower picks the cached
+        // result up without a model call or a gate consultation.
+        leader.poll(Instant::now(), &mut grant).unwrap().unwrap();
+        let resp = drive_client_call(follower).unwrap();
+        assert_eq!(resp.text, "x");
+        assert_eq!(*model.calls.lock(), 1, "follower dispatched a duplicate");
+        assert_eq!(client.usage().cache_hits, 1);
+    }
+
+    #[test]
+    fn dropping_a_parked_leader_frees_its_followers() {
+        // Cancellation safety: a leader abandoned mid-flight (deadline fired,
+        // wave dropped) must release single-flight leadership so a follower
+        // can become the new leader instead of waiting forever.
+        let model = Arc::new(CannedModel::new("x"));
+        let client = LlmClient::new(model.clone());
+        let mut deny = || None;
+
+        let mut leader = client.start_call(CompletionRequest::new("same"));
+        assert!(leader.poll(Instant::now(), &mut deny).is_none());
+        let mut follower = client.start_call(CompletionRequest::new("same"));
+        assert!(follower.poll(Instant::now(), &mut deny).is_none());
+        drop(leader); // cancelled — e.g. its wave hit the query deadline
+        let resp = drive_client_call(follower).unwrap();
+        assert_eq!(resp.text, "x");
+        assert_eq!(*model.calls.lock(), 1);
     }
 
     #[test]

@@ -795,6 +795,52 @@ impl LanguageModel for SimLlm {
                 self.simulated_latency_ms / 1000.0,
             ));
         }
+        self.complete_now(request)
+    }
+
+    /// Non-blocking submission: the completion is pure compute, so it is
+    /// produced immediately and the simulated round trip becomes a timer on
+    /// the handle — one event loop can then hold many in-flight simulated
+    /// requests on a single OS thread.
+    fn submit(&self, request: &CompletionRequest) -> crate::backend::CallHandle {
+        let result = self.complete_now(request);
+        if self.simulated_latency_ms > 0.0 {
+            let ready_at = std::time::Instant::now()
+                + std::time::Duration::from_secs_f64(self.simulated_latency_ms / 1000.0);
+            crate::backend::CallHandle::timed(result, ready_at)
+        } else {
+            crate::backend::CallHandle::ready(result)
+        }
+    }
+
+    /// Async dispatch pays off exactly when requests have latency to overlap;
+    /// a zero-latency simulator keeps the thread-pool path (same results,
+    /// no event-loop overhead).
+    fn supports_async_submit(&self) -> bool {
+        self.simulated_latency_ms > 0.0
+    }
+
+    fn cost_model(&self) -> LlmCostModel {
+        self.cost_model
+    }
+
+    /// The simulator's observed row count for `table`: known entities minus
+    /// forgotten ones plus fabricated ones — exactly the number of lines an
+    /// unfiltered enumeration of the relation would produce, and a pure
+    /// function of `(seed, table)`, so the hint is stable across calls.
+    fn relation_cardinality(&self, table: &str) -> Option<u64> {
+        self.observed_table(table)
+            .ok()
+            .map(|(_, rows)| rows.len() as u64)
+    }
+}
+
+impl SimLlm {
+    /// The deterministic completion for `request`, without the simulated
+    /// network delay (the blocking `complete` sleeps then delegates here;
+    /// the async `submit` computes here and represents the delay as a
+    /// timer).
+    fn complete_now(&self, request: &CompletionRequest) -> Result<CompletionResponse> {
         let task = parse_task(&request.prompt)?;
         let lines = match &task {
             TaskSpec::Enumerate {
@@ -853,20 +899,6 @@ impl LanguageModel for SimLlm {
             prompt_tokens,
             completion_tokens,
         })
-    }
-
-    fn cost_model(&self) -> LlmCostModel {
-        self.cost_model
-    }
-
-    /// The simulator's observed row count for `table`: known entities minus
-    /// forgotten ones plus fabricated ones — exactly the number of lines an
-    /// unfiltered enumeration of the relation would produce, and a pure
-    /// function of `(seed, table)`, so the hint is stable across calls.
-    fn relation_cardinality(&self, table: &str) -> Option<u64> {
-        self.observed_table(table)
-            .ok()
-            .map(|(_, rows)| rows.len() as u64)
     }
 }
 

@@ -43,6 +43,21 @@
 //! the scheduler composes with it by simply running queries against an
 //! engine so configured.
 //!
+//! **Workers park on the reactor, not inside calls.** A worker thread that
+//! picks a query executes it on the engine, whose scan waves go through the
+//! event-driven dispatch core (`llmsql_exec::reactor`) whenever the model
+//! supports non-blocking submission: the worker submits the whole wave and
+//! parks polling completion handles, so it *holds* up to `parallelism`
+//! in-flight requests while occupying one OS thread. Deployment-wide,
+//! `llm_slots` in-flight requests are therefore carried by the
+//! `SchedConfig::workers` threads — 64 slots on 4 workers is the normal
+//! shape, not 64 blocked threads (`examples/async_dispatch.rs` measures
+//! exactly this). Slot waits in that mode are parked-and-polled rather than
+//! blocked, but surface in the same `SchedStats::total_slot_wait_ms` /
+//! `ExecMetrics::slot_wait_ms` accounting. With a blocking-only model the
+//! per-request worker threads come back (the compat path) and every
+//! guarantee above still holds.
+//!
 //! ```
 //! use llmsql_core::Engine;
 //! use llmsql_sched::QueryScheduler;

@@ -436,7 +436,7 @@ pub mod collection {
     use super::test_runner::TestRng;
     use std::ops::Range;
 
-    /// Strategy producing `Vec`s of values; build with [`vec`].
+    /// Strategy producing `Vec`s of values; build with [`vec()`].
     #[derive(Clone)]
     pub struct VecStrategy<S> {
         element: S,

@@ -51,12 +51,37 @@ impl AtomicEwmaMs {
         }
     }
 
+    /// Overwrite the average with `sample_ms` (clamped away from the
+    /// no-sample sentinel like [`AtomicEwmaMs::observe`]). Used when the
+    /// previous estimate has gone stale enough that merging would drag the
+    /// fresh observation toward obsolete history — e.g. the first sample a
+    /// recovered backend produces after idling several decay half-lives.
+    pub fn set(&self, sample_ms: f64) {
+        self.bits
+            .store(sample_ms.max(1e-4).to_bits(), Ordering::Relaxed);
+    }
+
     /// The current average in milliseconds, `None` before any sample.
     pub fn get(&self) -> Option<f64> {
         match self.bits.load(Ordering::Relaxed) {
             0 => None,
             bits => Some(f64::from_bits(bits)),
         }
+    }
+
+    /// The average discounted for staleness: the stored value halved once per
+    /// `half_life_ms` of `idle_ms` (time since the last sample, tracked by
+    /// the caller — this cell carries no clock). A backend that stopped
+    /// receiving samples because its average scared routing away thus decays
+    /// back toward zero and re-attracts probe traffic, which refreshes the
+    /// average with reality. `half_life_ms <= 0` disables decay; `None`
+    /// before any sample, like [`AtomicEwmaMs::get`].
+    pub fn decayed(&self, idle_ms: f64, half_life_ms: f64) -> Option<f64> {
+        let value = self.get()?;
+        if half_life_ms <= 0.0 || idle_ms <= 0.0 {
+            return Some(value);
+        }
+        Some(value * 0.5_f64.powf(idle_ms / half_life_ms))
     }
 }
 
@@ -82,6 +107,20 @@ mod tests {
         assert!(ewma.get().is_some(), "clamped sample must register");
         ewma.observe(-5.0);
         assert!(ewma.get().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn decayed_reads_halve_per_half_life_and_respect_the_sentinel() {
+        let ewma = AtomicEwmaMs::new();
+        assert_eq!(ewma.decayed(1000.0, 100.0), None, "no sample, no estimate");
+        ewma.observe(40.0);
+        assert_eq!(ewma.decayed(0.0, 100.0), Some(40.0));
+        assert!((ewma.decayed(100.0, 100.0).unwrap() - 20.0).abs() < 1e-9);
+        assert!((ewma.decayed(200.0, 100.0).unwrap() - 10.0).abs() < 1e-9);
+        // Disabled decay returns the raw average.
+        assert_eq!(ewma.decayed(10_000.0, 0.0), Some(40.0));
+        // The stored value is untouched — decay is a read-side view.
+        assert_eq!(ewma.get(), Some(40.0));
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! End-to-end guarantees of the event-driven dispatch core (ISSUE 5): the
+//! reactor path changes *how* a wave waits — one parked thread instead of a
+//! thread per request — never what a query returns, what it costs, or how
+//! deadlines behave.
+
+use std::time::{Duration, Instant};
+
+use llmsql_bench::parallel_scan_engine;
+use llmsql_core::Engine;
+use llmsql_llm::{KnowledgeBase, SimLlm};
+use llmsql_store::Catalog;
+use llmsql_types::{
+    Column, DataType, EngineConfig, ErrorKind, ExecutionMode, LlmFidelity, PromptStrategy, Row,
+    Schema, Value,
+};
+
+const SCAN_SQL: &str = "SELECT name, population FROM countries";
+
+/// A `countries` engine with `rows` entities served tuple-at-a-time (one
+/// enumerate + one lookup per row, so `parallelism` bounds one big wave) by
+/// an async-capable simulator with `latency_ms` simulated round trips.
+fn lookup_engine(rows: usize, parallelism: usize, latency_ms: f64) -> Engine {
+    let schema = Schema::virtual_table(
+        "countries",
+        vec![
+            Column::new("name", DataType::Text).primary_key(),
+            Column::new("population", DataType::Int),
+        ],
+    );
+    let data: Vec<Row> = (0..rows)
+        .map(|i| {
+            Row::new(vec![
+                Value::Text(format!("Country {i:04}")),
+                Value::Int(100_000 + 37 * i as i64),
+            ])
+        })
+        .collect();
+    let catalog = Catalog::new();
+    catalog.create_virtual_table(schema.clone()).unwrap();
+    let mut kb = KnowledgeBase::new();
+    kb.add_table(schema, data);
+    let mut config = EngineConfig::default()
+        .with_mode(ExecutionMode::LlmOnly)
+        .with_strategy(PromptStrategy::TupleAtATime)
+        .with_parallelism(parallelism)
+        .with_seed(7);
+    config.max_scan_rows = rows;
+    config.enable_prompt_cache = false;
+    let mut engine = Engine::with_catalog(catalog, config);
+    let sim = SimLlm::new(kb.into_shared(), LlmFidelity::perfect(), 7)
+        .with_simulated_latency_ms(latency_ms);
+    engine.attach_model(std::sync::Arc::new(sim)).unwrap();
+    engine
+}
+
+/// The reactor path is what actually serves latency-simulating deployments
+/// (the model advertises async submit), and its rows/call counts are
+/// byte-identical to the blocking thread-pool baseline.
+#[test]
+fn reactor_waves_match_blocking_waves_byte_for_byte() {
+    // latency 0 ⇒ async submit is off ⇒ the legacy par_map path.
+    let blocking_engine = parallel_scan_engine(60, 4, 0.0);
+    assert!(
+        !blocking_engine.client().unwrap().supports_async(),
+        "zero-latency simulator should keep the thread-pool path"
+    );
+    let blocking = blocking_engine.execute(SCAN_SQL).unwrap();
+
+    // latency > 0 ⇒ async submit ⇒ waves park on the reactor.
+    let reactor_engine = parallel_scan_engine(60, 4, 2.0);
+    assert!(
+        reactor_engine.client().unwrap().supports_async(),
+        "latency-simulating model must advertise async submit"
+    );
+    let reactor = reactor_engine.execute(SCAN_SQL).unwrap();
+
+    assert_eq!(blocking.rows(), reactor.rows(), "reactor changed the rows");
+    assert_eq!(
+        blocking.metrics.llm_calls(),
+        reactor.metrics.llm_calls(),
+        "reactor changed the logical call count"
+    );
+    assert!(
+        reactor.metrics.peak_in_flight >= 2,
+        "waves never overlapped"
+    );
+}
+
+/// One thread really does hold a whole wave: a 48-lookup wave of 30ms calls
+/// drains in ~one round trip through the reactor, not 48.
+#[test]
+fn one_wave_of_in_flight_calls_overlaps_on_the_callers_thread() {
+    let engine = lookup_engine(48, 48, 30.0);
+    let started = Instant::now();
+    let result = engine.execute(SCAN_SQL).unwrap();
+    let elapsed = started.elapsed();
+    assert_eq!(result.row_count(), 48);
+    // 1 enumerate + 48 lookups at 30ms each: sequential would be ~1.5s; the
+    // reactor needs ~2 round trips (enumerate, then the lookup wave).
+    assert!(
+        elapsed < Duration::from_millis(600),
+        "48-call wave did not overlap: {elapsed:?}"
+    );
+    assert_eq!(result.metrics.llm_calls(), 49);
+    assert!(
+        result.metrics.peak_in_flight >= 48,
+        "expected the whole wave in flight at once: {:?}",
+        result.metrics
+    );
+}
+
+/// A deadline that expires while calls are parked in the reactor aborts the
+/// wave mid-flight (cancellation by drop), with the structured error and
+/// partial accounting — it does not wait for the stragglers.
+#[test]
+fn deadline_fires_while_calls_are_parked_in_the_reactor() {
+    let engine = lookup_engine(32, 32, 200.0);
+    let started = Instant::now();
+    // Enumerate (~200ms) fits; the 32-lookup wave (ready at ~400ms) does
+    // not: the deadline fires at ~250ms with every lookup parked.
+    let err = engine.execute_with_deadline(SCAN_SQL, 250.0).unwrap_err();
+    let elapsed = started.elapsed();
+    assert_eq!(err.kind, ErrorKind::DeadlineExceeded);
+    assert!(err.message.contains("LLM call(s) issued"), "{err}");
+    assert!(
+        elapsed < Duration::from_millis(390),
+        "deadline abort waited for parked calls: {elapsed:?}"
+    );
+
+    // An unhit deadline on the same deployment changes nothing.
+    let baseline = lookup_engine(32, 32, 5.0).execute(SCAN_SQL).unwrap();
+    let relaxed = lookup_engine(32, 32, 5.0)
+        .execute_with_deadline(SCAN_SQL, 60_000.0)
+        .unwrap();
+    assert_eq!(baseline.rows(), relaxed.rows());
+    assert_eq!(baseline.metrics.llm_calls(), relaxed.metrics.llm_calls());
+}
+
+/// Parallelism invariance holds through the reactor path: any wave width
+/// yields the sequential run's rows and call counts, even with fidelity
+/// noise dropping lines.
+#[test]
+fn reactor_scans_are_parallelism_invariant_under_noise() {
+    let build = |parallelism: usize| {
+        let (catalog, sim) = llmsql_bench::parallel_world(50, LlmFidelity::medium(), 1.0);
+        let mut config = EngineConfig::default()
+            .with_mode(ExecutionMode::LlmOnly)
+            .with_strategy(PromptStrategy::BatchedRows)
+            .with_batch_size(10)
+            .with_parallelism(parallelism);
+        config.max_scan_rows = 50;
+        config.enable_prompt_cache = false;
+        let mut engine = Engine::with_catalog(catalog, config);
+        engine.attach_model(std::sync::Arc::new(sim)).unwrap();
+        engine
+    };
+    let baseline = build(1).execute(SCAN_SQL).unwrap();
+    for parallelism in [2, 4, 8] {
+        let result = build(parallelism).execute(SCAN_SQL).unwrap();
+        assert_eq!(
+            baseline.rows(),
+            result.rows(),
+            "reactor rows diverged at parallelism {parallelism}"
+        );
+        assert_eq!(
+            baseline.metrics.llm_calls(),
+            result.metrics.llm_calls(),
+            "reactor call count diverged at parallelism {parallelism}"
+        );
+    }
+}
