@@ -121,11 +121,12 @@ impl Engine {
                 LlmClient::without_cache(model)
             }
         } else {
-            let pool = BackendPool::from_specs(
+            let pool = BackendPool::from_specs_with_chaos(
                 model,
                 &self.config.backends,
                 self.config.routing_policy,
                 self.config.seed,
+                self.config.chaos.clone(),
             )?
             .with_retries(self.config.backend_retries)
             .with_backoff_base_ms(self.config.backend_backoff_ms)

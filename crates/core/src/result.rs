@@ -2,7 +2,7 @@
 
 use llmsql_exec::ExecMetrics;
 use llmsql_llm::UsageStats;
-use llmsql_types::{Batch, Row, Value};
+use llmsql_types::{Batch, Incomplete, Row, Value};
 
 /// The result of executing one SQL statement.
 #[derive(Debug, Clone, Default)]
@@ -56,6 +56,19 @@ impl QueryResult {
     /// Total end-to-end latency: engine time plus simulated model latency.
     pub fn total_latency_ms(&self) -> f64 {
         self.engine_ms + self.usage.latency_ms
+    }
+
+    /// The graceful-degradation marker, when this result was cut short
+    /// (`EngineConfig::with_partial_results`): the triggering fault plus the
+    /// rows/calls accounting at the cut. `None` = the result is complete.
+    pub fn incomplete(&self) -> Option<&Incomplete> {
+        self.metrics.incomplete.as_ref()
+    }
+
+    /// True when the rows are a partial (page-aligned prefix) result
+    /// delivered under graceful degradation rather than the full answer.
+    pub fn is_partial(&self) -> bool {
+        self.metrics.incomplete.is_some()
     }
 }
 

@@ -10,6 +10,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use llmsql_types::Incomplete;
 use parking_lot::Mutex;
 
 /// Metrics for one query execution.
@@ -57,6 +58,12 @@ pub struct ExecMetrics {
     pub backend_latency_ms: BTreeMap<String, f64>,
     /// Plan nodes executed, by operator name.
     pub operators: BTreeMap<String, u64>,
+    /// Set when graceful degradation cut this query short
+    /// (`EngineConfig::with_partial_results`): the rows produced are an
+    /// exact page-aligned prefix of the full result, and this marker carries
+    /// the triggering fault plus the accounting at the moment of the cut.
+    /// `None` = the result is complete.
+    pub incomplete: Option<Incomplete>,
 }
 
 impl ExecMetrics {
@@ -101,6 +108,11 @@ impl ExecMetrics {
         }
         for (k, v) in &other.operators {
             *self.operators.entry(k.clone()).or_default() += v;
+        }
+        // First marker wins: the earliest cut is the one that shaped the
+        // delivered prefix; later merges must not rewrite the story.
+        if self.incomplete.is_none() {
+            self.incomplete = other.incomplete.clone();
         }
     }
 }
@@ -219,6 +231,30 @@ mod tests {
         assert_eq!(a.rows_from_llm, 12);
         assert_eq!(a.llm_calls(), 3);
         assert_eq!(a.peak_in_flight, 4);
+    }
+
+    #[test]
+    fn merge_keeps_the_first_incomplete_marker() {
+        use llmsql_types::ErrorKind;
+        let marker = |rows: u64| Incomplete {
+            kind: ErrorKind::DeadlineExceeded,
+            message: "cut".to_string(),
+            rows_delivered: rows,
+            calls_spent: 1,
+        };
+        let mut a = ExecMetrics {
+            incomplete: Some(marker(10)),
+            ..ExecMetrics::default()
+        };
+        let b = ExecMetrics {
+            incomplete: Some(marker(99)),
+            ..ExecMetrics::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.incomplete.as_ref().unwrap().rows_delivered, 10);
+        let mut c = ExecMetrics::default();
+        c.merge(&b);
+        assert_eq!(c.incomplete.as_ref().unwrap().rows_delivered, 99);
     }
 
     #[test]

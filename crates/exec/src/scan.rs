@@ -56,7 +56,9 @@ use llmsql_llm::{
 };
 use llmsql_plan::BoundExpr;
 use llmsql_store::Table;
-use llmsql_types::{DataType, PromptStrategy, Result, Row, Schema, Value};
+use llmsql_types::{
+    DataType, Error, ErrorKind, Incomplete, PromptStrategy, Result, Row, Schema, Value,
+};
 
 use crate::context::ExecContext;
 use crate::eval::eval_predicate;
@@ -348,12 +350,44 @@ fn llm_scan_batched(ctx: &ExecContext, spec: &ScanSpec<'_>) -> Result<Vec<Row>> 
     // demonstrated (an empty relation costs exactly 1 call, like a
     // sequential scan).
     let mut ramp = 1usize;
+    // Graceful degradation (`EngineConfig::with_partial_results`): when a
+    // deadline lapses or the backend layer becomes unrecoverable mid-scan,
+    // return the rows already assembled instead of discarding completed
+    // work. The cut is deterministic: pages are consumed strictly in page
+    // order and consumption stops at the first failed page, so the delivered
+    // rows are always an exact page-aligned prefix of the full result. The
+    // triggering fault and the accounting at the cut are recorded as a
+    // structured `Incomplete` marker in the metrics (first cut wins).
+    let cut_short = |err: &Error, rows_delivered: usize| -> bool {
+        if !ctx.config.partial_results
+            || !matches!(err.kind, ErrorKind::DeadlineExceeded | ErrorKind::Llm)
+        {
+            return false;
+        }
+        let marker = Incomplete {
+            kind: err.kind,
+            message: err.message.clone(),
+            rows_delivered: rows_delivered as u64,
+            calls_spent: ctx.metrics.llm_call_count(),
+        };
+        ctx.metrics.update(|m| {
+            if m.incomplete.is_none() {
+                m.incomplete = Some(marker);
+            }
+        });
+        true
+    };
     // The call cap is query-global (shared with any other scans of the same
     // query through the metrics channel), like in the other strategies.
     while !exhausted && rows.len() < budget && calls_used(ctx) < ctx.config.max_llm_calls {
         // Deadline check between waves: a query past its deadline fails
         // before planning (or paying for) another wave.
-        ctx.check_deadline()?;
+        if let Err(err) = ctx.check_deadline() {
+            if cut_short(&err, rows.len()) {
+                break;
+            }
+            return Err(err);
+        }
         let call_budget = ctx.config.max_llm_calls - calls_used(ctx);
         // Plan the wave. A wave may only contain *full* pages (`limit` =
         // `page`): their prompts depend on nothing but the page offset, which
@@ -406,7 +440,19 @@ fn llm_scan_batched(ctx: &ExecContext, spec: &ScanSpec<'_>) -> Result<Vec<Row>> 
         let responses = dispatch_wave(ctx, client, "row_batch", &prompts);
 
         for (&(page_offset, want), response) in wave.iter().zip(responses) {
-            let response = response?;
+            let response = match response {
+                Ok(response) => response,
+                Err(err) => {
+                    // Pages before this one were already consumed in order;
+                    // stopping here keeps the delivered rows an exact
+                    // page-aligned prefix.
+                    if cut_short(&err, rows.len()) {
+                        exhausted = true;
+                        break;
+                    }
+                    return Err(err);
+                }
+            };
             let parsed = parse_pipe_rows(&response.text, &types);
             ctx.metrics
                 .update(|m| m.dropped_lines += parsed.dropped_lines as u64);
@@ -1039,6 +1085,91 @@ mod tests {
         let rows = llm_scan(&ctx, &parts(None, None).spec()).unwrap();
         assert!(rows.is_empty());
         assert_eq!(ctx.metrics.snapshot().llm_calls(), 0);
+    }
+
+    #[test]
+    fn lapsed_deadline_fails_the_scan_unless_partial_results_are_on() {
+        // Already-lapsed deadline: the strict path fails before paying for a
+        // wave; with partial results on, the scan degrades to an empty
+        // prefix plus a structured marker instead.
+        let mut strict = context(PromptStrategy::BatchedRows, LlmFidelity::perfect());
+        strict.config.deadline_ms = Some(0.0);
+        let err = llm_scan(&strict, &parts(None, None).spec()).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::DeadlineExceeded);
+
+        let mut graceful = context(PromptStrategy::BatchedRows, LlmFidelity::perfect());
+        graceful.config.deadline_ms = Some(0.0);
+        graceful.config.partial_results = true;
+        let rows = llm_scan(&graceful, &parts(None, None).spec()).unwrap();
+        assert!(rows.is_empty());
+        let marker = graceful.metrics.snapshot().incomplete.unwrap();
+        assert_eq!(marker.kind, ErrorKind::DeadlineExceeded);
+        assert_eq!(marker.rows_delivered, 0);
+        assert_eq!(marker.calls_spent, 0);
+    }
+
+    #[test]
+    fn backend_failure_mid_scan_degrades_to_a_page_aligned_prefix() {
+        use llmsql_llm::CompletionResponse as Resp;
+        use std::sync::atomic::{AtomicU64, Ordering};
+        /// Serves the first `healthy_calls` completions, then goes hard down
+        /// — a deterministic mid-scan backend loss.
+        struct DiesAfter {
+            inner: Arc<dyn llmsql_llm::LanguageModel>,
+            healthy_calls: u64,
+            served: AtomicU64,
+        }
+        impl llmsql_llm::LanguageModel for DiesAfter {
+            fn name(&self) -> String {
+                "dies-after".into()
+            }
+            fn complete(&self, request: &CompletionRequest) -> llmsql_types::Result<Resp> {
+                if self.served.fetch_add(1, Ordering::SeqCst) < self.healthy_calls {
+                    self.inner.complete(request)
+                } else {
+                    Err(Error::llm("backend lost mid-scan"))
+                }
+            }
+            fn fingerprint(&self) -> String {
+                self.inner.fingerprint()
+            }
+        }
+        let scan_with = |partial: bool| {
+            let mut kb = KnowledgeBase::new();
+            kb.add_table(country_schema(), world_rows());
+            let sim = SimLlm::new(kb.into_shared(), LlmFidelity::perfect(), 7);
+            let model = DiesAfter {
+                inner: Arc::new(sim),
+                healthy_calls: 1,
+                served: AtomicU64::new(0),
+            };
+            let catalog = Catalog::new();
+            catalog.create_virtual_table(country_schema()).unwrap();
+            let mut config = EngineConfig::default()
+                .with_mode(ExecutionMode::LlmOnly)
+                .with_strategy(PromptStrategy::BatchedRows)
+                .with_batch_size(2);
+            config.partial_results = partial;
+            let ctx = ExecContext::new(
+                Catalog::clone(&catalog),
+                Some(LlmClient::new(Arc::new(model))),
+                config,
+            );
+            (llm_scan(&ctx, &parts(None, None).spec()), ctx)
+        };
+        // Strict: the mid-scan loss fails the whole query.
+        let (strict, _) = scan_with(false);
+        assert_eq!(strict.unwrap_err().kind, ErrorKind::Llm);
+        // Graceful: the first page (2 rows — an exact page-aligned prefix)
+        // survives, with the fault recorded in the marker.
+        let (graceful, ctx) = scan_with(true);
+        let rows = graceful.unwrap();
+        assert_eq!(rows.len(), 2, "prefix must be the completed first page");
+        let marker = ctx.metrics.snapshot().incomplete.unwrap();
+        assert_eq!(marker.kind, ErrorKind::Llm);
+        assert_eq!(marker.rows_delivered, 2);
+        assert!(marker.calls_spent >= 2, "both issued calls are accounted");
+        assert!(marker.message.contains("backend lost mid-scan"));
     }
 
     #[test]

@@ -43,6 +43,42 @@
 //! the scheduler composes with it by simply running queries against an
 //! engine so configured.
 //!
+//! # Failure-handling contract
+//!
+//! Three guarantees hold whenever the scheduler rejects or degrades work,
+//! so callers can build retry loops and QoS layers on top without
+//! second-guessing the runtime:
+//!
+//! * **Rejections are loss-less and self-describing.** A submission turned
+//!   away at admission — per-tenant token-bucket throttle, watermark-based
+//!   load shedding ([`llmsql_types::SchedConfig`]'s `shed_queue_watermark` /
+//!   `shed_wait_watermark_ms`), a full global or tenant queue, or a
+//!   hopeless-deadline projection — never started and consumed no LLM
+//!   calls; resubmitting it is always safe. Every one of these rejections
+//!   carries a `retry_after_ms` hint
+//!   ([`llmsql_types::Error::retry_after_ms`]): structurally for throttle
+//!   and shed ([`llmsql_types::ErrorKind::Overloaded`]), attached for
+//!   queue-full and deadline rejections — one shape for all backoff loops.
+//!   Shedding drops strictly-lower-priority work first and is counted in
+//!   [`SchedStats::shed`] / [`SchedStats::throttled`] (both also in
+//!   `rejected`), so `rejected` always equals the rejection errors handed
+//!   out.
+//!
+//! * **Retries and hedges are budget-free.** Fault recovery below the
+//!   scheduler (backend retries, hedged requests, failover) never consumes
+//!   a query's logical call budget or a tenant's call bucket: buckets and
+//!   deficit counters are charged with *logical* calls
+//!   (`ExecMetrics::llm_calls`), never physical attempts.
+//!
+//! * **Partial results are deterministic and labelled.** With
+//!   `EngineConfig::with_partial_results`, a query cut short by a lapsed
+//!   deadline or a mid-query backend loss resolves `Ok` with an exact
+//!   page-aligned prefix of the full answer and a
+//!   [`llmsql_types::Incomplete`] marker (surfaced on
+//!   [`QueryOutcome::incomplete`]) naming the fault and the rows/calls
+//!   spent; the prefix a given cut produces is a function of the completed
+//!   pages, never of scheduling interleavings.
+//!
 //! **Workers park on the reactor, not inside calls.** A worker thread that
 //! picks a query executes it on the engine, whose scan waves go through the
 //! event-driven dispatch core (`llmsql_exec::reactor`) whenever the model
@@ -77,8 +113,10 @@
 
 #![warn(missing_docs)]
 
+mod ratelimit;
 mod scheduler;
 mod ticket;
 
+pub use ratelimit::{TenantLimiter, TokenBucket};
 pub use scheduler::{QueryScheduler, SchedStats};
 pub use ticket::{QueryOutcome, QueryTicket};

@@ -11,6 +11,7 @@ use llmsql_core::Engine;
 use llmsql_exec::CallSlots;
 use llmsql_types::{AtomicEwmaMs, Error, Priority, Result, SchedConfig, SchedPolicy, TenantId};
 
+use crate::ratelimit::TenantLimiter;
 use crate::ticket::{QueryOutcome, QueryTicket, TicketState};
 
 /// One admitted, not-yet-running query.
@@ -58,9 +59,54 @@ struct SchedCore {
     /// Admitted queries cancelled unexecuted because their deadline passed
     /// while they queued.
     deadline_expired: AtomicU64,
+    /// Submissions shed at admission because the deployment was past a
+    /// load-shedding watermark and a higher-priority query was queued.
+    shed: AtomicU64,
+    /// Submissions rejected by a per-tenant token-bucket rate limit.
+    throttled: AtomicU64,
     /// EWMA of completed-query run time, milliseconds. Drives the
     /// projected-queue-wait estimate at admission.
     run_ewma: AtomicEwmaMs,
+    /// The scheduler's millisecond clock origin: token buckets run on
+    /// `epoch.elapsed()` so every bucket shares one monotone clock.
+    epoch: Instant,
+    /// Lazily-built per-tenant rate limiters (only tenants with a configured
+    /// limit ever get an entry).
+    limiters: Mutex<BTreeMap<TenantId, Arc<TenantLimiter>>>,
+}
+
+impl SchedCore {
+    /// Milliseconds since the scheduler was built (the token-bucket clock).
+    fn now_ms(&self) -> u64 {
+        (self.epoch.elapsed().as_secs_f64() * 1000.0) as u64
+    }
+
+    /// The rate limiter for `tenant`, if the configuration gives it one.
+    fn limiter_for(&self, tenant: &str) -> Option<Arc<TenantLimiter>> {
+        let limit = *self.config.rate_limit_of(tenant)?;
+        let mut limiters = self.limiters.lock().unwrap_or_else(|e| e.into_inner());
+        Some(Arc::clone(
+            limiters
+                .entry(tenant.to_string())
+                .or_insert_with(|| Arc::new(TenantLimiter::new(limit, self.now_ms()))),
+        ))
+    }
+
+    /// Projected time to drain a backlog of `queued` jobs: run-time EWMA ×
+    /// depth over worker count. `None` until the first query completes.
+    fn projected_backlog_wait_ms(&self, queued: usize) -> Option<f64> {
+        self.run_ewma
+            .get()
+            .map(|ewma| ewma * (queued as f64 / self.config.workers as f64))
+    }
+
+    /// Retry-after hint for a rejection issued with `queued` jobs in the
+    /// queue, from the backlog projection; 1ms floor when no EWMA exists yet.
+    fn backlog_retry_hint_ms(&self, queued: usize) -> u64 {
+        self.projected_backlog_wait_ms(queued)
+            .map(|wait| wait.ceil().max(1.0) as u64)
+            .unwrap_or(1)
+    }
 }
 
 /// Aggregate scheduler statistics (see [`QueryScheduler::stats`]).
@@ -92,6 +138,16 @@ pub struct SchedStats {
     /// while they queued (also counted in `completed` — their tickets
     /// resolve with [`llmsql_types::ErrorKind::DeadlineExceeded`]).
     pub deadline_expired: u64,
+    /// Submissions shed at admission — the deployment was past a
+    /// load-shedding watermark ([`llmsql_types::SchedConfig`]'s
+    /// `shed_queue_watermark` / `shed_wait_watermark_ms`) and a
+    /// higher-priority query was queued. Also counted in `rejected`; the
+    /// rejection is [`llmsql_types::ErrorKind::Overloaded`] with a
+    /// `retry_after_ms` from the backlog projection.
+    pub shed: u64,
+    /// Submissions rejected by a per-tenant token-bucket rate limit (also
+    /// counted in `rejected`; same `Overloaded { retry_after_ms }` shape).
+    pub throttled: u64,
 }
 
 /// The cross-query scheduler. See the crate docs for the model.
@@ -134,7 +190,11 @@ impl QueryScheduler {
             finish_seq: AtomicU64::new(0),
             deadline_rejected: AtomicU64::new(0),
             deadline_expired: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            throttled: AtomicU64::new(0),
             run_ewma: AtomicEwmaMs::new(),
+            epoch: Instant::now(),
+            limiters: Mutex::new(BTreeMap::new()),
         });
         let workers = (0..worker_count)
             .map(|i| {
@@ -203,17 +263,66 @@ impl QueryScheduler {
         sql: String,
         deadline_ms: Option<f64>,
     ) -> Result<QueryTicket> {
+        // Resolve the tenant's limiter before taking the queue lock (the
+        // limiter map has its own lock; tokens are only spent after the
+        // shutdown check below).
+        let limiter = self.core.limiter_for(&tenant);
         let mut state = self.lock_state();
         if state.shutdown {
             return Err(Error::scheduler("scheduler is shutting down"));
         }
+        // Per-tenant token buckets: the query axis pre-pays one token, the
+        // LLM-call axis must hold credit. A throttled submission never
+        // queued, so resubmitting after `retry_after_ms` is loss-less.
+        if let Some(limiter) = &limiter {
+            if let Err(retry_after_ms) = limiter.admit(self.core.now_ms()) {
+                self.core.throttled.fetch_add(1, Ordering::Relaxed);
+                self.core.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(Error::overloaded(
+                    retry_after_ms,
+                    format!("tenant '{tenant}' is over its rate limit"),
+                ));
+            }
+        }
         if state.jobs.len() >= self.core.config.max_queue_depth {
             self.core.rejected.fetch_add(1, Ordering::Relaxed);
+            let retry_after_ms = self.core.backlog_retry_hint_ms(state.jobs.len());
             return Err(Error::scheduler(format!(
                 "admission queue full ({} queued, cap {})",
                 state.jobs.len(),
                 self.core.config.max_queue_depth
-            )));
+            ))
+            .with_retry_after(retry_after_ms));
+        }
+        // Deployment-wide load shedding: past either watermark (queue depth,
+        // or projected slot wait from the run-time EWMA), an incoming
+        // submission that ranks below the highest-priority queued query is
+        // shed. Shedding is loss-less — the query never started — and the
+        // `Overloaded` rejection carries a retry-after computed from the
+        // backlog projection.
+        let queued = state.jobs.len();
+        let over_depth = self.core.config.shed_queue_watermark > 0
+            && queued >= self.core.config.shed_queue_watermark;
+        let over_wait = self.core.config.shed_wait_watermark_ms > 0.0
+            && self
+                .core
+                .projected_backlog_wait_ms(queued)
+                .is_some_and(|wait| wait >= self.core.config.shed_wait_watermark_ms);
+        if over_depth || over_wait {
+            if let Some(top) = state.jobs.iter().map(|job| job.priority).max() {
+                if priority < top {
+                    self.core.shed.fetch_add(1, Ordering::Relaxed);
+                    self.core.rejected.fetch_add(1, Ordering::Relaxed);
+                    let retry_after_ms = self.core.backlog_retry_hint_ms(queued);
+                    return Err(Error::overloaded(
+                        retry_after_ms,
+                        format!(
+                            "shed at admission: {priority} ranks below the highest queued \
+                             {top} with {queued} queued past the load watermark"
+                        ),
+                    ));
+                }
+            }
         }
         // Queue-aware admission: reject a deadline-carrying query whose
         // projected queue wait alone already dooms it. The estimate must be
@@ -245,17 +354,20 @@ impl QueryScheduler {
                          ({jobs_ahead} job(s) ahead over {} workers at ~{run_ewma_ms:.1}ms per \
                          query) exceeds the {deadline:.0}ms deadline (0 LLM calls issued)",
                         self.core.config.workers
-                    )));
+                    ))
+                    .with_retry_after(projected_wait_ms.ceil().max(1.0) as u64));
                 }
             }
         }
         let tenant_queued = state.queued_per_tenant.entry(tenant.clone()).or_insert(0);
         if *tenant_queued >= self.core.config.tenant_queue_cap {
+            let retry_after_ms = self.core.backlog_retry_hint_ms(*tenant_queued);
             self.core.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(Error::scheduler(format!(
                 "tenant '{tenant}' queue full ({tenant_queued} queued, cap {})",
                 self.core.config.tenant_queue_cap
-            )));
+            ))
+            .with_retry_after(retry_after_ms));
         }
         *tenant_queued += 1;
         let seq = state.next_seq;
@@ -309,6 +421,8 @@ impl QueryScheduler {
             tenant_calls: state.charges.clone(),
             deadline_rejected: self.core.deadline_rejected.load(Ordering::Relaxed),
             deadline_expired: self.core.deadline_expired.load(Ordering::Relaxed),
+            shed: self.core.shed.load(Ordering::Relaxed),
+            throttled: self.core.throttled.load(Ordering::Relaxed),
         }
     }
 
@@ -443,6 +557,20 @@ fn run_job(core: &SchedCore, job: Job) {
         Ok(r) => (r.metrics.llm_calls(), r.metrics.slot_wait_ms),
         Err(_) => (0, 0.0),
     };
+    // Graceful degradation: surface the partial-result marker on the
+    // outcome so QoS layers need not dig through the metrics.
+    let incomplete = result
+        .as_ref()
+        .ok()
+        .and_then(|r| r.metrics.incomplete.clone());
+    // Post-paid rate limiting: debit the tenant's call bucket with the
+    // calls actually consumed; an overdrawn bucket holds the tenant's next
+    // admissions until the debt drains.
+    if llm_calls > 0 {
+        if let Some(limiter) = core.limiter_for(&job.tenant) {
+            limiter.charge_calls(core.now_ms(), llm_calls);
+        }
+    }
     {
         let mut state = core.state.lock().unwrap_or_else(|e| e.into_inner());
         // Charge the tenant's deficit counter with the calls the query
@@ -460,6 +588,7 @@ fn run_job(core: &SchedCore, job: Job) {
         run_ms,
         slot_wait_ms,
         llm_calls,
+        incomplete,
         finish_seq,
     });
 }
@@ -661,6 +790,186 @@ mod tests {
         assert!(err.message.contains("admission queue full"), "{err}");
         assert_eq!(sched.stats().rejected, 2);
         sched.resume();
+    }
+
+    #[test]
+    fn rate_limited_tenant_is_throttled_with_retry_after() {
+        let sched = QueryScheduler::new(
+            store_engine(),
+            SchedConfig::default()
+                .with_workers(1)
+                .with_tenant_rate_limit("metered", llmsql_types::TenantRateLimit::queries(1.0, 2.0))
+                .paused(),
+        )
+        .unwrap();
+        let sql = "SELECT COUNT(*) FROM nums";
+        // Burst of 2 admits, then the bucket is dry for ~1s.
+        sched.submit("metered", Priority::NORMAL, sql).unwrap();
+        sched.submit("metered", Priority::NORMAL, sql).unwrap();
+        let err = sched.submit("metered", Priority::NORMAL, sql).unwrap_err();
+        assert!(err.is_overloaded(), "{err}");
+        assert!(err.retry_after_ms().unwrap() > 0);
+        assert!(err.message.contains("rate limit"), "{err}");
+        // Unmetered tenants are unaffected.
+        sched.submit("free", Priority::NORMAL, sql).unwrap();
+        let stats = sched.stats();
+        assert_eq!(stats.throttled, 1);
+        assert_eq!(stats.shed, 0);
+        assert_eq!(
+            stats.rejected,
+            stats.throttled + stats.shed,
+            "counters must match the rejections handed out exactly"
+        );
+        sched.resume();
+    }
+
+    #[test]
+    fn shedding_drops_only_lower_priority_past_the_watermark() {
+        let sched = QueryScheduler::new(
+            store_engine(),
+            SchedConfig::default()
+                .with_workers(1)
+                .with_policy(SchedPolicy::Priority)
+                .with_shed_queue_watermark(2)
+                .paused(),
+        )
+        .unwrap();
+        let sql = "SELECT COUNT(*) FROM nums";
+        // Below the watermark everything is admitted.
+        sched.submit("t", Priority::NORMAL, sql).unwrap();
+        sched.submit("t", Priority::NORMAL, sql).unwrap();
+        // Past it, lower-priority work is shed with a structured rejection...
+        let err = sched.submit("bulk", Priority::LOW, sql).unwrap_err();
+        assert!(err.is_overloaded(), "{err}");
+        assert!(err.retry_after_ms().unwrap() > 0);
+        assert!(err.message.contains("shed at admission"), "{err}");
+        // ...while equal- and higher-priority submissions still get in.
+        sched.submit("t", Priority::NORMAL, sql).unwrap();
+        sched.submit("vip", Priority::HIGH, sql).unwrap();
+        // A LOW submission keeps being shed while HIGH work is queued.
+        assert!(sched.submit("bulk", Priority::LOW, sql).is_err());
+        let stats = sched.stats();
+        assert_eq!(stats.shed, 2);
+        assert_eq!(stats.throttled, 0);
+        assert_eq!(stats.rejected, 2);
+        sched.resume();
+    }
+
+    #[test]
+    fn queue_full_and_tenant_cap_rejections_carry_retry_after() {
+        let sched = QueryScheduler::new(
+            store_engine(),
+            SchedConfig::default()
+                .with_workers(1)
+                .with_max_queue_depth(2)
+                .with_tenant_queue_cap(1)
+                .paused(),
+        )
+        .unwrap();
+        let sql = "SELECT COUNT(*) FROM nums";
+        sched.submit("a", Priority::NORMAL, sql).unwrap();
+        // Tenant cap rejection: structured Scheduler error plus the hint.
+        let err = sched.submit("a", Priority::NORMAL, sql).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Scheduler);
+        assert!(err.retry_after_ms().unwrap() >= 1, "{err}");
+        sched.submit("b", Priority::NORMAL, sql).unwrap();
+        // Global queue-full rejection: same shape.
+        let err = sched.submit("c", Priority::NORMAL, sql).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Scheduler);
+        assert!(err.message.contains("admission queue full"), "{err}");
+        assert!(err.retry_after_ms().unwrap() >= 1);
+        sched.resume();
+    }
+
+    #[test]
+    fn throttled_tenant_cannot_starve_others_fair_share() {
+        // Regression: a tenant hammering a tight rate limit must only hurt
+        // itself — its rejections are loss-less and every other tenant's
+        // queries are admitted and complete.
+        let sched = QueryScheduler::new(
+            store_engine(),
+            SchedConfig::default()
+                .with_workers(1)
+                .with_tenant_rate_limit("greedy", llmsql_types::TenantRateLimit::queries(1.0, 1.0)),
+        )
+        .unwrap();
+        let sql = "SELECT COUNT(*) FROM nums";
+        let mut greedy_admitted = Vec::new();
+        let mut greedy_throttled = 0u64;
+        let mut polite = Vec::new();
+        for _ in 0..10 {
+            match sched.submit("greedy", Priority::NORMAL, sql) {
+                Ok(ticket) => greedy_admitted.push(ticket),
+                Err(err) => {
+                    assert!(err.is_overloaded(), "{err}");
+                    greedy_throttled += 1;
+                }
+            }
+            polite.push(sched.submit("polite", Priority::NORMAL, sql).unwrap());
+        }
+        assert!(greedy_throttled >= 8, "burst 1 at 1qps: {greedy_throttled}");
+        for ticket in polite {
+            assert!(ticket.wait().result.is_ok(), "polite tenant was starved");
+        }
+        for ticket in greedy_admitted {
+            assert!(ticket.wait().result.is_ok());
+        }
+        let stats = sched.stats();
+        assert_eq!(stats.throttled, greedy_throttled);
+        assert_eq!(stats.rejected, greedy_throttled);
+        assert_eq!(stats.completed, stats.submitted);
+    }
+
+    #[test]
+    fn partial_results_surface_on_the_outcome() {
+        // 5 pages at ~10ms each against a 25ms deadline: the scan is cut
+        // between waves. With partial results on, the outcome resolves Ok
+        // with a page-aligned prefix and the Incomplete marker surfaced on
+        // the QueryOutcome itself.
+        let schema = Schema::virtual_table(
+            "countries",
+            vec![
+                Column::new("name", DataType::Text).primary_key(),
+                Column::new("population", DataType::Int),
+            ],
+        );
+        let rows: Vec<Row> = (0..10)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Text(format!("Country {i:02}")),
+                    Value::Int(100 + i as i64),
+                ])
+            })
+            .collect();
+        let catalog = Catalog::new();
+        catalog.create_virtual_table(schema.clone()).unwrap();
+        let mut kb = KnowledgeBase::new();
+        kb.add_table(schema, rows);
+        let mut config = EngineConfig::default()
+            .with_mode(ExecutionMode::LlmOnly)
+            .with_strategy(PromptStrategy::BatchedRows)
+            .with_fidelity(LlmFidelity::perfect())
+            .with_batch_size(2)
+            .with_seed(11)
+            .with_parallelism(1)
+            .with_partial_results();
+        config.enable_prompt_cache = false;
+        let mut engine = Engine::with_catalog(catalog, config);
+        let sim = llmsql_llm::SimLlm::new(kb.into_shared(), LlmFidelity::perfect(), 11)
+            .with_simulated_latency_ms(10.0);
+        engine.attach_model(std::sync::Arc::new(sim)).unwrap();
+        let sched = QueryScheduler::new(engine, SchedConfig::default().with_workers(1)).unwrap();
+        let outcome = sched
+            .submit_with_deadline("t", Priority::NORMAL, "SELECT name FROM countries", 25.0)
+            .unwrap()
+            .wait();
+        let result = outcome.result.expect("degrades gracefully, not an error");
+        assert!(result.is_partial());
+        let marker = outcome.incomplete.expect("marker surfaced on the outcome");
+        assert_eq!(marker.kind, ErrorKind::DeadlineExceeded);
+        assert!(marker.rows_delivered < 10, "{marker}");
+        assert_eq!(marker.rows_delivered % 2, 0, "prefix must be page-aligned");
+        assert_eq!(result.rows().len() as u64, marker.rows_delivered);
     }
 
     #[test]

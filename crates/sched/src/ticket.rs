@@ -4,7 +4,7 @@
 use std::sync::{Arc, Condvar, Mutex};
 
 use llmsql_core::QueryResult;
-use llmsql_types::{Priority, Result, TenantId};
+use llmsql_types::{Incomplete, Priority, Result, TenantId};
 
 /// Everything known about one scheduled query once it finished.
 #[derive(Debug, Clone)]
@@ -24,6 +24,13 @@ pub struct QueryOutcome {
     pub slot_wait_ms: f64,
     /// Logical LLM calls the query issued.
     pub llm_calls: u64,
+    /// Set when the query was cut short under graceful degradation
+    /// (`EngineConfig::with_partial_results`): the result's rows are a
+    /// page-aligned prefix and this marker carries the triggering fault
+    /// plus the rows/calls accounting at the cut. Copied from
+    /// `ExecMetrics::incomplete` so QoS layers see it without digging
+    /// through the metrics.
+    pub incomplete: Option<Incomplete>,
     /// Global completion ordinal (1 = first query the scheduler finished).
     /// Fairness and starvation tests key off this.
     pub finish_seq: u64,
@@ -112,6 +119,7 @@ mod tests {
             run_ms: 0.0,
             slot_wait_ms: 0.0,
             llm_calls: 0,
+            incomplete: None,
             finish_seq,
         }
     }

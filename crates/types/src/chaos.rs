@@ -1,0 +1,398 @@
+//! Deterministic fault injection: a seeded, replayable schedule of backend
+//! misbehavior (the "chaos plan") that any multi-backend scenario can apply
+//! to exercise retries, breakers, hedging, failover and graceful degradation
+//! under the *exact same* bad day, run after run.
+//!
+//! # Virtual time
+//!
+//! A [`ChaosPlan`] never looks at the wall clock: each prompt is mapped to a
+//! deterministic **virtual timestamp** in `[0, horizon_ms)` by hashing the
+//! prompt text with the plan's seed ([`ChaosPlan::virtual_ms`]). Every
+//! backend sees the *same* virtual time for a given prompt, so an outage
+//! window on one backend leaves its siblings healthy for that prompt and
+//! failover works exactly like it would against correlated real-world
+//! faults — while whether a given prompt lands inside a window is a pure
+//! function of `(plan seed, prompt)`, independent of thread interleaving,
+//! parallelism, or wall-clock time.
+//!
+//! # Faults
+//!
+//! A [`ChaosWindow`] scopes one [`ChaosFault`] to one backend and one
+//! virtual-time interval. Several windows may overlap; their effects compose
+//! ([`ChaosPlan::effect`]): any active outage (or a flapping window's "down"
+//! phase) makes the backend hard-down, error rates take the maximum of the
+//! active bursts, latency factors multiply.
+
+use std::fmt;
+
+use crate::error::{Error, Result};
+
+/// One kind of injected backend misbehavior.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChaosFault {
+    /// The backend is hard-down: every attempt fails immediately.
+    Outage,
+    /// Attempts fail with the given probability (deterministically derived
+    /// per `(backend, prompt, attempt)`), on top of the backend's configured
+    /// base error rate.
+    ErrorBurst {
+        /// Probability in `[0, 1]` that an attempt fails during the window.
+        error_rate: f64,
+    },
+    /// Simulated latency is multiplied by a constant factor for the whole
+    /// window (a correlated slowdown: overloaded endpoint, degraded route).
+    LatencyStorm {
+        /// Multiplier applied to the backend's simulated latency (≥ 1).
+        factor: f64,
+    },
+    /// Simulated latency degrades gradually: the multiplier ramps linearly
+    /// from 1× at the window start to `max_factor` at the window end (a
+    /// leaking connection pool, a filling disk).
+    SlowDrip {
+        /// Latency multiplier reached at the end of the window (≥ 1).
+        max_factor: f64,
+    },
+    /// The backend alternates between down and healthy phases of equal
+    /// length within the window, starting down (a crash-looping endpoint).
+    Flapping {
+        /// Length of each down/up phase in virtual milliseconds (≥ 1).
+        period_ms: u64,
+    },
+}
+
+impl fmt::Display for ChaosFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaosFault::Outage => write!(f, "outage"),
+            ChaosFault::ErrorBurst { error_rate } => write!(f, "error-burst({error_rate})"),
+            ChaosFault::LatencyStorm { factor } => write!(f, "latency-storm({factor}x)"),
+            ChaosFault::SlowDrip { max_factor } => write!(f, "slow-drip(->{max_factor}x)"),
+            ChaosFault::Flapping { period_ms } => write!(f, "flapping({period_ms}ms)"),
+        }
+    }
+}
+
+/// One fault applied to one backend over one virtual-time interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosWindow {
+    /// Name of the backend the fault applies to ([`crate::BackendSpec`]
+    /// name).
+    pub backend: String,
+    /// The injected misbehavior.
+    pub fault: ChaosFault,
+    /// Start of the window in virtual milliseconds (inclusive).
+    pub start_ms: u64,
+    /// End of the window in virtual milliseconds (exclusive).
+    pub end_ms: u64,
+}
+
+/// The combined fault effect on one backend at one virtual timestamp, after
+/// composing every active [`ChaosWindow`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosEffect {
+    /// The backend is hard-down (an outage or a flapping down-phase is
+    /// active): every attempt must fail without producing a completion.
+    pub down: bool,
+    /// Additional attempt failure probability in `[0, 1]` (maximum over
+    /// active error bursts; 0 when none is active).
+    pub error_rate: f64,
+    /// Multiplier on the backend's simulated latency (product of active
+    /// storms and drips; 1 when none is active).
+    pub latency_factor: f64,
+}
+
+impl ChaosEffect {
+    /// The no-fault effect: healthy backend, no extra errors, 1× latency.
+    pub const NONE: ChaosEffect = ChaosEffect {
+        down: false,
+        error_rate: 0.0,
+        latency_factor: 1.0,
+    };
+
+    /// Whether this effect changes backend behavior at all.
+    pub fn is_none(&self) -> bool {
+        !self.down && self.error_rate == 0.0 && self.latency_factor == 1.0
+    }
+}
+
+/// A seeded, deterministic schedule of backend faults. See the module docs
+/// for the virtual-time model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosPlan {
+    /// Seed for the prompt → virtual-time mapping. Two plans with the same
+    /// windows but different seeds hit different prompts with each fault.
+    pub seed: u64,
+    /// Length of the virtual timeline in milliseconds; every prompt maps to
+    /// a timestamp in `[0, horizon_ms)`.
+    pub horizon_ms: u64,
+    /// The scheduled fault windows (order is irrelevant; effects compose).
+    pub windows: Vec<ChaosWindow>,
+}
+
+impl ChaosPlan {
+    /// An empty plan (no faults) over the given virtual horizon.
+    pub fn new(seed: u64, horizon_ms: u64) -> Self {
+        ChaosPlan {
+            seed,
+            horizon_ms,
+            windows: Vec::new(),
+        }
+    }
+
+    /// Builder-style: schedule one fault window
+    /// (`[start_ms, end_ms)` in virtual time) on the named backend.
+    pub fn with_window(
+        mut self,
+        backend: impl Into<String>,
+        fault: ChaosFault,
+        start_ms: u64,
+        end_ms: u64,
+    ) -> Self {
+        self.windows.push(ChaosWindow {
+            backend: backend.into(),
+            fault,
+            start_ms,
+            end_ms,
+        });
+        self
+    }
+
+    /// Map a prompt to its virtual timestamp in `[0, horizon_ms)`: a pure
+    /// function of `(seed, prompt)`, stable across runs, threads, and
+    /// backends.
+    pub fn virtual_ms(&self, prompt: &str) -> u64 {
+        hash_str(prompt, self.seed) % self.horizon_ms.max(1)
+    }
+
+    /// The composed fault effect on `backend` at virtual time `vt_ms`.
+    pub fn effect(&self, backend: &str, vt_ms: u64) -> ChaosEffect {
+        let mut effect = ChaosEffect::NONE;
+        for w in &self.windows {
+            if w.backend != backend || vt_ms < w.start_ms || vt_ms >= w.end_ms {
+                continue;
+            }
+            match w.fault {
+                ChaosFault::Outage => effect.down = true,
+                ChaosFault::ErrorBurst { error_rate } => {
+                    effect.error_rate = effect.error_rate.max(error_rate);
+                }
+                ChaosFault::LatencyStorm { factor } => effect.latency_factor *= factor,
+                ChaosFault::SlowDrip { max_factor } => {
+                    let span = (w.end_ms - w.start_ms).max(1) as f64;
+                    let progress = (vt_ms - w.start_ms) as f64 / span;
+                    effect.latency_factor *= 1.0 + (max_factor - 1.0) * progress;
+                }
+                ChaosFault::Flapping { period_ms } => {
+                    let phase = (vt_ms - w.start_ms) / period_ms.max(1);
+                    if phase.is_multiple_of(2) {
+                        effect.down = true;
+                    }
+                }
+            }
+        }
+        effect
+    }
+
+    /// Convenience: the composed effect for a prompt on a backend.
+    pub fn effect_for_prompt(&self, backend: &str, prompt: &str) -> ChaosEffect {
+        self.effect(backend, self.virtual_ms(prompt))
+    }
+
+    /// Validate the plan.
+    pub fn validate(&self) -> Result<()> {
+        if self.horizon_ms == 0 {
+            return Err(Error::config("chaos horizon_ms must be at least 1"));
+        }
+        for w in &self.windows {
+            if w.backend.is_empty() {
+                return Err(Error::config("chaos window backend name must be non-empty"));
+            }
+            if w.end_ms <= w.start_ms {
+                return Err(Error::config(format!(
+                    "chaos window on '{}' is empty: [{}, {})",
+                    w.backend, w.start_ms, w.end_ms
+                )));
+            }
+            match w.fault {
+                ChaosFault::ErrorBurst { error_rate } => {
+                    if !error_rate.is_finite() || !(0.0..=1.0).contains(&error_rate) {
+                        return Err(Error::config(format!(
+                            "chaos error burst rate must be in [0, 1], got {error_rate}"
+                        )));
+                    }
+                }
+                ChaosFault::LatencyStorm { factor } => {
+                    if !factor.is_finite() || factor < 1.0 {
+                        return Err(Error::config(format!(
+                            "chaos latency storm factor must be finite and >= 1, got {factor}"
+                        )));
+                    }
+                }
+                ChaosFault::SlowDrip { max_factor } => {
+                    if !max_factor.is_finite() || max_factor < 1.0 {
+                        return Err(Error::config(format!(
+                            "chaos slow-drip max factor must be finite and >= 1, got {max_factor}"
+                        )));
+                    }
+                }
+                ChaosFault::Flapping { period_ms } => {
+                    if period_ms == 0 {
+                        return Err(Error::config("chaos flapping period_ms must be at least 1"));
+                    }
+                }
+                ChaosFault::Outage => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Deterministic 64-bit string hash (splitmix64 finalizer folded over the
+/// bytes). Self-contained on purpose: `llmsql-types` sits below the LLM
+/// crate's noise helpers and must not depend on `std`'s `DefaultHasher`
+/// stability either.
+fn hash_str(s: &str, seed: u64) -> u64 {
+    let mut h = seed ^ 0x51_7C_C1_B7_27_22_0A_95;
+    for chunk in s.as_bytes().chunks(8) {
+        let mut word = 0u64;
+        for (i, &b) in chunk.iter().enumerate() {
+            word |= (b as u64) << (8 * i);
+        }
+        h = splitmix64(h ^ word);
+    }
+    splitmix64(h ^ s.len() as u64)
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> ChaosPlan {
+        ChaosPlan::new(7, 10_000)
+            .with_window("edge-a", ChaosFault::Outage, 0, 3_000)
+            .with_window(
+                "edge-b",
+                ChaosFault::LatencyStorm { factor: 20.0 },
+                2_000,
+                6_000,
+            )
+            .with_window(
+                "edge-c",
+                ChaosFault::ErrorBurst { error_rate: 0.8 },
+                4_000,
+                8_000,
+            )
+            .with_window(
+                "edge-d",
+                ChaosFault::Flapping { period_ms: 500 },
+                1_000,
+                5_000,
+            )
+            .with_window(
+                "edge-b",
+                ChaosFault::SlowDrip { max_factor: 5.0 },
+                6_000,
+                10_000,
+            )
+    }
+
+    #[test]
+    fn virtual_time_is_deterministic_and_in_range() {
+        let p = plan();
+        for prompt in ["SELECT 1", "page 3 of countries", ""] {
+            let vt = p.virtual_ms(prompt);
+            assert!(vt < p.horizon_ms);
+            assert_eq!(vt, p.virtual_ms(prompt), "same prompt, same vt");
+        }
+        // Different seeds shuffle prompts to different timestamps.
+        let other = ChaosPlan::new(8, 10_000);
+        let hits = ["a", "b", "c", "d", "e", "f", "g", "h"]
+            .iter()
+            .filter(|s| p.virtual_ms(s) != other.virtual_ms(s))
+            .count();
+        assert!(hits > 0, "seed must affect the mapping");
+    }
+
+    #[test]
+    fn effects_compose_per_window() {
+        let p = plan();
+        assert_eq!(
+            p.effect("edge-a", 1_000),
+            ChaosEffect {
+                down: true,
+                error_rate: 0.0,
+                latency_factor: 1.0
+            }
+        );
+        assert!(p.effect("edge-a", 3_000).is_none(), "end is exclusive");
+        assert_eq!(p.effect("edge-b", 2_500).latency_factor, 20.0);
+        assert_eq!(p.effect("edge-c", 4_000).error_rate, 0.8);
+        assert!(!p.effect("edge-c", 4_000).down);
+        assert!(p.effect("nonexistent", 2_500).is_none());
+    }
+
+    #[test]
+    fn flapping_alternates_starting_down() {
+        let p = plan();
+        assert!(p.effect("edge-d", 1_000).down, "phase 0 is down");
+        assert!(p.effect("edge-d", 1_499).down);
+        assert!(!p.effect("edge-d", 1_500).down, "phase 1 is up");
+        assert!(p.effect("edge-d", 2_000).down, "phase 2 is down again");
+    }
+
+    #[test]
+    fn slow_drip_ramps_linearly() {
+        let p = plan();
+        let start = p.effect("edge-b", 6_000).latency_factor;
+        let mid = p.effect("edge-b", 8_000).latency_factor;
+        let late = p.effect("edge-b", 9_999).latency_factor;
+        assert_eq!(start, 1.0);
+        assert!(
+            (mid - 3.0).abs() < 1e-9,
+            "midpoint of a 1->5 ramp is 3, got {mid}"
+        );
+        assert!(late > 4.9 && late < 5.0);
+    }
+
+    #[test]
+    fn overlapping_latency_windows_multiply() {
+        let p = ChaosPlan::new(1, 1_000)
+            .with_window("e", ChaosFault::LatencyStorm { factor: 2.0 }, 0, 1_000)
+            .with_window("e", ChaosFault::LatencyStorm { factor: 3.0 }, 0, 1_000);
+        assert_eq!(p.effect("e", 500).latency_factor, 6.0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_plans() {
+        assert!(ChaosPlan::new(1, 0).validate().is_err());
+        assert!(plan().validate().is_ok());
+        let bad = |f: ChaosFault| {
+            ChaosPlan::new(1, 100)
+                .with_window("e", f, 0, 50)
+                .validate()
+                .is_err()
+        };
+        assert!(bad(ChaosFault::ErrorBurst { error_rate: 1.5 }));
+        assert!(bad(ChaosFault::ErrorBurst {
+            error_rate: f64::NAN
+        }));
+        assert!(bad(ChaosFault::LatencyStorm { factor: 0.5 }));
+        assert!(bad(ChaosFault::SlowDrip { max_factor: 0.0 }));
+        assert!(bad(ChaosFault::Flapping { period_ms: 0 }));
+        assert!(ChaosPlan::new(1, 100)
+            .with_window("e", ChaosFault::Outage, 50, 50)
+            .validate()
+            .is_err());
+        assert!(ChaosPlan::new(1, 100)
+            .with_window("", ChaosFault::Outage, 0, 50)
+            .validate()
+            .is_err());
+    }
+}

@@ -3,6 +3,7 @@
 
 use std::fmt;
 
+use crate::chaos::ChaosPlan;
 use crate::error::{Error, Result};
 
 /// How queries are executed.
@@ -467,6 +468,19 @@ pub struct EngineConfig {
     /// calls issued so far) once it passes. `None` (the default) means no
     /// deadline.
     pub deadline_ms: Option<f64>,
+    /// Graceful degradation: when enabled, a batched LLM scan cut short by a
+    /// lapsed deadline or a backend-layer failure returns the completed pages
+    /// it already paid for — an exact page-aligned prefix of the full result
+    /// — plus a structured [`crate::Incomplete`] marker in the execution
+    /// metrics, instead of discarding the work with an error. Off by default
+    /// (failures stay failures).
+    pub partial_results: bool,
+    /// Deterministic fault injection: when set, every backend built from
+    /// [`EngineConfig::backends`] consults this seeded [`ChaosPlan`] —
+    /// outages, error bursts and latency storms replay identically run after
+    /// run. `None` (the default) injects nothing. Test/benchmark harness
+    /// knob; see [`crate::chaos`].
+    pub chaos: Option<ChaosPlan>,
     /// Whether the prompt cache is enabled.
     pub enable_prompt_cache: bool,
     /// Whether optimizer rules run (turned off by the ablation experiment).
@@ -498,6 +512,8 @@ impl Default for EngineConfig {
             hedge_multiplier: 0.0,
             hedge_min_ms: 1.0,
             deadline_ms: None,
+            partial_results: false,
+            chaos: None,
             enable_prompt_cache: true,
             enable_optimizer: true,
             enable_predicate_pushdown: true,
@@ -573,6 +589,18 @@ impl EngineConfig {
         self.deadline_ms = Some(deadline_ms);
         self
     }
+    /// Builder-style: opt in to partial results under faults (see
+    /// [`EngineConfig::partial_results`]).
+    pub fn with_partial_results(mut self) -> Self {
+        self.partial_results = true;
+        self
+    }
+    /// Builder-style: inject a deterministic chaos plan into every backend
+    /// (see [`EngineConfig::chaos`]).
+    pub fn with_chaos(mut self, plan: ChaosPlan) -> Self {
+        self.chaos = Some(plan);
+        self
+    }
 
     /// Validate the configuration.
     pub fn validate(&self) -> Result<()> {
@@ -615,6 +643,9 @@ impl EngineConfig {
                     "deadline_ms must be finite and greater than zero",
                 ));
             }
+        }
+        if let Some(chaos) = &self.chaos {
+            chaos.validate()?;
         }
         if self.batch_size == 0 {
             return Err(Error::config("batch_size must be at least 1"));
@@ -839,6 +870,25 @@ mod tests {
             .with_deadline_ms(f64::INFINITY)
             .validate()
             .is_err());
+    }
+
+    #[test]
+    fn chaos_and_partial_results_config() {
+        use crate::chaos::{ChaosFault, ChaosPlan};
+        // Both off by default: existing deployments keep their behaviour.
+        let default = EngineConfig::default();
+        assert!(!default.partial_results);
+        assert!(default.chaos.is_none());
+
+        let cfg = EngineConfig::default().with_partial_results().with_chaos(
+            ChaosPlan::new(7, 10_000).with_window("edge-a", ChaosFault::Outage, 0, 1_000),
+        );
+        assert!(cfg.partial_results);
+        cfg.validate().unwrap();
+
+        // An invalid plan fails engine-config validation too.
+        let bad = EngineConfig::default().with_chaos(ChaosPlan::new(7, 0));
+        assert!(bad.validate().is_err());
     }
 
     #[test]

@@ -34,6 +34,14 @@ pub enum ErrorKind {
     /// message carries the partial accounting at the moment of failure:
     /// elapsed time and LLM calls already issued.
     DeadlineExceeded,
+    /// The deployment shed this query at admission to protect itself (rate
+    /// limit exhausted, or load-shedding watermark crossed). The work was
+    /// never started — resubmitting after `retry_after_ms` is loss-less.
+    Overloaded {
+        /// Suggested client back-off in milliseconds, computed from the
+        /// scheduler's run-time EWMAs and current backlog (always > 0).
+        retry_after_ms: u64,
+    },
 }
 
 impl fmt::Display for ErrorKind {
@@ -51,6 +59,7 @@ impl fmt::Display for ErrorKind {
             ErrorKind::Config => "configuration error",
             ErrorKind::Scheduler => "scheduler error",
             ErrorKind::DeadlineExceeded => "deadline exceeded",
+            ErrorKind::Overloaded { .. } => "overloaded",
         };
         write!(f, "{s}")
     }
@@ -66,15 +75,24 @@ pub struct Error {
     pub message: String,
     /// Optional byte offset into the query text (parse errors).
     pub offset: Option<usize>,
+    /// Suggested client back-off in milliseconds for retryable admission
+    /// rejections (overload shed, queue full, projected-wait deadline
+    /// rejection). `None` for errors a blind retry cannot help with.
+    pub retry_after_ms: Option<u64>,
 }
 
 impl Error {
     /// Create an error of the given kind.
     pub fn new(kind: ErrorKind, message: impl Into<String>) -> Self {
+        let retry_after_ms = match kind {
+            ErrorKind::Overloaded { retry_after_ms } => Some(retry_after_ms),
+            _ => None,
+        };
         Error {
             kind,
             message: message.into(),
             offset: None,
+            retry_after_ms,
         }
     }
 
@@ -82,6 +100,26 @@ impl Error {
     pub fn at(mut self, offset: usize) -> Self {
         self.offset = Some(offset);
         self
+    }
+
+    /// Attach a retry-after hint (admission rejections that a client can
+    /// back off on: queue full, projected-wait deadline rejection).
+    pub fn with_retry_after(mut self, retry_after_ms: u64) -> Self {
+        self.retry_after_ms = Some(retry_after_ms);
+        self
+    }
+
+    /// The structured retry-after hint, if this rejection carries one.
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        self.retry_after_ms.or(match self.kind {
+            ErrorKind::Overloaded { retry_after_ms } => Some(retry_after_ms),
+            _ => None,
+        })
+    }
+
+    /// Whether this is an admission-side overload shed / throttle rejection.
+    pub fn is_overloaded(&self) -> bool {
+        matches!(self.kind, ErrorKind::Overloaded { .. })
     }
 
     /// Parse error constructor.
@@ -132,6 +170,44 @@ impl Error {
     /// partial accounting (elapsed ms, LLM calls issued) into the message.
     pub fn deadline_exceeded(message: impl Into<String>) -> Self {
         Error::new(ErrorKind::DeadlineExceeded, message)
+    }
+    /// Overload rejection constructor (shed / rate-limited at admission).
+    /// `retry_after_ms` is clamped to at least 1 so clients always get a
+    /// positive back-off.
+    pub fn overloaded(retry_after_ms: u64, message: impl Into<String>) -> Self {
+        Error::new(
+            ErrorKind::Overloaded {
+                retry_after_ms: retry_after_ms.max(1),
+            },
+            message,
+        )
+    }
+}
+
+/// A structured marker describing why (and where) a query's result was cut
+/// short, attached to partial results produced under graceful degradation
+/// (`EngineConfig::with_partial_results`). The rows that *were* delivered
+/// are always an exact page-aligned prefix of the full result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Incomplete {
+    /// The category of the triggering fault (deadline lapse, backend-layer
+    /// failure, ...).
+    pub kind: ErrorKind,
+    /// Human-readable description of the triggering fault.
+    pub message: String,
+    /// Rows delivered before the cut (the page-aligned prefix length).
+    pub rows_delivered: u64,
+    /// Logical LLM calls already spent when the query was cut short.
+    pub calls_spent: u64,
+}
+
+impl fmt::Display for Incomplete {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "incomplete after {} row(s) / {} call(s): {}: {}",
+            self.rows_delivered, self.calls_spent, self.kind, self.message
+        )
     }
 }
 
@@ -187,5 +263,39 @@ mod tests {
     fn errors_are_comparable() {
         assert_eq!(Error::parse("a"), Error::parse("a"));
         assert_ne!(Error::parse("a"), Error::binding("a"));
+    }
+
+    #[test]
+    fn overloaded_carries_positive_retry_after() {
+        let e = Error::overloaded(120, "queue past watermark");
+        assert!(e.is_overloaded());
+        assert_eq!(e.retry_after_ms(), Some(120));
+        assert!(e.to_string().contains("overloaded"));
+        // Zero is clamped: clients must never be told to retry immediately.
+        assert_eq!(Error::overloaded(0, "x").retry_after_ms(), Some(1));
+    }
+
+    #[test]
+    fn retry_after_hint_attaches_to_other_rejections() {
+        let e = Error::scheduler("admission queue full").with_retry_after(250);
+        assert_eq!(e.retry_after_ms(), Some(250));
+        assert!(!e.is_overloaded());
+        assert_eq!(Error::scheduler("plain").retry_after_ms(), None);
+        let d = Error::deadline_exceeded("projected wait too long").with_retry_after(75);
+        assert_eq!(d.retry_after_ms(), Some(75));
+    }
+
+    #[test]
+    fn incomplete_marker_displays_accounting() {
+        let m = Incomplete {
+            kind: ErrorKind::DeadlineExceeded,
+            message: "deadline lapsed mid-wave".to_string(),
+            rows_delivered: 40,
+            calls_spent: 2,
+        };
+        let s = m.to_string();
+        assert!(s.contains("40 row(s)"));
+        assert!(s.contains("2 call(s)"));
+        assert!(s.contains("deadline exceeded"));
     }
 }

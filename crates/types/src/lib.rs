@@ -9,6 +9,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod config;
 pub mod error;
 pub mod ewma;
@@ -17,14 +18,15 @@ pub mod sched;
 pub mod schema;
 pub mod value;
 
+pub use chaos::{ChaosEffect, ChaosFault, ChaosPlan, ChaosWindow};
 pub use config::{
     BackendSpec, EngineConfig, ExecutionMode, LlmCostModel, LlmFidelity, PromptStrategy,
     RoutingPolicy,
 };
-pub use error::{Error, ErrorKind, Result};
+pub use error::{Error, ErrorKind, Incomplete, Result};
 pub use ewma::AtomicEwmaMs;
 pub use row::{Batch, Row};
-pub use sched::{Priority, SchedConfig, SchedPolicy, TenantId};
+pub use sched::{Priority, SchedConfig, SchedPolicy, TenantId, TenantRateLimit};
 pub use schema::{Column, ColumnRef, DataType, Field, RelSchema, Schema};
 pub use value::Value;
 

@@ -94,6 +94,81 @@ impl fmt::Display for SchedPolicy {
     }
 }
 
+/// Per-tenant token-bucket rate limits, enforced at admission. Each axis is
+/// independent; a `0` rate disables that axis (unlimited).
+///
+/// The query axis is pre-paid: a submission takes one token or is rejected
+/// with [`crate::ErrorKind::Overloaded`]. The LLM-call axis is post-paid
+/// (a query's call count is only known at completion): admission requires
+/// positive call credit and completion debits the actual calls consumed, so
+/// a burst can overdraw the bucket once but the tenant then waits out the
+/// debt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantRateLimit {
+    /// Sustained admissions per second (0 = unlimited).
+    pub queries_per_sec: f64,
+    /// Burst capacity of the query bucket, in queries (≥ 1 when the axis is
+    /// enabled).
+    pub query_burst: f64,
+    /// Sustained LLM calls per second (0 = unlimited).
+    pub llm_calls_per_sec: f64,
+    /// Burst capacity of the call bucket, in calls (≥ 1 when the axis is
+    /// enabled).
+    pub call_burst: f64,
+}
+
+impl TenantRateLimit {
+    /// A limit on admissions per second only (call axis unlimited).
+    pub fn queries(per_sec: f64, burst: f64) -> Self {
+        TenantRateLimit {
+            queries_per_sec: per_sec,
+            query_burst: burst,
+            llm_calls_per_sec: 0.0,
+            call_burst: 0.0,
+        }
+    }
+
+    /// A limit on LLM calls per second only (query axis unlimited).
+    pub fn llm_calls(per_sec: f64, burst: f64) -> Self {
+        TenantRateLimit {
+            queries_per_sec: 0.0,
+            query_burst: 0.0,
+            llm_calls_per_sec: per_sec,
+            call_burst: burst,
+        }
+    }
+
+    /// Whether any axis is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.queries_per_sec > 0.0 || self.llm_calls_per_sec > 0.0
+    }
+
+    /// Validate the limit.
+    pub fn validate(&self) -> Result<()> {
+        for (name, rate, burst) in [
+            ("queries", self.queries_per_sec, self.query_burst),
+            ("llm_calls", self.llm_calls_per_sec, self.call_burst),
+        ] {
+            if !rate.is_finite() || rate < 0.0 {
+                return Err(Error::config(format!(
+                    "{name}_per_sec must be finite and >= 0, got {rate}"
+                )));
+            }
+            if !burst.is_finite() || burst < 0.0 {
+                return Err(Error::config(format!(
+                    "{name} burst must be finite and >= 0, got {burst}"
+                )));
+            }
+            if rate > 0.0 && burst < 1.0 {
+                return Err(Error::config(format!(
+                    "{name} burst must be >= 1 when the axis is enabled, got {burst}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Configuration of the cross-query scheduler.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SchedConfig {
@@ -121,6 +196,21 @@ pub struct SchedConfig {
     /// loads) build a backlog so the policy, not arrival order, decides the
     /// run order.
     pub start_paused: bool,
+    /// Rate limit applied to tenants without an explicit entry in
+    /// [`SchedConfig::tenant_rate_limits`] (`None` = unlimited).
+    pub default_rate_limit: Option<TenantRateLimit>,
+    /// Per-tenant token-bucket rate limits, enforced at admission with
+    /// structured [`crate::ErrorKind::Overloaded`] rejections.
+    pub tenant_rate_limits: BTreeMap<TenantId, TenantRateLimit>,
+    /// Load-shedding watermark on queue depth: once this many queries are
+    /// queued, an incoming submission with lower priority than the highest
+    /// currently queued is shed with [`crate::ErrorKind::Overloaded`]
+    /// (0 = disabled). Shedding is loss-less: the query never started.
+    pub shed_queue_watermark: usize,
+    /// Load-shedding watermark on *projected* queue wait in milliseconds
+    /// (run-time EWMA × backlog / workers): same shed-lowest-priority-first
+    /// rule as the depth watermark (0.0 = disabled).
+    pub shed_wait_watermark_ms: f64,
 }
 
 impl Default for SchedConfig {
@@ -134,6 +224,10 @@ impl Default for SchedConfig {
             tenant_weights: BTreeMap::new(),
             default_weight: 1,
             start_paused: false,
+            default_rate_limit: None,
+            tenant_rate_limits: BTreeMap::new(),
+            shed_queue_watermark: 0,
+            shed_wait_watermark_ms: 0.0,
         }
     }
 }
@@ -174,6 +268,38 @@ impl SchedConfig {
         self.start_paused = true;
         self
     }
+    /// Builder-style: set one tenant's token-bucket rate limit.
+    pub fn with_tenant_rate_limit(
+        mut self,
+        tenant: impl Into<TenantId>,
+        limit: TenantRateLimit,
+    ) -> Self {
+        self.tenant_rate_limits.insert(tenant.into(), limit);
+        self
+    }
+    /// Builder-style: set the rate limit for tenants without an explicit one.
+    pub fn with_default_rate_limit(mut self, limit: TenantRateLimit) -> Self {
+        self.default_rate_limit = Some(limit);
+        self
+    }
+    /// Builder-style: enable shed-lowest-priority-first past a queue depth.
+    pub fn with_shed_queue_watermark(mut self, depth: usize) -> Self {
+        self.shed_queue_watermark = depth;
+        self
+    }
+    /// Builder-style: enable shedding past a projected queue wait.
+    pub fn with_shed_wait_watermark_ms(mut self, wait_ms: f64) -> Self {
+        self.shed_wait_watermark_ms = wait_ms;
+        self
+    }
+
+    /// The rate limit applying to a tenant, if any.
+    pub fn rate_limit_of(&self, tenant: &str) -> Option<&TenantRateLimit> {
+        self.tenant_rate_limits
+            .get(tenant)
+            .or(self.default_rate_limit.as_ref())
+            .filter(|l| l.is_enabled())
+    }
 
     /// The fair-share weight of a tenant. Never returns zero, even for a
     /// configuration built by struct literal that skipped
@@ -211,6 +337,17 @@ impl SchedConfig {
                     "tenant '{tenant}' has weight 0; weights must be at least 1"
                 )));
             }
+        }
+        if let Some(limit) = &self.default_rate_limit {
+            limit.validate()?;
+        }
+        for limit in self.tenant_rate_limits.values() {
+            limit.validate()?;
+        }
+        if !self.shed_wait_watermark_ms.is_finite() || self.shed_wait_watermark_ms < 0.0 {
+            return Err(Error::config(
+                "shed_wait_watermark_ms must be finite and >= 0",
+            ));
         }
         Ok(())
     }
@@ -281,6 +418,46 @@ mod tests {
             ..SchedConfig::default()
         };
         assert!(zero_default.validate().is_err());
+    }
+
+    #[test]
+    fn rate_limit_lookup_and_validation() {
+        let cfg = SchedConfig::default()
+            .with_default_rate_limit(TenantRateLimit::queries(10.0, 5.0))
+            .with_tenant_rate_limit("gold", TenantRateLimit::llm_calls(100.0, 50.0))
+            .with_shed_queue_watermark(16)
+            .with_shed_wait_watermark_ms(500.0);
+        cfg.validate().unwrap();
+        assert_eq!(cfg.rate_limit_of("gold").unwrap().llm_calls_per_sec, 100.0);
+        assert_eq!(cfg.rate_limit_of("anyone").unwrap().queries_per_sec, 10.0);
+        // An explicitly disabled per-tenant limit means "unlimited", even
+        // with a default configured.
+        let cfg = cfg.with_tenant_rate_limit(
+            "free",
+            TenantRateLimit {
+                queries_per_sec: 0.0,
+                query_burst: 0.0,
+                llm_calls_per_sec: 0.0,
+                call_burst: 0.0,
+            },
+        );
+        assert!(cfg.rate_limit_of("free").is_none());
+
+        // Enabled axes need burst >= 1; rates/bursts must be finite.
+        assert!(TenantRateLimit::queries(10.0, 0.5).validate().is_err());
+        assert!(TenantRateLimit::queries(-1.0, 5.0).validate().is_err());
+        assert!(TenantRateLimit::llm_calls(f64::NAN, 5.0)
+            .validate()
+            .is_err());
+        assert!(TenantRateLimit::queries(10.0, 1.0).validate().is_ok());
+        let bad =
+            SchedConfig::default().with_tenant_rate_limit("t", TenantRateLimit::queries(5.0, 0.0));
+        assert!(bad.validate().is_err());
+        let bad_wait = SchedConfig {
+            shed_wait_watermark_ms: f64::NAN,
+            ..SchedConfig::default()
+        };
+        assert!(bad_wait.validate().is_err());
     }
 
     #[test]

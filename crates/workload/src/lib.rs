@@ -8,15 +8,22 @@
 //! * [`queries`] — benchmark query suites organised by operator class,
 //! * [`harness`] — run a suite on the oracle and a subject engine and score
 //!   every answer,
+//! * [`chaos`] — the seeded chaos-suite scenario: a multi-backend scan under
+//!   a deterministic fault schedule, with robustness invariants,
 //! * [`report`] — plain-text tables for the experiment binaries.
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod harness;
 pub mod queries;
 pub mod report;
 pub mod world;
 
+pub use chaos::{
+    chaos_engine, chaos_plan, chaos_world_spec, run_chaos_scan, run_chaos_suite, ChaosReport,
+    ChaosSuiteOutcome, CHAOS_BACKENDS, CHAOS_ROWS, CHAOS_SQL,
+};
 pub use harness::{run_suite, CaseOutcome, SuiteOutcome};
 pub use queries::{
     cardinality_suite, class_suite, join_chain_suite, multi_tenant_suite, standard_suite,

@@ -15,6 +15,7 @@ pub use llmsql_workload as workload;
 pub use llmsql_core::Engine;
 pub use llmsql_sched::{QueryOutcome, QueryScheduler, QueryTicket, SchedStats};
 pub use llmsql_types::{
-    EngineConfig, ErrorKind, ExecutionMode, LlmFidelity, Priority, PromptStrategy, Result,
-    RoutingPolicy, SchedConfig, SchedPolicy,
+    ChaosFault, ChaosPlan, ChaosWindow, EngineConfig, ErrorKind, ExecutionMode, Incomplete,
+    LlmFidelity, Priority, PromptStrategy, Result, RoutingPolicy, SchedConfig, SchedPolicy,
+    TenantRateLimit,
 };
