@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Shared scaffolding for the experiment binaries (`src/bin/exp*.rs`) and the
 //! Criterion benches (`benches/*.rs`).
 //!

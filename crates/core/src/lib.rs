@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # llmsql-core
 //!
 //! The public API of the `llmsql` engine — the reproduction of

@@ -39,7 +39,7 @@ impl ExecContext {
     pub fn new(catalog: Catalog, client: Option<LlmClient>, config: EngineConfig) -> Self {
         let backend_baseline = client
             .as_ref()
-            .and_then(|c| c.backend_stats())
+            .and_then(llmsql_llm::LlmClient::backend_stats)
             .unwrap_or_default();
         ExecContext {
             catalog,
@@ -122,7 +122,11 @@ impl ExecContext {
     /// of plan execution; callers driving scans directly can invoke it
     /// manually before snapshotting metrics.
     pub fn sync_backend_metrics(&self) {
-        let Some(stats) = self.client.as_ref().and_then(|c| c.backend_stats()) else {
+        let Some(stats) = self
+            .client
+            .as_ref()
+            .and_then(llmsql_llm::LlmClient::backend_stats)
+        else {
             return;
         };
         self.metrics.update(|m| {

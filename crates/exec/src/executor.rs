@@ -422,7 +422,7 @@ pub fn aggregate_rows(
         .into_iter()
         .map(|(key, accs)| {
             let mut values = key;
-            values.extend(accs.iter().map(|a| a.finish()));
+            values.extend(accs.iter().map(super::eval::AggAccumulator::finish));
             Row::new(values)
         })
         .collect())
@@ -554,9 +554,8 @@ mod tests {
     fn run(sql: &str) -> Batch {
         let cat = catalog();
         let stmt = parse_statement(sql).unwrap();
-        let select = match stmt {
-            Statement::Select(s) => s,
-            _ => panic!(),
+        let Statement::Select(select) = stmt else {
+            panic!()
         };
         let plan = optimize(
             bind_select(&cat, &select).unwrap(),
@@ -767,9 +766,8 @@ mod tests {
         ))
         .unwrap();
         let stmt = parse_statement("SELECT * FROM ghosts").unwrap();
-        let select = match stmt {
-            Statement::Select(s) => s,
-            _ => panic!(),
+        let Statement::Select(select) = stmt else {
+            panic!()
         };
         let plan = bind_select(&cat, &select).unwrap();
         let ctx = ExecContext::new(
@@ -787,9 +785,8 @@ mod tests {
     fn metrics_track_operators_and_rows() {
         let cat = catalog();
         let stmt = parse_statement("SELECT name FROM countries WHERE population > 60").unwrap();
-        let select = match stmt {
-            Statement::Select(s) => s,
-            _ => panic!(),
+        let Statement::Select(select) = stmt else {
+            panic!()
         };
         let plan = optimize(
             bind_select(&cat, &select).unwrap(),

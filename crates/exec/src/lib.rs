@@ -1,3 +1,27 @@
+#![forbid(unsafe_code)]
+#![warn(clippy::pedantic)]
+// Pedantic exceptions, each a deliberate local judgment call rather than a
+// bug class: numeric casts are used where the domain bounds the value, and
+// must_use / doc-section lints would add noise to an internal API.
+#![allow(
+    clippy::cast_possible_truncation,
+    clippy::cast_precision_loss,
+    clippy::cast_possible_wrap,
+    clippy::cast_sign_loss,
+    clippy::doc_markdown,
+    clippy::enum_glob_use,
+    clippy::float_cmp,
+    clippy::if_not_else,
+    clippy::match_same_arms,
+    clippy::missing_errors_doc,
+    clippy::missing_panics_doc,
+    clippy::must_use_candidate,
+    clippy::needless_pass_by_value,
+    clippy::return_self_not_must_use,
+    clippy::single_match_else,
+    clippy::struct_excessive_bools,
+    clippy::too_many_lines
+)]
 //! # llmsql-exec
 //!
 //! The execution engine: scalar/aggregate evaluation of bound expressions,
@@ -111,7 +135,7 @@ mod proptests {
                 prop_assert!(w[0].get(0).total_cmp(w[1].get(0)) != std::cmp::Ordering::Greater);
             }
             let mut sorted_input = values.clone();
-            sorted_input.sort();
+            sorted_input.sort_unstable();
             let got: Vec<i64> = rows.iter().map(|r| r.get(0).as_int().unwrap()).collect();
             prop_assert_eq!(got, sorted_input);
         }

@@ -112,7 +112,7 @@ impl ExecMetrics {
         // First marker wins: the earliest cut is the one that shaped the
         // delivered prefix; later merges must not rewrite the story.
         if self.incomplete.is_none() {
-            self.incomplete = other.incomplete.clone();
+            self.incomplete.clone_from(&other.incomplete);
         }
     }
 }
@@ -161,6 +161,10 @@ impl SharedMetrics {
     /// Snapshot the current metrics (including the in-flight peak).
     pub fn snapshot(&self) -> ExecMetrics {
         let mut m = self.inner.lock().clone();
+        // ordering: SeqCst — the in-flight gauge pairs increments with peak
+        // observation across threads; SeqCst keeps gauge and peak totally
+        // ordered so a snapshot can never report peak < a gauge value some
+        // thread already observed. Cold path (snapshots), cost irrelevant.
         m.peak_in_flight = m
             .peak_in_flight
             .max(self.peak_in_flight.load(Ordering::SeqCst));
@@ -171,6 +175,10 @@ impl SharedMetrics {
     /// gauge on drop. The observed maximum is reported as
     /// [`ExecMetrics::peak_in_flight`].
     pub fn track_in_flight(&self) -> InFlightGuard {
+        // ordering: SeqCst — increment and peak update must appear in one
+        // total order with the decrements in InFlightGuard::drop, so the
+        // recorded peak equals the true maximum concurrency (the
+        // parallel-pipeline tests assert exact peaks).
         let now = self.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
         self.peak_in_flight.fetch_max(now, Ordering::SeqCst);
         InFlightGuard {
@@ -180,6 +188,8 @@ impl SharedMetrics {
 
     /// Requests currently in flight (0 when idle).
     pub fn in_flight(&self) -> u64 {
+        // ordering: SeqCst — read in the same total order as the gauge
+        // updates above; cold path, cost irrelevant.
         self.in_flight.load(Ordering::SeqCst)
     }
 }
@@ -191,6 +201,8 @@ pub struct InFlightGuard {
 
 impl Drop for InFlightGuard {
     fn drop(&mut self) {
+        // ordering: SeqCst — pairs with the fetch_add in track_in_flight;
+        // see the peak-accuracy note there.
         self.in_flight.fetch_sub(1, Ordering::SeqCst);
     }
 }

@@ -49,6 +49,9 @@ where
                 // Thread-local buffer keeps the shared lock off the hot path.
                 let mut local: Vec<(usize, R)> = Vec::new();
                 loop {
+                    // ordering: Relaxed — the counter is the only shared
+                    // word; fetch_add uniqueness alone partitions the items,
+                    // and results are published via the mutex below.
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     if i >= items.len() {
                         break;
@@ -57,13 +60,15 @@ where
                 }
                 collected
                     .lock()
-                    .unwrap_or_else(|e| e.into_inner())
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
                     .extend(local);
             });
         }
     });
 
-    let mut pairs = collected.into_inner().unwrap_or_else(|e| e.into_inner());
+    let mut pairs = collected
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     debug_assert_eq!(pairs.len(), items.len());
     pairs.sort_unstable_by_key(|(i, _)| *i);
     pairs.into_iter().map(|(_, r)| r).collect()
@@ -122,7 +127,7 @@ mod tests {
         let items: Vec<u32> = (0..16).collect();
         let start = std::time::Instant::now();
         par_map(8, &items, |_, _| {
-            std::thread::sleep(std::time::Duration::from_millis(30))
+            std::thread::sleep(std::time::Duration::from_millis(30));
         });
         assert!(
             start.elapsed() < std::time::Duration::from_millis(300),
@@ -136,6 +141,7 @@ mod tests {
         let items: Vec<i64> = (0..50).collect();
         let attempts = AtomicU64::new(0);
         let result: Result<Vec<i64>, String> = try_par_map(4, &items, |_, &x| {
+            // ordering: Relaxed — test counter, scope join publishes it.
             attempts.fetch_add(1, Ordering::Relaxed);
             if x % 20 == 19 {
                 Err(format!("bad {x}"))

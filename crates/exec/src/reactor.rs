@@ -244,7 +244,7 @@ pub fn drive<C: Completion>(ops: &mut [C], deadline: Option<Instant>) -> DriveOu
         // Expire due timers (the fired entries are gone from the wheel, so
         // their ops must not try to cancel them later).
         for fired in wheel.advance(now) {
-            for slot in armed.iter_mut() {
+            for slot in &mut armed {
                 if slot.is_some_and(|(id, _)| id == fired) {
                     *slot = None;
                 }
@@ -291,12 +291,10 @@ pub fn drive<C: Completion>(ops: &mut [C], deadline: Option<Instant>) -> DriveOu
                     }
                 }
                 Some(wake) => {
-                    let stale = armed[i]
-                        .map(|(_, at)| {
-                            let delta = wake.max(at) - wake.min(at);
-                            delta > TICK
-                        })
-                        .unwrap_or(true);
+                    let stale = armed[i].is_none_or(|(_, at)| {
+                        let delta = wake.max(at) - wake.min(at);
+                        delta > TICK
+                    });
                     if stale {
                         if let Some((timer, _)) = armed[i].take() {
                             wheel.cancel(timer);

@@ -218,8 +218,7 @@ impl Completion for WaveOp<'_> {
                 Some(guard) => {
                     let waited_us = slot_wait_started
                         .take()
-                        .map(|since| since.elapsed().as_micros() as u64)
-                        .unwrap_or(0);
+                        .map_or(0, |since| since.elapsed().as_micros() as u64);
                     ctx.metrics.update(|m| {
                         m.slot_waits += 1;
                         m.slot_wait_ms += waited_us as f64 / 1000.0;
@@ -979,7 +978,7 @@ mod tests {
                 Row::new(vec![
                     Value::Text(format!("Country {i:04}")),
                     Value::Text("Europe".into()),
-                    Value::Int(1000 + i as i64),
+                    Value::Int(1000 + i64::from(i)),
                 ])
             })
             .collect();
@@ -1026,7 +1025,7 @@ mod tests {
                 Row::new(vec![
                     Value::Text(format!("Country {i:02}")),
                     Value::Text("Europe".into()),
-                    Value::Int(100 + i as i64),
+                    Value::Int(100 + i64::from(i)),
                 ])
             })
             .collect();
@@ -1124,6 +1123,8 @@ mod tests {
                 "dies-after".into()
             }
             fn complete(&self, request: &CompletionRequest) -> llmsql_types::Result<Resp> {
+                // ordering: SeqCst — the test needs exactly healthy_calls
+                // successes across racing callers; total order is the point.
                 if self.served.fetch_add(1, Ordering::SeqCst) < self.healthy_calls {
                     self.inner.complete(request)
                 } else {

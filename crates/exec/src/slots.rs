@@ -64,7 +64,10 @@ impl CallSlots {
     /// `total_wait_ms` (both counters are monotone — they only ever
     /// `fetch_add` a non-negative measured duration).
     pub fn acquire(&self) -> (SlotGuard<'_>, f64) {
-        let mut available = self.available.lock().unwrap_or_else(|e| e.into_inner());
+        let mut available = self
+            .available
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let mut waited_us = 0u64;
         if *available == 0 {
             // Measure only the blocked portion, from the moment we found no
@@ -73,14 +76,18 @@ impl CallSlots {
             available = self
                 .freed
                 .wait_while(available, |a| *a == 0)
-                .unwrap_or_else(|e| e.into_inner());
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             waited_us = start.elapsed().as_micros() as u64;
         }
         *available -= 1;
         let in_use = (self.capacity - *available) as u64;
         drop(available);
+        // ordering: Relaxed — in_use was computed under the mutex (which
+        // orders the slot handoff); these counters are advisory statistics
+        // layered on top, not synchronization.
         self.peak_in_use.fetch_max(in_use, Ordering::Relaxed);
         if waited_us > 0 {
+            // ordering: Relaxed — monotone statistics; see above.
             self.contended.fetch_add(1, Ordering::Relaxed);
             self.wait_us.fetch_add(waited_us, Ordering::Relaxed);
         }
@@ -92,13 +99,18 @@ impl CallSlots {
     /// stack frame (hedged requests hand it to a worker thread). Returns
     /// `None` when the pool is saturated.
     pub fn try_acquire_owned(self: &Arc<Self>) -> Option<OwnedSlotGuard> {
-        let mut available = self.available.lock().unwrap_or_else(|e| e.into_inner());
+        let mut available = self
+            .available
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if *available == 0 {
             return None;
         }
         *available -= 1;
         let in_use = (self.capacity - *available) as u64;
         drop(available);
+        // ordering: Relaxed — statistic over a mutex-ordered value, as in
+        // acquire() above.
         self.peak_in_use.fetch_max(in_use, Ordering::Relaxed);
         Some(OwnedSlotGuard {
             pool: Arc::clone(self),
@@ -112,16 +124,22 @@ impl CallSlots {
 
     /// Slots currently held.
     pub fn in_use(&self) -> usize {
-        self.capacity - *self.available.lock().unwrap_or_else(|e| e.into_inner())
+        self.capacity
+            - *self
+                .available
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Highest number of slots ever held at once.
     pub fn peak_in_use(&self) -> u64 {
+        // ordering: Relaxed — advisory statistics read.
         self.peak_in_use.load(Ordering::Relaxed)
     }
 
     /// Acquisitions that had to block for a slot.
     pub fn contended_acquisitions(&self) -> u64 {
+        // ordering: Relaxed — advisory statistics read.
         self.contended.load(Ordering::Relaxed)
     }
 
@@ -135,6 +153,8 @@ impl CallSlots {
     /// invariant.
     pub fn record_blocked_wait(&self, waited_us: u64) {
         if waited_us > 0 {
+            // ordering: Relaxed — monotone statistics, same contract as the
+            // counters charged in acquire().
             self.contended.fetch_add(1, Ordering::Relaxed);
             self.wait_us.fetch_add(waited_us, Ordering::Relaxed);
         }
@@ -142,11 +162,15 @@ impl CallSlots {
 
     /// Total time spent blocked waiting for slots, milliseconds.
     pub fn total_wait_ms(&self) -> f64 {
+        // ordering: Relaxed — advisory statistics read.
         self.wait_us.load(Ordering::Relaxed) as f64 / 1000.0
     }
 
     fn release(&self) {
-        let mut available = self.available.lock().unwrap_or_else(|e| e.into_inner());
+        let mut available = self
+            .available
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         *available += 1;
         debug_assert!(*available <= self.capacity);
         drop(available);
@@ -217,12 +241,15 @@ mod tests {
                 scope.spawn(move || {
                     for _ in 0..5 {
                         let (_g, _) = slots.acquire();
+                        // ordering: Relaxed — test max tracker; the scope
+                        // join publishes the final value to the assert.
                         max_seen.fetch_max(slots.in_use() as u64, Ordering::Relaxed);
                         std::thread::sleep(std::time::Duration::from_millis(1));
                     }
                 });
             }
         });
+        // ordering: Relaxed — read after scope join; join synchronizes.
         assert!(max_seen.load(Ordering::Relaxed) <= 3);
         assert_eq!(slots.peak_in_use(), 3);
         assert_eq!(slots.in_use(), 0);
@@ -257,6 +284,8 @@ mod tests {
                 scope.spawn(move || {
                     let mut last_wait = 0.0f64;
                     let mut last_contended = 0u64;
+                    // ordering: Relaxed — plain stop flag; no data rides on
+                    // it, the reader only needs eventual visibility.
                     while stop.load(Ordering::Relaxed) == 0 {
                         let wait = slots.total_wait_ms();
                         let contended = slots.contended_acquisitions();
@@ -279,6 +308,7 @@ mod tests {
                     });
                 }
             });
+            // ordering: Relaxed — see the flag's read loop above.
             stop.store(1, Ordering::Relaxed);
         });
         // 8 threads over 1 slot: some acquisition must have measurably

@@ -1,0 +1,22 @@
+//! CI entry point: lint the workspace, print findings, exit 1 when dirty.
+//!
+//! Usage: `cargo run -p llmsql-lint --bin llmsql-lint [root]`
+
+use std::path::PathBuf;
+
+fn main() {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(llmsql_lint::default_root);
+    let report = llmsql_lint::lint_repo(&root);
+    print!("{}", report.render());
+    if !report.is_clean() {
+        eprintln!(
+            "llmsql-lint: {} unledgered violation(s), {} ledger error(s) — see CONTRIBUTING.md §Concurrency invariants",
+            report.failures.len(),
+            report.ledger_errors.len()
+        );
+        std::process::exit(1);
+    }
+}

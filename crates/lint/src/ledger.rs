@@ -1,0 +1,175 @@
+//! The baseline ledger: pre-existing violations that are acknowledged with a
+//! reason instead of fixed. The ledger is a ratchet — counts may only go
+//! down. New code never gets ledgered; it complies or the build fails.
+//!
+//! Format (`crates/lint/lint.ledger`), one entry per line:
+//!
+//! ```text
+//! <rule> <repo-relative-path> <max-count> <reason...>
+//! ```
+//!
+//! `#` starts a comment. An entry baselines up to `max-count` violations of
+//! `rule` in `path`; the lint fails when the live count exceeds the baseline
+//! and reports (non-fatally) when an entry goes stale — shrink it when it
+//! does, that is the ratchet paying out.
+
+use std::collections::BTreeMap;
+
+use crate::rules::Violation;
+
+/// One parsed ledger entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    pub rule: String,
+    pub file: String,
+    pub max_count: usize,
+    pub reason: String,
+}
+
+/// Parse ledger text. Returns entries plus any malformed-line diagnostics
+/// (a malformed ledger line is itself a lint failure — a silent parse skip
+/// would un-enforce a rule).
+pub fn parse(text: &str) -> (Vec<Entry>, Vec<String>) {
+    let mut entries = Vec::new();
+    let mut errors = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(4, char::is_whitespace);
+        let rule = parts.next().unwrap_or_default().to_string();
+        let file = parts.next().unwrap_or_default().to_string();
+        let count = parts.next().unwrap_or_default();
+        let reason = parts.next().unwrap_or("").trim().to_string();
+        match count.parse::<usize>() {
+            Ok(max_count) if !rule.is_empty() && !file.is_empty() && !reason.is_empty() => {
+                entries.push(Entry {
+                    rule,
+                    file,
+                    max_count,
+                    reason,
+                });
+            }
+            _ => errors.push(format!(
+                "ledger line {}: expected `<rule> <path> <count> <reason>`, got: {line}",
+                i + 1
+            )),
+        }
+    }
+    (entries, errors)
+}
+
+/// Result of reconciling live violations against the ledger.
+#[derive(Debug, Default)]
+pub struct Reconciled {
+    /// Violations not covered by any ledger entry, or in excess of one.
+    /// Any entry here fails the lint.
+    pub unledgered: Vec<Violation>,
+    /// Groups whose live count exceeded the baseline: `(rule, file, live,
+    /// baseline)`. Redundant with `unledgered` but gives the summary line.
+    pub grown: Vec<(String, String, usize, usize)>,
+    /// Ledger entries whose live count is below baseline (ratchet these
+    /// down) or whose file has no violations at all (delete them).
+    pub stale: Vec<String>,
+}
+
+/// Group violations by `(rule, file)` and apply the ledger. When a group
+/// exceeds its baseline every violation in it is reported (the lint cannot
+/// know which N of the M sites are "the old ones" — the fix is to comply or
+/// consciously raise the entry in the same commit that reviews it).
+pub fn reconcile(violations: &[Violation], entries: &[Entry]) -> Reconciled {
+    let mut groups: BTreeMap<(String, String), Vec<&Violation>> = BTreeMap::new();
+    for v in violations {
+        groups
+            .entry((v.rule.to_string(), v.file.clone()))
+            .or_default()
+            .push(v);
+    }
+
+    let mut out = Reconciled::default();
+    for ((rule, file), group) in &groups {
+        let baseline = entries
+            .iter()
+            .find(|e| &e.rule == rule && &e.file == file)
+            .map(|e| e.max_count)
+            .unwrap_or(0);
+        if group.len() > baseline {
+            if baseline > 0 {
+                out.grown
+                    .push((rule.clone(), file.clone(), group.len(), baseline));
+            }
+            out.unledgered.extend(group.iter().map(|v| (*v).clone()));
+        } else if group.len() < baseline {
+            out.stale.push(format!(
+                "{rule} {file}: baseline {baseline} but only {} live — ratchet the ledger down",
+                group.len()
+            ));
+        }
+    }
+    for e in entries {
+        let live = groups
+            .get(&(e.rule.clone(), e.file.clone()))
+            .map(|g| g.len())
+            .unwrap_or(0);
+        if live == 0 {
+            out.stale.push(format!(
+                "{} {}: baseline {} but no live violations — delete the entry",
+                e.rule, e.file, e.max_count
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RULE_PANIC_IN_LIB;
+
+    fn v(file: &str, line: usize) -> Violation {
+        Violation {
+            rule: RULE_PANIC_IN_LIB,
+            file: file.to_string(),
+            line,
+            excerpt: String::new(),
+        }
+    }
+
+    #[test]
+    fn parse_and_reconcile() {
+        let (entries, errs) =
+            parse("# comment\n\npanic-in-lib crates/a/src/x.rs 2 reason text here\nbadline\n");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(errs.len(), 1);
+
+        // At baseline: clean.
+        let r = reconcile(
+            &[v("crates/a/src/x.rs", 1), v("crates/a/src/x.rs", 2)],
+            &entries,
+        );
+        assert!(r.unledgered.is_empty() && r.grown.is_empty() && r.stale.is_empty());
+
+        // Above baseline: the whole group is reported.
+        let r = reconcile(
+            &[
+                v("crates/a/src/x.rs", 1),
+                v("crates/a/src/x.rs", 2),
+                v("crates/a/src/x.rs", 3),
+            ],
+            &entries,
+        );
+        assert_eq!(r.unledgered.len(), 3);
+        assert_eq!(r.grown.len(), 1);
+
+        // Below baseline: stale notice, still clean.
+        let r = reconcile(&[v("crates/a/src/x.rs", 1)], &entries);
+        assert!(r.unledgered.is_empty());
+        assert_eq!(r.stale.len(), 1);
+
+        // Unledgered file fails outright.
+        let r = reconcile(&[v("crates/b/src/y.rs", 9)], &entries);
+        assert_eq!(r.unledgered.len(), 1);
+        assert!(r.grown.is_empty());
+    }
+}

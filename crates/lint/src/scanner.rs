@@ -1,0 +1,373 @@
+//! A small Rust-source scanner in the style of `crates/sql/src/lexer.rs`.
+//!
+//! Splits a source file into per-line code and comment channels so lint rules
+//! can match on code without false-firing inside strings or comments, and
+//! marks the spans of `#[cfg(test)]` / `#[test]` items so library-only rules
+//! can skip test code. It is a classifier, not a parser: it tracks exactly
+//! the token structure the rules need (line/block comments with nesting,
+//! string/char/byte/raw-string literals, lifetimes, brace depth) and nothing
+//! else. It must never panic on arbitrary input — all indexing is
+//! bounds-checked and the fuzz property in `tests/scanner_props.rs` pins
+//! that.
+
+/// One source line, split into channels.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// 1-based line number.
+    pub number: usize,
+    /// Code text: comments stripped, string/char literal *contents* blanked
+    /// to spaces (delimiters kept) so substring rules never match literals.
+    pub code: String,
+    /// Comment text on this line (both `//...` and `/* ... */` channels).
+    pub comment: String,
+    /// True when any part of the line lies inside a `#[cfg(test)]` or
+    /// `#[test]` item body (or is the marker attribute itself).
+    pub in_test: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Normal,
+    LineComment,
+    /// Block comments nest in Rust; the payload is the nesting depth.
+    BlockComment(u32),
+    /// Inside `"..."`; payload: raw-string hash count, or `None` for a
+    /// normal (escapable) string.
+    Str(Option<u32>),
+}
+
+/// Scan source text into classified lines (code/comment channels plus
+/// test-span marking).
+pub fn scan_source(src: &str) -> Vec<Line> {
+    let mut lines = split_channels(src);
+    mark_test_spans(&mut lines);
+    lines
+}
+
+/// Pass 1: walk bytes with a literal/comment state machine, emitting per-line
+/// code and comment text.
+fn split_channels(src: &str) -> Vec<Line> {
+    let bytes = src.as_bytes();
+    let mut lines = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut state = State::Normal;
+    let mut i = 0usize;
+
+    // Helper closures capture nothing mutable; inline pushes keep borrowck
+    // simple.
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            if state == State::LineComment {
+                state = State::Normal;
+            }
+            lines.push(Line {
+                number: lines.len() + 1,
+                code: std::mem::take(&mut code),
+                comment: std::mem::take(&mut comment),
+                in_test: false,
+            });
+            i += 1;
+            continue;
+        }
+        match state {
+            State::LineComment => {
+                comment.push(b as char);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if b == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    state = if depth > 1 {
+                        State::BlockComment(depth - 1)
+                    } else {
+                        State::Normal
+                    };
+                    i += 2;
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment(depth.saturating_add(1));
+                    i += 2;
+                } else {
+                    comment.push(b as char);
+                    i += 1;
+                }
+            }
+            State::Str(raw_hashes) => match raw_hashes {
+                None => {
+                    if b == b'\\' {
+                        // Skip the escaped byte (it may be a quote).
+                        code.push(' ');
+                        if bytes.get(i + 1).is_some_and(|&c| c != b'\n') {
+                            code.push(' ');
+                            i += 2;
+                        } else {
+                            i += 1;
+                        }
+                    } else if b == b'"' {
+                        code.push('"');
+                        state = State::Normal;
+                        i += 1;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                Some(h) => {
+                    if b == b'"' && matches_hashes(bytes, i + 1, h) {
+                        code.push('"');
+                        for _ in 0..h {
+                            code.push(' ');
+                        }
+                        state = State::Normal;
+                        i += 1 + h as usize;
+                    } else {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+            },
+            State::Normal => {
+                if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+                    state = State::LineComment;
+                    i += 2;
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment(1);
+                    i += 2;
+                } else if b == b'"' {
+                    code.push('"');
+                    state = State::Str(None);
+                    i += 1;
+                } else if let Some(h) = raw_string_open(bytes, i) {
+                    // r"..."  r#"..."#  br"..."  etc. Push the prefix so the
+                    // code channel keeps its length roughly honest.
+                    let prefix_len = raw_prefix_len(bytes, i);
+                    for _ in 0..prefix_len {
+                        code.push(' ');
+                    }
+                    code.push('"');
+                    state = State::Str(Some(h));
+                    i += prefix_len + h as usize + 1;
+                } else if b == b'\'' {
+                    // Lifetime or char literal. A lifetime is `'ident` not
+                    // followed by a closing quote; everything else is a char
+                    // literal whose contents we blank.
+                    if let Some(len) = char_literal_len(bytes, i) {
+                        code.push('\'');
+                        for _ in 1..len {
+                            code.push(' ');
+                        }
+                        i += len;
+                    } else {
+                        code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    code.push(b as char);
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !code.is_empty() || !comment.is_empty() || src.ends_with('\n') {
+        // Final line without trailing newline (or preserve an empty last
+        // slot only when there is content).
+        if !code.is_empty() || !comment.is_empty() {
+            lines.push(Line {
+                number: lines.len() + 1,
+                code,
+                comment,
+                in_test: false,
+            });
+        }
+    }
+    lines
+}
+
+/// True when `bytes[at..at + n]` is exactly `n` `#` characters.
+fn matches_hashes(bytes: &[u8], at: usize, n: u32) -> bool {
+    (0..n as usize).all(|k| bytes.get(at + k) == Some(&b'#'))
+}
+
+/// If a raw-string literal opens at `i` (`r`, `rb`, `br` prefixes with any
+/// number of `#`), return its hash count.
+fn raw_string_open(bytes: &[u8], i: usize) -> Option<u32> {
+    let rest = bytes.get(i..)?;
+    let after_prefix = match rest {
+        [b'r', ..] => 1,
+        [b'b', b'r', ..] => 2,
+        _ => return None,
+    };
+    // Previous byte must not be an identifier char (else `for` / `attr` etc.
+    // would look like prefixes).
+    if i > 0 {
+        let prev = bytes[i - 1];
+        if prev.is_ascii_alphanumeric() || prev == b'_' {
+            return None;
+        }
+    }
+    let mut hashes = 0u32;
+    let mut k = after_prefix;
+    while rest.get(k) == Some(&b'#') {
+        hashes += 1;
+        k += 1;
+    }
+    if rest.get(k) == Some(&b'"') {
+        Some(hashes)
+    } else {
+        None
+    }
+}
+
+/// Length of the raw-string prefix (`r` or `br`) that opens at `i`.
+fn raw_prefix_len(bytes: &[u8], i: usize) -> usize {
+    if bytes.get(i) == Some(&b'b') {
+        2
+    } else {
+        1
+    }
+}
+
+/// If a char literal starts at `i` (a `'`), return its total byte length
+/// including both quotes; `None` means it is a lifetime/label tick.
+fn char_literal_len(bytes: &[u8], i: usize) -> Option<usize> {
+    match bytes.get(i + 1)? {
+        b'\\' => {
+            // Escaped char: scan to the closing quote (bounded).
+            let mut k = i + 2;
+            while k < bytes.len() && k - i < 12 {
+                if bytes[k] == b'\'' {
+                    return Some(k - i + 1);
+                }
+                if bytes[k] == b'\n' {
+                    return None;
+                }
+                k += 1;
+            }
+            None
+        }
+        b'\'' => Some(2), // degenerate `''` — treat as empty literal
+        &c => {
+            if bytes.get(i + 2) == Some(&b'\'') && !(c.is_ascii_alphanumeric() || c == b'_') {
+                return Some(3);
+            }
+            // `'x'` where x is alphanumeric could be a char literal OR the
+            // start of a lifetime; the closing quote disambiguates.
+            if bytes.get(i + 2) == Some(&b'\'') {
+                Some(3)
+            } else if c >= 0x80 {
+                // Multi-byte char literal: find the closing quote within a
+                // small window.
+                let mut k = i + 2;
+                while k < bytes.len() && k - i < 8 {
+                    if bytes[k] == b'\'' {
+                        return Some(k - i + 1);
+                    }
+                    k += 1;
+                }
+                None
+            } else {
+                None // lifetime like `'a` or loop label `'outer:`
+            }
+        }
+    }
+}
+
+/// Pass 2: mark lines inside `#[cfg(test)]` / `#[test]` items by tracking
+/// brace depth on the code channel. An attribute arms the marker; the next
+/// opening brace enters the test span, which ends when depth returns to the
+/// entry level. A `;` at arm time (e.g. `#[cfg(test)] mod tests;`) disarms.
+fn mark_test_spans(lines: &mut [Line]) {
+    let mut depth: i64 = 0;
+    let mut armed = false;
+    let mut test_exit_depth: Option<i64> = None;
+
+    for line in lines.iter_mut() {
+        let has_marker = line.code.contains("#[cfg(test)]") || line.code.contains("#[test]");
+        if test_exit_depth.is_none() && has_marker {
+            armed = true;
+        }
+        let mut in_test_here = test_exit_depth.is_some() || armed;
+        for ch in line.code.chars() {
+            match ch {
+                '{' => {
+                    depth += 1;
+                    if armed && test_exit_depth.is_none() {
+                        test_exit_depth = Some(depth - 1);
+                        armed = false;
+                        in_test_here = true;
+                    }
+                }
+                '}' => {
+                    depth -= 1;
+                    if let Some(exit) = test_exit_depth {
+                        if depth <= exit {
+                            test_exit_depth = None;
+                            in_test_here = true; // closing brace still test
+                        }
+                    }
+                }
+                ';' if armed && test_exit_depth.is_none() && depth == 0 => {
+                    armed = false;
+                }
+                _ => {}
+            }
+        }
+        line.in_test = in_test_here;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_leave_code_channel() {
+        let src = r#"
+let a = 1; // Ordering::Relaxed in a comment
+let s = "Ordering::Relaxed in a string";
+let t = 'x';
+/* block Ordering::Relaxed */ let b = 2;
+"#;
+        let lines = scan_source(src);
+        for l in &lines {
+            assert!(
+                !l.code.contains("Ordering::Relaxed"),
+                "literal leaked into code channel: {:?}",
+                l
+            );
+        }
+        assert!(lines
+            .iter()
+            .any(|l| l.comment.contains("Ordering::Relaxed")));
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let r = r#\"unwrap() . \"#; }\n";
+        let lines = scan_source(src);
+        assert_eq!(lines.len(), 1);
+        assert!(!lines[0].code.contains("unwrap()"));
+        assert!(lines[0].code.contains("fn f<'a>"));
+    }
+
+    #[test]
+    fn test_mod_spans_are_marked() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn lib2() {}\n";
+        let lines = scan_source(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[1].in_test, "attribute line");
+        assert!(lines[2].in_test);
+        assert!(lines[3].in_test);
+        assert!(lines[4].in_test, "closing brace");
+        assert!(!lines[5].in_test);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ let x = 1;\n";
+        let lines = scan_source(src);
+        assert!(lines[0].code.contains("let x = 1;"));
+        assert!(!lines[0].code.contains("outer"));
+    }
+}

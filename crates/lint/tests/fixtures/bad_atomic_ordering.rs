@@ -1,0 +1,4 @@
+// Fixture: atomic op with no justification comment anywhere near it.
+pub fn bump(counter: &std::sync::atomic::AtomicU64) {
+    counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+}

@@ -1,0 +1,4 @@
+// Fixture: ad-hoc wall-clock read in library code.
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

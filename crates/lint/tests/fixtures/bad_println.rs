@@ -1,0 +1,4 @@
+// Fixture: stdout noise from library code.
+pub fn report(n: usize) {
+    println!("{n} rows");
+}

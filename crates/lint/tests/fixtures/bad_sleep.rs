@@ -1,0 +1,4 @@
+// Fixture: blocking sleep in library code outside the clock allowlist.
+pub fn backoff() {
+    std::thread::sleep(std::time::Duration::from_millis(5));
+}

@@ -1,0 +1,4 @@
+// Fixture: unwrap in non-test library code.
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}

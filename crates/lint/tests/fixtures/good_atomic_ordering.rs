@@ -1,0 +1,19 @@
+// Fixture: every atomic op justified, including a multi-line statement.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) {
+    // ordering: Relaxed — advisory counter, nothing published under it.
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn swap(cell: &AtomicU64, next: u64) -> u64 {
+    // ordering: Relaxed CAS — single-word state, retry loop re-reads.
+    match cell.compare_exchange(
+        0,
+        next,
+        Ordering::Relaxed,
+        Ordering::Relaxed,
+    ) {
+        Ok(v) | Err(v) => v,
+    }
+}

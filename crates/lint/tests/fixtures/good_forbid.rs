@@ -1,0 +1,3 @@
+#![forbid(unsafe_code)]
+//! Fixture: a compliant crate root.
+pub fn noop() {}

@@ -1,0 +1,14 @@
+// Fixture: sleeps/unwraps inside #[cfg(test)] are allowed; the same atomic
+// without justification is still flagged even inside the test module.
+pub fn lib_side() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing() {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        println!("done");
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: rule tokens inside strings and comments must NOT be flagged.
+pub fn decoys() -> (&'static str, &'static str, &'static str) {
+    let a = "call .unwrap() and Ordering::SeqCst here";
+    let b = r#"thread::sleep and Instant::now() in a raw string"#;
+    // Commented out: x.load(Ordering::Acquire).unwrap(); println!("hi");
+    /* block comment with thread::sleep(d) and .expect("x") */
+    let c = "println!(\"nested\")";
+    (a, b, c)
+}

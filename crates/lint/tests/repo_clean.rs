@@ -1,0 +1,18 @@
+//! The enforcing test: the real tree must lint clean against the checked-in
+//! ledger. This is what `cargo test -p llmsql-lint` (and the CI
+//! `static-analysis` job) rides on.
+
+use llmsql_lint::{default_root, lint_repo};
+
+#[test]
+fn repository_lints_clean() {
+    let root = default_root();
+    let report = lint_repo(&root);
+    assert!(
+        report.files_scanned > 50,
+        "walker found only {} files — wrong root? ({})",
+        report.files_scanned,
+        root.display()
+    );
+    assert!(report.is_clean(), "{}", report.render());
+}

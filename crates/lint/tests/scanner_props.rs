@@ -1,0 +1,35 @@
+//! Property tests: the scanner and rules must never panic, whatever bytes
+//! they are fed — a lint that crashes on a weird source file is worse than
+//! no lint.
+
+use llmsql_lint::rules::check_file;
+use llmsql_lint::scanner::scan_source;
+use proptest::{prop_assert_eq, proptest};
+
+proptest! {
+    #[test]
+    fn scanner_never_panics(src in "[ -~\n]{0,300}") {
+        let lines = scan_source(&src);
+        // Line numbers are 1-based and monotonic.
+        for (idx, line) in lines.iter().enumerate() {
+            prop_assert_eq!(line.number, idx + 1);
+        }
+    }
+
+    #[test]
+    fn rules_never_panic(src in "[ -~\n]{0,300}") {
+        let _ = check_file("crates/fuzz/src/lib.rs", &src);
+        let _ = check_file("crates/fuzz/src/module.rs", &src);
+        let _ = check_file("tests/fuzz.rs", &src);
+    }
+
+    #[test]
+    fn scanner_handles_unbalanced_quotes_and_comments(
+        prefix in "[\"'/*r#\\\\ ]{0,20}",
+        body in "[ -~\n]{0,80}",
+    ) {
+        let src = format!("{prefix}{body}");
+        let lines = scan_source(&src);
+        prop_assert_eq!(lines.len(), src.lines().count());
+    }
+}

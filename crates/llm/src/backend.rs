@@ -603,6 +603,9 @@ struct InFlightDecrement<'a>(&'a AtomicU64);
 
 impl Drop for InFlightDecrement<'_> {
     fn drop(&mut self) {
+        // ordering: Relaxed — the in-flight gauge is an advisory statistic
+        // (least-in-flight routing reads it as a hint); no memory is
+        // published under it.
         self.0.fetch_sub(1, Ordering::Relaxed);
     }
 }
@@ -646,6 +649,9 @@ enum Admission {
 
 impl BreakerState {
     fn admission(&self, now_ms: u64) -> Admission {
+        // ordering: Acquire — pairs with the Release stores in open()/
+        // on_success(); a caller that observes "closed" also observes the
+        // error-count reset that preceded it.
         let open_until = self.open_until_ms.load(Ordering::Acquire);
         if open_until == 0 {
             return Admission::Normal;
@@ -661,6 +667,10 @@ impl BreakerState {
         // check just before a failed probe re-opened the breaker can no
         // longer claim a second probe inside the new cooldown window: its
         // stale expiry no longer matches.
+        // ordering: AcqRel on success — the winner both acquires the state
+        // the opener published and releases its probe claim to whoever
+        // resolves it; Acquire on failure so the loser sees the up-to-date
+        // word when it skips.
         if self
             .open_until_ms
             .compare_exchange(
@@ -678,6 +688,10 @@ impl BreakerState {
     }
 
     fn on_success(&self) {
+        // ordering: Release ×2 — the error-count reset must be visible
+        // before the "closed" word is; pairs with the Acquire load in
+        // admission(), so a closed breaker is never seen with a stale
+        // pre-reset error count.
         self.consecutive_errors.store(0, Ordering::Release);
         self.open_until_ms.store(0, Ordering::Release);
     }
@@ -688,6 +702,9 @@ impl BreakerState {
     /// the sentinel, which would read as a phantom probe).
     fn open(&self, now_ms: u64, cooldown_ms: f64) {
         let cooldown = cooldown_ms.max(0.0) as u64; // f64→u64 casts saturate
+                                                    // ordering: Release — publishes the expiry (and the error history
+                                                    // before it) to admission()'s Acquire load; the probe CAS there is
+                                                    // against this exact value.
         self.open_until_ms.store(
             now_ms
                 .saturating_add(cooldown)
@@ -699,6 +716,11 @@ impl BreakerState {
     /// Record a failed attempt; returns true when the breaker is now open
     /// (so the caller stops burning retries on this backend).
     fn on_error(&self, now_ms: u64, threshold: u64, cooldown_ms: f64, was_probe: bool) -> bool {
+        // ordering: AcqRel — the RMW must see the latest reset (Acquire,
+        // pairs with on_success's Release) and publish the new count before
+        // a threshold-crossing open() (Release side); plain Relaxed could
+        // fold increments across an unseen reset and open the breaker on
+        // stale history.
         let errors = self.consecutive_errors.fetch_add(1, Ordering::AcqRel) + 1;
         // A failed probe goes straight back to open for another cooldown;
         // otherwise the threshold decides.
@@ -715,6 +737,9 @@ impl BreakerState {
     /// only fires if the claim is still ours — a probe whose outcome already
     /// resolved the breaker (concurrent `open`/`on_success`) is left alone.
     fn abort_probe(&self) {
+        // ordering: AcqRel/Acquire — same pairing discipline as the probe
+        // claim in admission(); releasing the claim must not be reorderable
+        // before the work the probe abandoned.
         let _ = self.open_until_ms.compare_exchange(
             PROBE_IN_FLIGHT,
             1,
@@ -769,6 +794,9 @@ impl SlotShared {
         now_ms: u64,
         decay_half_life_ms: f64,
     ) {
+        // ordering: Relaxed — latency_us is a monotone statistic;
+        // last_sample_ms is a freshness hint where a stale read only makes
+        // one sample merge instead of replace (both outcomes valid).
         self.counters
             .latency_us
             .fetch_add(round_latency_us(reported_latency_ms), Ordering::Relaxed);
@@ -781,6 +809,7 @@ impl SlotShared {
         } else {
             self.counters.ewma.observe(measured_ms);
         }
+        // ordering: Relaxed — freshness hint, see the load above.
         self.counters
             .last_sample_ms
             .store(now_ms.max(1), Ordering::Relaxed);
@@ -789,6 +818,8 @@ impl SlotShared {
     /// Record one failed attempt; returns true when the breaker just opened
     /// (so the caller fails over instead of burning retries).
     fn record_error(&self, now_ms: u64, threshold: u64, cooldown_ms: f64, probe: bool) -> bool {
+        // ordering: Relaxed — statistics counter; breaker decisions use the
+        // separately-ordered BreakerState word, not this.
         self.counters.errors.fetch_add(1, Ordering::Relaxed);
         threshold > 0 && self.breaker.on_error(now_ms, threshold, cooldown_ms, probe)
     }
@@ -798,6 +829,8 @@ impl SlotShared {
     /// estimate, so a backend whose scary average chased routing away decays
     /// back into contention and gets re-probed.
     fn decayed_ewma(&self, now_ms: u64, half_life_ms: f64) -> Option<f64> {
+        // ordering: Relaxed — freshness hint read; a stale value only skews
+        // the advisory decay estimate.
         let last = self.counters.last_sample_ms.load(Ordering::Relaxed);
         let idle_ms = if last == 0 {
             0.0
@@ -1038,6 +1071,11 @@ impl BackendPool {
             .iter()
             .map(|slot| {
                 let counters = &slot.shared.counters;
+                // ordering: Relaxed throughout — advisory statistics
+                // snapshot; fields are individually monotone but not
+                // mutually consistent mid-flight (tests needing exact
+                // totals quiesce the pool first). breaker_open is a hint
+                // here; admission() does the Acquire read that decides.
                 BackendStats {
                     id: slot.backend.id().to_string(),
                     calls: counters.calls.load(Ordering::Relaxed),
@@ -1086,6 +1124,8 @@ impl BackendPool {
         let mut order: Vec<usize> = (0..n).collect();
         match self.policy {
             RoutingPolicy::RoundRobin => {
+                // ordering: Relaxed — the cursor only needs per-increment
+                // uniqueness to spread starts; no memory rides on it.
                 let start = self.rr_cursor.fetch_add(1, Ordering::Relaxed) % n;
                 order.rotate_left(start);
             }
@@ -1096,6 +1136,8 @@ impl BackendPool {
                             .shared
                             .counters
                             .in_flight
+                            // ordering: Relaxed — load-balancing hint; a
+                            // stale gauge only mis-ranks one candidate walk.
                             .load(Ordering::Relaxed),
                         i,
                     )
@@ -1168,6 +1210,7 @@ impl BackendPool {
             let probe = if self.breaker_threshold > 0 {
                 match slot.shared.breaker.admission(self.now_ms()) {
                     Admission::Skip => {
+                        // ordering: Relaxed — statistics counter.
                         slot.shared
                             .counters
                             .short_circuits
@@ -1303,6 +1346,7 @@ impl BackendPool {
             Err(mpsc::RecvTimeoutError::Timeout) => {
                 // The primary is late. Fire the hedge if capacity is spare.
                 if let Some(permit) = self.hedge_permit() {
+                    // ordering: Relaxed — statistics counter.
                     self.slots[plan.hedge]
                         .shared
                         .counters
@@ -1324,6 +1368,7 @@ impl BackendPool {
             match rx.recv() {
                 Ok((is_hedge, Ok(response))) => {
                     if is_hedge {
+                        // ordering: Relaxed — statistics counter.
                         self.slots[plan.hedge]
                             .shared
                             .counters
@@ -1433,6 +1478,8 @@ impl BackendPool {
                     .shared
                     .breaker
                     .open_until_ms
+                    // ordering: Acquire — same pairing as admission(): a
+                    // "closed" read implies the preceding reset is visible.
                     .load(Ordering::Acquire)
                     == 0
         };
@@ -1496,6 +1543,8 @@ impl Flight {
         attempt: usize,
         probe: bool,
     ) -> Flight {
+        // ordering: Relaxed — calls is a statistic; in_flight is the
+        // advisory routing gauge (see InFlightDecrement).
         cand.shared.counters.calls.fetch_add(1, Ordering::Relaxed);
         cand.shared
             .counters
@@ -1516,6 +1565,8 @@ impl Flight {
     fn close(&mut self) {
         if self.open {
             self.open = false;
+            // ordering: Relaxed — advisory routing gauge, pairs with the
+            // fetch_add in launch().
             self.shared
                 .counters
                 .in_flight
@@ -1527,6 +1578,7 @@ impl Flight {
 impl Drop for Flight {
     fn drop(&mut self) {
         if self.open {
+            // ordering: Relaxed — advisory routing gauge, as in close().
             self.shared
                 .counters
                 .in_flight
@@ -1624,6 +1676,7 @@ impl PoolCall {
     /// retry) and arm the hedge timer when this is the primary's first shot.
     fn launch_attempt(&mut self, probe: bool) {
         if self.attempt > 0 {
+            // ordering: Relaxed — statistics counter.
             self.cands[self.pos]
                 .shared
                 .counters
@@ -1664,6 +1717,7 @@ impl PoolCall {
                         if self.breaker_threshold > 0 {
                             shared.breaker.on_success();
                         }
+                        // ordering: Relaxed — statistics counter.
                         shared.counters.hedges_won.fetch_add(1, Ordering::Relaxed);
                         self.finish();
                         return Some(Ok(response));
@@ -1697,6 +1751,7 @@ impl PoolCall {
                     };
                     if let Some(permit) = permit {
                         let cand = &self.cands[target];
+                        // ordering: Relaxed — statistics counter.
                         cand.shared.counters.hedges.fetch_add(1, Ordering::Relaxed);
                         self.hedge_permit = Some(permit);
                         self.hedge_flight = Some(Flight::launch(cand, &self.request, 0, false));
@@ -1753,6 +1808,7 @@ impl CallMachine for PoolCall {
                     let probe = if self.breaker_threshold > 0 {
                         match self.cands[self.pos].shared.breaker.admission(self.now_ms()) {
                             Admission::Skip => {
+                                // ordering: Relaxed — statistics counter.
                                 self.cands[self.pos]
                                     .shared
                                     .counters
@@ -1890,6 +1946,7 @@ fn run_attempts(
     let mut last_err = None;
     for attempt in 0..=max_attempt {
         if attempt > 0 {
+            // ordering: Relaxed — statistics counter.
             shared.counters.retries.fetch_add(1, Ordering::Relaxed);
             let backoff =
                 (backoff_base_ms * (1u64 << (attempt - 1).min(20)) as f64).min(BACKOFF_CAP_MS);
@@ -1897,6 +1954,8 @@ fn run_attempts(
                 std::thread::sleep(std::time::Duration::from_secs_f64(backoff / 1000.0));
             }
         }
+        // ordering: Relaxed — calls is a statistic; in_flight is the
+        // advisory routing gauge (released by InFlightDecrement on drop).
         shared.counters.calls.fetch_add(1, Ordering::Relaxed);
         shared.counters.in_flight.fetch_add(1, Ordering::Relaxed);
         let in_flight_guard = InFlightDecrement(&shared.counters.in_flight);
@@ -2308,6 +2367,8 @@ mod tests {
                 request: &CompletionRequest,
                 _attempt: usize,
             ) -> Result<CompletionResponse> {
+                // ordering: Relaxed — test health flag; eventual visibility
+                // is all the scenario needs.
                 if self.healthy.load(Ordering::Relaxed) {
                     self.inner.complete(request)
                 } else {
@@ -2360,6 +2421,7 @@ mod tests {
         assert!(after_probe.breaker_open, "failed probe must reopen");
 
         // Backend recovers; the next probe succeeds and closes the breaker.
+        // ordering: Relaxed — test health flag, see FlakyBackend::complete.
         flaky.healthy.store(true, Ordering::Relaxed);
         std::thread::sleep(std::time::Duration::from_millis(25));
         pool.complete(&CompletionRequest::new("e")).unwrap();
@@ -2472,6 +2534,9 @@ mod tests {
                     scope.spawn(move || {
                         barrier.wait();
                         if breaker.admission(20) == Admission::Probe {
+                            // ordering: SeqCst — the race test counts exact
+                            // probe admissions across threads; total order
+                            // keeps the count unambiguous.
                             probes.fetch_add(1, Ordering::SeqCst);
                             // Half the rounds: the probe fails and re-opens
                             // the breaker — the window where the old race
@@ -2486,6 +2551,7 @@ mod tests {
                 }
             });
             assert_eq!(
+                // ordering: SeqCst — paired with the increments above.
                 probes.load(Ordering::SeqCst),
                 1,
                 "round {round}: expired breaker must admit exactly one probe"
@@ -2835,10 +2901,13 @@ mod tests {
         let grants = Arc::new(AtomicUsize::new(0));
         let gate_grants = Arc::clone(&grants);
         pool.set_hedge_permit_gate(Some(Arc::new(move || {
+            // ordering: SeqCst — exact grant count asserted across the
+            // hedge worker threads.
             gate_grants.fetch_add(1, Ordering::SeqCst);
             Some(Box::new(()) as Box<dyn std::any::Any + Send>)
         })));
         pool.complete(&CompletionRequest::new("hedged")).unwrap();
+        // ordering: SeqCst — paired with the gate increment above.
         assert_eq!(grants.load(Ordering::SeqCst), 1);
         assert_eq!(pool.stats().iter().map(|s| s.hedges).sum::<u64>(), 1);
     }
@@ -2891,6 +2960,7 @@ mod tests {
             request: &CompletionRequest,
             _attempt: usize,
         ) -> Result<CompletionResponse> {
+            // ordering: Relaxed — test knob; any recent value is fine.
             let delay = self.delay_ms.load(Ordering::Relaxed);
             if delay > 0 {
                 std::thread::sleep(Duration::from_millis(delay));
@@ -2898,6 +2968,7 @@ mod tests {
             self.inner.complete(request)
         }
         fn submit(&self, request: &CompletionRequest, _attempt: usize) -> CallHandle {
+            // ordering: Relaxed — test knob; any recent value is fine.
             let delay = self.delay_ms.load(Ordering::Relaxed);
             let result = self.inner.complete(request);
             if delay > 0 {
@@ -3004,9 +3075,11 @@ mod tests {
         assert_eq!(pool.stats().iter().map(|s| s.hedges).sum::<u64>(), 0);
 
         // One-off stall: 60ms on a backend whose EWMA says ~2ms.
+        // ordering: Relaxed — test knob (single-threaded driver here).
         a.delay_ms.store(60, Ordering::Relaxed);
         let started = Instant::now();
         let resp = drive_call(pool.submit_call(&CompletionRequest::new("stall"))).unwrap();
+        // ordering: Relaxed — test knob (single-threaded driver here).
         a.delay_ms.store(2, Ordering::Relaxed);
         assert_eq!(resp.text, "m:stall");
         let elapsed = started.elapsed();
@@ -3051,11 +3124,14 @@ mod tests {
         struct PermitToken(Arc<AtomicI64>);
         impl Drop for PermitToken {
             fn drop(&mut self) {
+                // ordering: SeqCst — the leak check asserts an exact zero
+                // across worker threads; keep drops in the total order.
                 self.0.fetch_sub(1, Ordering::SeqCst);
             }
         }
         let gate_permits = Arc::clone(&outstanding_permits);
         pool.set_hedge_permit_gate(Some(Arc::new(move || {
+            // ordering: SeqCst — paired with PermitToken::drop's decrement.
             gate_permits.fetch_add(1, Ordering::SeqCst);
             Some(Box::new(PermitToken(Arc::clone(&gate_permits))) as Box<dyn std::any::Any + Send>)
         })));
@@ -3065,6 +3141,7 @@ mod tests {
         // Deterministic schedule: the primary delay cycles 2..6ms around the
         // moving ~EWMA threshold.
         for i in 0..60u64 {
+            // ordering: Relaxed — test knob (single-threaded driver here).
             primary.delay_ms.store(2 + (i % 5), Ordering::Relaxed);
             let prompt = format!("race-{i}");
             let resp =
@@ -3084,6 +3161,7 @@ mod tests {
             "gauge leak: {stats:?}"
         );
         assert_eq!(
+            // ordering: SeqCst — paired with the grant/drop pair above.
             outstanding_permits.load(Ordering::SeqCst),
             0,
             "hedge permits leaked"
@@ -3151,6 +3229,7 @@ mod tests {
             assert_eq!(calls_after_warmup, 1);
             // The slow backend recovers, then the pool idles a few
             // half-lives (stale estimates decay; nothing refreshes them).
+            // ordering: Relaxed — test knob (single-threaded driver here).
             was_slow.delay_ms.store(2, Ordering::Relaxed);
             std::thread::sleep(Duration::from_millis(200));
             for i in 0..10 {

@@ -72,6 +72,8 @@ impl PromptCache {
     /// Look up a key.
     pub fn get(&self, key: &str) -> Option<CompletionResponse> {
         let found = self.shard_for(key).read().get(key).cloned();
+        // ordering: Relaxed — hit/miss are advisory statistics; nothing is
+        // published under them and exact interleaving is irrelevant.
         if found.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -100,12 +102,16 @@ impl PromptCache {
         for shard in self.shards.iter() {
             shard.write().clear();
         }
+        // ordering: Relaxed — statistics reset; racing increments may land
+        // on either side of the clear, both outcomes are valid snapshots.
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
     }
 
     /// (hits, misses) counters.
     pub fn stats(&self) -> (u64, u64) {
+        // ordering: Relaxed — advisory statistics read; the pair need not
+        // be mutually consistent.
         (
             self.hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),

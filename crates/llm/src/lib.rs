@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # llmsql-llm
 //!
 //! The language-model storage substrate.

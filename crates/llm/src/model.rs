@@ -716,11 +716,13 @@ mod tests {
         let req = CompletionRequest::new("p");
         for _ in 0..3 {
             client
+                // ordering: Relaxed — single-threaded test counter.
                 .complete_gated(&req, || gates.fetch_add(1, Ordering::Relaxed))
                 .unwrap();
         }
         assert_eq!(*model.calls.lock(), 1);
         assert_eq!(
+            // ordering: Relaxed — single-threaded test counter.
             gates.load(Ordering::Relaxed),
             1,
             "cache hits must bypass the gate"
@@ -752,6 +754,8 @@ mod tests {
                 let gates = &gates;
                 scope.spawn(move || {
                     client
+                        // ordering: Relaxed — test counter; the scope join
+                        // publishes the total to the assert below.
                         .complete_gated(&CompletionRequest::new("same"), || {
                             gates.fetch_add(1, Ordering::Relaxed)
                         })
@@ -760,6 +764,7 @@ mod tests {
             }
         });
         assert_eq!(
+            // ordering: Relaxed — read after scope join; join synchronizes.
             gates.load(Ordering::Relaxed),
             1,
             "single-flight followers must bypass the gate"
@@ -795,6 +800,7 @@ mod tests {
         for _ in 0..3 {
             let mut call = client.start_call(CompletionRequest::new("p"));
             let mut gate = || {
+                // ordering: Relaxed — single-threaded test counter.
                 gates.fetch_add(1, Ordering::Relaxed);
                 Some(Box::new(()) as Box<dyn std::any::Any + Send>)
             };
@@ -807,6 +813,7 @@ mod tests {
         }
         assert_eq!(*model.calls.lock(), 1);
         assert_eq!(
+            // ordering: Relaxed — single-threaded test counter.
             gates.load(Ordering::Relaxed),
             1,
             "cache hits must bypass the gate"

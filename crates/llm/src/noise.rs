@@ -180,7 +180,7 @@ impl NoiseModel {
                     v /= 8;
                 }
                 let mut chars = s.chars();
-                let first = chars.next().unwrap().to_ascii_uppercase();
+                let first = chars.next().unwrap_or('X').to_ascii_uppercase();
                 Value::Text(format!("{first}{}", chars.as_str()))
             }
         }

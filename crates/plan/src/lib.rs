@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # llmsql-plan
 //!
 //! Query planning: [`BoundExpr`] (resolved expressions), [`LogicalPlan`]

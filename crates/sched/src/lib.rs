@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # llmsql-sched
 //!
 //! The cross-query scheduler: the shared runtime that sits between client

@@ -276,6 +276,11 @@ impl QueryScheduler {
         // queued, so resubmitting after `retry_after_ms` is loss-less.
         if let Some(limiter) = &limiter {
             if let Err(retry_after_ms) = limiter.admit(self.core.now_ms()) {
+                // ordering: Relaxed — monotone statistics counters; the
+                // rejection itself is returned on this thread, nothing is
+                // published under the counters. (All SchedCore counters
+                // below follow this contract; exact cross-counter snapshots
+                // are taken under the state mutex in paused tests.)
                 self.core.throttled.fetch_add(1, Ordering::Relaxed);
                 self.core.rejected.fetch_add(1, Ordering::Relaxed);
                 return Err(Error::overloaded(
@@ -285,6 +290,7 @@ impl QueryScheduler {
             }
         }
         if state.jobs.len() >= self.core.config.max_queue_depth {
+            // ordering: Relaxed — statistics counter, see admit() above.
             self.core.rejected.fetch_add(1, Ordering::Relaxed);
             let retry_after_ms = self.core.backlog_retry_hint_ms(state.jobs.len());
             return Err(Error::scheduler(format!(
@@ -311,6 +317,7 @@ impl QueryScheduler {
         if over_depth || over_wait {
             if let Some(top) = state.jobs.iter().map(|job| job.priority).max() {
                 if priority < top {
+                    // ordering: Relaxed — statistics counters, see admit().
                     self.core.shed.fetch_add(1, Ordering::Relaxed);
                     self.core.rejected.fetch_add(1, Ordering::Relaxed);
                     let retry_after_ms = self.core.backlog_retry_hint_ms(queued);
@@ -347,6 +354,7 @@ impl QueryScheduler {
                 let projected_wait_ms =
                     run_ewma_ms * (jobs_ahead as f64 / self.core.config.workers as f64);
                 if projected_wait_ms > deadline {
+                    // ordering: Relaxed — statistics counters, see admit().
                     self.core.rejected.fetch_add(1, Ordering::Relaxed);
                     self.core.deadline_rejected.fetch_add(1, Ordering::Relaxed);
                     return Err(Error::deadline_exceeded(format!(
@@ -362,6 +370,7 @@ impl QueryScheduler {
         let tenant_queued = state.queued_per_tenant.entry(tenant.clone()).or_insert(0);
         if *tenant_queued >= self.core.config.tenant_queue_cap {
             let retry_after_ms = self.core.backlog_retry_hint_ms(*tenant_queued);
+            // ordering: Relaxed — statistics counter, see admit() above.
             self.core.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(Error::scheduler(format!(
                 "tenant '{tenant}' queue full ({tenant_queued} queued, cap {})",
@@ -383,6 +392,8 @@ impl QueryScheduler {
             ticket: Arc::clone(&ticket_state),
         });
         drop(state);
+        // ordering: Relaxed — statistics counter; the queue insert above was
+        // published by the state mutex, not by this increment.
         self.core.submitted.fetch_add(1, Ordering::Relaxed);
         self.core.work.notify_one();
         Ok(QueryTicket {
@@ -410,6 +421,9 @@ impl QueryScheduler {
     /// A snapshot of the aggregate statistics.
     pub fn stats(&self) -> SchedStats {
         let state = self.lock_state();
+        // ordering: Relaxed — advisory statistics snapshot; counters are
+        // individually monotone but not mutually consistent mid-run (tests
+        // needing exact totals pause the scheduler first).
         SchedStats {
             submitted: self.core.submitted.load(Ordering::Relaxed),
             rejected: self.core.rejected.load(Ordering::Relaxed),
@@ -419,6 +433,7 @@ impl QueryScheduler {
             peak_slots_in_use: self.core.slots.peak_in_use(),
             total_slot_wait_ms: self.core.slots.total_wait_ms(),
             tenant_calls: state.charges.clone(),
+            // ordering: Relaxed — same advisory-snapshot contract as above.
             deadline_rejected: self.core.deadline_rejected.load(Ordering::Relaxed),
             deadline_expired: self.core.deadline_expired.load(Ordering::Relaxed),
             shed: self.core.shed.load(Ordering::Relaxed),
@@ -527,6 +542,8 @@ fn run_job(core: &SchedCore, job: Job) {
         .deadline_ms
         .is_some_and(|deadline_ms| queue_ms >= deadline_ms);
     if expired {
+        // ordering: Relaxed — statistics counter; the ticket resolution that
+        // callers wait on synchronizes via its own mutex/condvar.
         core.deadline_expired.fetch_add(1, Ordering::Relaxed);
     }
     let run_start = Instant::now();
@@ -578,6 +595,9 @@ fn run_job(core: &SchedCore, job: Job) {
         // cannot monopolize the fair-share rotation for free.
         *state.charges.entry(job.tenant.clone()).or_insert(0) += llm_calls.max(1);
     }
+    // ordering: Relaxed — finish_seq only needs uniqueness and atomicity of
+    // the increment itself to hand out distinct ordinals; completed is a
+    // statistics counter like the rest of SchedCore's.
     let finish_seq = core.finish_seq.fetch_add(1, Ordering::Relaxed) + 1;
     core.completed.fetch_add(1, Ordering::Relaxed);
     job.ticket.fulfill(QueryOutcome {

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for the `criterion` crate (see `crates/shims/README.md`).
 //!
 //! A real measuring harness, minus criterion's statistics machinery: every

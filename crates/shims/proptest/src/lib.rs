@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for the `proptest` crate (see `crates/shims/README.md`).
 //!
 //! Implements the strategy combinators and the `proptest!` macro surface this

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Offline stand-in for the `rand` crate (see `crates/shims/README.md`).
 //!
 //! Implements the subset this workspace uses: `rngs::StdRng` seeded via

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # llmsql-sql
 //!
 //! A hand-written SQL front end: lexer, recursive-descent parser, AST, and a

@@ -749,7 +749,8 @@ impl Parser {
         }
         self.advance(); // keyword
         self.advance(); // (
-        let func = AggregateFunc::parse(&format!("{kw:?}")).expect("aggregate keyword");
+        let func = AggregateFunc::parse(&format!("{kw:?}"))
+            .ok_or_else(|| Error::parse(format!("unknown aggregate function '{kw:?}'")))?;
         let distinct = self.consume_keyword(Keyword::Distinct);
         let arg = if self.consume_token(&Token::Star) {
             None

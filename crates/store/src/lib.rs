@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # llmsql-store
 //!
 //! The relational storage substrate: an in-memory row store with a catalog,

@@ -256,7 +256,7 @@ fn hash_str(s: &str, seed: u64) -> u64 {
     for chunk in s.as_bytes().chunks(8) {
         let mut word = 0u64;
         for (i, &b) in chunk.iter().enumerate() {
-            word |= (b as u64) << (8 * i);
+            word |= u64::from(b) << (8 * i);
         }
         h = splitmix64(h ^ word);
     }

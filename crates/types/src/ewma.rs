@@ -31,6 +31,9 @@ impl AtomicEwmaMs {
     /// tiny positive value to stay clear of the no-sample sentinel.
     pub fn observe(&self, sample_ms: f64) {
         let sample = sample_ms.max(1e-4);
+        // ordering: Relaxed throughout — the cell is a self-contained
+        // statistic; the CAS only has to be atomic on this one word, and no
+        // other memory is published under it.
         let mut current = self.bits.load(Ordering::Relaxed);
         loop {
             let next = if current == 0 {
@@ -39,6 +42,8 @@ impl AtomicEwmaMs {
                 let old = f64::from_bits(current);
                 old + ALPHA * (sample - old)
             };
+            // ordering: Relaxed success/failure — retry loop re-reads the
+            // word itself; stale reads only cost an extra iteration.
             match self.bits.compare_exchange_weak(
                 current,
                 next.to_bits(),
@@ -57,12 +62,16 @@ impl AtomicEwmaMs {
     /// fresh observation toward obsolete history — e.g. the first sample a
     /// recovered backend produces after idling several decay half-lives.
     pub fn set(&self, sample_ms: f64) {
+        // ordering: Relaxed — single-word overwrite of a statistic; readers
+        // tolerate any interleaving with concurrent observe() CASes.
         self.bits
             .store(sample_ms.max(1e-4).to_bits(), Ordering::Relaxed);
     }
 
     /// The current average in milliseconds, `None` before any sample.
     pub fn get(&self) -> Option<f64> {
+        // ordering: Relaxed — advisory read of a statistic; callers make no
+        // cross-variable inference from it.
         match self.bits.load(Ordering::Relaxed) {
             0 => None,
             bits => Some(f64::from_bits(bits)),

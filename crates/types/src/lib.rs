@@ -1,3 +1,27 @@
+#![forbid(unsafe_code)]
+#![warn(clippy::pedantic)]
+// Pedantic exceptions, each a deliberate local judgment call rather than a
+// bug class: numeric casts are used where the domain bounds the value, and
+// must_use / doc-section lints would add noise to an internal API.
+#![allow(
+    clippy::cast_possible_truncation,
+    clippy::cast_precision_loss,
+    clippy::cast_possible_wrap,
+    clippy::cast_sign_loss,
+    clippy::doc_markdown,
+    clippy::enum_glob_use,
+    clippy::float_cmp,
+    clippy::if_not_else,
+    clippy::match_same_arms,
+    clippy::missing_errors_doc,
+    clippy::missing_panics_doc,
+    clippy::must_use_candidate,
+    clippy::needless_pass_by_value,
+    clippy::return_self_not_must_use,
+    clippy::single_match_else,
+    clippy::struct_excessive_bools,
+    clippy::too_many_lines
+)]
 //! # llmsql-types
 //!
 //! Shared primitive types for the `llmsql` engine: scalar [`Value`]s, table

@@ -98,7 +98,7 @@ impl Row {
 
     /// True if every value in the row is NULL.
     pub fn all_null(&self) -> bool {
-        !self.values.is_empty() && self.values.iter().all(|v| v.is_null())
+        !self.values.is_empty() && self.values.iter().all(super::value::Value::is_null)
     }
 
     /// Pad or truncate the row to exactly `arity` values.
@@ -110,7 +110,7 @@ impl Row {
     pub fn to_pipe_string(&self) -> String {
         self.values
             .iter()
-            .map(|v| v.to_display_string())
+            .map(super::value::Value::to_display_string)
             .collect::<Vec<_>>()
             .join(" | ")
     }
@@ -186,13 +186,14 @@ impl Batch {
 
     /// Render as an ASCII table (for examples and experiment binaries).
     pub fn to_ascii_table(&self) -> String {
+        use std::fmt::Write as _;
         let headers: Vec<String> = self
             .schema
             .fields
             .iter()
-            .map(|f| f.qualified_name())
+            .map(super::schema::Field::qualified_name)
             .collect();
-        let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        let mut widths: Vec<usize> = headers.iter().map(std::string::String::len).collect();
         let rendered: Vec<Vec<String>> = self
             .rows
             .iter()
@@ -224,7 +225,7 @@ impl Batch {
         out.push('\n');
         out.push('|');
         for (h, w) in headers.iter().zip(&widths) {
-            out.push_str(&format!(" {:w$} |", h, w = w));
+            let _ = write!(out, " {h:w$} |");
         }
         out.push('\n');
         out.push_str(&sep());
@@ -232,8 +233,8 @@ impl Batch {
         for row in &rendered {
             out.push('|');
             for (i, w) in widths.iter().enumerate() {
-                let cell = row.get(i).map(String::as_str).unwrap_or("");
-                out.push_str(&format!(" {:w$} |", cell, w = w));
+                let cell = row.get(i).map_or("", String::as_str);
+                let _ = write!(out, " {cell:w$} |");
             }
             out.push('\n');
         }

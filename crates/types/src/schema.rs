@@ -301,7 +301,7 @@ impl Field {
         nullable: bool,
     ) -> Self {
         Field {
-            qualifier: qualifier.map(|q| q.to_ascii_lowercase()),
+            qualifier: qualifier.map(str::to_ascii_lowercase),
             name: name.into().to_ascii_lowercase(),
             data_type,
             nullable,
@@ -361,7 +361,7 @@ impl RelSchema {
     /// Returns an error when the name is ambiguous or unknown.
     pub fn resolve(&self, qualifier: Option<&str>, name: &str) -> Result<usize> {
         let name_l = name.to_ascii_lowercase();
-        let qual_l = qualifier.map(|q| q.to_ascii_lowercase());
+        let qual_l = qualifier.map(str::to_ascii_lowercase);
         let mut matches = self.fields.iter().enumerate().filter(|(_, f)| {
             f.name == name_l
                 && match &qual_l {

@@ -158,15 +158,9 @@ impl Value {
         }
         match ty {
             DataType::Text => Value::Text(trimmed),
-            DataType::Int => parse_int_lenient(&trimmed)
-                .map(Value::Int)
-                .unwrap_or(Value::Null),
-            DataType::Float => parse_float_lenient(&trimmed)
-                .map(Value::Float)
-                .unwrap_or(Value::Null),
-            DataType::Bool => parse_bool_lenient(&trimmed)
-                .map(Value::Bool)
-                .unwrap_or(Value::Null),
+            DataType::Int => parse_int_lenient(&trimmed).map_or(Value::Null, Value::Int),
+            DataType::Float => parse_float_lenient(&trimmed).map_or(Value::Null, Value::Float),
+            DataType::Bool => parse_bool_lenient(&trimmed).map_or(Value::Null, Value::Bool),
         }
     }
 
@@ -248,9 +242,9 @@ pub fn format_float(f: f64) -> String {
         return if f > 0.0 { "inf".into() } else { "-inf".into() };
     }
     if f == f.trunc() && f.abs() < 1e15 {
-        format!("{:.1}", f)
+        format!("{f:.1}")
     } else {
-        format!("{}", f)
+        format!("{f}")
     }
 }
 
@@ -410,7 +404,7 @@ impl From<i64> for Value {
 }
 impl From<i32> for Value {
     fn from(v: i32) -> Self {
-        Value::Int(v as i64)
+        Value::Int(i64::from(v))
     }
 }
 impl From<f64> for Value {

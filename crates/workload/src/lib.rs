@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # llmsql-workload
 //!
 //! Workload generation and the experiment harness:

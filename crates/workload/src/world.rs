@@ -100,7 +100,7 @@ fn proper_name(rng: &mut StdRng, syllables: usize, suffix: &str) -> String {
         s.push_str(SYLLABLES[rng.gen_range(0..SYLLABLES.len())]);
     }
     let mut chars = s.chars();
-    let first = chars.next().unwrap().to_ascii_uppercase();
+    let first = chars.next().unwrap_or('X').to_ascii_uppercase();
     format!("{first}{}{suffix}", chars.as_str())
 }
 

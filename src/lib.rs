@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Workspace facade: re-exports the public surface of every `llmsql-*`
 //! crate so integration tests, examples and downstream users can depend on
 //! one crate.
