@@ -1,0 +1,70 @@
+//! Microbenchmark: plans/sec through the full static-analysis pipeline —
+//! bind, the complete rewrite-rule registry with trace, per-operator cost
+//! estimation, and plan linting. This is the overhead `EXPLAIN` adds on top
+//! of parsing, and what every planning call pays once the optimizer is on.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use llmsql_plan::{
+    bind_select, cost_plan, lint_plan, optimize_traced, CostParams, OptimizerOptions,
+};
+use llmsql_sql::{parse_statement, Statement};
+use llmsql_workload::{World, WorldSpec};
+
+const QUERIES: [&str; 4] = [
+    "SELECT name, population FROM countries WHERE population > 1000000 ORDER BY population DESC LIMIT 10",
+    "SELECT c.region, COUNT(*), SUM(ci.population) FROM countries c JOIN cities ci ON ci.country = c.name GROUP BY c.region",
+    "SELECT name FROM people WHERE profession IN ('scientist', 'writer') AND birth_year BETWEEN 1950 AND 1990",
+    "SELECT m.title, p.name FROM movies m JOIN people p ON m.director = p.name WHERE m.rating > 7.5 AND m.title LIKE '%the%'",
+];
+
+fn bench_rule_pipeline(c: &mut Criterion) {
+    let world = World::generate(WorldSpec::tiny()).unwrap();
+    let catalog = world.catalog.clone();
+    let bound: Vec<_> = QUERIES
+        .iter()
+        .map(|sql| {
+            let Statement::Select(select) = parse_statement(sql).unwrap() else {
+                unreachable!()
+            };
+            bind_select(&catalog, &select).unwrap()
+        })
+        .collect();
+    c.bench_function("optimize_traced_pipeline", |b| {
+        b.iter(|| {
+            for plan in &bound {
+                black_box(optimize_traced(
+                    black_box(plan.clone()),
+                    &OptimizerOptions::default(),
+                ));
+            }
+        })
+    });
+}
+
+fn bench_full_analysis(c: &mut Criterion) {
+    let world = World::generate(WorldSpec::tiny()).unwrap();
+    let catalog = world.catalog.clone();
+    let params = CostParams::default();
+    c.bench_function("explain_static_analysis", |b| {
+        b.iter(|| {
+            for sql in QUERIES {
+                let Statement::Select(select) = parse_statement(sql).unwrap() else {
+                    unreachable!()
+                };
+                let bound = bind_select(&catalog, &select).unwrap();
+                let (plan, trace) = optimize_traced(bound, &OptimizerOptions::default());
+                let cost = cost_plan(&plan, &params);
+                let diags = lint_plan(&plan, &params, Some(0.01));
+                black_box((plan, trace, cost, diags));
+            }
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_rule_pipeline, bench_full_analysis
+}
+criterion_main!(benches);

@@ -12,7 +12,10 @@ use llmsql_llm::{
     parse_pipe_rows, BackendPool, CompletionRequest, KnowledgeBase, LanguageModel, LlmClient,
     SimLlm,
 };
-use llmsql_plan::{bind_select, optimize, schema_from_create, LogicalPlan, OptimizerOptions};
+use llmsql_plan::{
+    bind_select, cost_plan, lint_plan, optimize_traced, schema_from_create, CostParams,
+    LogicalPlan, OptimizerOptions, RuleTrace,
+};
 use llmsql_sql::ast::{InsertStatement, SelectStatement, Statement};
 use llmsql_sql::parse_statement;
 use llmsql_store::{Catalog, CatalogEntry};
@@ -269,24 +272,13 @@ impl Engine {
             }
             Statement::Insert(insert) => self.execute_insert(insert)?,
             Statement::Describe { name } => self.describe(name)?,
-            Statement::Explain(inner) => {
-                let Statement::Select(select) = inner.as_ref() else {
+            Statement::Explain { statement, analyze } => {
+                let Statement::Select(select) = statement.as_ref() else {
                     return Err(Error::unsupported(
                         "EXPLAIN supports only SELECT statements",
                     ));
                 };
-                let plan = self.plan_select(select)?;
-                let text = plan.explain();
-                let schema = RelSchema::new(vec![Field::new(None, "plan", DataType::Text, false)]);
-                let rows = text
-                    .lines()
-                    .map(|l| Row::new(vec![Value::Text(l.to_string())]))
-                    .collect();
-                QueryResult {
-                    batch: Batch::new(schema, rows),
-                    plan: Some(text),
-                    ..QueryResult::default()
-                }
+                self.execute_explain(select, *analyze, deadline_ms)?
             }
         };
 
@@ -299,17 +291,98 @@ impl Engine {
 
     /// Bind and optimize a SELECT into a logical plan.
     pub fn plan_select(&self, select: &SelectStatement) -> Result<LogicalPlan> {
+        Ok(self.plan_select_traced(select)?.0)
+    }
+
+    /// Bind and optimize a SELECT, also reporting which rewrite rules fired
+    /// (`EXPLAIN` prints the trace).
+    pub fn plan_select_traced(&self, select: &SelectStatement) -> Result<(LogicalPlan, RuleTrace)> {
         let bound = bind_select(&self.catalog, select)?;
         let options = if self.config.enable_optimizer {
             OptimizerOptions {
                 predicate_pushdown: self.config.enable_predicate_pushdown,
                 projection_pruning: self.config.enable_projection_pruning,
-                limit_pushdown: true,
+                ..OptimizerOptions::default()
             }
         } else {
             OptimizerOptions::disabled()
         };
-        Ok(optimize(bound, &options))
+        Ok(optimize_traced(bound, &options))
+    }
+
+    /// Cost-model parameters for a plan: engine config plus cardinality
+    /// hints for every scanned relation — from the attached model
+    /// (`LanguageModel::relation_cardinality`) for virtual tables, from the
+    /// stored row count for materialized ones.
+    pub fn cost_params_for(&self, plan: &LogicalPlan) -> CostParams {
+        let mut params = CostParams::from_config(&self.config);
+        for table in plan.scanned_tables() {
+            let hint = self
+                .client
+                .as_ref()
+                .and_then(|c| c.relation_cardinality(&table))
+                .or_else(|| match self.catalog.get(&table) {
+                    Ok(CatalogEntry::Materialized(t)) => Some(t.row_count() as u64),
+                    _ => None,
+                });
+            if let Some(rows) = hint {
+                params = params.with_hint(table, rows);
+            }
+        }
+        params
+    }
+
+    /// `EXPLAIN [ANALYZE]`: statically analyze (and for ANALYZE also run)
+    /// the query, returning the annotated operator tree as rows. The text
+    /// carries per-operator estimated rows/calls/USD/latency, the fired-rule
+    /// trace, plan lints, and — for ANALYZE — the executor's actual rows,
+    /// calls and per-operator wall time for drift comparison.
+    fn execute_explain(
+        &self,
+        select: &SelectStatement,
+        analyze: bool,
+        deadline_ms: Option<f64>,
+    ) -> Result<QueryResult> {
+        let (plan, trace) = self.plan_select_traced(select)?;
+        // In LlmOnly mode every scan hits the model regardless of the
+        // schema's virtual flag; mark the plan so cost estimates and lints
+        // describe the scans the executor will actually run.
+        let plan = if self.config.mode == ExecutionMode::LlmOnly {
+            plan.with_scans_marked_virtual()
+        } else {
+            plan
+        };
+        let params = self.cost_params_for(&plan);
+        let cost = cost_plan(&plan, &params);
+        let diagnostics = lint_plan(&plan, &params, self.config.cost_budget_usd);
+        // ANALYZE runs the plan through the standard operator path (even
+        // under the one-shot full-query strategy, which has no per-operator
+        // story to report) and keeps its metrics.
+        let metrics = if analyze {
+            let mut config = self.config.clone();
+            config.deadline_ms = deadline_ms;
+            let mut ctx = ExecContext::new(self.catalog.clone(), self.client.clone(), config);
+            if let Some(slots) = &self.slots {
+                ctx = ctx.with_slots(Arc::clone(slots));
+            }
+            execute_plan(&ctx, &plan)?;
+            Some(ctx.metrics.snapshot())
+        } else {
+            None
+        };
+        let text =
+            crate::explain::render_explain(&plan, &cost, &trace, &diagnostics, metrics.as_ref());
+        let schema = RelSchema::new(vec![Field::new(None, "plan", DataType::Text, false)]);
+        let rows = text
+            .lines()
+            .map(|l| Row::new(vec![Value::Text(l.to_string())]))
+            .collect();
+        Ok(QueryResult {
+            batch: Batch::new(schema, rows),
+            plan: Some(text),
+            metrics: metrics.unwrap_or_default(),
+            ..QueryResult::default()
+        })
     }
 
     fn execute_select(

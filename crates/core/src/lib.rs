@@ -49,10 +49,12 @@
 
 pub mod engine;
 pub mod eval;
+pub mod explain;
 pub mod result;
 
 pub use engine::Engine;
 pub use eval::{score_batches, score_rows, EvalOptions, ResultScore, SuiteScore};
+pub use explain::render_explain;
 pub use result::QueryResult;
 
 // Re-export the configuration types users need to drive the engine.

@@ -33,6 +33,35 @@ pub fn execute(ctx: &ExecContext, plan: &LogicalPlan) -> Result<Batch> {
 
 /// Execute a plan node to rows.
 pub fn execute_rows(ctx: &ExecContext, plan: &LogicalPlan) -> Result<Vec<Row>> {
+    execute_rows_at(ctx, plan, "0")
+}
+
+/// Execute a plan node identified by its pre-order path (`"0"` = root,
+/// `"0.1"` = its second child), recording per-operator actuals — output
+/// rows, wall time, and the LLM calls issued while the subtree ran — under
+/// that path in [`crate::metrics::ExecMetrics::op_stats`]. Call attribution
+/// works by before/after deltas of the shared call counter, which is exact
+/// because operators run one at a time: a child completes before its parent
+/// does any work of its own.
+fn execute_rows_at(ctx: &ExecContext, plan: &LogicalPlan, path: &str) -> Result<Vec<Row>> {
+    let calls_before = ctx.metrics.llm_call_count();
+    // Per-operator wall clock for EXPLAIN ANALYZE. Deliberately not routed
+    // through the reactor: this measures the whole operator (including CPU
+    // work), not an I/O deadline — carried as a banned-time ledger entry.
+    let started = std::time::Instant::now();
+    let rows = execute_node(ctx, plan, path)?;
+    let wall_ms = started.elapsed().as_secs_f64() * 1000.0;
+    let calls = ctx.metrics.llm_call_count().saturating_sub(calls_before);
+    ctx.metrics.update(|m| {
+        let s = m.op_stats.entry(path.to_string()).or_default();
+        s.rows_out += rows.len() as u64;
+        s.llm_calls += calls;
+        s.wall_ms += wall_ms;
+    });
+    Ok(rows)
+}
+
+fn execute_node(ctx: &ExecContext, plan: &LogicalPlan, path: &str) -> Result<Vec<Row>> {
     match plan {
         LogicalPlan::Scan {
             table,
@@ -67,7 +96,7 @@ pub fn execute_rows(ctx: &ExecContext, plan: &LogicalPlan) -> Result<Vec<Row>> {
         }
         LogicalPlan::Filter { input, predicate } => {
             ctx.metrics.update(|m| m.record_operator("Filter"));
-            let rows = execute_rows(ctx, input)?;
+            let rows = execute_rows_at(ctx, input, &format!("{path}.0"))?;
             let keep = try_par_map(operator_parallelism(ctx, rows.len()), &rows, |_, row| {
                 Ok(eval_predicate(predicate, row)? == Some(true))
             })?;
@@ -79,7 +108,7 @@ pub fn execute_rows(ctx: &ExecContext, plan: &LogicalPlan) -> Result<Vec<Row>> {
         }
         LogicalPlan::Project { input, exprs, .. } => {
             ctx.metrics.update(|m| m.record_operator("Project"));
-            let rows = execute_rows(ctx, input)?;
+            let rows = execute_rows_at(ctx, input, &format!("{path}.0"))?;
             try_par_map(operator_parallelism(ctx, rows.len()), &rows, |_, row| {
                 exprs
                     .iter()
@@ -96,8 +125,8 @@ pub fn execute_rows(ctx: &ExecContext, plan: &LogicalPlan) -> Result<Vec<Row>> {
             ..
         } => {
             ctx.metrics.update(|m| m.record_operator("Join"));
-            let left_rows = execute_rows(ctx, left)?;
-            let right_rows = execute_rows(ctx, right)?;
+            let left_rows = execute_rows_at(ctx, left, &format!("{path}.0"))?;
+            let right_rows = execute_rows_at(ctx, right, &format!("{path}.1"))?;
             join_rows_with_parallelism(
                 &left_rows,
                 &right_rows,
@@ -115,12 +144,12 @@ pub fn execute_rows(ctx: &ExecContext, plan: &LogicalPlan) -> Result<Vec<Row>> {
             ..
         } => {
             ctx.metrics.update(|m| m.record_operator("Aggregate"));
-            let rows = execute_rows(ctx, input)?;
+            let rows = execute_rows_at(ctx, input, &format!("{path}.0"))?;
             aggregate_rows(&rows, group_exprs, aggregates)
         }
         LogicalPlan::Sort { input, keys } => {
             ctx.metrics.update(|m| m.record_operator("Sort"));
-            let mut rows = execute_rows(ctx, input)?;
+            let mut rows = execute_rows_at(ctx, input, &format!("{path}.0"))?;
             sort_rows(&mut rows, keys)?;
             Ok(rows)
         }
@@ -130,7 +159,7 @@ pub fn execute_rows(ctx: &ExecContext, plan: &LogicalPlan) -> Result<Vec<Row>> {
             offset,
         } => {
             ctx.metrics.update(|m| m.record_operator("Limit"));
-            let rows = execute_rows(ctx, input)?;
+            let rows = execute_rows_at(ctx, input, &format!("{path}.0"))?;
             let iter = rows.into_iter().skip(*offset);
             Ok(match limit {
                 Some(l) => iter.take(*l).collect(),
@@ -139,7 +168,7 @@ pub fn execute_rows(ctx: &ExecContext, plan: &LogicalPlan) -> Result<Vec<Row>> {
         }
         LogicalPlan::Distinct { input } => {
             ctx.metrics.update(|m| m.record_operator("Distinct"));
-            let rows = execute_rows(ctx, input)?;
+            let rows = execute_rows_at(ctx, input, &format!("{path}.0"))?;
             let mut seen = std::collections::HashSet::new();
             Ok(rows
                 .into_iter()

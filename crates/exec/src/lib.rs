@@ -56,7 +56,7 @@ pub use eval::{eval, eval_predicate, AggAccumulator};
 pub use executor::{
     aggregate_rows, execute, execute_rows, join_rows, join_rows_with_parallelism, sort_rows,
 };
-pub use metrics::{ExecMetrics, InFlightGuard, SharedMetrics};
+pub use metrics::{ExecMetrics, InFlightGuard, OpStats, SharedMetrics};
 pub use parallel::{par_map, try_par_map, PAR_ROW_THRESHOLD};
 pub use reactor::{drive, Completion, DriveOutcome, TimerId, TimerWheel};
 pub use scan::{hybrid_scan, llm_scan, table_scan, ScanSpec};

@@ -13,6 +13,21 @@ use std::sync::Arc;
 use llmsql_types::Incomplete;
 use parking_lot::Mutex;
 
+/// Actuals for one executed plan node, reported by `EXPLAIN ANALYZE`.
+///
+/// `llm_calls` and `wall_ms` are *inclusive* of the node's children (the
+/// executor recurses operator-at-a-time, so a parent's interval covers its
+/// subtree); `rows_out` is the node's own output.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OpStats {
+    /// Rows this operator emitted.
+    pub rows_out: u64,
+    /// LLM calls issued while this operator (and its subtree) ran.
+    pub llm_calls: u64,
+    /// Wall-clock time this operator (and its subtree) took, milliseconds.
+    pub wall_ms: f64,
+}
+
 /// Metrics for one query execution.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ExecMetrics {
@@ -58,6 +73,10 @@ pub struct ExecMetrics {
     pub backend_latency_ms: BTreeMap<String, f64>,
     /// Plan nodes executed, by operator name.
     pub operators: BTreeMap<String, u64>,
+    /// Per-operator actuals, keyed by the node's pre-order path (`"0"` =
+    /// root, `"0.1"` = its second child — the same scheme the static cost
+    /// model uses, so `EXPLAIN ANALYZE` can join estimates to actuals).
+    pub op_stats: BTreeMap<String, OpStats>,
     /// Set when graceful degradation cut this query short
     /// (`EngineConfig::with_partial_results`): the rows produced are an
     /// exact page-aligned prefix of the full result, and this marker carries
@@ -108,6 +127,12 @@ impl ExecMetrics {
         }
         for (k, v) in &other.operators {
             *self.operators.entry(k.clone()).or_default() += v;
+        }
+        for (k, v) in &other.op_stats {
+            let s = self.op_stats.entry(k.clone()).or_default();
+            s.rows_out += v.rows_out;
+            s.llm_calls += v.llm_calls;
+            s.wall_ms += v.wall_ms;
         }
         // First marker wins: the earliest cut is the one that shaped the
         // delivered prefix; later merges must not rewrite the story.

@@ -15,6 +15,12 @@
 //! - `panic-in-lib` — `.unwrap()` / `.expect(` / `println!` are banned in
 //!   non-test library code. Library errors flow through `llmsql_types::
 //!   Result`; stdout belongs to bins and benches.
+//! - `float-ordering` — `.partial_cmp(` is banned in non-test library code
+//!   unless the same line also uses `total_cmp` or a `// total-order:`
+//!   justification comment covers it. Partial float comparisons silently
+//!   equate NaN with everything (or panic through `.unwrap()`), which breaks
+//!   sort determinism; use `f64::total_cmp` or justify why NaN cannot reach
+//!   the comparison.
 //! - `forbid-unsafe` — every crate root must carry `#![forbid(unsafe_code)]`.
 
 use crate::scanner::{scan_source, Line};
@@ -36,6 +42,7 @@ pub struct Violation {
 pub const RULE_ATOMIC_ORDERING: &str = "atomic-ordering";
 pub const RULE_BANNED_TIME: &str = "banned-time";
 pub const RULE_PANIC_IN_LIB: &str = "panic-in-lib";
+pub const RULE_FLOAT_ORDERING: &str = "float-ordering";
 pub const RULE_FORBID_UNSAFE: &str = "forbid-unsafe";
 
 /// The clock/timer module set: the only library files allowed to read the
@@ -69,6 +76,9 @@ const ORDERING_STATEMENT_SPAN: usize = 20;
 
 /// Marker that justifies an atomic ordering when found in a comment.
 pub const ORDERING_MARKER: &str = "ordering:";
+
+/// Marker that justifies a partial float comparison when found in a comment.
+pub const TOTAL_ORDER_MARKER: &str = "total-order:";
 
 /// Classification of a file, derived from its repo-relative path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -110,6 +120,7 @@ pub fn check_file(rel_path: &str, src: &str) -> Vec<Violation> {
     }
     if kind.is_lib {
         check_panic_in_lib(rel_path, &lines, &mut out);
+        check_float_ordering(rel_path, &lines, &mut out);
     }
     if kind.is_crate_root {
         check_forbid_unsafe(rel_path, &lines, &mut out);
@@ -126,7 +137,7 @@ pub fn check_file(rel_path: &str, src: &str) -> Vec<Violation> {
 /// continues into a literal or body), capped at
 /// [`ORDERING_STATEMENT_SPAN`] lines.
 fn check_atomic_ordering(rel_path: &str, lines: &[Line], out: &mut Vec<Violation>) {
-    let covered = ordering_coverage(lines);
+    let covered = marker_coverage(lines, ORDERING_MARKER);
     for (idx, line) in lines.iter().enumerate() {
         if !ATOMIC_ORDERINGS.iter().any(|o| line.code.contains(o)) {
             continue;
@@ -143,11 +154,13 @@ fn check_atomic_ordering(rel_path: &str, lines: &[Line], out: &mut Vec<Violation
     }
 }
 
-/// Per-line justification coverage for the `atomic-ordering` rule.
-fn ordering_coverage(lines: &[Line]) -> Vec<bool> {
+/// Per-line justification coverage for a comment marker (shared by the
+/// `atomic-ordering` and `float-ordering` rules): the marker line, the next
+/// [`ORDERING_COMMENT_WINDOW`] lines, and the first statement after it.
+fn marker_coverage(lines: &[Line], marker: &str) -> Vec<bool> {
     let mut covered = vec![false; lines.len()];
     for (idx, line) in lines.iter().enumerate() {
-        if !line.comment.contains(ORDERING_MARKER) {
+        if !line.comment.contains(marker) {
             continue;
         }
         // Window coverage: marker line plus the next few lines.
@@ -213,6 +226,33 @@ fn check_panic_in_lib(rel_path: &str, lines: &[Line], out: &mut Vec<Violation>) 
     }
 }
 
+/// `.partial_cmp(` in non-test library code. A line is exempt when it also
+/// mentions `total_cmp` (e.g. a fallback chain ending in a total order) or
+/// when a `// total-order:` marker covers it, same coverage rules as
+/// `atomic-ordering`. The leading dot keeps `fn partial_cmp(` trait
+/// implementations out of scope — defining the method is fine, calling it
+/// on query data is what risks NaN-order bugs.
+fn check_float_ordering(rel_path: &str, lines: &[Line], out: &mut Vec<Violation>) {
+    let covered = marker_coverage(lines, TOTAL_ORDER_MARKER);
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        if !line.code.contains(".partial_cmp(") || line.code.contains("total_cmp") {
+            continue;
+        }
+        if covered.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        out.push(Violation {
+            rule: RULE_FLOAT_ORDERING,
+            file: rel_path.to_string(),
+            line: line.number,
+            excerpt: line.code.trim().to_string(),
+        });
+    }
+}
+
 /// Crate roots must forbid `unsafe` so it can never creep in silently.
 fn check_forbid_unsafe(rel_path: &str, lines: &[Line], out: &mut Vec<Violation>) {
     let present = lines
@@ -263,6 +303,34 @@ mod tests {
         let src = "#[cfg(test)]\nmod tests {\n    fn t() { x.load(Ordering::SeqCst); }\n}\n";
         let v = check_file("crates/x/src/a.rs", src);
         assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn float_ordering_requires_total_cmp_or_marker() {
+        let bad = "fn f() { xs.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n";
+        let v: Vec<_> = check_file("crates/x/src/a.rs", bad)
+            .into_iter()
+            .filter(|v| v.rule == RULE_FLOAT_ORDERING)
+            .collect();
+        assert_eq!(v.len(), 1, "{v:?}");
+
+        let total = "fn f() { xs.sort_by(|a, b| a.total_cmp(b)); }\n";
+        assert!(check_file("crates/x/src/a.rs", total).is_empty());
+
+        let justified = "// total-order: inputs are validated non-NaN scores\n\
+                         fn f() { xs.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n";
+        assert!(check_file("crates/x/src/a.rs", justified)
+            .iter()
+            .all(|v| v.rule != RULE_FLOAT_ORDERING));
+
+        // Defining the trait method is not a violation; calling it is.
+        let trait_impl = "fn partial_cmp(&self, other: &Self) -> Option<Ordering> { None }\n";
+        assert!(check_file("crates/x/src/a.rs", trait_impl).is_empty());
+
+        // Tests and non-lib targets are out of scope.
+        let in_test = "#[cfg(test)]\nmod tests {\n    fn t() { a.partial_cmp(&b); }\n}\n";
+        assert!(check_file("crates/x/src/a.rs", in_test).is_empty());
+        assert!(check_file("benches/b.rs", bad).is_empty());
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //! which the repo walker skips, so they never pollute the real lint run.
 
 use llmsql_lint::rules::{
-    check_file, RULE_ATOMIC_ORDERING, RULE_BANNED_TIME, RULE_FORBID_UNSAFE, RULE_PANIC_IN_LIB,
+    check_file, RULE_ATOMIC_ORDERING, RULE_BANNED_TIME, RULE_FLOAT_ORDERING, RULE_FORBID_UNSAFE,
+    RULE_PANIC_IN_LIB,
 };
 
 /// Lint a fixture as if it sat at a library (non-root) path.
@@ -61,6 +62,22 @@ fn bad_unwrap_expect_println_are_flagged() {
     ] {
         assert_eq!(lint_as_lib(fixture), vec![RULE_PANIC_IN_LIB]);
     }
+}
+
+#[test]
+fn bad_float_ordering_is_flagged() {
+    assert_eq!(
+        lint_as_lib(include_str!("fixtures/bad_float_ordering.rs")),
+        vec![RULE_FLOAT_ORDERING]
+    );
+}
+
+#[test]
+fn good_float_ordering_passes() {
+    assert_eq!(
+        lint_as_lib(include_str!("fixtures/good_float_ordering.rs")),
+        Vec::<&str>::new()
+    );
 }
 
 #[test]

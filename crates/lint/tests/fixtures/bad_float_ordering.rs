@@ -1,0 +1,5 @@
+// Fixture: partial float comparison in non-test library code, no
+// total_cmp and no total-order justification.
+pub fn rank(scores: &mut [f64]) {
+    scores.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}

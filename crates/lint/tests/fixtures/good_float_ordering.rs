@@ -1,0 +1,26 @@
+// Fixture: float comparisons that pass — total_cmp on the same line,
+// a justified partial_cmp, and a trait-method definition.
+use std::cmp::Ordering;
+
+pub fn rank(scores: &mut [f64]) {
+    scores.sort_by(|a, b| a.total_cmp(b));
+}
+
+pub fn rank_scores(scores: &mut [f64]) {
+    // total-order: scores are clamped to [0, 1] upstream; NaN cannot occur.
+    scores.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));
+}
+
+pub struct Wrapper(pub f64);
+
+impl PartialOrd for Wrapper {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.0.total_cmp(&other.0))
+    }
+}
+
+impl PartialEq for Wrapper {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == Ordering::Equal
+    }
+}

@@ -1,21 +1,30 @@
 #![forbid(unsafe_code)]
 //! # llmsql-plan
 //!
-//! Query planning: [`BoundExpr`] (resolved expressions), [`LogicalPlan`]
-//! construction from the parsed AST ([`binder`]), and the call-minimising
-//! rule-based [`optimizer`].
+//! Query planning and static plan analysis: [`BoundExpr`] (resolved
+//! expressions), [`LogicalPlan`] construction from the parsed AST
+//! ([`binder`]), the call-minimising rule-based [`optimizer`] (rules live in
+//! [`rules`], one module each), the per-operator LLM [`cost`] model, and the
+//! [`lint`] pass that flags statically-detectable cost hazards. `EXPLAIN`
+//! stitches all three together.
 
 #![warn(missing_docs)]
 
 pub mod binder;
+pub mod cost;
 pub mod expr;
+pub mod lint;
 pub mod logical;
 pub mod optimizer;
+pub mod rules;
 
 pub use binder::{bind_select, schema_from_create};
+pub use cost::{cost_plan, CostParams, NodeCost, OperatorCost, PlanCost};
 pub use expr::{bind_expr, conjoin, split_conjunction, BoundExpr};
+pub use lint::{lint_plan, PlanDiagnostic, Severity};
 pub use logical::{estimate_llm_calls, LogicalPlan, SortKey};
-pub use optimizer::{optimize, OptimizerOptions};
+pub use optimizer::{optimize, optimize_traced, OptimizerOptions};
+pub use rules::RuleTrace;
 
 #[cfg(test)]
 mod proptests {

@@ -1,0 +1,360 @@
+//! Static plan lints: cost hazards detectable before a single model call.
+//!
+//! The analogue of `llmsql-lint`'s source rules, but over the logical plan:
+//! each lint has a stable kebab-case key, a severity, and fires a structured
+//! [`PlanDiagnostic`] anchored to the offending node's pre-order path (the
+//! same path scheme [`crate::cost`] and the executor's per-operator actuals
+//! use). `EXPLAIN` prints them; a driver can refuse to run a plan with
+//! critical diagnostics.
+//!
+//! The lints are written to be *disjoint*: a missed pushdown fires
+//! [`LINT_FILTER_ABOVE_LLM_SCAN`] at the Filter node, while
+//! [`LINT_LLM_SCAN_NO_FILTER`] judges a scan by what it would look like
+//! *after* pushdown — so one seeded hazard trips exactly one lint.
+
+use std::fmt;
+
+use crate::cost::{cost_plan, CostParams};
+use crate::logical::LogicalPlan;
+use crate::rules::{predicate_pushdown, projection_prune};
+
+/// Lint key: a native Filter sits above an LLM scan instead of being pushed
+/// into the prompt.
+pub const LINT_FILTER_ABOVE_LLM_SCAN: &str = "filter-above-llm-scan";
+/// Lint key: an LLM scan enumerates with no pushed filter and no pushed
+/// limit — the model is asked for the whole relation.
+pub const LINT_LLM_SCAN_NO_FILTER: &str = "llm-scan-no-filter";
+/// Lint key: an LLM scan requests every column although the query consumes
+/// only some of them.
+pub const LINT_UNPROJECTED_COLUMNS: &str = "unprojected-columns";
+/// Lint key: a cross (or ON-less) join over an LLM-backed side.
+pub const LINT_CROSS_JOIN_LLM: &str = "cross-join-llm";
+/// Lint key: the plan's estimated spend exceeds the configured budget.
+pub const LINT_BUDGET_EXCEEDED: &str = "budget-exceeded";
+
+/// How bad a plan hazard is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Worth knowing; does not change cost materially.
+    Info,
+    /// Costs real tokens or dollars; the query still completes.
+    Warning,
+    /// Order-of-magnitude waste or a budget violation.
+    Critical,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Critical => write!(f, "critical"),
+        }
+    }
+}
+
+/// One structured plan diagnostic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanDiagnostic {
+    /// Stable lint key (one of the `LINT_*` constants).
+    pub rule: &'static str,
+    /// How bad it is.
+    pub severity: Severity,
+    /// Pre-order path of the offending node (`"0"` = root).
+    pub path: String,
+    /// Human-readable explanation with the concrete numbers.
+    pub message: String,
+}
+
+impl fmt::Display for PlanDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: [{}] at {}: {}",
+            self.severity, self.rule, self.path, self.message
+        )
+    }
+}
+
+/// Lint a plan. `budget_usd` is the advisory per-query spend budget
+/// (`EngineConfig::cost_budget_usd`); `None` disables the budget lint.
+pub fn lint_plan(
+    plan: &LogicalPlan,
+    params: &CostParams,
+    budget_usd: Option<f64>,
+) -> Vec<PlanDiagnostic> {
+    let mut diags = Vec::new();
+
+    // What pushdown / pruning would still change tells us what the plan
+    // leaves on the table; both rules are idempotent, so a fully-optimized
+    // plan passes both probes untouched.
+    let pushed = predicate_pushdown::apply(plan.clone());
+    let pushdown_would_fire = pushed != *plan;
+    let filterless_after_pushdown = filterless_virtual_aliases(&pushed);
+    // Pruning is judged only once filters are in their final position —
+    // which columns a scan must fetch depends on its pushed filter, so
+    // diagnosing both layers at once would double-report one hazard.
+    let pruned = projection_prune::apply(plan.clone());
+    let prunable = if pushdown_would_fire {
+        Vec::new()
+    } else {
+        prunable_virtual_aliases(plan, &pruned)
+    };
+
+    walk(plan, "0", &mut |node, path| match node {
+        LogicalPlan::Filter { input, .. } if pushdown_would_fire && input.uses_virtual_tables() => {
+            diags.push(PlanDiagnostic {
+                rule: LINT_FILTER_ABOVE_LLM_SCAN,
+                severity: Severity::Critical,
+                path: path.to_string(),
+                message: "filter is evaluated natively after the LLM scan returns rows; \
+                          pushing it into the scan prompt would cut calls and tokens \
+                          (enable predicate pushdown)"
+                    .to_string(),
+            });
+        }
+        LogicalPlan::Scan {
+            alias,
+            virtual_table: true,
+            ..
+        } if filterless_after_pushdown.contains(&alias.as_str()) => {
+            diags.push(PlanDiagnostic {
+                rule: LINT_LLM_SCAN_NO_FILTER,
+                severity: Severity::Warning,
+                path: path.to_string(),
+                message: format!(
+                    "LLM scan of '{alias}' has no pushed filter or limit: the model \
+                     enumerates the entire relation"
+                ),
+            });
+        }
+        LogicalPlan::Scan {
+            alias,
+            virtual_table: true,
+            prompt_columns: None,
+            table_schema,
+            ..
+        } if prunable.contains(&alias.as_str()) => {
+            diags.push(PlanDiagnostic {
+                rule: LINT_UNPROJECTED_COLUMNS,
+                severity: Severity::Warning,
+                path: path.to_string(),
+                message: format!(
+                    "LLM scan of '{alias}' requests all {} columns but the query \
+                     consumes fewer; pruning would shrink every completion \
+                     (enable projection pruning)",
+                    table_schema.arity()
+                ),
+            });
+        }
+        LogicalPlan::Join {
+            left, right, on, ..
+        } if on.is_none() && (left.uses_virtual_tables() || right.uses_virtual_tables()) => {
+            diags.push(PlanDiagnostic {
+                rule: LINT_CROSS_JOIN_LLM,
+                severity: Severity::Critical,
+                path: path.to_string(),
+                message: "cross join over an LLM-backed relation multiplies model-priced \
+                          rows; add a join condition"
+                    .to_string(),
+            });
+        }
+        _ => {}
+    });
+
+    if let Some(budget) = budget_usd {
+        let cost = cost_plan(plan, params);
+        if cost.total.usd > budget {
+            diags.push(PlanDiagnostic {
+                rule: LINT_BUDGET_EXCEEDED,
+                severity: Severity::Critical,
+                path: "0".to_string(),
+                message: format!(
+                    "estimated cost ${:.4} exceeds the ${:.4} budget ({} LLM calls estimated)",
+                    cost.total.usd, budget, cost.total.llm_calls
+                ),
+            });
+        }
+    }
+
+    diags
+}
+
+/// Pre-order walk handing each node its path.
+fn walk(plan: &LogicalPlan, path: &str, f: &mut impl FnMut(&LogicalPlan, &str)) {
+    f(plan, path);
+    for (i, c) in plan.children().iter().enumerate() {
+        walk(c, &format!("{path}.{i}"), f);
+    }
+}
+
+/// Aliases of virtual scans that remain unfiltered and unlimited even after
+/// predicate pushdown has done all it can.
+fn filterless_virtual_aliases(pushed: &LogicalPlan) -> Vec<&str> {
+    let mut aliases = Vec::new();
+    collect(pushed, &mut |n| {
+        if let LogicalPlan::Scan {
+            alias,
+            pushed_filter: None,
+            pushed_limit: None,
+            virtual_table: true,
+            ..
+        } = n
+        {
+            aliases.push(alias.as_str());
+        }
+    });
+    aliases
+}
+
+/// Aliases of virtual scans that projection pruning would narrow (currently
+/// fetch all columns, but the pruned twin fetches fewer).
+fn prunable_virtual_aliases<'a>(plan: &LogicalPlan, pruned: &'a LogicalPlan) -> Vec<&'a str> {
+    let mut before: Vec<&str> = Vec::new();
+    collect(plan, &mut |n| {
+        if let LogicalPlan::Scan {
+            alias,
+            prompt_columns: None,
+            virtual_table: true,
+            ..
+        } = n
+        {
+            before.push(alias.as_str());
+        }
+    });
+    let before: Vec<String> = before.iter().map(|s| s.to_string()).collect();
+    let mut out = Vec::new();
+    collect(pruned, &mut |n| {
+        if let LogicalPlan::Scan {
+            alias,
+            prompt_columns: Some(_),
+            virtual_table: true,
+            ..
+        } = n
+        {
+            if before.iter().any(|b| b == alias) {
+                out.push(alias.as_str());
+            }
+        }
+    });
+    out
+}
+
+fn collect<'a>(plan: &'a LogicalPlan, f: &mut impl FnMut(&'a LogicalPlan)) {
+    f(plan);
+    for c in plan.children() {
+        collect(c, f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binder::bind_select;
+    use crate::optimizer::{optimize, OptimizerOptions};
+    use llmsql_sql::{parse_statement, Statement};
+    use llmsql_store::Catalog;
+    use llmsql_types::{Column, DataType, Schema};
+
+    fn catalog() -> Catalog {
+        let cat = Catalog::new();
+        for name in ["countries", "cities"] {
+            cat.create_virtual_table(Schema::new(
+                name,
+                vec![
+                    Column::new("name", DataType::Text).primary_key(),
+                    Column::new("country", DataType::Text),
+                    Column::new("region", DataType::Text),
+                    Column::new("population", DataType::Int),
+                ],
+            ))
+            .unwrap();
+        }
+        cat
+    }
+
+    fn bound(sql: &str) -> LogicalPlan {
+        let stmt = parse_statement(sql).unwrap();
+        let select = match stmt {
+            Statement::Select(s) => s,
+            _ => panic!(),
+        };
+        bind_select(&catalog(), &select).unwrap()
+    }
+
+    fn keys(diags: &[PlanDiagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn unpushed_filter_fires_exactly_one_lint() {
+        // Unoptimized plan: Filter above a virtual scan. Only the pushdown
+        // lint fires — the scan itself is judged post-pushdown, where it
+        // *would* carry a filter, and pruning diagnostics need the final
+        // filters, so the seeded hazard maps to exactly one diagnostic.
+        let plan = bound("SELECT name FROM countries WHERE population > 10");
+        let diags = lint_plan(&plan, &CostParams::default(), None);
+        assert_eq!(keys(&diags), vec![LINT_FILTER_ABOVE_LLM_SCAN]);
+    }
+
+    #[test]
+    fn bare_scan_fires_no_filter_lint_only() {
+        let plan = bound("SELECT * FROM countries");
+        let diags = lint_plan(&plan, &CostParams::default(), None);
+        assert_eq!(keys(&diags), vec![LINT_LLM_SCAN_NO_FILTER]);
+    }
+
+    #[test]
+    fn unprojected_columns_fires_on_narrow_query_without_pruning() {
+        // Optimized with pruning disabled but pushdown enabled: the only
+        // remaining hazard is the wide prompt.
+        let opts = OptimizerOptions {
+            projection_pruning: false,
+            ..OptimizerOptions::default()
+        };
+        let plan = optimize(
+            bound("SELECT name FROM countries WHERE population > 10"),
+            &opts,
+        );
+        let diags = lint_plan(&plan, &CostParams::default(), None);
+        assert_eq!(keys(&diags), vec![LINT_UNPROJECTED_COLUMNS]);
+    }
+
+    #[test]
+    fn cross_join_over_llm_side_is_critical() {
+        let plan = optimize(
+            bound("SELECT c.name FROM countries c CROSS JOIN cities ci"),
+            &OptimizerOptions::default(),
+        );
+        let diags = lint_plan(&plan, &CostParams::default(), None);
+        assert!(keys(&diags).contains(&LINT_CROSS_JOIN_LLM));
+        let cross = diags
+            .iter()
+            .find(|d| d.rule == LINT_CROSS_JOIN_LLM)
+            .unwrap();
+        assert_eq!(cross.severity, Severity::Critical);
+    }
+
+    #[test]
+    fn budget_lint_compares_estimate_to_budget() {
+        let plan = optimize(
+            bound("SELECT name FROM countries"),
+            &OptimizerOptions::default(),
+        );
+        let params = CostParams::default().with_hint("countries", 1000);
+        let tight = lint_plan(&plan, &params, Some(0.000_001));
+        assert!(keys(&tight).contains(&LINT_BUDGET_EXCEEDED));
+        let generous = lint_plan(&plan, &params, Some(1_000.0));
+        assert!(!keys(&generous).contains(&LINT_BUDGET_EXCEEDED));
+    }
+
+    #[test]
+    fn fully_optimized_filtered_query_is_clean() {
+        let plan = optimize(
+            bound("SELECT name FROM countries WHERE population > 10"),
+            &OptimizerOptions::default(),
+        );
+        let diags = lint_plan(&plan, &CostParams::default(), None);
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+}

@@ -168,6 +168,37 @@ impl LogicalPlan {
         out
     }
 
+    /// A copy of the plan with every scan marked virtual (LLM-backed).
+    ///
+    /// The per-scan flag mirrors the schema, but in `LlmOnly` execution
+    /// every scan hits the model regardless; the engine applies this before
+    /// cost estimation and plan linting so the static analysis sees the
+    /// scans the executor will actually run.
+    pub fn with_scans_marked_virtual(self) -> LogicalPlan {
+        match self {
+            LogicalPlan::Scan {
+                table,
+                alias,
+                table_schema,
+                schema,
+                pushed_filter,
+                prompt_columns,
+                virtual_table: _,
+                pushed_limit,
+            } => LogicalPlan::Scan {
+                table,
+                alias,
+                table_schema,
+                schema,
+                pushed_filter,
+                prompt_columns,
+                virtual_table: true,
+                pushed_limit,
+            },
+            other => crate::rules::map_children(other, LogicalPlan::with_scans_marked_virtual),
+        }
+    }
+
     /// True if any scanned relation is virtual (LLM-backed).
     pub fn uses_virtual_tables(&self) -> bool {
         let mut any = false;

@@ -1,39 +1,50 @@
-//! The rule-based optimizer.
+//! The rule-based optimizer driver.
 //!
 //! For an LLM-backed storage layer the optimizer's job is less about CPU time
-//! and more about **minimising model calls and tokens**:
+//! and more about **minimising model calls and tokens**. The rewrite rules
+//! themselves live in [`crate::rules`], one module per rule, each a pure
+//! `LogicalPlan -> LogicalPlan` function:
 //!
+//! * **Constant folding** evaluates literal-only subexpressions at plan time.
 //! * **Predicate pushdown** moves filters into scans so that the condition is
 //!   rendered into the prompt — the model returns fewer rows, which means
 //!   fewer pages and fewer completion tokens.
-//! * **Projection pruning** narrows the set of columns a prompt asks for.
 //! * **Limit pushdown** caps how many rows a scan requests in the first place.
+//! * **Conjunct reordering** ranks AND-ed predicates cheapest/most-selective
+//!   first.
+//! * **Projection pruning** narrows the set of columns a prompt asks for.
 //!
-//! Each rule can be disabled individually through [`OptimizerOptions`]; the
+//! The driver runs enabled rules in that fixed order and records which ones
+//! actually changed the plan in a [`RuleTrace`] (`EXPLAIN` prints it). Each
+//! rule can be disabled individually through [`OptimizerOptions`]; the
 //! ablation experiment (E9) measures the effect of each.
 
-use llmsql_sql::ast::JoinKind;
-
-use crate::expr::{conjoin, split_conjunction, BoundExpr};
 use crate::logical::LogicalPlan;
+use crate::rules::{self, RuleTrace, ALL_RULES};
 
 /// Which rules run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OptimizerOptions {
+    /// Fold literal-only subexpressions at plan time.
+    pub constant_folding: bool,
     /// Push filters into scans (and through joins).
     pub predicate_pushdown: bool,
-    /// Prune unused columns from LLM scans.
-    pub projection_pruning: bool,
     /// Push LIMIT into scans when order-insensitive.
     pub limit_pushdown: bool,
+    /// Reorder AND-ed conjuncts by estimated selectivity and cost.
+    pub conjunct_reordering: bool,
+    /// Prune unused columns from LLM scans.
+    pub projection_pruning: bool,
 }
 
 impl Default for OptimizerOptions {
     fn default() -> Self {
         OptimizerOptions {
+            constant_folding: true,
             predicate_pushdown: true,
-            projection_pruning: true,
             limit_pushdown: true,
+            conjunct_reordering: true,
+            projection_pruning: true,
         }
     }
 }
@@ -42,427 +53,51 @@ impl OptimizerOptions {
     /// All rules disabled (the ablation baseline).
     pub fn disabled() -> Self {
         OptimizerOptions {
+            constant_folding: false,
             predicate_pushdown: false,
-            projection_pruning: false,
             limit_pushdown: false,
+            conjunct_reordering: false,
+            projection_pruning: false,
+        }
+    }
+
+    /// Is the rule with the given registry key enabled?
+    fn enables(&self, rule: &str) -> bool {
+        match rule {
+            rules::RULE_CONSTANT_FOLD => self.constant_folding,
+            rules::RULE_PREDICATE_PUSHDOWN => self.predicate_pushdown,
+            rules::RULE_LIMIT_PUSHDOWN => self.limit_pushdown,
+            rules::RULE_LLM_CONJUNCT_REORDER => self.conjunct_reordering,
+            rules::RULE_PROJECTION_PRUNE => self.projection_pruning,
+            _ => false,
         }
     }
 }
 
 /// Optimize a plan with the given options.
 pub fn optimize(plan: LogicalPlan, options: &OptimizerOptions) -> LogicalPlan {
+    optimize_traced(plan, options).0
+}
+
+/// Optimize a plan and report which rules actually changed it.
+///
+/// A rule "fires" when its output differs structurally from its input
+/// (plans are compared with `PartialEq`), so the trace lists rewrites that
+/// did something, not merely rules that were enabled.
+pub fn optimize_traced(plan: LogicalPlan, options: &OptimizerOptions) -> (LogicalPlan, RuleTrace) {
     let mut plan = plan;
-    if options.predicate_pushdown {
-        plan = push_filters(plan);
+    let mut trace = RuleTrace::default();
+    for &(rule, apply) in ALL_RULES {
+        if !options.enables(rule) {
+            continue;
+        }
+        let rewritten = apply(plan.clone());
+        if rewritten != plan {
+            trace.fired.push(rule);
+        }
+        plan = rewritten;
     }
-    if options.limit_pushdown {
-        plan = push_limits(plan, None);
-    }
-    if options.projection_pruning {
-        let all: Vec<usize> = (0..plan.schema().len()).collect();
-        plan = prune_columns(plan, &all);
-    }
-    plan
-}
-
-// ---------------------------------------------------------------------------
-// Predicate pushdown
-// ---------------------------------------------------------------------------
-
-fn push_filters(plan: LogicalPlan) -> LogicalPlan {
-    match plan {
-        LogicalPlan::Filter { input, predicate } => {
-            let input = push_filters(*input);
-            push_predicate_into(input, predicate)
-        }
-        other => map_children(other, push_filters),
-    }
-}
-
-/// Push a predicate as far down into `plan` as possible; whatever cannot be
-/// pushed remains as a Filter node on top.
-fn push_predicate_into(plan: LogicalPlan, predicate: BoundExpr) -> LogicalPlan {
-    match plan {
-        LogicalPlan::Scan {
-            table,
-            alias,
-            table_schema,
-            schema,
-            pushed_filter,
-            prompt_columns,
-            virtual_table,
-            pushed_limit,
-        } => {
-            let combined = match pushed_filter {
-                Some(existing) => conjoin(&[existing, predicate]).expect("non-empty"),
-                None => predicate,
-            };
-            LogicalPlan::Scan {
-                table,
-                alias,
-                table_schema,
-                schema,
-                pushed_filter: Some(combined),
-                prompt_columns,
-                virtual_table,
-                pushed_limit,
-            }
-        }
-        LogicalPlan::Filter {
-            input,
-            predicate: inner,
-        } => {
-            // Merge consecutive filters and keep pushing.
-            let merged = conjoin(&[inner, predicate]).expect("non-empty");
-            push_predicate_into(*input, merged)
-        }
-        LogicalPlan::Join {
-            left,
-            right,
-            kind,
-            on,
-            schema,
-        } => {
-            let left_arity = left.schema().len();
-            let mut to_left: Vec<BoundExpr> = Vec::new();
-            let mut to_right: Vec<BoundExpr> = Vec::new();
-            let mut keep: Vec<BoundExpr> = Vec::new();
-            for conjunct in split_conjunction(&predicate) {
-                let refs = conjunct.referenced_indices();
-                let only_left = refs.iter().all(|&i| i < left_arity);
-                let only_right = refs.iter().all(|&i| i >= left_arity);
-                // Pushing below an outer join's preserved side changes
-                // semantics; only push into the side that cannot produce
-                // padded NULLs.
-                match (only_left, only_right, kind) {
-                    (true, _, JoinKind::Inner | JoinKind::Left | JoinKind::Cross) => {
-                        to_left.push(conjunct)
-                    }
-                    (_, true, JoinKind::Inner | JoinKind::Right | JoinKind::Cross) => {
-                        let remapped = conjunct
-                            .remap_columns(&|i| i.checked_sub(left_arity))
-                            .expect("all refs on the right side");
-                        to_right.push(remapped);
-                    }
-                    _ => keep.push(conjunct),
-                }
-            }
-            let new_left = match conjoin(&to_left) {
-                Some(p) => push_predicate_into(*left, p),
-                None => push_filters(*left),
-            };
-            let new_right = match conjoin(&to_right) {
-                Some(p) => push_predicate_into(*right, p),
-                None => push_filters(*right),
-            };
-            let join = LogicalPlan::Join {
-                left: Box::new(new_left),
-                right: Box::new(new_right),
-                kind,
-                on,
-                schema,
-            };
-            match conjoin(&keep) {
-                Some(p) => LogicalPlan::Filter {
-                    input: Box::new(join),
-                    predicate: p,
-                },
-                None => join,
-            }
-        }
-        // It is not worth rewriting predicates through projections or
-        // aggregates for this engine; keep the filter where it is.
-        other => LogicalPlan::Filter {
-            input: Box::new(map_children(other, push_filters)),
-            predicate,
-        },
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Limit pushdown
-// ---------------------------------------------------------------------------
-
-/// Push `LIMIT n` into a scan when no operator between the limit and the scan
-/// can change which rows are needed (filters, joins, aggregates, sorts and
-/// DISTINCT all block the push; projections do not).
-fn push_limits(plan: LogicalPlan, pending: Option<usize>) -> LogicalPlan {
-    match plan {
-        LogicalPlan::Limit {
-            input,
-            limit,
-            offset,
-        } => {
-            // The scan must produce offset + limit rows for the limit node to
-            // work with.
-            let pushed = limit.map(|l| l + offset);
-            LogicalPlan::Limit {
-                input: Box::new(push_limits(*input, pushed)),
-                limit,
-                offset,
-            }
-        }
-        LogicalPlan::Project {
-            input,
-            exprs,
-            schema,
-        } => LogicalPlan::Project {
-            input: Box::new(push_limits(*input, pending)),
-            exprs,
-            schema,
-        },
-        LogicalPlan::Scan {
-            table,
-            alias,
-            table_schema,
-            schema,
-            pushed_filter,
-            prompt_columns,
-            virtual_table,
-            pushed_limit,
-        } => {
-            // A scan with a pushed filter still benefits: the model applies
-            // the filter before returning rows, so the cap stays correct.
-            let new_limit = match (pending, pushed_limit) {
-                (Some(p), Some(existing)) => Some(existing.min(p)),
-                (Some(p), None) => Some(p),
-                (None, existing) => existing,
-            };
-            LogicalPlan::Scan {
-                table,
-                alias,
-                table_schema,
-                schema,
-                pushed_filter,
-                prompt_columns,
-                virtual_table,
-                pushed_limit: new_limit,
-            }
-        }
-        // Any other operator blocks the push (it may need to see all input
-        // rows), but keep descending to handle nested Limit nodes.
-        other => map_children(other, |c| push_limits(c, None)),
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Projection pruning
-// ---------------------------------------------------------------------------
-
-/// `required` lists the output-column indices of `plan` that the parent
-/// actually consumes. Scans remember the required base columns (plus their
-/// pushed filter's columns and the key column) as `prompt_columns`.
-fn prune_columns(plan: LogicalPlan, required: &[usize]) -> LogicalPlan {
-    match plan {
-        LogicalPlan::Scan {
-            table,
-            alias,
-            table_schema,
-            schema,
-            pushed_filter,
-            prompt_columns: _,
-            virtual_table,
-            pushed_limit,
-        } => {
-            let mut needed: Vec<usize> = required.to_vec();
-            if let Some(f) = &pushed_filter {
-                needed.extend(f.referenced_indices());
-            }
-            // Always fetch the key column: LLM scans identify entities by it.
-            let key_idx = table_schema
-                .columns
-                .iter()
-                .position(|c| c.primary_key)
-                .unwrap_or(0);
-            needed.push(key_idx);
-            needed.sort_unstable();
-            needed.dedup();
-            needed.retain(|&i| i < table_schema.arity());
-            let prompt_columns = if needed.len() == table_schema.arity() {
-                None
-            } else {
-                Some(needed)
-            };
-            LogicalPlan::Scan {
-                table,
-                alias,
-                table_schema,
-                schema,
-                pushed_filter,
-                prompt_columns,
-                virtual_table,
-                pushed_limit,
-            }
-        }
-        LogicalPlan::Project {
-            input,
-            exprs,
-            schema,
-        } => {
-            let mut needed: Vec<usize> = Vec::new();
-            for e in &exprs {
-                needed.extend(e.referenced_indices());
-            }
-            needed.sort_unstable();
-            needed.dedup();
-            LogicalPlan::Project {
-                input: Box::new(prune_columns(*input, &needed)),
-                exprs,
-                schema,
-            }
-        }
-        LogicalPlan::Filter { input, predicate } => {
-            let mut needed: Vec<usize> = required.to_vec();
-            needed.extend(predicate.referenced_indices());
-            needed.sort_unstable();
-            needed.dedup();
-            LogicalPlan::Filter {
-                input: Box::new(prune_columns(*input, &needed)),
-                predicate,
-            }
-        }
-        LogicalPlan::Join {
-            left,
-            right,
-            kind,
-            on,
-            schema,
-        } => {
-            let left_arity = left.schema().len();
-            let mut needed: Vec<usize> = required.to_vec();
-            if let Some(on) = &on {
-                needed.extend(on.referenced_indices());
-            }
-            let left_req: Vec<usize> = needed.iter().copied().filter(|&i| i < left_arity).collect();
-            let right_req: Vec<usize> = needed
-                .iter()
-                .copied()
-                .filter(|&i| i >= left_arity)
-                .map(|i| i - left_arity)
-                .collect();
-            LogicalPlan::Join {
-                left: Box::new(prune_columns(*left, &left_req)),
-                right: Box::new(prune_columns(*right, &right_req)),
-                kind,
-                on,
-                schema,
-            }
-        }
-        LogicalPlan::Aggregate {
-            input,
-            group_exprs,
-            aggregates,
-            schema,
-        } => {
-            let mut needed: Vec<usize> = Vec::new();
-            for e in group_exprs.iter().chain(aggregates.iter()) {
-                needed.extend(e.referenced_indices());
-            }
-            needed.sort_unstable();
-            needed.dedup();
-            LogicalPlan::Aggregate {
-                input: Box::new(prune_columns(*input, &needed)),
-                group_exprs,
-                aggregates,
-                schema,
-            }
-        }
-        LogicalPlan::Sort { input, keys } => {
-            let mut needed: Vec<usize> = required.to_vec();
-            for k in &keys {
-                needed.extend(k.expr.referenced_indices());
-            }
-            needed.sort_unstable();
-            needed.dedup();
-            LogicalPlan::Sort {
-                input: Box::new(prune_columns(*input, &needed)),
-                keys,
-            }
-        }
-        LogicalPlan::Limit {
-            input,
-            limit,
-            offset,
-        } => LogicalPlan::Limit {
-            input: Box::new(prune_columns(*input, required)),
-            limit,
-            offset,
-        },
-        LogicalPlan::Distinct { input } => {
-            // DISTINCT compares whole rows: every input column is required.
-            let all: Vec<usize> = (0..input.schema().len()).collect();
-            LogicalPlan::Distinct {
-                input: Box::new(prune_columns(*input, &all)),
-            }
-        }
-        LogicalPlan::Values { schema, rows } => LogicalPlan::Values { schema, rows },
-    }
-}
-
-// ---------------------------------------------------------------------------
-
-/// Rebuild a node with each child transformed by `f`.
-fn map_children(plan: LogicalPlan, mut f: impl FnMut(LogicalPlan) -> LogicalPlan) -> LogicalPlan {
-    match plan {
-        LogicalPlan::Scan { .. } | LogicalPlan::Values { .. } => plan,
-        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
-            input: Box::new(f(*input)),
-            predicate,
-        },
-        LogicalPlan::Project {
-            input,
-            exprs,
-            schema,
-        } => LogicalPlan::Project {
-            input: Box::new(f(*input)),
-            exprs,
-            schema,
-        },
-        LogicalPlan::Join {
-            left,
-            right,
-            kind,
-            on,
-            schema,
-        } => {
-            let left = f(*left);
-            let right = f(*right);
-            LogicalPlan::Join {
-                left: Box::new(left),
-                right: Box::new(right),
-                kind,
-                on,
-                schema,
-            }
-        }
-        LogicalPlan::Aggregate {
-            input,
-            group_exprs,
-            aggregates,
-            schema,
-        } => LogicalPlan::Aggregate {
-            input: Box::new(f(*input)),
-            group_exprs,
-            aggregates,
-            schema,
-        },
-        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
-            input: Box::new(f(*input)),
-            keys,
-        },
-        LogicalPlan::Limit {
-            input,
-            limit,
-            offset,
-        } => LogicalPlan::Limit {
-            input: Box::new(f(*input)),
-            limit,
-            offset,
-        },
-        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
-            input: Box::new(f(*input)),
-        },
-    }
+    (plan, trace)
 }
 
 #[cfg(test)]
@@ -710,5 +345,36 @@ mod tests {
             let opt = plan(sql, &OptimizerOptions::default());
             assert_eq!(unopt.schema().names(), opt.schema().names(), "{sql}");
         }
+    }
+
+    #[test]
+    fn trace_lists_only_rules_that_changed_the_plan() {
+        let stmt =
+            parse_statement("SELECT name FROM countries WHERE population > 10 LIMIT 5").unwrap();
+        let select = match stmt {
+            Statement::Select(s) => s,
+            _ => panic!(),
+        };
+        let bound = bind_select(&catalog(), &select).unwrap();
+        let (_, trace) = optimize_traced(bound.clone(), &OptimizerOptions::default());
+        assert!(trace.did_fire(rules::RULE_PREDICATE_PUSHDOWN));
+        assert!(trace.did_fire(rules::RULE_LIMIT_PUSHDOWN));
+        assert!(trace.did_fire(rules::RULE_PROJECTION_PRUNE));
+        // Nothing literal-only to fold, single conjunct: neither fires.
+        assert!(!trace.did_fire(rules::RULE_CONSTANT_FOLD));
+        assert!(!trace.did_fire(rules::RULE_LLM_CONJUNCT_REORDER));
+        // Disabled options yield an empty trace and an unchanged plan.
+        let (unopt, empty) = optimize_traced(bound.clone(), &OptimizerOptions::disabled());
+        assert!(empty.is_empty());
+        assert_eq!(unopt, bound);
+    }
+
+    #[test]
+    fn trace_display_is_readable() {
+        let mut t = RuleTrace::default();
+        assert_eq!(t.to_string(), "(no rules fired)");
+        t.fired.push(rules::RULE_PREDICATE_PUSHDOWN);
+        t.fired.push(rules::RULE_PROJECTION_PRUNE);
+        assert_eq!(t.to_string(), "predicate-pushdown, projection-prune");
     }
 }

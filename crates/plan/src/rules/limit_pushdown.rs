@@ -1,0 +1,73 @@
+//! Limit pushdown: cap how many rows a scan requests in the first place.
+//!
+//! A pushed limit bounds the number of enumeration pages an LLM scan pays
+//! for. Only operators that cannot change *which* rows are needed may sit
+//! between the LIMIT and the scan: projections pass the push through,
+//! everything else (filters, joins, aggregates, sorts, DISTINCT) blocks it.
+
+use crate::logical::LogicalPlan;
+use crate::rules::map_children;
+
+/// Apply the rule to a whole plan.
+pub fn apply(plan: LogicalPlan) -> LogicalPlan {
+    push_limits(plan, None)
+}
+
+fn push_limits(plan: LogicalPlan, pending: Option<usize>) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => {
+            // The scan must produce offset + limit rows for the limit node to
+            // work with.
+            let pushed = limit.map(|l| l + offset);
+            LogicalPlan::Limit {
+                input: Box::new(push_limits(*input, pushed)),
+                limit,
+                offset,
+            }
+        }
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => LogicalPlan::Project {
+            input: Box::new(push_limits(*input, pending)),
+            exprs,
+            schema,
+        },
+        LogicalPlan::Scan {
+            table,
+            alias,
+            table_schema,
+            schema,
+            pushed_filter,
+            prompt_columns,
+            virtual_table,
+            pushed_limit,
+        } => {
+            // A scan with a pushed filter still benefits: the model applies
+            // the filter before returning rows, so the cap stays correct.
+            let new_limit = match (pending, pushed_limit) {
+                (Some(p), Some(existing)) => Some(existing.min(p)),
+                (Some(p), None) => Some(p),
+                (None, existing) => existing,
+            };
+            LogicalPlan::Scan {
+                table,
+                alias,
+                table_schema,
+                schema,
+                pushed_filter,
+                prompt_columns,
+                virtual_table,
+                pushed_limit: new_limit,
+            }
+        }
+        // Any other operator blocks the push (it may need to see all input
+        // rows), but keep descending to handle nested Limit nodes.
+        other => map_children(other, |c| push_limits(c, None)),
+    }
+}

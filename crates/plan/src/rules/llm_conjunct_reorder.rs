@@ -1,0 +1,113 @@
+//! Conjunct reordering: evaluate the cheapest, most selective predicates
+//! first.
+//!
+//! `AND` is commutative under SQL's three-valued logic, so reordering a
+//! conjunction never changes which rows pass — but it changes how much work
+//! decides each row. Putting the most selective conjunct first lets
+//! short-circuit evaluation (and, for pushed scan filters, the model's own
+//! reading of the prompt) reject rows before the expensive clauses run. The
+//! sort is stable: equally-ranked conjuncts keep their written order, so a
+//! plan with nothing to gain is returned unchanged (and the rule does not
+//! report as fired).
+
+use crate::cost::{conjunct_weight, estimate_selectivity};
+use crate::expr::{conjoin, split_conjunction, BoundExpr};
+use crate::logical::LogicalPlan;
+use crate::rules::map_children;
+
+/// Apply the rule to a whole plan: Filter predicates and pushed scan
+/// filters both get their conjunctions re-ranked.
+pub fn apply(plan: LogicalPlan) -> LogicalPlan {
+    let plan = map_children(plan, apply);
+    match plan {
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input,
+            predicate: reorder(predicate),
+        },
+        LogicalPlan::Scan {
+            table,
+            alias,
+            table_schema,
+            schema,
+            pushed_filter,
+            prompt_columns,
+            virtual_table,
+            pushed_limit,
+        } => LogicalPlan::Scan {
+            table,
+            alias,
+            table_schema,
+            schema,
+            pushed_filter: pushed_filter.map(reorder),
+            prompt_columns,
+            virtual_table,
+            pushed_limit,
+        },
+        other => other,
+    }
+}
+
+/// Re-rank one predicate's top-level conjunction by `(selectivity,
+/// evaluation weight)`, ascending. Single-conjunct predicates pass through
+/// untouched.
+pub fn reorder(predicate: BoundExpr) -> BoundExpr {
+    let conjuncts = split_conjunction(&predicate);
+    if conjuncts.len() < 2 {
+        return predicate;
+    }
+    let mut ranked: Vec<(f64, f64, BoundExpr)> = conjuncts
+        .into_iter()
+        .map(|c| (estimate_selectivity(&c), conjunct_weight(&c), c))
+        .collect();
+    // total-order: selectivities and weights are finite by construction
+    // (both come from bounded heuristics), but total_cmp keeps the sort
+    // well-defined regardless.
+    ranked.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+    let ordered: Vec<BoundExpr> = ranked.into_iter().map(|(_, _, c)| c).collect();
+    conjoin(&ordered).unwrap_or(predicate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmsql_sql::ast::BinaryOp;
+    use llmsql_types::DataType;
+
+    fn cmp(op: BinaryOp, idx: usize) -> BoundExpr {
+        BoundExpr::Binary {
+            left: Box::new(BoundExpr::col(idx, "c", DataType::Int)),
+            op,
+            right: Box::new(BoundExpr::lit(1i64)),
+        }
+    }
+
+    fn and(l: BoundExpr, r: BoundExpr) -> BoundExpr {
+        BoundExpr::Binary {
+            left: Box::new(l),
+            op: BinaryOp::And,
+            right: Box::new(r),
+        }
+    }
+
+    #[test]
+    fn selective_conjunct_moves_first() {
+        // `c0 > 1 AND c1 = 1` reorders to `c1 = 1 AND c0 > 1` (Eq is the
+        // more selective form).
+        let reordered = reorder(and(cmp(BinaryOp::Gt, 0), cmp(BinaryOp::Eq, 1)));
+        let parts = split_conjunction(&reordered);
+        assert_eq!(parts[0], cmp(BinaryOp::Eq, 1));
+        assert_eq!(parts[1], cmp(BinaryOp::Gt, 0));
+    }
+
+    #[test]
+    fn equal_ranks_keep_written_order() {
+        let original = and(cmp(BinaryOp::Eq, 0), cmp(BinaryOp::Eq, 1));
+        assert_eq!(reorder(original.clone()), original);
+    }
+
+    #[test]
+    fn single_conjunct_untouched() {
+        let original = cmp(BinaryOp::Gt, 0);
+        assert_eq!(reorder(original.clone()), original);
+    }
+}

@@ -1,0 +1,142 @@
+//! The optimizer's rewrite-rule registry.
+//!
+//! Each rule lives in its own module as a pure `LogicalPlan -> LogicalPlan`
+//! function and is named by a stable key (the same registry style as
+//! `llmsql-lint`'s source rules). The driver in [`crate::optimizer`] applies
+//! the enabled rules in a fixed order and records which of them changed the
+//! plan in a [`RuleTrace`]; `EXPLAIN` prints the trace so a surprising plan
+//! can be attributed to the rule that produced it.
+
+use std::fmt;
+
+pub mod constant_fold;
+pub mod limit_pushdown;
+pub mod llm_conjunct_reorder;
+pub mod predicate_pushdown;
+pub mod projection_prune;
+
+/// Rule key: [`constant_fold`].
+pub const RULE_CONSTANT_FOLD: &str = "constant-fold";
+/// Rule key: [`predicate_pushdown`].
+pub const RULE_PREDICATE_PUSHDOWN: &str = "predicate-pushdown";
+/// Rule key: [`limit_pushdown`].
+pub const RULE_LIMIT_PUSHDOWN: &str = "limit-pushdown";
+/// Rule key: [`llm_conjunct_reorder`].
+pub const RULE_LLM_CONJUNCT_REORDER: &str = "llm-conjunct-reorder";
+/// Rule key: [`projection_prune`].
+pub const RULE_PROJECTION_PRUNE: &str = "projection-prune";
+
+/// A rewrite rule's entry point: a pure plan-to-plan function.
+pub type RewriteRule = fn(LogicalPlan) -> LogicalPlan;
+
+/// The registry: every rule's key and entry point, in the order the driver
+/// applies them. Fold first (simplified predicates push better), pushdowns
+/// before reorder (so pushed scan filters get ranked too), pruning last (it
+/// must see the final pushed filters to keep their columns).
+pub const ALL_RULES: &[(&str, RewriteRule)] = &[
+    (RULE_CONSTANT_FOLD, constant_fold::apply),
+    (RULE_PREDICATE_PUSHDOWN, predicate_pushdown::apply),
+    (RULE_LIMIT_PUSHDOWN, limit_pushdown::apply),
+    (RULE_LLM_CONJUNCT_REORDER, llm_conjunct_reorder::apply),
+    (RULE_PROJECTION_PRUNE, projection_prune::apply),
+];
+
+/// Which rules changed the plan, in application order. A rule "fires" when
+/// its output differs structurally from its input; applying a rule to its own
+/// output never fires again (the rules are idempotent).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuleTrace {
+    /// Keys of the rules that changed the plan, in application order.
+    pub fired: Vec<&'static str>,
+}
+
+impl RuleTrace {
+    /// Whether the named rule changed the plan.
+    pub fn did_fire(&self, rule: &str) -> bool {
+        self.fired.contains(&rule)
+    }
+
+    /// True when no rule changed the plan.
+    pub fn is_empty(&self) -> bool {
+        self.fired.is_empty()
+    }
+}
+
+impl fmt::Display for RuleTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.fired.is_empty() {
+            write!(f, "(no rules fired)")
+        } else {
+            write!(f, "{}", self.fired.join(", "))
+        }
+    }
+}
+
+use crate::logical::LogicalPlan;
+
+/// Rebuild a node with each child transformed by `f` (shared by the rules).
+pub(crate) fn map_children(
+    plan: LogicalPlan,
+    mut f: impl FnMut(LogicalPlan) -> LogicalPlan,
+) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Scan { .. } | LogicalPlan::Values { .. } => plan,
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(f(*input)),
+            predicate,
+        },
+        LogicalPlan::Project {
+            input,
+            exprs,
+            schema,
+        } => LogicalPlan::Project {
+            input: Box::new(f(*input)),
+            exprs,
+            schema,
+        },
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+            schema,
+        } => {
+            let left = f(*left);
+            let right = f(*right);
+            LogicalPlan::Join {
+                left: Box::new(left),
+                right: Box::new(right),
+                kind,
+                on,
+                schema,
+            }
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_exprs,
+            aggregates,
+            schema,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(f(*input)),
+            group_exprs,
+            aggregates,
+            schema,
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(f(*input)),
+            keys,
+        },
+        LogicalPlan::Limit {
+            input,
+            limit,
+            offset,
+        } => LogicalPlan::Limit {
+            input: Box::new(f(*input)),
+            limit,
+            offset,
+        },
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(f(*input)),
+        },
+    }
+}

@@ -24,8 +24,14 @@ pub enum Statement {
     },
     /// `INSERT INTO name [(cols)] VALUES (...), (...)`
     Insert(InsertStatement),
-    /// `EXPLAIN <select>`
-    Explain(Box<Statement>),
+    /// `EXPLAIN [ANALYZE] <select>`
+    Explain {
+        /// The statement being explained.
+        statement: Box<Statement>,
+        /// Whether ANALYZE was given: execute the statement and report
+        /// actual per-operator counters alongside the estimates.
+        analyze: bool,
+    },
     /// `DESCRIBE table`
     Describe {
         /// Table to describe.

@@ -23,7 +23,13 @@ impl fmt::Display for Statement {
                 write!(f, "{name}")
             }
             Statement::Insert(i) => write!(f, "{i}"),
-            Statement::Explain(inner) => write!(f, "EXPLAIN {inner}"),
+            Statement::Explain { statement, analyze } => {
+                write!(f, "EXPLAIN ")?;
+                if *analyze {
+                    write!(f, "ANALYZE ")?;
+                }
+                write!(f, "{statement}")
+            }
             Statement::Describe { name } => write!(f, "DESCRIBE {name}"),
         }
     }

@@ -196,8 +196,12 @@ impl Parser {
             Token::Keyword(Keyword::Insert) => self.parse_insert(),
             Token::Keyword(Keyword::Explain) => {
                 self.advance();
+                let analyze = self.consume_keyword(Keyword::Analyze);
                 let inner = self.parse_statement()?;
-                Ok(Statement::Explain(Box::new(inner)))
+                Ok(Statement::Explain {
+                    statement: Box::new(inner),
+                    analyze,
+                })
             }
             Token::Keyword(Keyword::Describe) => {
                 self.advance();
@@ -1066,8 +1070,14 @@ mod tests {
         ));
         assert!(matches!(
             parse_statement("EXPLAIN SELECT 1").unwrap(),
-            Statement::Explain(_)
+            Statement::Explain { analyze: false, .. }
         ));
+        assert!(matches!(
+            parse_statement("EXPLAIN ANALYZE SELECT 1").unwrap(),
+            Statement::Explain { analyze: true, .. }
+        ));
+        // ANALYZE is a plain identifier outside the EXPLAIN prefix.
+        assert!(parse_statement("EXPLAIN ANALYZE ANALYZE SELECT 1").is_err());
     }
 
     #[test]

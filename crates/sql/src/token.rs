@@ -51,6 +51,7 @@ pub enum Keyword {
     If,
     Exists,
     Explain,
+    Analyze,
     Describe,
     Count,
     Sum,
@@ -117,6 +118,7 @@ impl Keyword {
             "IF" => Keyword::If,
             "EXISTS" => Keyword::Exists,
             "EXPLAIN" => Keyword::Explain,
+            "ANALYZE" => Keyword::Analyze,
             "DESCRIBE" => Keyword::Describe,
             "COUNT" => Keyword::Count,
             "SUM" => Keyword::Sum,

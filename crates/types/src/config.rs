@@ -489,6 +489,12 @@ pub struct EngineConfig {
     pub enable_predicate_pushdown: bool,
     /// Whether projection pruning into prompts is enabled (ablation).
     pub enable_projection_pruning: bool,
+    /// Per-query spend budget in dollars, checked *statically*: the plan
+    /// analyzer flags (and `EXPLAIN` reports) any plan whose estimated LLM
+    /// spend exceeds it. `None` (the default) means no budget — nothing is
+    /// flagged. Advisory only; the hard runtime cap stays
+    /// [`EngineConfig::max_llm_calls`].
+    pub cost_budget_usd: Option<f64>,
 }
 
 impl Default for EngineConfig {
@@ -518,6 +524,7 @@ impl Default for EngineConfig {
             enable_optimizer: true,
             enable_predicate_pushdown: true,
             enable_projection_pruning: true,
+            cost_budget_usd: None,
         }
     }
 }
@@ -601,6 +608,12 @@ impl EngineConfig {
         self.chaos = Some(plan);
         self
     }
+    /// Builder-style: set the advisory per-query spend budget in dollars
+    /// (see [`EngineConfig::cost_budget_usd`]).
+    pub fn with_cost_budget_usd(mut self, budget_usd: f64) -> Self {
+        self.cost_budget_usd = Some(budget_usd);
+        self
+    }
 
     /// Validate the configuration.
     pub fn validate(&self) -> Result<()> {
@@ -646,6 +659,13 @@ impl EngineConfig {
         }
         if let Some(chaos) = &self.chaos {
             chaos.validate()?;
+        }
+        if let Some(budget) = self.cost_budget_usd {
+            if !budget.is_finite() || budget <= 0.0 {
+                return Err(Error::config(
+                    "cost_budget_usd must be finite and greater than zero",
+                ));
+            }
         }
         if self.batch_size == 0 {
             return Err(Error::config("batch_size must be at least 1"));

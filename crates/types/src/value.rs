@@ -228,6 +228,9 @@ fn cmp_f64(a: f64, b: f64) -> Ordering {
         (true, true) => Ordering::Equal,
         (true, false) => Ordering::Greater,
         (false, true) => Ordering::Less,
+        // total-order: both sides are non-NaN here, so partial_cmp is total;
+        // it is kept over total_cmp so -0.0 and 0.0 stay Equal, matching
+        // semantic_eq.
         (false, false) => a.partial_cmp(&b).unwrap_or(Ordering::Equal),
     }
 }

@@ -13,7 +13,11 @@ pub use llmsql_store as store;
 pub use llmsql_types as types;
 pub use llmsql_workload as workload;
 
-pub use llmsql_core::Engine;
+pub use llmsql_core::{render_explain, Engine};
+pub use llmsql_plan::{
+    cost_plan, lint_plan, optimize_traced, CostParams, OptimizerOptions, PlanCost, PlanDiagnostic,
+    RuleTrace, Severity,
+};
 pub use llmsql_sched::{QueryOutcome, QueryScheduler, QueryTicket, SchedStats};
 pub use llmsql_types::{
     ChaosFault, ChaosPlan, ChaosWindow, EngineConfig, ErrorKind, ExecutionMode, Incomplete,
