@@ -1,7 +1,8 @@
-//! CI perf gate: a coarse (<60s) smoke benchmark of the three throughput
-//! surfaces the async dispatch core owns — scan throughput, scheduler
-//! queries/sec and hedged tail latency — written as `BENCH_<N>.json` at the
-//! repo root and compared against the latest committed `BENCH_*.json`.
+//! CI perf gate: a coarse (<60s) smoke benchmark of the throughput surfaces
+//! the shared dispatch core owns — scan throughput, scheduler queries/sec,
+//! cross-query dedup factor, batched-scan throughput and hedged tail
+//! latency — written as `BENCH_<N>.json` at the repo root and compared
+//! against the latest committed `BENCH_*.json`.
 //!
 //! The gate fails (exit 1) when either throughput metric regresses more
 //! than [`REGRESSION_TOLERANCE`] against the most recent committed
@@ -14,12 +15,13 @@
 
 use std::time::Instant;
 
-use llmsql_bench::{parallel_scan_engine, slow_outlier_engine};
+use llmsql_bench::{batched_tuple_scan_engine, parallel_scan_engine, slow_outlier_engine};
 use llmsql_sched::{QueryScheduler, QueryTicket};
 use llmsql_types::{Priority, RoutingPolicy, SchedConfig};
 
-/// The index this run writes: `BENCH_5.json` (PR 5 introduced the gate).
-const BENCH_INDEX: u32 = 5;
+/// The index this run writes: `BENCH_9.json` (PR 9 added the shared
+/// reactor, cross-query coalescing and tuple batching to the gate).
+const BENCH_INDEX: u32 = 9;
 
 /// Fail CI when a throughput metric drops below this fraction of the
 /// baseline (>25% regression).
@@ -81,6 +83,72 @@ fn scheduler_throughput() -> f64 {
     QUERIES as f64 / started.elapsed().as_secs_f64()
 }
 
+/// Cross-query dedup: 8 identical queries released simultaneously on 8
+/// workers, all sharing one reactor and coalescer. Every query is charged
+/// its full logical call budget, but concurrent identical prompts collapse
+/// into one physical request. Returns logical calls / physical calls — the
+/// deployment-wide fan-in factor (≈ query count under perfect overlap, 1.0
+/// with coalescing broken).
+fn cross_query_dedup() -> f64 {
+    let sched = QueryScheduler::new(
+        parallel_scan_engine(64, 8, 4.0),
+        SchedConfig::default()
+            .with_workers(8)
+            .with_llm_slots(64)
+            .paused(),
+    )
+    .expect("valid scheduler config");
+    const QUERIES: usize = 8;
+    let tickets: Vec<QueryTicket> = (0..QUERIES)
+        .map(|i| {
+            sched
+                .submit(
+                    format!("tenant-{}", i % 2),
+                    Priority::NORMAL,
+                    "SELECT name, population FROM countries",
+                )
+                .expect("within admission caps")
+        })
+        .collect();
+    sched.resume();
+    let mut logical = 0u64;
+    for ticket in tickets {
+        let outcome = ticket.wait();
+        outcome.result.expect("dedup query succeeded");
+        logical += outcome.llm_calls;
+    }
+    let physical = sched
+        .engine()
+        .client()
+        .expect("model attached")
+        .usage()
+        .calls;
+    logical as f64 / physical.max(1) as f64
+}
+
+/// Batched-scan throughput: a 200-row tuple-at-a-time scan with 4 per-tuple
+/// prompts packed per physical request over a 5ms simulated round trip at
+/// parallelism 16. Returns rows/sec.
+fn batched_scan_throughput() -> f64 {
+    // Warm once (build plan caches, fault in the world).
+    batched_tuple_scan_engine(200, 16, 4, 5.0)
+        .expect("valid batched scan engine")
+        .execute("SELECT name, population FROM countries")
+        .expect("warmup batched scan");
+    let engine = batched_tuple_scan_engine(200, 16, 4, 5.0).expect("valid batched scan engine");
+    let started = Instant::now();
+    const RUNS: usize = 5;
+    let mut rows = 0usize;
+    for _ in 0..RUNS {
+        engine.client().expect("model attached").clear_cache();
+        let result = engine
+            .execute("SELECT name, population FROM countries")
+            .expect("smoke batched scan");
+        rows += result.row_count();
+    }
+    rows as f64 / started.elapsed().as_secs_f64()
+}
+
 /// Hedged tail latency: per-query wall times against the slow-outlier pool
 /// (two fast backends, one 10×) with hedging on. Returns (p50_ms, p99_ms).
 fn hedged_tail_latency() -> (f64, f64) {
@@ -115,7 +183,9 @@ fn json_number(doc: &str, key: &str) -> Option<f64> {
 }
 
 /// The committed baseline: the highest-indexed `BENCH_<k>.json` at the repo
-/// root with `k < BENCH_INDEX`.
+/// root with `k <= BENCH_INDEX`. Read *before* this run writes its own
+/// report, so once `BENCH_<BENCH_INDEX>.json` is committed the gate compares
+/// each fresh run against the committed copy rather than against itself.
 fn previous_baseline(root: &std::path::Path) -> Option<(u32, String)> {
     let mut best: Option<(u32, String)> = None;
     for entry in std::fs::read_dir(root).ok()? {
@@ -128,7 +198,7 @@ fn previous_baseline(root: &std::path::Path) -> Option<(u32, String)> {
         else {
             continue;
         };
-        if index >= BENCH_INDEX {
+        if index > BENCH_INDEX {
             continue;
         }
         if best.as_ref().is_none_or(|(b, _)| index > *b) {
@@ -146,28 +216,43 @@ fn main() {
         .expect("crates/bench sits two levels under the repo root")
         .to_path_buf();
 
+    // Capture the committed baseline before writing this run's report —
+    // otherwise a re-run of the current index would gate against itself.
+    let committed_baseline = previous_baseline(&root);
+
     eprintln!("perf_smoke: scan throughput ...");
     let scan_rows_per_sec = scan_throughput();
     eprintln!("perf_smoke: scheduler throughput ...");
     let sched_queries_per_sec = scheduler_throughput();
+    eprintln!("perf_smoke: cross-query dedup ...");
+    let cross_query_dedup_factor = cross_query_dedup();
+    eprintln!("perf_smoke: batched scan throughput ...");
+    let batched_scan_rows_per_sec = batched_scan_throughput();
     eprintln!("perf_smoke: hedged tail latency ...");
     let (hedged_p50_ms, hedged_p99_ms) = hedged_tail_latency();
 
     let doc = format!(
         "{{\n  \"bench\": {BENCH_INDEX},\n  \"scan_rows_per_sec\": {scan_rows_per_sec:.1},\n  \
          \"sched_queries_per_sec\": {sched_queries_per_sec:.2},\n  \
+         \"cross_query_dedup_factor\": {cross_query_dedup_factor:.2},\n  \
+         \"batched_scan_rows_per_sec\": {batched_scan_rows_per_sec:.1},\n  \
          \"hedged_p50_ms\": {hedged_p50_ms:.2},\n  \"hedged_p99_ms\": {hedged_p99_ms:.2}\n}}\n"
     );
     let out = root.join(format!("BENCH_{BENCH_INDEX}.json"));
     std::fs::write(&out, &doc).expect("write bench report");
     println!("wrote {}:\n{doc}", out.display());
 
-    let Some((prev_index, prev)) = previous_baseline(&root) else {
+    let Some((prev_index, prev)) = committed_baseline else {
         println!("no previous BENCH_*.json baseline; emitted the first one");
         return;
     };
     let mut failed = false;
-    for key in ["scan_rows_per_sec", "sched_queries_per_sec"] {
+    for key in [
+        "scan_rows_per_sec",
+        "sched_queries_per_sec",
+        "cross_query_dedup_factor",
+        "batched_scan_rows_per_sec",
+    ] {
         let Some(baseline) = json_number(&prev, key) else {
             println!("baseline BENCH_{prev_index}.json lacks {key}; skipping gate");
             continue;

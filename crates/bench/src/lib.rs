@@ -109,6 +109,30 @@ pub fn parallel_scan_engine(rows: usize, parallelism: usize, latency_ms: f64) ->
     engine
 }
 
+/// The tuple-batching scenario shared by the bench gate and the
+/// shared-reactor tests: a tuple-at-a-time LLM-only scan of a
+/// [`parallel_world`] relation where up to `batch_rows_per_call` per-tuple
+/// prompts pack into one physical request
+/// (`EngineConfig::batch_rows_per_call`), prompt cache off.
+pub fn batched_tuple_scan_engine(
+    rows: usize,
+    parallelism: usize,
+    batch_rows_per_call: usize,
+    latency_ms: f64,
+) -> Result<Engine> {
+    let (catalog, sim) = parallel_world(rows, LlmFidelity::perfect(), latency_ms);
+    let mut config = EngineConfig::default()
+        .with_mode(ExecutionMode::LlmOnly)
+        .with_strategy(PromptStrategy::TupleAtATime)
+        .with_parallelism(parallelism)
+        .with_batch_rows_per_call(batch_rows_per_call);
+    config.max_scan_rows = rows;
+    config.enable_prompt_cache = false;
+    let mut engine = Engine::with_catalog(catalog, config);
+    engine.attach_model(std::sync::Arc::new(sim))?;
+    Ok(engine)
+}
+
 /// The standard multi-backend scenario shared by the routing bench, the
 /// failover integration tests and the `multi_backend` example: the
 /// [`parallel_scan_engine`] workload served through the canonical

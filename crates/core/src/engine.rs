@@ -5,12 +5,12 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use llmsql_exec::{
-    eval as eval_expr, execute as execute_plan, CallSlots, ExecContext, ExecMetrics,
+    eval as eval_expr, execute as execute_plan, CallSlots, ExecContext, ExecMetrics, SharedReactor,
 };
 use llmsql_llm::prompt::TaskSpec;
 use llmsql_llm::{
     parse_pipe_rows, BackendPool, CompletionRequest, KnowledgeBase, LanguageModel, LlmClient,
-    SimLlm,
+    PromptCoalescer, SimLlm,
 };
 use llmsql_plan::{
     bind_select, cost_plan, lint_plan, optimize_traced, schema_from_create, CostParams,
@@ -45,6 +45,14 @@ pub struct Engine {
     /// Global LLM-call slot pool shared with other engines/queries (attached
     /// by a cross-query scheduler). `None` means unthrottled dispatch.
     slots: Option<Arc<CallSlots>>,
+    /// Deployment-shared dispatch reactor (attached by a scheduler): queries
+    /// park their waves on one shared event loop, where completions from
+    /// different queries interleave. `None` = private per-wave loops.
+    reactor: Option<Arc<SharedReactor>>,
+    /// Deployment-scope single-flight table (attached by a scheduler):
+    /// identical in-flight prompts across queries coalesce into one physical
+    /// call. `None` = per-client dedup only.
+    coalescer: Option<Arc<PromptCoalescer>>,
 }
 
 impl Engine {
@@ -55,6 +63,8 @@ impl Engine {
             config,
             client: None,
             slots: None,
+            reactor: None,
+            coalescer: None,
         }
     }
 
@@ -65,6 +75,8 @@ impl Engine {
             config,
             client: None,
             slots: None,
+            reactor: None,
+            coalescer: None,
         }
     }
 
@@ -107,6 +119,40 @@ impl Engine {
         self.slots.as_ref()
     }
 
+    /// Park this engine's dispatch waves on a deployment-shared
+    /// [`SharedReactor`] instead of private per-wave event loops. Attached by
+    /// `llmsql_sched::QueryScheduler` so completions from every worker's
+    /// queries interleave on one event loop; harmless to set directly. Wave
+    /// planning, rows and logical call accounting are unchanged — only where
+    /// in-flight completions are parked is.
+    pub fn set_shared_reactor(&mut self, reactor: Arc<SharedReactor>) {
+        self.reactor = Some(reactor);
+    }
+
+    /// The attached shared reactor, if any.
+    pub fn shared_reactor(&self) -> Option<&Arc<SharedReactor>> {
+        self.reactor.as_ref()
+    }
+
+    /// Coalesce this engine's in-flight prompts against a deployment-scope
+    /// single-flight table: identical concurrent requests (typically from
+    /// different queries sharing the reactor) collapse into one physical call
+    /// whose success fans out to every waiter. Attached by
+    /// `llmsql_sched::QueryScheduler`; survives a later
+    /// [`Engine::attach_model`]. Logical call accounting is unchanged —
+    /// followers are charged their logical call but issue no physical one.
+    pub fn set_prompt_coalescer(&mut self, coalescer: Arc<PromptCoalescer>) {
+        if let Some(client) = &mut self.client {
+            client.set_coalescer(Some(Arc::clone(&coalescer)));
+        }
+        self.coalescer = Some(coalescer);
+    }
+
+    /// The attached prompt coalescer, if any.
+    pub fn prompt_coalescer(&self) -> Option<&Arc<PromptCoalescer>> {
+        self.coalescer.as_ref()
+    }
+
     /// Attach a language model (wrapped in a caching, usage-tracking client).
     ///
     /// With `config.backends` non-empty the model is served through a
@@ -140,9 +186,12 @@ impl Engine {
             .with_hedging(self.config.hedge_multiplier, self.config.hedge_min_ms);
             LlmClient::from_pool(Arc::new(pool), cached)
         });
-        // A scheduler may have attached its slot pool before the model was
-        // attached; (re)wire the hedge gate either way.
+        // A scheduler may have attached its slot pool / coalescer before the
+        // model was attached; (re)wire both on the fresh client either way.
         self.wire_hedge_gate();
+        if let (Some(coalescer), Some(client)) = (&self.coalescer, &mut self.client) {
+            client.set_coalescer(Some(Arc::clone(coalescer)));
+        }
         Ok(())
     }
 
@@ -365,6 +414,9 @@ impl Engine {
             if let Some(slots) = &self.slots {
                 ctx = ctx.with_slots(Arc::clone(slots));
             }
+            if let Some(reactor) = &self.reactor {
+                ctx = ctx.with_reactor(Arc::clone(reactor));
+            }
             execute_plan(&ctx, &plan)?;
             Some(ctx.metrics.snapshot())
         } else {
@@ -406,6 +458,9 @@ impl Engine {
         let mut ctx = ExecContext::new(self.catalog.clone(), self.client.clone(), config);
         if let Some(slots) = &self.slots {
             ctx = ctx.with_slots(Arc::clone(slots));
+        }
+        if let Some(reactor) = &self.reactor {
+            ctx = ctx.with_reactor(Arc::clone(reactor));
         }
         let batch = execute_plan(&ctx, &plan)?;
         Ok(QueryResult {

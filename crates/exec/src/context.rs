@@ -8,6 +8,7 @@ use llmsql_store::Catalog;
 use llmsql_types::{EngineConfig, Error, Result};
 
 use crate::metrics::SharedMetrics;
+use crate::reactor::SharedReactor;
 use crate::slots::{CallSlots, SlotGuard};
 
 /// Everything an operator needs: the catalog, the (optional) LLM client, the
@@ -29,6 +30,11 @@ pub struct ExecContext {
     /// Global LLM-call slot pool (cross-query admission). `None` outside a
     /// scheduler: dispatch is bounded only by this query's `parallelism`.
     slots: Option<Arc<CallSlots>>,
+    /// Deployment-shared dispatch reactor. When set, waves from this query
+    /// are submitted to the shared event loop (where completions from other
+    /// queries interleave) instead of a per-wave private loop. `None` outside
+    /// a scheduler.
+    reactor: Option<Arc<SharedReactor>>,
     /// When this query started executing — the anchor for
     /// `EngineConfig::deadline_ms` (see [`ExecContext::check_deadline`]).
     started: Instant,
@@ -48,6 +54,7 @@ impl ExecContext {
             metrics: SharedMetrics::new(),
             backend_baseline,
             slots: None,
+            reactor: None,
             started: Instant::now(),
         }
     }
@@ -102,6 +109,20 @@ impl ExecContext {
     /// non-blockingly through it instead of via [`ExecContext::acquire_slot`]).
     pub(crate) fn slots(&self) -> Option<&Arc<CallSlots>> {
         self.slots.as_ref()
+    }
+
+    /// Builder-style: dispatch this query's waves on a deployment-shared
+    /// [`SharedReactor`] instead of a private per-wave event loop. Wave
+    /// planning, results and logical call accounting are unaffected — only
+    /// *where* the in-flight completions are parked changes.
+    pub fn with_reactor(mut self, reactor: Arc<SharedReactor>) -> Self {
+        self.reactor = Some(reactor);
+        self
+    }
+
+    /// The attached shared reactor, if any.
+    pub(crate) fn reactor(&self) -> Option<&Arc<SharedReactor>> {
+        self.reactor.as_ref()
     }
 
     /// Acquire a global call slot before dispatching one model request,

@@ -58,7 +58,7 @@ pub use executor::{
 };
 pub use metrics::{ExecMetrics, InFlightGuard, OpStats, SharedMetrics};
 pub use parallel::{par_map, try_par_map, PAR_ROW_THRESHOLD};
-pub use reactor::{drive, Completion, DriveOutcome, TimerId, TimerWheel};
+pub use reactor::{drive, Completion, DriveOutcome, SharedReactor, TimerId, TimerWheel};
 pub use scan::{hybrid_scan, llm_scan, table_scan, ScanSpec};
 pub use slots::{CallSlots, OwnedSlotGuard, SlotGuard};
 

@@ -56,6 +56,17 @@ pub struct ExecMetrics {
     /// Hedges whose response beat the late primary (each one shaved the
     /// difference off this query's tail latency).
     pub hedges_won: u64,
+    /// Logical calls served by deployment-scope coalescing: an identical
+    /// request (possibly from another query on the shared reactor) was
+    /// already in flight, and its successful response fanned out here. These
+    /// calls are counted in `llm_calls_by_kind` like any other — the logical
+    /// budget is charged — but issued zero physical requests.
+    pub coalesced_calls: u64,
+    /// Per-tuple prompts that rode a packed composite request (tuple
+    /// batching, `EngineConfig::batch_rows_per_call`): each counts one
+    /// logical call but shared a single physical request with its chunk
+    /// neighbours. Single-member chunks are not counted.
+    pub batched_rows: u64,
     /// Total time this query's workers spent blocked waiting for a global
     /// LLM-call slot, milliseconds (0 outside a scheduler). High values mean
     /// the deployment's slot pool, not this query's parallelism, is the
@@ -113,6 +124,8 @@ impl ExecMetrics {
         self.slot_wait_ms += other.slot_wait_ms;
         self.hedges_issued += other.hedges_issued;
         self.hedges_won += other.hedges_won;
+        self.coalesced_calls += other.coalesced_calls;
+        self.batched_rows += other.batched_rows;
         for (k, v) in &other.llm_calls_by_kind {
             *self.llm_calls_by_kind.entry(k.clone()).or_default() += v;
         }

@@ -47,12 +47,13 @@
 //! prompts — a retried or failed-over prompt consumes exactly one unit of
 //! budget no matter how many physical attempts it took.
 
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use llmsql_llm::prompt::TaskSpec;
 use llmsql_llm::{
-    parse_pipe_rows, parse_value_lines, parse_yes_no, ClientCall, CompletionRequest,
-    CompletionResponse, LlmClient, YesNoAnswer,
+    pack_prompts, parse_pipe_rows, parse_value_lines, parse_yes_no, split_response, ClientCall,
+    CompletionRequest, CompletionResponse, LlmClient, YesNoAnswer,
 };
 use llmsql_plan::BoundExpr;
 use llmsql_store::Table;
@@ -62,9 +63,10 @@ use llmsql_types::{
 
 use crate::context::ExecContext;
 use crate::eval::eval_predicate;
-use crate::metrics::InFlightGuard;
+use crate::metrics::{InFlightGuard, SharedMetrics};
 use crate::parallel::par_map;
 use crate::reactor::{self, Completion, DriveOutcome};
+use crate::slots::CallSlots;
 
 /// Parameters of a scan, extracted from the logical plan node. Borrows the
 /// plan's data — constructing a spec allocates nothing.
@@ -174,9 +176,63 @@ fn dispatch_wave(
             m.record_llm_call(kind);
         }
     });
-    // A single-prompt wave gains nothing from parking on the reactor; the
-    // inline blocking call doubles as the compat path for blocking models.
-    if prompts.len() > 1 && client.supports_async() {
+    dispatch_physical(ctx, client, prompts)
+}
+
+/// Issue a wave of **per-tuple** prompts with tuple batching: chunks of up to
+/// `EngineConfig::batch_rows_per_call` prompts are packed into one composite
+/// request each, and every composite answer is split back into per-prompt
+/// responses. Logical calls are recorded per *original* prompt — the budget
+/// charge and `llm_calls_by_kind` are byte-identical at any batch size —
+/// while the physical wave shrinks by the batch factor. Only per-tuple task
+/// kinds route through here (lookups, filter checks); page-sized `row_batch`
+/// prompts are already batches.
+fn dispatch_wave_batched(
+    ctx: &ExecContext,
+    client: &LlmClient,
+    kind: &str,
+    prompts: &[String],
+) -> Vec<Result<CompletionResponse>> {
+    let rows_per_call = ctx.config.batch_rows_per_call.max(1);
+    if rows_per_call <= 1 || prompts.len() <= 1 {
+        return dispatch_wave(ctx, client, kind, prompts);
+    }
+    ctx.metrics.update(|m| {
+        for _ in prompts {
+            m.record_llm_call(kind);
+        }
+    });
+    let composites: Vec<String> = prompts.chunks(rows_per_call).map(pack_prompts).collect();
+    let responses = dispatch_physical(ctx, client, &composites);
+    let mut out = Vec::with_capacity(prompts.len());
+    for (chunk, response) in prompts.chunks(rows_per_call).zip(responses) {
+        match response {
+            Ok(response) => {
+                if chunk.len() > 1 {
+                    ctx.metrics.update(|m| m.batched_rows += chunk.len() as u64);
+                }
+                out.extend(split_response(&response, chunk.len()).into_iter().map(Ok));
+            }
+            // A failed composite fails each member identically — the same
+            // per-prompt outcome independent dispatch would produce under
+            // the same fault.
+            Err(err) => out.extend(chunk.iter().map(|_| Err(err.clone()))),
+        }
+    }
+    out
+}
+
+/// Route an already-accounted wave to a dispatch engine. Event-driven
+/// whenever the model supports non-blocking submission; single-prompt waves
+/// only bother when a *shared* reactor is attached (a private event loop
+/// gains nothing over an inline call, but on the shared loop even a lone
+/// prompt interleaves with — and coalesces against — other queries' flights).
+fn dispatch_physical(
+    ctx: &ExecContext,
+    client: &LlmClient,
+    prompts: &[String],
+) -> Vec<Result<CompletionResponse>> {
+    if client.supports_async() && (prompts.len() > 1 || ctx.reactor().is_some()) {
         return dispatch_wave_reactor(ctx, client, prompts);
     }
     par_map(ctx.scan_fanout(), prompts, |_, prompt| {
@@ -187,31 +243,87 @@ fn dispatch_wave(
     })
 }
 
+/// Where a [`WaveOp`] deposits its response: read by the dispatching thread
+/// after the wave drains, written by whichever thread happens to be driving
+/// the (possibly shared) reactor when the call completes.
+type ResultSlot = Arc<parking_lot::Mutex<Option<Result<CompletionResponse>>>>;
+
+/// Per-wave hedging state shared by the wave's ops: an EWMA of completed
+/// calls' in-flight time that stragglers are measured against.
+struct WaveHedgeState {
+    /// EWMA of this wave's completed primaries' in-flight time, milliseconds.
+    /// `None` until the first completion provides a baseline.
+    ewma_ms: parking_lot::Mutex<Option<f64>>,
+    multiplier: f64,
+    min_ms: f64,
+}
+
+impl WaveHedgeState {
+    fn observe(&self, sample_ms: f64) {
+        let mut ewma = self.ewma_ms.lock();
+        *ewma = Some(match *ewma {
+            None => sample_ms,
+            Some(prev) => 0.7 * prev + 0.3 * sample_ms,
+        });
+    }
+
+    /// How long an op may stay in flight before its duplicate is dispatched.
+    fn threshold(&self) -> Option<Duration> {
+        let ewma = (*self.ewma_ms.lock())?;
+        Some(Duration::from_secs_f64(
+            (ewma * self.multiplier).max(self.min_ms).max(0.0) / 1000.0,
+        ))
+    }
+}
+
+/// Wave-level hedging for one op (pool-less deployments with
+/// `EngineConfig::hedge_multiplier` set): once the wave has a completion
+/// baseline, a straggling primary gets a duplicate request and the first of
+/// the two to answer wins. The duplicate bypasses single-flight dedup and
+/// the coalescer (it must be a genuinely independent physical attempt) and,
+/// like a retry, consumes no logical budget.
+struct WaveHedge {
+    state: Arc<WaveHedgeState>,
+    client: LlmClient,
+    prompt: String,
+    /// The duplicate call, once armed.
+    call: Option<ClientCall>,
+}
+
 /// One wave entry on the reactor: a [`ClientCall`] plus this query's
-/// accounting — the in-flight gauge held for the whole flight, and the
-/// non-blocking slot gate with its wait measurement.
-struct WaveOp<'a> {
-    ctx: &'a ExecContext,
+/// accounting — the in-flight gauge held for the whole flight, the
+/// non-blocking slot gate with its wait measurement, and the optional
+/// straggler hedge. Owned (`'static`) so a wave can be handed to the
+/// deployment-shared reactor where another query's worker may drive it.
+struct WaveOp {
+    metrics: SharedMetrics,
+    slots: Option<Arc<CallSlots>>,
     call: ClientCall,
+    hedge: Option<WaveHedge>,
     _in_flight: InFlightGuard,
     /// When this op first found the slot pool saturated (the wait being
     /// accumulated toward `slot_wait_ms`).
     slot_wait_started: Option<Instant>,
-    result: Option<Result<CompletionResponse>>,
+    /// First poll instant — the baseline for straggler detection.
+    started: Option<Instant>,
+    result: ResultSlot,
+    done: bool,
 }
 
-impl Completion for WaveOp<'_> {
+impl Completion for WaveOp {
     fn poll(&mut self, now: Instant) -> bool {
-        if self.result.is_some() {
+        if self.done {
             return true;
         }
-        let ctx = self.ctx;
+        let started = *self.started.get_or_insert(now);
+        let metrics = &self.metrics;
+        let slots = &self.slots;
         let slot_wait_started = &mut self.slot_wait_started;
         // The admission gate, non-blocking edition: grant immediately without
         // a pool; otherwise try_acquire and account the parked wait on grant
         // exactly like the blocking path accounts its blocked wait.
         let mut gate = || -> Option<Box<dyn std::any::Any + Send>> {
-            let Some(slots) = ctx.slots() else {
+            let Some(slots) = slots.as_ref() else {
                 return Some(Box::new(()));
             };
             match slots.try_acquire_owned() {
@@ -219,7 +331,7 @@ impl Completion for WaveOp<'_> {
                     let waited_us = slot_wait_started
                         .take()
                         .map_or(0, |since| since.elapsed().as_micros() as u64);
-                    ctx.metrics.update(|m| {
+                    metrics.update(|m| {
                         m.slot_waits += 1;
                         m.slot_wait_ms += waited_us as f64 / 1000.0;
                     });
@@ -233,43 +345,137 @@ impl Completion for WaveOp<'_> {
             }
         };
         if let Some(result) = self.call.poll(now, &mut gate) {
-            self.result = Some(result);
+            if let Some(hedge) = &self.hedge {
+                if result.is_ok() {
+                    hedge
+                        .state
+                        .observe(now.saturating_duration_since(started).as_secs_f64() * 1000.0);
+                }
+            }
+            if self.call.coalesced() {
+                metrics.update(|m| m.coalesced_calls += 1);
+            }
+            *self.result.lock() = Some(result);
+            self.done = true;
             return true;
+        }
+        if let Some(hedge) = &mut self.hedge {
+            if hedge.call.is_none() {
+                if let Some(threshold) = hedge.state.threshold() {
+                    if now.saturating_duration_since(started) > threshold {
+                        hedge.call = Some(
+                            hedge
+                                .client
+                                .start_call(CompletionRequest::new(hedge.prompt.as_str()))
+                                .without_dedup(),
+                        );
+                        metrics.update(|m| m.hedges_issued += 1);
+                    }
+                }
+            }
+            if let Some(call) = &mut hedge.call {
+                if let Some(result) = call.poll(now, &mut gate) {
+                    // The duplicate answered first; the late primary is
+                    // cancelled by drop when the wave op is discarded.
+                    metrics.update(|m| m.hedges_won += 1);
+                    *self.result.lock() = Some(result);
+                    self.done = true;
+                    return true;
+                }
+            }
         }
         false
     }
 
     fn next_wakeup(&self, now: Instant) -> Option<Instant> {
-        self.call.next_wakeup(now)
+        let mut wake = self.call.next_wakeup(now);
+        if let Some(hedge) = &self.hedge {
+            if let Some(call) = &hedge.call {
+                wake = match (wake, call.next_wakeup(now)) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, None) => a,
+                    (None, b) => b,
+                };
+            } else if let (Some(started), Some(threshold)) = (self.started, hedge.state.threshold())
+            {
+                // Stored-state derived (first-poll instant + fixed offset), so
+                // the reactor's monotone-wakeup contract holds.
+                let arm_at = started + threshold;
+                wake = Some(wake.map_or(arm_at, |w| w.min(arm_at)));
+            }
+        }
+        wake
     }
 }
 
-/// The event-driven wave engine: submit every prompt as a poll-based call,
-/// park this thread on the reactor until the wave drains (or the query
-/// deadline fires mid-wave, in which case unfinished calls are cancelled by
-/// drop and reported as `DeadlineExceeded` with partial accounting).
+/// The event-driven wave engine: submit every prompt as a poll-based call
+/// and park until the wave drains (or the query deadline fires mid-wave, in
+/// which case unfinished calls are cancelled by drop and reported as
+/// `DeadlineExceeded` with partial accounting). With a deployment-shared
+/// reactor attached the wave joins the shared event loop — one driving
+/// thread interleaves completions from every query — otherwise the calling
+/// thread drives a private loop for just this wave.
 fn dispatch_wave_reactor(
     ctx: &ExecContext,
     client: &LlmClient,
     prompts: &[String],
 ) -> Vec<Result<CompletionResponse>> {
-    let mut ops: Vec<WaveOp<'_>> = prompts
+    // Wave-level hedging only engages without a backend pool: the pool runs
+    // its own hedging, and pooled deployments overwrite the hedge counters
+    // from backend deltas in `sync_backend_metrics`.
+    let hedge_state = (ctx.config.hedge_multiplier > 0.0 && client.pool().is_none()).then(|| {
+        Arc::new(WaveHedgeState {
+            ewma_ms: parking_lot::Mutex::new(None),
+            multiplier: ctx.config.hedge_multiplier,
+            min_ms: ctx.config.hedge_min_ms,
+        })
+    });
+    let result_slots: Vec<ResultSlot> = prompts
         .iter()
-        .map(|prompt| WaveOp {
-            ctx,
+        .map(|_| Arc::new(parking_lot::Mutex::new(None)))
+        .collect();
+    let ops: Vec<WaveOp> = prompts
+        .iter()
+        .zip(&result_slots)
+        .map(|(prompt, slot)| WaveOp {
+            metrics: ctx.metrics.clone(),
+            slots: ctx.slots().map(Arc::clone),
             call: client.start_call(CompletionRequest::new(prompt.as_str())),
+            hedge: hedge_state.as_ref().map(|state| WaveHedge {
+                state: Arc::clone(state),
+                client: client.clone(),
+                prompt: prompt.clone(),
+                call: None,
+            }),
             _in_flight: ctx.metrics.track_in_flight(),
             slot_wait_started: None,
-            result: None,
+            started: None,
+            result: Arc::clone(slot),
+            done: false,
         })
         .collect();
-    let outcome = reactor::drive(&mut ops, ctx.deadline_instant());
+    let outcome = if let Some(shared) = ctx.reactor() {
+        shared.submit_wave(
+            ops.into_iter()
+                .map(|op| Box::new(op) as Box<dyn Completion + Send>)
+                .collect(),
+            ctx.deadline_instant(),
+        )
+    } else {
+        let mut ops = ops;
+        reactor::drive(&mut ops, ctx.deadline_instant())
+    };
     debug_assert!(
         outcome == DriveOutcome::Completed || ctx.config.deadline_ms.is_some(),
         "reactor aborted without a deadline"
     );
-    ops.into_iter()
-        .map(|op| op.result.unwrap_or_else(|| Err(ctx.deadline_error())))
+    result_slots
+        .into_iter()
+        .map(|slot| {
+            slot.lock()
+                .take()
+                .unwrap_or_else(|| Err(ctx.deadline_error()))
+        })
         .collect()
 }
 
@@ -349,6 +555,9 @@ fn llm_scan_batched(ctx: &ExecContext, spec: &ScanSpec<'_>) -> Result<Vec<Row>> 
     // demonstrated (an empty relation costs exactly 1 call, like a
     // sequential scan).
     let mut ramp = 1usize;
+    // Wall-time EWMA of completed waves — the basis for deadline-aware wave
+    // sizing below. `None` until the first wave lands.
+    let mut wave_ewma_ms: Option<f64> = None;
     // Graceful degradation (`EngineConfig::with_partial_results`): when a
     // deadline lapses or the backend layer becomes unrecoverable mid-scan,
     // return the rows already assembled instead of discarding completed
@@ -399,7 +608,24 @@ fn llm_scan_batched(ctx: &ExecContext, spec: &ScanSpec<'_>) -> Result<Vec<Row>> 
         let mut wave: Vec<(usize, usize)> = Vec::new(); // (offset, want)
         let mut planned_rows = rows.len();
         let mut planned_offset = offset;
-        while wave.len() < ctx.scan_fanout().min(ramp).min(call_budget) && planned_rows < budget {
+        let mut wave_cap = ctx.scan_fanout().min(ramp).min(call_budget);
+        // Deadline-aware wave sizing: with the deadline less than two typical
+        // waves away, shrink to a single probe page. The query never commits
+        // to a wave it cannot afford — either that page finishes the scan or
+        // the between-wave deadline check fires with at most one page of
+        // overshoot. Pages stay full-sized and sequential, so the prompt set
+        // (and with it rows and logical calls) is unchanged; only how many
+        // pages fly concurrently is.
+        if let (Some(deadline), Some(est_ms)) = (ctx.deadline_instant(), wave_ewma_ms) {
+            let remaining_ms = deadline
+                .saturating_duration_since(reactor::now())
+                .as_secs_f64()
+                * 1000.0;
+            if remaining_ms < est_ms * 2.0 {
+                wave_cap = 1;
+            }
+        }
+        while wave.len() < wave_cap && planned_rows < budget {
             if cardinality_hint.is_some_and(|n| planned_offset >= n) {
                 break;
             }
@@ -436,7 +662,10 @@ fn llm_scan_batched(ctx: &ExecContext, spec: &ScanSpec<'_>) -> Result<Vec<Row>> 
                 .to_prompt(Some(spec.table_schema))
             })
             .collect();
+        let wave_started = reactor::now();
         let responses = dispatch_wave(ctx, client, "row_batch", &prompts);
+        let wave_ms = wave_started.elapsed().as_secs_f64() * 1000.0;
+        wave_ewma_ms = Some(wave_ewma_ms.map_or(wave_ms, |prev| 0.7 * prev + 0.3 * wave_ms));
 
         for (&(page_offset, want), response) in wave.iter().zip(responses) {
             let response = match response {
@@ -582,7 +811,7 @@ fn llm_scan_tuple_at_a_time(
                     .to_prompt(Some(spec.table_schema))
                 })
                 .collect();
-            let responses = dispatch_wave(ctx, client, "lookup", &prompts);
+            let responses = dispatch_wave_batched(ctx, client, "lookup", &prompts);
             for (key, response) in wave_keys.iter().zip(responses) {
                 let response = response?;
                 let parsed = parse_pipe_rows(&response.text, &other_types);
@@ -662,7 +891,7 @@ fn llm_scan_decomposed(ctx: &ExecContext, spec: &ScanSpec<'_>) -> Result<Vec<Row
                 .to_prompt(Some(spec.table_schema))
             })
             .collect();
-        let responses = dispatch_wave(ctx, client, "filter_check", &prompts);
+        let responses = dispatch_wave_batched(ctx, client, "filter_check", &prompts);
         for (i, response) in responses.into_iter().enumerate() {
             let response = response?;
             if parse_yes_no(&response.text) == YesNoAnswer::Yes {
@@ -741,7 +970,7 @@ pub fn hybrid_scan(ctx: &ExecContext, spec: &ScanSpec<'_>, table: &Table) -> Res
                 .to_prompt(Some(spec.table_schema))
             })
             .collect();
-        let responses = dispatch_wave(ctx, client, "lookup", &prompts);
+        let responses = dispatch_wave_batched(ctx, client, "lookup", &prompts);
 
         // Apply fills in row order.
         for ((row_idx, missing), response) in lookups.iter().zip(responses) {

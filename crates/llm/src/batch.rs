@@ -1,0 +1,127 @@
+//! Tuple batching: packing several per-tuple task prompts into one physical
+//! LLM call and splitting the structured answer back per tuple.
+//!
+//! Packing is purely a transport optimization: the member prompts are the
+//! exact prompts the scan planned (so logical call accounting and the
+//! per-tuple parsers are untouched), joined by an unambiguous separator
+//! line. A model that understands the separator ([`crate::SimLlm`] does)
+//! answers each member section independently and joins the answers with the
+//! same separator; [`split_response`] cuts the combined completion back into
+//! one response per member, dividing the physical cost evenly.
+//!
+//! Rows and logical call counts are byte-identical at any
+//! `batch_rows_per_call`: only the number of physical calls changes.
+
+use crate::model::CompletionResponse;
+
+/// The separator line between member sections of a packed prompt (and of a
+/// packed completion). Chosen to never occur in task prompts or pipe-format
+/// completions.
+pub const BATCH_SEPARATOR: &str = "=====LLMSQL-BATCH-MEMBER=====";
+
+/// True when `prompt` is a packed composite (contains the separator line).
+pub fn is_packed(prompt: &str) -> bool {
+    prompt.contains(BATCH_SEPARATOR)
+}
+
+/// Pack `prompts` into one composite prompt. With fewer than two members
+/// this is the identity (a single prompt is sent unwrapped).
+pub fn pack_prompts(prompts: &[String]) -> String {
+    if prompts.len() == 1 {
+        return prompts[0].clone();
+    }
+    prompts.join(&format!("\n{BATCH_SEPARATOR}\n"))
+}
+
+/// Split a packed prompt back into its member prompts.
+pub fn split_prompt(prompt: &str) -> Vec<&str> {
+    prompt
+        .split(BATCH_SEPARATOR)
+        .map(|part| part.trim_matches('\n'))
+        .collect()
+}
+
+/// Split one physical completion over a packed prompt back into `members`
+/// per-member responses. Sections map to members in order; a completion
+/// with fewer sections than members yields empty text for the tail (the
+/// per-tuple parsers treat empty text as "no answer", mirroring what a
+/// truncated unpacked completion would produce). The physical token and
+/// dollar cost is divided evenly across members so per-query usage sums
+/// stay meaningful.
+pub fn split_response(response: &CompletionResponse, members: usize) -> Vec<CompletionResponse> {
+    if members <= 1 {
+        return vec![response.clone()];
+    }
+    let mut sections: Vec<&str> = response
+        .text
+        .split(BATCH_SEPARATOR)
+        .map(|part| part.trim_matches('\n'))
+        .collect();
+    sections.resize(members, "");
+    let share = |total: usize| total / members;
+    sections
+        .into_iter()
+        .take(members)
+        .map(|text| CompletionResponse {
+            text: text.to_string(),
+            prompt_tokens: share(response.prompt_tokens),
+            completion_tokens: share(response.completion_tokens),
+            latency_ms: response.latency_ms,
+            cost_usd: response.cost_usd / members as f64,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_and_split_round_trip() {
+        let prompts = vec!["alpha\nline".to_string(), "beta".to_string(), "g".into()];
+        let packed = pack_prompts(&prompts);
+        assert!(is_packed(&packed));
+        let members = split_prompt(&packed);
+        assert_eq!(members, vec!["alpha\nline", "beta", "g"]);
+    }
+
+    #[test]
+    fn single_prompt_is_identity() {
+        let prompts = vec!["only".to_string()];
+        assert_eq!(pack_prompts(&prompts), "only");
+        assert!(!is_packed("only"));
+    }
+
+    #[test]
+    fn response_split_preserves_member_order_and_divides_cost() {
+        let response = CompletionResponse {
+            text: format!("a|1\n{BATCH_SEPARATOR}\nb|2\n{BATCH_SEPARATOR}\nc|3"),
+            prompt_tokens: 30,
+            completion_tokens: 9,
+            latency_ms: 5.0,
+            cost_usd: 0.3,
+        };
+        let parts = split_response(&response, 3);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].text, "a|1");
+        assert_eq!(parts[1].text, "b|2");
+        assert_eq!(parts[2].text, "c|3");
+        assert!((parts[0].cost_usd - 0.1).abs() < 1e-12);
+        assert_eq!(parts[0].prompt_tokens, 10);
+    }
+
+    #[test]
+    fn short_completions_pad_with_empty_sections() {
+        let response = CompletionResponse {
+            text: format!("a|1\n{BATCH_SEPARATOR}\nb|2"),
+            prompt_tokens: 4,
+            completion_tokens: 4,
+            latency_ms: 0.0,
+            cost_usd: 0.0,
+        };
+        let parts = split_response(&response, 4);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts[2].text, "");
+        assert_eq!(parts[3].text, "");
+    }
+}

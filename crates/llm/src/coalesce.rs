@@ -1,0 +1,269 @@
+//! Deployment-scope prompt coalescing: single-flight dedup of identical
+//! in-flight requests *across* clients and queries.
+//!
+//! The per-client cache plus [`crate::model::LlmClient`]'s in-flight
+//! leadership already dedup identical prompts within one client. A
+//! [`PromptCoalescer`] lifts that to the deployment: a scheduler attaches
+//! one coalescer to the engine it owns, and every request dispatched through
+//! the event-driven path first claims its request key here. The first
+//! claimant (the **leader**) issues the physical call; concurrent claimants
+//! of the same key (**followers**) park on the entry and receive a clone of
+//! the leader's successful response — zero physical calls, while each query
+//! still records its own *logical* call.
+//!
+//! The accounting contract:
+//!
+//! * Logical call counts (`ExecMetrics::llm_calls`, tenant charges) are
+//!   recorded at wave-planning time, before coalescing — byte-identical with
+//!   the coalescer on or off.
+//! * Physical calls (`UsageStats::calls`, backend counters) are recorded
+//!   only by leaders. Followers record nothing.
+//! * Only **successes** fan out. A leader that fails (or is dropped
+//!   mid-flight) abandons the entry; followers re-claim and issue their own
+//!   physical call, so per-query retry/error semantics are unchanged.
+//! * Entries are removed the moment they resolve: coalescing joins requests
+//!   that are in flight *at the same time*, it is not a response cache.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use llmsql_types::Result;
+use parking_lot::Mutex;
+
+use crate::model::CompletionResponse;
+
+/// The state of one in-flight coalescing entry. Followers hold an `Arc` to
+/// it and poll; the leader resolves it exactly once.
+enum EntryState {
+    /// The leader's physical call is still in flight.
+    Pending,
+    /// The leader completed successfully; followers clone this response.
+    Done(CompletionResponse),
+    /// The leader failed or was dropped. Followers must re-claim the key
+    /// (the entry is already unlinked from the table).
+    Abandoned,
+}
+
+/// One in-flight dedup entry, shared between the leader and its followers.
+pub struct CoalesceEntry {
+    state: Mutex<EntryState>,
+}
+
+/// What a follower observed when polling its entry.
+pub enum FollowerPoll {
+    /// The leader is still in flight; poll again later.
+    Pending,
+    /// The leader succeeded: here is a clone of its response.
+    Ready(CompletionResponse),
+    /// The leader failed or vanished; re-claim the key.
+    Abandoned,
+}
+
+impl CoalesceEntry {
+    /// Non-blocking follower poll.
+    pub fn poll(&self) -> FollowerPoll {
+        match &*self.state.lock() {
+            EntryState::Pending => FollowerPoll::Pending,
+            EntryState::Done(response) => FollowerPoll::Ready(response.clone()),
+            EntryState::Abandoned => FollowerPoll::Abandoned,
+        }
+    }
+}
+
+/// The deployment-wide single-flight table. Cheap to share (`Arc`); one per
+/// scheduler/deployment.
+#[derive(Default)]
+pub struct PromptCoalescer {
+    entries: Mutex<HashMap<String, Arc<CoalesceEntry>>>,
+    /// Lifetime counters (leaders claimed / followers served), advisory.
+    stats: Mutex<CoalesceStats>,
+}
+
+/// Advisory lifetime counters of a [`PromptCoalescer`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoalesceStats {
+    /// Requests that claimed leadership (issued a physical call).
+    pub leaders: u64,
+    /// Requests served a fanned-out clone (zero physical calls).
+    pub followers_served: u64,
+}
+
+/// The outcome of claiming a key.
+pub enum Claim {
+    /// This request leads: issue the physical call, then resolve the guard.
+    Leader(CoalesceGuard),
+    /// An identical request is already in flight: park on the entry.
+    Follower(Arc<CoalesceEntry>),
+}
+
+impl PromptCoalescer {
+    /// Create an empty coalescer.
+    pub fn new() -> Self {
+        PromptCoalescer::default()
+    }
+
+    /// Claim `key`: the first claimant becomes the leader, concurrent
+    /// claimants become followers of the leader's entry.
+    pub fn claim(self: &Arc<Self>, key: &str) -> Claim {
+        let mut entries = self.entries.lock();
+        if let Some(entry) = entries.get(key) {
+            let entry = Arc::clone(entry);
+            drop(entries);
+            self.stats.lock().followers_served += 1;
+            return Claim::Follower(entry);
+        }
+        let entry = Arc::new(CoalesceEntry {
+            state: Mutex::new(EntryState::Pending),
+        });
+        entries.insert(key.to_string(), Arc::clone(&entry));
+        drop(entries);
+        self.stats.lock().leaders += 1;
+        Claim::Leader(CoalesceGuard {
+            coalescer: Arc::clone(self),
+            key: key.to_string(),
+            entry: Some(entry),
+        })
+    }
+
+    /// Advisory lifetime counters.
+    pub fn stats(&self) -> CoalesceStats {
+        *self.stats.lock()
+    }
+
+    /// Entries currently in flight (leaders without a resolution yet).
+    pub fn in_flight(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Unlink `key` and resolve `entry` to `state`.
+    fn resolve(&self, key: &str, entry: &CoalesceEntry, state: EntryState) {
+        // Unlink first so late claimants start a fresh flight rather than
+        // following a resolved entry (coalescing is not a cache).
+        self.entries.lock().remove(key);
+        *entry.state.lock() = state;
+    }
+}
+
+/// Leadership over one in-flight key. The leader must call
+/// [`CoalesceGuard::publish`] with its outcome; dropping the guard without
+/// publishing (or publishing an error) abandons the entry so followers
+/// re-claim and issue their own calls.
+pub struct CoalesceGuard {
+    coalescer: Arc<PromptCoalescer>,
+    key: String,
+    entry: Option<Arc<CoalesceEntry>>,
+}
+
+impl CoalesceGuard {
+    /// Resolve the entry with the leader's outcome: successes fan out to
+    /// every follower, failures abandon the entry (followers retry on their
+    /// own physical calls, preserving per-query error semantics).
+    pub fn publish(mut self, outcome: &Result<CompletionResponse>) {
+        if let Some(entry) = self.entry.take() {
+            let state = match outcome {
+                Ok(response) => EntryState::Done(response.clone()),
+                Err(_) => EntryState::Abandoned,
+            };
+            self.coalescer.resolve(&self.key, &entry, state);
+        }
+    }
+}
+
+impl Drop for CoalesceGuard {
+    fn drop(&mut self) {
+        if let Some(entry) = self.entry.take() {
+            self.coalescer
+                .resolve(&self.key, &entry, EntryState::Abandoned);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn response(text: &str) -> CompletionResponse {
+        CompletionResponse {
+            text: text.to_string(),
+            prompt_tokens: 1,
+            completion_tokens: 1,
+            latency_ms: 0.0,
+            cost_usd: 0.0,
+        }
+    }
+
+    #[test]
+    fn followers_receive_the_leaders_success() {
+        let co = Arc::new(PromptCoalescer::new());
+        let Claim::Leader(guard) = co.claim("k") else {
+            panic!("first claim must lead");
+        };
+        let Claim::Follower(entry) = co.claim("k") else {
+            panic!("second claim must follow");
+        };
+        assert!(matches!(entry.poll(), FollowerPoll::Pending));
+        guard.publish(&Ok(response("answer")));
+        match entry.poll() {
+            FollowerPoll::Ready(r) => assert_eq!(r.text, "answer"),
+            _ => panic!("follower must see the published response"),
+        }
+        assert_eq!(co.stats().leaders, 1);
+        assert_eq!(co.stats().followers_served, 1);
+        assert_eq!(co.in_flight(), 0);
+    }
+
+    #[test]
+    fn failures_abandon_and_followers_reclaim() {
+        let co = Arc::new(PromptCoalescer::new());
+        let Claim::Leader(guard) = co.claim("k") else {
+            panic!("first claim must lead");
+        };
+        let Claim::Follower(entry) = co.claim("k") else {
+            panic!("second claim must follow");
+        };
+        guard.publish(&Err(llmsql_types::Error::llm("backend down")));
+        assert!(matches!(entry.poll(), FollowerPoll::Abandoned));
+        // The key is free again: the former follower can lead a retry.
+        assert!(matches!(co.claim("k"), Claim::Leader(_)));
+    }
+
+    #[test]
+    fn dropping_the_guard_abandons_the_entry() {
+        let co = Arc::new(PromptCoalescer::new());
+        let Claim::Leader(guard) = co.claim("k") else {
+            panic!("first claim must lead");
+        };
+        let Claim::Follower(entry) = co.claim("k") else {
+            panic!("second claim must follow");
+        };
+        drop(guard);
+        assert!(matches!(entry.poll(), FollowerPoll::Abandoned));
+        assert_eq!(co.in_flight(), 0);
+    }
+
+    #[test]
+    fn resolved_entries_do_not_cache() {
+        let co = Arc::new(PromptCoalescer::new());
+        let Claim::Leader(guard) = co.claim("k") else {
+            panic!("first claim must lead");
+        };
+        guard.publish(&Ok(response("a")));
+        // The flight resolved; a later identical request starts fresh.
+        assert!(matches!(co.claim("k"), Claim::Leader(_)));
+    }
+
+    #[test]
+    fn distinct_keys_lead_independently() {
+        let co = Arc::new(PromptCoalescer::new());
+        let Claim::Leader(guard_a) = co.claim("a") else {
+            panic!("first claim of 'a' must lead");
+        };
+        let Claim::Leader(guard_b) = co.claim("b") else {
+            panic!("first claim of 'b' must lead");
+        };
+        assert_eq!(co.in_flight(), 2);
+        guard_a.publish(&Ok(response("a")));
+        guard_b.publish(&Ok(response("b")));
+        assert_eq!(co.in_flight(), 0);
+    }
+}

@@ -26,7 +26,9 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod batch;
 pub mod cache;
+pub mod coalesce;
 pub mod cost;
 pub mod eval;
 pub mod knowledge;
@@ -41,7 +43,9 @@ pub use backend::{
     Backend, BackendPool, BackendStats, CallHandle, CallMachine, DirectBackend, HedgePermitGate,
     PoolCall, RemoteLlm,
 };
+pub use batch::{is_packed, pack_prompts, split_response, BATCH_SEPARATOR};
 pub use cache::PromptCache;
+pub use coalesce::{Claim, CoalesceStats, FollowerPoll, PromptCoalescer};
 pub use cost::UsageStats;
 pub use knowledge::{KbTable, KnowledgeBase};
 pub use model::{ClientCall, CompletionRequest, CompletionResponse, LanguageModel, LlmClient};

@@ -17,6 +17,7 @@ use llmsql_types::{LlmCostModel, Result};
 
 use crate::backend::{BackendPool, BackendStats, CallHandle};
 use crate::cache::PromptCache;
+use crate::coalesce::{Claim, CoalesceEntry, CoalesceGuard, FollowerPoll, PromptCoalescer};
 use crate::cost::UsageStats;
 
 /// A completion request.
@@ -175,6 +176,9 @@ pub struct LlmClient {
     fingerprint: Arc<str>,
     usage: Arc<Mutex<UsageStats>>,
     in_flight: Arc<InFlightPrompts>,
+    /// Deployment-scope single-flight table (attached by a scheduler; see
+    /// [`crate::coalesce`]). `None` keeps dedup per-client only.
+    coalescer: Option<Arc<PromptCoalescer>>,
 }
 
 impl LlmClient {
@@ -195,6 +199,7 @@ impl LlmClient {
             fingerprint,
             usage: Arc::new(Mutex::new(UsageStats::default())),
             in_flight: Arc::new(InFlightPrompts::default()),
+            coalescer: None,
         }
     }
 
@@ -208,6 +213,7 @@ impl LlmClient {
             fingerprint,
             usage: Arc::new(Mutex::new(UsageStats::default())),
             in_flight: Arc::new(InFlightPrompts::default()),
+            coalescer: None,
         }
     }
 
@@ -238,6 +244,20 @@ impl LlmClient {
     /// (hedge-gate wiring and EWMA inspection go through this handle).
     pub fn pool(&self) -> Option<&Arc<BackendPool>> {
         self.pool.as_ref()
+    }
+
+    /// Attach (or detach) a deployment-scope [`PromptCoalescer`]. Poll-driven
+    /// calls ([`LlmClient::start_call`]) claim their request key there before
+    /// dispatching, so identical in-flight requests from *different* clients
+    /// and queries collapse into one physical call whose success fans out to
+    /// every waiter. Blocking calls ([`LlmClient::complete`]) are unaffected.
+    pub fn set_coalescer(&mut self, coalescer: Option<Arc<PromptCoalescer>>) {
+        self.coalescer = coalescer;
+    }
+
+    /// The attached deployment-scope coalescer, if any.
+    pub fn coalescer(&self) -> Option<&Arc<PromptCoalescer>> {
+        self.coalescer.as_ref()
     }
 
     /// The wrapped model's observed cardinality of `table`, if it reports
@@ -341,10 +361,14 @@ impl LlmClient {
     /// releases single-flight leadership and any held permit.
     pub fn start_call(&self, request: CompletionRequest) -> ClientCall {
         let key = self.cache.as_ref().map(|_| self.request_key(&request));
+        let coalesce_key = self.coalescer.as_ref().map(|_| self.request_key(&request));
         ClientCall {
             client: self.clone(),
             request,
             key,
+            coalesce_key,
+            co_guard: None,
+            coalesced: false,
             holds_leadership: false,
             permit: None,
             state: CcState::Start,
@@ -387,6 +411,13 @@ enum CcState {
     Start,
     /// Another leader is computing this prompt; re-check at `retry_at`.
     Follower { retry_at: Instant },
+    /// A deployment-scope leader for this request key is in flight on some
+    /// *other* client/query; poll the shared entry at `retry_at` for its
+    /// fanned-out result (see [`crate::coalesce`]).
+    CoFollower {
+        entry: Arc<CoalesceEntry>,
+        retry_at: Instant,
+    },
     /// Leader without a permit: the admission gate said "no capacity";
     /// re-consult it at `retry_at` (absolute, so the event loop's due-check
     /// actually comes due — a completion elsewhere may re-poll sooner).
@@ -412,15 +443,31 @@ enum CcState {
 ///   gate is re-consulted on later polls), a permit is held until the model
 ///   resolves and released with the call — the call owns the slot guard for
 ///   exactly the dispatch it gates.
+/// * When the client carries a deployment-scope [`PromptCoalescer`], the
+///   call claims its request key there before consulting the gate: coalesce
+///   leaders dispatch and publish their success to every waiter; coalesce
+///   followers park without gating and resolve from the leader's fan-out
+///   (zero physical calls, [`ClientCall::coalesced`] reports `true`). A
+///   leader that fails abandons the entry and followers re-claim, so error
+///   and retry semantics per query are unchanged.
 /// * Dropping the call mid-flight releases single-flight leadership (so
-///   followers elect a new leader instead of waiting forever) and the
-///   permit; the model-side flight is abandoned.
+///   followers elect a new leader instead of waiting forever), abandons any
+///   coalesce leadership, and releases the permit; the model-side flight is
+///   abandoned.
 pub struct ClientCall {
     client: LlmClient,
     request: CompletionRequest,
     /// Cache / single-flight key; `None` when the client has no cache (then
     /// neither caching nor single-flight applies, as in the blocking path).
     key: Option<String>,
+    /// Deployment-scope coalescing key; `None` without a coalescer (or after
+    /// [`ClientCall::without_dedup`]).
+    coalesce_key: Option<String>,
+    /// Held while this call leads a deployment-scope flight; resolved with
+    /// the outcome when the flight ends.
+    co_guard: Option<CoalesceGuard>,
+    /// True when the result was served from another query's in-flight call.
+    coalesced: bool,
     holds_leadership: bool,
     /// The admission permit held from dispatch to resolution.
     permit: Option<Box<dyn std::any::Any + Send>>,
@@ -467,8 +514,46 @@ impl ClientCall {
                             }
                         }
                     }
+                    if self.co_guard.is_none() {
+                        if let (Some(co), Some(ckey)) = (&self.client.coalescer, &self.coalesce_key)
+                        {
+                            match co.claim(ckey) {
+                                Claim::Leader(guard) => self.co_guard = Some(guard),
+                                Claim::Follower(entry) => {
+                                    self.state = CcState::CoFollower {
+                                        entry,
+                                        retry_at: now + CLIENT_CALL_RETRY,
+                                    };
+                                    return None;
+                                }
+                            }
+                        }
+                    }
                     self.state = CcState::AwaitingSlot { retry_at: now };
                 }
+                CcState::CoFollower { entry, retry_at } => match entry.poll() {
+                    FollowerPoll::Pending => {
+                        *retry_at = now + CLIENT_CALL_RETRY;
+                        return None;
+                    }
+                    FollowerPoll::Ready(response) => {
+                        // Served from another query's flight: no physical
+                        // call, no usage record — only the leader pays.
+                        self.coalesced = true;
+                        if let (Some(key), Some(cache)) = (&self.key, &self.client.cache) {
+                            cache.put(key.clone(), response.clone());
+                        }
+                        self.release_leadership();
+                        self.state = CcState::Done;
+                        return Some(Ok(response));
+                    }
+                    FollowerPoll::Abandoned => {
+                        // The leader failed or was cancelled. Start over: we
+                        // re-check the cache and (re-)claim a flight of our
+                        // own, preserving per-query retry semantics.
+                        self.state = CcState::Start;
+                    }
+                },
                 CcState::AwaitingSlot { .. } => match gate() {
                     Some(permit) => {
                         self.permit = Some(permit);
@@ -485,6 +570,11 @@ impl ClientCall {
                 CcState::InFlight { handle } => {
                     let outcome = handle.poll(now)?;
                     self.permit = None;
+                    // Fan the outcome out to deployment-scope followers
+                    // (successes resolve them; failures make them re-claim).
+                    if let Some(guard) = self.co_guard.take() {
+                        guard.publish(&outcome);
+                    }
                     if let Ok(response) = &outcome {
                         self.client.usage.lock().record(response);
                         if let (Some(key), Some(cache)) = (&self.key, &self.client.cache) {
@@ -506,9 +596,27 @@ impl ClientCall {
     pub fn next_wakeup(&self, now: Instant) -> Option<Instant> {
         match &self.state {
             CcState::Start | CcState::Done => None,
-            CcState::Follower { retry_at } | CcState::AwaitingSlot { retry_at } => Some(*retry_at),
+            CcState::Follower { retry_at }
+            | CcState::AwaitingSlot { retry_at }
+            | CcState::CoFollower { retry_at, .. } => Some(*retry_at),
             CcState::InFlight { handle } => handle.next_wakeup(now),
         }
+    }
+
+    /// True when the result was served by fan-out from another query's
+    /// in-flight call (zero physical calls issued by this one).
+    pub fn coalesced(&self) -> bool {
+        self.coalesced
+    }
+
+    /// Opt this call out of cross-request dedup — both the per-client
+    /// single-flight and the deployment-scope coalescer. Hedge duplicates
+    /// use this: their whole purpose is to issue a *second* physical call
+    /// for a prompt that is already in flight.
+    pub fn without_dedup(mut self) -> Self {
+        self.key = None;
+        self.coalesce_key = None;
+        self
     }
 
     fn release_leadership(&mut self) {
@@ -862,6 +970,91 @@ mod tests {
         let resp = drive_client_call(follower).unwrap();
         assert_eq!(resp.text, "x");
         assert_eq!(*model.calls.lock(), 1);
+    }
+
+    #[test]
+    fn coalescer_fans_one_flight_out_across_clients() {
+        // Two *distinct* clients (cache off, so per-client single-flight is
+        // inert) over one model and one coalescer: the first call leads and
+        // pays; an identical concurrent call from the other client follows
+        // and resolves from the fan-out with zero physical calls.
+        let model = Arc::new(CannedModel::new("x"));
+        let co = Arc::new(PromptCoalescer::new());
+        let mut a = LlmClient::without_cache(model.clone());
+        a.set_coalescer(Some(Arc::clone(&co)));
+        let mut b = LlmClient::without_cache(model.clone());
+        b.set_coalescer(Some(Arc::clone(&co)));
+
+        let mut deny = || None;
+        let mut grant = || Some(Box::new(()) as Box<dyn std::any::Any + Send>);
+        let mut leader = a.start_call(CompletionRequest::new("same"));
+        assert!(leader.poll(Instant::now(), &mut deny).is_none());
+        let mut follower = b.start_call(CompletionRequest::new("same"));
+        // Even with a granting gate, the follower must not dispatch.
+        assert!(follower.poll(Instant::now(), &mut grant).is_none());
+        assert_eq!(*model.calls.lock(), 0);
+
+        leader.poll(Instant::now(), &mut grant).unwrap().unwrap();
+        let resp = loop {
+            if let Some(result) = follower.poll(Instant::now(), &mut grant) {
+                break result.unwrap();
+            }
+        };
+        assert_eq!(resp.text, "x");
+        assert!(follower.coalesced());
+        assert!(!leader.coalesced());
+        assert_eq!(*model.calls.lock(), 1, "follower issued a physical call");
+        assert_eq!(a.usage().calls, 1, "leader records its physical call");
+        assert_eq!(b.usage().calls, 0, "follower records no physical call");
+    }
+
+    #[test]
+    fn coalesce_followers_reclaim_after_a_dropped_leader() {
+        let model = Arc::new(CannedModel::new("x"));
+        let co = Arc::new(PromptCoalescer::new());
+        let mut a = LlmClient::without_cache(model.clone());
+        a.set_coalescer(Some(Arc::clone(&co)));
+        let mut b = LlmClient::without_cache(model.clone());
+        b.set_coalescer(Some(Arc::clone(&co)));
+
+        let mut deny = || None;
+        let mut grant = || Some(Box::new(()) as Box<dyn std::any::Any + Send>);
+        let mut leader = a.start_call(CompletionRequest::new("same"));
+        assert!(leader.poll(Instant::now(), &mut deny).is_none());
+        let mut follower = b.start_call(CompletionRequest::new("same"));
+        assert!(follower.poll(Instant::now(), &mut grant).is_none());
+        drop(leader); // cancelled mid-flight (deadline, wave dropped, ...)
+        let resp = loop {
+            if let Some(result) = follower.poll(Instant::now(), &mut grant) {
+                break result.unwrap();
+            }
+        };
+        assert_eq!(resp.text, "x");
+        assert!(!follower.coalesced(), "reclaimed flights are not coalesced");
+        assert_eq!(*model.calls.lock(), 1);
+        assert_eq!(b.usage().calls, 1, "new leader pays for its own flight");
+    }
+
+    #[test]
+    fn without_dedup_bypasses_the_coalescer() {
+        // A hedge duplicate must issue a real second flight even while an
+        // identical request is in front of it.
+        let model = Arc::new(CannedModel::new("x"));
+        let co = Arc::new(PromptCoalescer::new());
+        let mut client = LlmClient::without_cache(model.clone());
+        client.set_coalescer(Some(Arc::clone(&co)));
+
+        let mut deny = || None;
+        let mut grant = || Some(Box::new(()) as Box<dyn std::any::Any + Send>);
+        let mut primary = client.start_call(CompletionRequest::new("same"));
+        assert!(primary.poll(Instant::now(), &mut deny).is_none());
+        let mut hedge = client
+            .start_call(CompletionRequest::new("same"))
+            .without_dedup();
+        hedge.poll(Instant::now(), &mut grant).unwrap().unwrap();
+        assert_eq!(*model.calls.lock(), 1, "hedge must dispatch for real");
+        primary.poll(Instant::now(), &mut grant).unwrap().unwrap();
+        assert_eq!(*model.calls.lock(), 2);
     }
 
     #[test]

@@ -841,6 +841,39 @@ impl SimLlm {
     /// the async `submit` computes here and represents the delay as a
     /// timer).
     fn complete_now(&self, request: &CompletionRequest) -> Result<CompletionResponse> {
+        // Packed composite (tuple batching): answer each member task
+        // independently and join the answers with the same separator. Each
+        // member goes through the full single-task path — including its own
+        // noise draws, keyed on the member prompt — so a batched answer is
+        // byte-identical to the unbatched answers it replaces, at any batch
+        // size. The per-member token budget is the caller's budget: the
+        // packing contract gives every member the full page allowance.
+        if crate::batch::is_packed(&request.prompt) {
+            let members = crate::batch::split_prompt(&request.prompt);
+            let mut texts = Vec::with_capacity(members.len());
+            let mut completion_tokens = 0;
+            let mut cost_usd = 0.0;
+            for member in &members {
+                let response = self.complete_now(&CompletionRequest {
+                    prompt: (*member).to_string(),
+                    max_tokens: request.max_tokens,
+                    temperature: request.temperature,
+                })?;
+                completion_tokens += response.completion_tokens;
+                cost_usd += response.cost_usd;
+                texts.push(response.text);
+            }
+            let prompt_tokens = count_tokens(&request.prompt);
+            return Ok(CompletionResponse {
+                text: texts.join(&format!("\n{}\n", crate::batch::BATCH_SEPARATOR)),
+                prompt_tokens,
+                completion_tokens,
+                // One request, one round trip: the composite pays a single
+                // simulated latency, which is the whole point of batching.
+                latency_ms: self.cost_model.request_latency_ms(completion_tokens),
+                cost_usd,
+            });
+        }
         let task = parse_task(&request.prompt)?;
         let lines = match &task {
             TaskSpec::Enumerate {
@@ -985,6 +1018,36 @@ mod tests {
         );
         let parsed = parse_value_lines(&text, DataType::Text);
         assert_eq!(parsed.rows.len(), 6);
+    }
+
+    #[test]
+    fn packed_prompts_answer_each_member_byte_identically() {
+        // Tuple batching contract: a composite answer, split back per
+        // member, is byte-identical to answering each member alone — noise
+        // draws are keyed on the member prompt, so even a noisy simulator
+        // agrees at any batch size.
+        let sim = SimLlm::new(world(), LlmFidelity::medium(), 9);
+        let prompts: Vec<String> = ["France", "Japan", "Iceland"]
+            .iter()
+            .map(|key| {
+                TaskSpec::Lookup {
+                    table: "countries".into(),
+                    key: (*key).to_string(),
+                    columns: vec!["capital".into(), "population".into()],
+                }
+                .to_prompt(None)
+            })
+            .collect();
+        let packed = crate::batch::pack_prompts(&prompts);
+        let composite = sim.complete(&CompletionRequest::new(packed)).unwrap();
+        let parts = crate::batch::split_response(&composite, prompts.len());
+        assert_eq!(parts.len(), prompts.len());
+        for (prompt, part) in prompts.iter().zip(&parts) {
+            let single = sim
+                .complete(&CompletionRequest::new(prompt.as_str()))
+                .unwrap();
+            assert_eq!(single.text, part.text);
+        }
     }
 
     #[test]

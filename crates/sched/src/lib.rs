@@ -80,20 +80,36 @@
 //!   spent; the prefix a given cut produces is a function of the completed
 //!   pages, never of scheduling interleavings.
 //!
-//! **Workers park on the reactor, not inside calls.** A worker thread that
-//! picks a query executes it on the engine, whose scan waves go through the
-//! event-driven dispatch core (`llmsql_exec::reactor`) whenever the model
-//! supports non-blocking submission: the worker submits the whole wave and
-//! parks polling completion handles, so it *holds* up to `parallelism`
-//! in-flight requests while occupying one OS thread. Deployment-wide,
-//! `llm_slots` in-flight requests are therefore carried by the
-//! `SchedConfig::workers` threads — 64 slots on 4 workers is the normal
-//! shape, not 64 blocked threads (`examples/async_dispatch.rs` measures
-//! exactly this). Slot waits in that mode are parked-and-polled rather than
-//! blocked, but surface in the same `SchedStats::total_slot_wait_ms` /
-//! `ExecMetrics::slot_wait_ms` accounting. With a blocking-only model the
-//! per-request worker threads come back (the compat path) and every
-//! guarantee above still holds.
+//! **Workers park on one shared reactor, not inside calls.** The scheduler
+//! attaches a single [`llmsql_exec::SharedReactor`] to the engine, so every
+//! worker's scan waves land on *one* deployment-wide event loop whenever the
+//! model supports non-blocking submission: a worker submits its whole wave
+//! and either drives the loop (first in wins the driver seat, servicing
+//! *all* queries' completions until its own wave resolves) or parks on a
+//! condvar until a driver resolves its wave for it. Completions from
+//! different queries therefore interleave on one clock, `llm_slots` is the
+//! only deployment-wide in-flight ceiling, and 64 slots on 4 workers is the
+//! normal shape — not 64 blocked threads (`examples/async_dispatch.rs`
+//! measures exactly this). Slot waits in that mode are parked-and-polled
+//! rather than blocked, but surface in the same
+//! `SchedStats::total_slot_wait_ms` / `ExecMetrics::slot_wait_ms`
+//! accounting. With a blocking-only model the per-request worker threads
+//! come back (the compat path) and every guarantee above still holds.
+//!
+//! The global view buys two cross-query optimizations, both accounted in
+//! [`SchedStats`]:
+//!
+//! * **Prompt coalescing** (`llmsql_llm::PromptCoalescer`, attached by the
+//!   scheduler): identical in-flight `(fingerprint, prompt, params)` calls
+//!   from different queries collapse into one physical request whose answer
+//!   fans out to every waiter. Followers are charged their query's *logical*
+//!   call budget but issue zero physical requests
+//!   ([`SchedStats::coalesced_calls`]).
+//! * **Tuple batching** (`EngineConfig::batch_rows_per_call`): where the
+//!   scan strategy allows, up to that many per-tuple prompts pack into one
+//!   request and the structured answer is split back per row — rows and
+//!   logical call counts are byte-identical at any batch size
+//!   ([`SchedStats::batched_rows`]).
 //!
 //! ```
 //! use llmsql_core::Engine;

@@ -8,7 +8,8 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use llmsql_core::Engine;
-use llmsql_exec::CallSlots;
+use llmsql_exec::{CallSlots, SharedReactor};
+use llmsql_llm::PromptCoalescer;
 use llmsql_types::{AtomicEwmaMs, Error, Priority, Result, SchedConfig, SchedPolicy, TenantId};
 
 use crate::ratelimit::TenantLimiter;
@@ -64,6 +65,12 @@ struct SchedCore {
     shed: AtomicU64,
     /// Submissions rejected by a per-tenant token-bucket rate limit.
     throttled: AtomicU64,
+    /// Logical LLM calls served by deployment-scope prompt coalescing across
+    /// all completed queries (see [`SchedStats::coalesced_calls`]).
+    coalesced_calls: AtomicU64,
+    /// Per-tuple prompts that rode a packed multi-row request across all
+    /// completed queries (see [`SchedStats::batched_rows`]).
+    batched_rows: AtomicU64,
     /// EWMA of completed-query run time, milliseconds. Drives the
     /// projected-queue-wait estimate at admission.
     run_ewma: AtomicEwmaMs,
@@ -148,6 +155,15 @@ pub struct SchedStats {
     /// Submissions rejected by a per-tenant token-bucket rate limit (also
     /// counted in `rejected`; same `Overloaded { retry_after_ms }` shape).
     pub throttled: u64,
+    /// Logical LLM calls served by the deployment-scope prompt coalescer
+    /// without a physical request: an identical call from another query (or
+    /// wave) was already in flight, and this one rode along as a follower.
+    /// Each such call is still charged to its query's logical call budget.
+    pub coalesced_calls: u64,
+    /// Per-tuple prompts that were packed into a multi-row request
+    /// (`EngineConfig::batch_rows_per_call`) instead of dispatched
+    /// individually. Single-member packs are not counted.
+    pub batched_rows: u64,
 }
 
 /// The cross-query scheduler. See the crate docs for the model.
@@ -169,6 +185,12 @@ impl QueryScheduler {
         config.validate()?;
         let slots = Arc::new(CallSlots::new(config.llm_slots));
         engine.set_call_slots(Arc::clone(&slots));
+        // One event loop for the whole deployment: completions from every
+        // worker's query interleave on the shared reactor, and identical
+        // in-flight prompts from different queries coalesce into one
+        // physical request.
+        engine.set_shared_reactor(Arc::new(SharedReactor::default()));
+        engine.set_prompt_coalescer(Arc::new(PromptCoalescer::new()));
         let worker_count = config.workers;
         let start_paused = config.start_paused;
         let core = Arc::new(SchedCore {
@@ -192,6 +214,8 @@ impl QueryScheduler {
             deadline_expired: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             throttled: AtomicU64::new(0),
+            coalesced_calls: AtomicU64::new(0),
+            batched_rows: AtomicU64::new(0),
             run_ewma: AtomicEwmaMs::new(),
             epoch: Instant::now(),
             limiters: Mutex::new(BTreeMap::new()),
@@ -438,6 +462,8 @@ impl QueryScheduler {
             deadline_expired: self.core.deadline_expired.load(Ordering::Relaxed),
             shed: self.core.shed.load(Ordering::Relaxed),
             throttled: self.core.throttled.load(Ordering::Relaxed),
+            coalesced_calls: self.core.coalesced_calls.load(Ordering::Relaxed),
+            batched_rows: self.core.batched_rows.load(Ordering::Relaxed),
         }
     }
 
@@ -574,6 +600,14 @@ fn run_job(core: &SchedCore, job: Job) {
         Ok(r) => (r.metrics.llm_calls(), r.metrics.slot_wait_ms),
         Err(_) => (0, 0.0),
     };
+    if let Ok(r) = &result {
+        // ordering: Relaxed — statistics counters, same advisory contract as
+        // the rest of SchedCore's.
+        core.coalesced_calls
+            .fetch_add(r.metrics.coalesced_calls, Ordering::Relaxed);
+        core.batched_rows
+            .fetch_add(r.metrics.batched_rows, Ordering::Relaxed);
+    }
     // Graceful degradation: surface the partial-result marker on the
     // outcome so QoS layers need not dig through the metrics.
     let incomplete = result

@@ -418,6 +418,13 @@ pub struct EngineConfig {
     pub cost_model: LlmCostModel,
     /// Page size for [`PromptStrategy::BatchedRows`].
     pub batch_size: usize,
+    /// Tuple batching: how many per-tuple prompts (lookups, filter checks)
+    /// may be packed into one physical LLM call where the scan strategy
+    /// allows. The structured answer is split back per tuple, so rows and
+    /// *logical* call counts are byte-identical at any setting — only the
+    /// physical call count (and therefore cost) changes. `1` (the default)
+    /// disables packing and preserves the one-prompt-per-call trace.
+    pub batch_rows_per_call: usize,
     /// Hard cap on rows requested from a single virtual-table scan; protects
     /// against unbounded enumeration prompts.
     pub max_scan_rows: usize,
@@ -505,6 +512,7 @@ impl Default for EngineConfig {
             fidelity: LlmFidelity::default(),
             cost_model: LlmCostModel::default(),
             batch_size: 20,
+            batch_rows_per_call: 1,
             max_scan_rows: 1000,
             max_llm_calls: 10_000,
             seed: 42,
@@ -553,6 +561,12 @@ impl EngineConfig {
     /// Builder-style: set the batched-rows page size.
     pub fn with_batch_size(mut self, batch_size: usize) -> Self {
         self.batch_size = batch_size;
+        self
+    }
+    /// Builder-style: set how many per-tuple prompts may be packed into one
+    /// physical LLM call (see [`EngineConfig::batch_rows_per_call`]).
+    pub fn with_batch_rows_per_call(mut self, rows_per_call: usize) -> Self {
+        self.batch_rows_per_call = rows_per_call;
         self
     }
     /// Builder-style: set the worker-pool width for concurrent LLM dispatch
@@ -669,6 +683,9 @@ impl EngineConfig {
         }
         if self.batch_size == 0 {
             return Err(Error::config("batch_size must be at least 1"));
+        }
+        if self.batch_rows_per_call == 0 {
+            return Err(Error::config("batch_rows_per_call must be at least 1"));
         }
         if self.max_scan_rows == 0 {
             return Err(Error::config("max_scan_rows must be at least 1"));

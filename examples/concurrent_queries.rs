@@ -104,6 +104,10 @@ fn main() {
         "global slots    : capacity {}, peak in use {}, total slot-wait {:.1} ms",
         stats.slot_capacity, stats.peak_slots_in_use, stats.total_slot_wait_ms
     );
+    println!(
+        "shared dispatch : {} logical calls coalesced across queries, {} rows batched",
+        stats.coalesced_calls, stats.batched_rows
+    );
     println!("per-tenant calls (deficit counters):");
     for (tenant, calls) in &stats.tenant_calls {
         println!("  {tenant:<12} {calls:>5}");

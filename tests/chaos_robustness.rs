@@ -230,6 +230,69 @@ fn partial_results_change_nothing_on_a_healthy_run() {
     assert_eq!(result.metrics.llm_calls(), baseline.metrics.llm_calls());
 }
 
+// ---------------------------------------------------------------------------
+// Cross-query coalescing under chaos
+// ---------------------------------------------------------------------------
+
+#[test]
+fn coalescing_stays_deterministic_through_an_error_burst() {
+    // Shared-dispatch deployment under fire: an error burst takes every
+    // edge-a attempt down for the whole horizon while 4 identical queries
+    // run concurrently on one scheduler — shared reactor, cross-query
+    // coalescer, retries absorbing the burst. A coalesced leader's failure
+    // must abandon the in-flight entry (followers re-claim and retry), so
+    // rows and per-query logical call counts stay byte-identical to the
+    // fault-free single-query baseline.
+    let (catalog, kb) = countries_world(40);
+    let mut baseline_engine = Engine::with_catalog(catalog.deep_clone().unwrap(), chaos_config());
+    baseline_engine
+        .attach_simulator(kb.clone().into_shared())
+        .unwrap();
+    let baseline = baseline_engine.execute(SCAN_SQL).unwrap();
+
+    let burst = ChaosPlan::new(13, 1_000).with_window(
+        "edge-a",
+        ChaosFault::ErrorBurst { error_rate: 1.0 },
+        0,
+        1_000,
+    );
+    let chaos_specs = vec![
+        BackendSpec::new("edge-a").with_latency_ms(2.0),
+        BackendSpec::new("edge-b").with_latency_ms(2.0),
+    ];
+    let mut engine = Engine::with_catalog(
+        catalog,
+        chaos_config().with_backends(chaos_specs).with_chaos(burst),
+    );
+    engine.attach_simulator(kb.into_shared()).unwrap();
+    let sched = QueryScheduler::new(
+        engine,
+        SchedConfig::default()
+            .with_workers(4)
+            .with_llm_slots(16)
+            .paused(),
+    )
+    .unwrap();
+    let tickets: Vec<QueryTicket> = (0..4)
+        .map(|_| {
+            sched
+                .submit("tenant-a", Priority::NORMAL, SCAN_SQL)
+                .unwrap()
+        })
+        .collect();
+    sched.resume();
+    for ticket in tickets {
+        let outcome = ticket.wait();
+        let result = outcome.result.expect("burst must be absorbed by retries");
+        assert_eq!(result.rows(), baseline.rows());
+        assert_eq!(outcome.llm_calls, baseline.metrics.llm_calls());
+    }
+    assert!(
+        sched.stats().coalesced_calls > 0,
+        "identical concurrent queries never coalesced during the burst"
+    );
+}
+
 #[test]
 fn partial_scan_under_mid_horizon_outage_keeps_a_row_prefix() {
     // Only some pages fall in the outage window (virtual time is per-prompt):

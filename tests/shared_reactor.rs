@@ -1,0 +1,148 @@
+//! Acceptance scenarios for the shared deployment reactor: cross-query
+//! prompt coalescing, tuple batching, and the determinism contract — rows
+//! and per-query logical call counts are byte-identical whatever the batch
+//! size and whether or not the shared reactor/coalescer are attached.
+
+use std::sync::Arc;
+
+use llmsql_bench::batched_tuple_scan_engine;
+use llmsql_core::Engine;
+use llmsql_exec::SharedReactor;
+use llmsql_llm::PromptCoalescer;
+use llmsql_sched::{QueryScheduler, QueryTicket};
+use llmsql_types::{Priority, SchedConfig};
+
+const SCAN_SQL: &str = "SELECT name, population FROM countries";
+
+/// Attach a private shared reactor + coalescer to `engine` (what the
+/// scheduler does deployment-wide, here on a standalone engine).
+fn with_shared_dispatch(mut engine: Engine) -> Engine {
+    engine.set_shared_reactor(Arc::new(SharedReactor::default()));
+    engine.set_prompt_coalescer(Arc::new(PromptCoalescer::new()));
+    engine
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: batching and the shared reactor never change answers
+// ---------------------------------------------------------------------------
+
+#[test]
+fn batch_size_never_changes_rows_or_logical_calls() {
+    // The unbatched engine is the reference; every batch size must produce
+    // byte-identical rows and the same logical call count — batching only
+    // changes how many physical requests carry them.
+    let reference = batched_tuple_scan_engine(40, 8, 1, 0.5)
+        .expect("valid batched scan engine")
+        .execute(SCAN_SQL)
+        .unwrap();
+    assert_eq!(reference.row_count(), 40);
+    for batch in [1, 3, 16] {
+        let engine =
+            batched_tuple_scan_engine(40, 8, batch, 0.5).expect("valid batched scan engine");
+        let result = engine.execute(SCAN_SQL).unwrap();
+        assert_eq!(result.rows(), reference.rows(), "batch {batch}");
+        assert_eq!(
+            result.metrics.llm_calls(),
+            reference.metrics.llm_calls(),
+            "batch {batch}"
+        );
+        if batch > 1 {
+            assert!(
+                result.metrics.batched_rows > 0,
+                "batch {batch} never packed a request"
+            );
+            assert!(
+                engine.client().unwrap().usage().calls < reference.metrics.llm_calls(),
+                "batch {batch} issued as many physical calls as unbatched"
+            );
+        }
+    }
+}
+
+#[test]
+fn shared_reactor_on_vs_off_is_byte_identical() {
+    for batch in [1, 3, 16] {
+        let solo = batched_tuple_scan_engine(40, 8, batch, 0.5).expect("valid batched scan engine");
+        let baseline = solo.execute(SCAN_SQL).unwrap();
+        let shared_engine = with_shared_dispatch(
+            batched_tuple_scan_engine(40, 8, batch, 0.5).expect("valid batched scan engine"),
+        );
+        let shared = shared_engine.execute(SCAN_SQL).unwrap();
+        assert_eq!(shared.rows(), baseline.rows(), "batch {batch}");
+        assert_eq!(
+            shared.metrics.llm_calls(),
+            baseline.metrics.llm_calls(),
+            "batch {batch}"
+        );
+    }
+}
+
+#[test]
+fn blocking_and_reactor_paths_agree() {
+    // Zero simulated latency forces the blocking par_map path; positive
+    // latency takes the reactor path. Same rows, same logical calls.
+    let blocking = batched_tuple_scan_engine(30, 4, 3, 0.0)
+        .expect("valid batched scan engine")
+        .execute(SCAN_SQL)
+        .unwrap();
+    let reactor = batched_tuple_scan_engine(30, 4, 3, 0.5)
+        .expect("valid batched scan engine")
+        .execute(SCAN_SQL)
+        .unwrap();
+    assert_eq!(blocking.rows(), reactor.rows());
+    assert_eq!(blocking.metrics.llm_calls(), reactor.metrics.llm_calls());
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: 8 concurrent queries, 64-prompt working set, batch 4
+// ---------------------------------------------------------------------------
+
+#[test]
+fn concurrent_identical_queries_coalesce_below_0_3x_physical() {
+    // Baseline: one query, unbatched, no coalescer — the physical cost one
+    // client pays alone. 8 such queries would pay 8× that.
+    let solo = batched_tuple_scan_engine(64, 8, 1, 4.0).expect("valid batched scan engine");
+    let baseline = solo.execute(SCAN_SQL).unwrap();
+    let baseline_calls = solo.client().unwrap().usage().calls;
+    assert!(baseline_calls >= 64, "64 tuples need at least 64 lookups");
+    let unshared_total = 8 * baseline_calls;
+
+    // Subject: the same 64-prompt working set, 8 identical queries released
+    // simultaneously on one scheduler — shared reactor, coalescer, and 4
+    // tuples packed per physical request.
+    let sched = QueryScheduler::new(
+        batched_tuple_scan_engine(64, 8, 4, 4.0).expect("valid batched scan engine"),
+        SchedConfig::default()
+            .with_workers(8)
+            .with_llm_slots(64)
+            .paused(),
+    )
+    .unwrap();
+    let tickets: Vec<QueryTicket> = (0..8)
+        .map(|i| {
+            sched
+                .submit(format!("tenant-{}", i % 2), Priority::NORMAL, SCAN_SQL)
+                .unwrap()
+        })
+        .collect();
+    sched.resume();
+    for ticket in tickets {
+        let outcome = ticket.wait();
+        let result = outcome.result.unwrap();
+        // Every query sees the full, byte-identical answer and is charged
+        // its full logical budget regardless of who issued the physical
+        // request that served it.
+        assert_eq!(result.rows(), baseline.rows());
+        assert_eq!(outcome.llm_calls, baseline.metrics.llm_calls());
+    }
+
+    let physical = sched.engine().client().unwrap().usage().calls;
+    assert!(
+        (physical as f64) <= 0.3 * unshared_total as f64,
+        "physical calls {physical} not ≤ 0.3 × unshared baseline {unshared_total}"
+    );
+
+    let stats = sched.stats();
+    assert!(stats.coalesced_calls > 0, "no cross-query coalescing fired");
+    assert!(stats.batched_rows > 0, "no tuple batching fired");
+}
